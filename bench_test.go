@@ -1,0 +1,243 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6), plus ablations of the design choices DESIGN.md calls
+// out. "ns/op" here is host time to run the simulation; the reproduced
+// results are the custom metrics (speedup-x, transfers, bytes), which
+// come from the simulated machine's clock.
+//
+// Run everything:  go test -bench=. -benchmem
+// One figure:      go test -bench=BenchmarkFigure4 -benchtime=1x
+package cgcm_test
+
+import (
+	"io"
+	"testing"
+
+	cgcm "cgcm"
+	"cgcm/internal/bench"
+	"cgcm/internal/core"
+	"cgcm/internal/stats"
+)
+
+// BenchmarkTable1Applicability verifies CGCM's applicability row live:
+// aliasing, irregular access, weak typing, pointer arithmetic, and double
+// indirection all compile, run, and match reference output.
+func BenchmarkTable1Applicability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		passed := 0
+		for _, r := range results {
+			if r.Passed {
+				passed++
+			}
+		}
+		if passed != len(results) {
+			b.Fatalf("only %d/%d features pass", passed, len(results))
+		}
+		b.ReportMetric(float64(passed), "features-supported")
+	}
+}
+
+// BenchmarkFigure2Schedules regenerates the three execution schedules and
+// reports their simulated walls: the acyclic pattern must be fastest.
+func BenchmarkFigure2Schedules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sch, err := bench.CollectSchedules()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sch) != 3 {
+			b.Fatalf("schedules = %d", len(sch))
+		}
+		cyclic, inspector, acyclic := sch[0].Wall, sch[1].Wall, sch[2].Wall
+		if !(acyclic < inspector && acyclic < cyclic) {
+			b.Fatalf("acyclic (%.3g) is not fastest (cyclic %.3g, inspector %.3g)",
+				acyclic, cyclic, inspector)
+		}
+		b.ReportMetric(cyclic*1e6, "cyclic-us")
+		b.ReportMetric(inspector*1e6, "inspector-us")
+		b.ReportMetric(acyclic*1e6, "acyclic-us")
+	}
+}
+
+// BenchmarkFigure4 reproduces the whole-program speedups program by
+// program; each sub-benchmark reports the three systems' speedups over
+// sequential CPU-only execution.
+func BenchmarkFigure4(b *testing.B) {
+	for _, p := range bench.All() {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				row, err := bench.RunProgram(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(row.SpeedupIE, "inspector-x")
+				b.ReportMetric(row.SpeedupUnopt, "unopt-x")
+				b.ReportMetric(row.SpeedupOpt, "opt-x")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure4Geomeans runs the full 24-program suite and reports the
+// headline geomeans (paper: 0.92x / 0.71x / 5.36x).
+func BenchmarkFigure4Geomeans(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAll(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ie, un, op, _, _, _ := bench.Geomeans(rows)
+		if op <= 1 || op <= un || op <= ie {
+			b.Fatalf("optimized geomean %.3f does not dominate (ie %.3f, unopt %.3f)", op, ie, un)
+		}
+		b.ReportMetric(ie, "inspector-geomean-x")
+		b.ReportMetric(un, "unopt-geomean-x")
+		b.ReportMetric(op, "opt-geomean-x")
+	}
+}
+
+// BenchmarkTable3Characteristics reproduces the program-characteristics
+// table, reporting the applicability totals (paper: CGCM 101 kernels,
+// inspector-executor/named-regions 80).
+func BenchmarkTable3Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAll(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totK, totIE := 0, 0
+		gpuBound, commBound := 0, 0
+		for _, r := range rows {
+			totK += r.KernelsCGCM
+			totIE += r.KernelsIE
+			switch r.Limiting {
+			case "GPU":
+				gpuBound++
+			case "Comm.":
+				commBound++
+			}
+		}
+		if totIE >= totK {
+			b.Fatalf("inspector-executor applicability (%d) not below CGCM (%d)", totIE, totK)
+		}
+		b.ReportMetric(float64(totK), "cgcm-kernels")
+		b.ReportMetric(float64(totIE), "ie-kernels")
+		b.ReportMetric(float64(gpuBound), "gpu-bound-programs")
+		b.ReportMetric(float64(commBound), "comm-bound-programs")
+	}
+}
+
+func runOne(b *testing.B, name string, opts core.Options) *core.Report {
+	b.Helper()
+	p, ok := bench.ByName(name)
+	if !ok {
+		b.Fatalf("program %s missing", name)
+	}
+	rep, err := core.CompileAndRun(p.Name, p.Source, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkAblationOptimGlueKernels measures what the glue kernel pass
+// buys on srad (its motivating program).
+func BenchmarkAblationOptimGlueKernels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := runOne(b, "srad", core.Options{Strategy: core.CGCMOptimized})
+		off := runOne(b, "srad", core.Options{Strategy: core.CGCMOptimized, DisableGlueKernels: true})
+		b.ReportMetric(off.Stats.Wall/full.Stats.Wall, "glue-speedup-x")
+		b.ReportMetric(float64(full.Stats.NumDtoH), "with-glue-DtoH")
+		b.ReportMetric(float64(off.Stats.NumDtoH), "without-glue-DtoH")
+	}
+}
+
+// BenchmarkAblationOptimAllocaPromotion measures alloca promotion on cfd
+// (stack-local flux buffers inside a helper).
+func BenchmarkAblationOptimAllocaPromotion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := runOne(b, "cfd", core.Options{Strategy: core.CGCMOptimized})
+		off := runOne(b, "cfd", core.Options{Strategy: core.CGCMOptimized, DisableAllocaPromotion: true})
+		b.ReportMetric(off.Stats.Wall/full.Stats.Wall, "allocapromo-speedup-x")
+		b.ReportMetric(float64(full.Stats.NumHtoD), "with-ap-HtoD")
+		b.ReportMetric(float64(off.Stats.NumHtoD), "without-ap-HtoD")
+	}
+}
+
+// BenchmarkAblationOptimMapPromotion measures map promotion itself on
+// jacobi (the textbook hoisting target).
+func BenchmarkAblationOptimMapPromotion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := runOne(b, "jacobi-2d-imper", core.Options{Strategy: core.CGCMOptimized})
+		off := runOne(b, "jacobi-2d-imper", core.Options{Strategy: core.CGCMOptimized, DisableMapPromotion: true})
+		b.ReportMetric(off.Stats.Wall/full.Stats.Wall, "mappromo-speedup-x")
+	}
+}
+
+// BenchmarkGranularityUnitVsByte contrasts CGCM's allocation-unit
+// transfers with the inspector-executor's per-byte oracle on a
+// comm-bound program: the oracle moves radically fewer bytes yet loses
+// on latency and inspection (§6.3's surprising result).
+func BenchmarkGranularityUnitVsByte(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		unit := runOne(b, "gemver", core.Options{Strategy: core.CGCMUnoptimized})
+		byteWise := runOne(b, "gemver", core.Options{Strategy: core.InspectorExecutor})
+		b.ReportMetric(float64(unit.Stats.BytesHtoD), "unit-bytes")
+		b.ReportMetric(float64(byteWise.Stats.BytesHtoD), "oracle-bytes")
+		b.ReportMetric(unit.Stats.Wall*1e6, "unit-us")
+		b.ReportMetric(byteWise.Stats.Wall*1e6, "oracle-us")
+	}
+}
+
+// BenchmarkOverlapAcyclic measures the CPU/GPU overlap that acyclic
+// communication enables, by re-running optimized jacobi with synchronous
+// launches.
+func BenchmarkOverlapAcyclic(b *testing.B) {
+	p, _ := bench.ByName("jacobi-2d-imper")
+	for i := 0; i < b.N; i++ {
+		async, err := cgcm.CompileAndRun(p.Name, p.Source, cgcm.Options{Strategy: cgcm.CGCMOptimized})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sync := cgcm.DefaultCostModel()
+		sync.SyncAfterLaunch = true
+		blocked, err := cgcm.CompileAndRun(p.Name, p.Source, cgcm.Options{Strategy: cgcm.CGCMOptimized, Cost: &sync})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if blocked.Stats.Wall < async.Stats.Wall {
+			b.Fatal("synchronous launches came out faster than asynchronous")
+		}
+		b.ReportMetric(blocked.Stats.Wall/async.Stats.Wall, "overlap-benefit-x")
+	}
+}
+
+// BenchmarkCompileSuite measures compiler throughput over the whole
+// benchmark suite (front end + parallelizer + management + optimization).
+func BenchmarkCompileSuite(b *testing.B) {
+	progs := bench.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			if _, err := cgcm.Compile(p.Name, p.Source, cgcm.Options{Strategy: cgcm.CGCMOptimized}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGeomeanSanity keeps the statistics helpers honest under the
+// profile of values Figure 4 produces.
+func BenchmarkGeomeanSanity(b *testing.B) {
+	xs := []float64{0.03, 0.5, 1.2, 4.3, 8.5, 14.8}
+	for i := 0; i < b.N; i++ {
+		g := stats.Geomean(xs)
+		if g < 0.03 || g > 14.8 {
+			b.Fatal("geomean out of bounds")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command cgcmbench regenerates the paper's evaluation artifacts: the
+// applicability comparison (Table 1), the execution schedules (Figure 2),
+// the program-characteristics table (Table 3), and the whole-program
+// speedups (Figure 4).
+//
+// Usage:
+//
+//	cgcmbench              # everything
+//	cgcmbench -table1      # just the applicability comparison
+//	cgcmbench -fig2        # just the schedules
+//	cgcmbench -table3      # just program characteristics
+//	cgcmbench -fig4        # just the speedups
+//	cgcmbench -program lu  # one program, all four systems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cgcm/internal/bench"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "render Table 1 (applicability comparison)")
+	f2 := flag.Bool("fig2", false, "render Figure 2 (execution schedules)")
+	t3 := flag.Bool("table3", false, "render Table 3 (program characteristics)")
+	f4 := flag.Bool("fig4", false, "render Figure 4 (whole-program speedups)")
+	one := flag.String("program", "", "run a single named program")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	all := !*t1 && !*f2 && !*t3 && !*f4 && *one == ""
+
+	if *one != "" {
+		p, ok := bench.ByName(*one)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cgcmbench: unknown program %q\n", *one)
+			os.Exit(1)
+		}
+		row, err := bench.RunProgram(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderFigure4(os.Stdout, []*bench.Row{row})
+		fmt.Println()
+		bench.RenderTable3(os.Stdout, []*bench.Row{row})
+		return
+	}
+
+	if all || *t1 {
+		res, err := bench.RunTable1()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cgcmbench: table 1: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderTable1(os.Stdout, res)
+		fmt.Println()
+	}
+	if all || *f2 {
+		sch, err := bench.CollectSchedules()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cgcmbench: figure 2: %v\n", err)
+			os.Exit(1)
+		}
+		bench.RenderFigure2(os.Stdout, sch)
+	}
+	if all || *t3 || *f4 {
+		var logw io.Writer = os.Stderr
+		if *quiet {
+			logw = io.Discard
+		}
+		rows, err := bench.RunAll(logw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
+			os.Exit(1)
+		}
+		if all || *t3 {
+			bench.RenderTable3(os.Stdout, rows)
+			fmt.Println()
+		}
+		if all || *f4 {
+			bench.RenderFigure4(os.Stdout, rows)
+		}
+	}
+}

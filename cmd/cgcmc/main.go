@@ -1,0 +1,61 @@
+// Command cgcmc is the CGCM compiler driver: it compiles a mini-C file
+// and prints the IR, optionally after each phase, without running it.
+//
+// Usage:
+//
+//	cgcmc file.c                 # final IR under -strategy
+//	cgcmc -passes file.c         # dump IR after every phase
+//	cgcmc -strategy unopt file.c # sequential | inspector | unopt | opt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cgcm/internal/core"
+)
+
+func main() {
+	passes := flag.Bool("passes", false, "dump IR after every compilation phase")
+	strategy := flag.String("strategy", "opt", "sequential | inspector | unopt | opt")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cgcmc [-passes] [-strategy s] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgcmc: %v\n", err)
+		os.Exit(1)
+	}
+	opts := core.Options{Strategy: parseStrategy(*strategy)}
+	if *passes {
+		opts.DumpWriter = os.Stdout
+	}
+	prog, err := core.Compile(flag.Arg(0), string(src), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgcmc: %v\n", err)
+		os.Exit(1)
+	}
+	if !*passes {
+		io.WriteString(os.Stdout, prog.Module.String())
+	}
+}
+
+func parseStrategy(s string) core.Strategy {
+	switch s {
+	case "sequential", "seq":
+		return core.Sequential
+	case "inspector", "ie":
+		return core.InspectorExecutor
+	case "unopt", "unoptimized":
+		return core.CGCMUnoptimized
+	case "opt", "optimized":
+		return core.CGCMOptimized
+	}
+	fmt.Fprintf(os.Stderr, "cgcmc: unknown strategy %q\n", s)
+	os.Exit(2)
+	return 0
+}

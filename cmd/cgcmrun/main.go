@@ -1,0 +1,95 @@
+// Command cgcmrun compiles a mini-C file and executes it on the simulated
+// CPU-GPU machine, printing the program's output followed by an execution
+// report (simulated times, transfer counts, kernel counts).
+//
+// Usage:
+//
+//	cgcmrun file.c                   # optimized CGCM
+//	cgcmrun -strategy seq file.c     # plain sequential CPU execution
+//	cgcmrun -compare file.c          # run all four systems, report table
+//	cgcmrun -trace file.c            # append an execution schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cgcm/internal/core"
+)
+
+func main() {
+	strategy := flag.String("strategy", "opt", "sequential | inspector | unopt | opt")
+	compare := flag.Bool("compare", false, "run all four systems and compare")
+	trace := flag.Bool("trace", false, "print the machine event trace")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cgcmrun [-strategy s | -compare] [-trace] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgcmrun: %v\n", err)
+		os.Exit(1)
+	}
+	name := flag.Arg(0)
+
+	if *compare {
+		fmt.Printf("%-20s %12s %10s %10s %8s %8s\n", "system", "sim time", "HtoD", "DtoH", "kernels", "speedup")
+		var base float64
+		for _, s := range []core.Strategy{core.Sequential, core.InspectorExecutor, core.CGCMUnoptimized, core.CGCMOptimized} {
+			rep, err := core.CompileAndRun(name, string(src), core.Options{Strategy: s})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cgcmrun: %s: %v\n", s, err)
+				os.Exit(1)
+			}
+			if s == core.Sequential {
+				base = rep.Stats.Wall
+			}
+			fmt.Printf("%-20s %10.1fus %10d %10d %8d %7.2fx\n",
+				s, rep.Stats.Wall*1e6, rep.Stats.NumHtoD, rep.Stats.NumDtoH,
+				rep.Stats.NumKernels, base/rep.Stats.Wall)
+		}
+		return
+	}
+
+	rep, err := core.CompileAndRun(name, string(src), core.Options{
+		Strategy: parseStrategy(*strategy),
+		Trace:    *trace,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgcmrun: %v\n", err)
+		if rep != nil && rep.Output != "" {
+			fmt.Fprintf(os.Stderr, "partial output:\n%s", rep.Output)
+		}
+		os.Exit(1)
+	}
+	fmt.Print(rep.Output)
+	fmt.Fprintf(os.Stderr, "--- %s: sim %.1fus | HtoD %d (%.1fKB) | DtoH %d (%.1fKB) | kernels %d | promotions %d\n",
+		rep.Strategy, rep.Stats.Wall*1e6,
+		rep.Stats.NumHtoD, float64(rep.Stats.BytesHtoD)/1024,
+		rep.Stats.NumDtoH, float64(rep.Stats.BytesDtoH)/1024,
+		rep.Stats.NumKernels, rep.Promotions)
+	if *trace {
+		for _, ev := range rep.Trace {
+			fmt.Fprintf(os.Stderr, "%10.2fus %8.2fus %-7s %s\n",
+				ev.Start*1e6, (ev.End-ev.Start)*1e6, ev.Kind, ev.Label)
+		}
+	}
+}
+
+func parseStrategy(s string) core.Strategy {
+	switch s {
+	case "sequential", "seq":
+		return core.Sequential
+	case "inspector", "ie":
+		return core.InspectorExecutor
+	case "unopt", "unoptimized":
+		return core.CGCMUnoptimized
+	case "opt", "optimized":
+		return core.CGCMOptimized
+	}
+	fmt.Fprintf(os.Stderr, "cgcmrun: unknown strategy %q\n", s)
+	os.Exit(2)
+	return 0
+}

@@ -1,0 +1,19 @@
+// Schedules: renders the paper's Figure 2 — execution schedules for the
+// naive cyclic, inspector-executor, and acyclic communication patterns —
+// from real traces of the simulated machine.
+package main
+
+import (
+	"log"
+	"os"
+
+	"cgcm/internal/bench"
+)
+
+func main() {
+	schedules, err := bench.CollectSchedules()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.RenderFigure2(os.Stdout, schedules)
+}

@@ -1,0 +1,3 @@
+module cgcm
+
+go 1.22

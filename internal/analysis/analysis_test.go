@@ -1,0 +1,375 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cgcm/internal/analysis"
+	"cgcm/internal/ir"
+	"cgcm/internal/irbuild"
+	"cgcm/internal/minic/parser"
+	"cgcm/internal/minic/sema"
+)
+
+// compile lowers a mini-C source to IR for analysis testing.
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	f, perrs := parser.Parse("t.c", src)
+	if len(perrs) > 0 {
+		t.Fatalf("parse: %v", perrs)
+	}
+	info, serrs := sema.Check(f)
+	if len(serrs) > 0 {
+		t.Fatalf("sema: %v", serrs)
+	}
+	m, err := irbuild.Build(info)
+	if err != nil {
+		t.Fatalf("irbuild: %v", err)
+	}
+	return m
+}
+
+const loopNest = `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 10; i++) {
+		for (int j = 0; j < 5; j++) {
+			s += i * j;
+		}
+	}
+	while (s > 100) { s /= 2; }
+	return s;
+}`
+
+func TestDominators(t *testing.T) {
+	m := compile(t, loopNest)
+	f := m.Func("main")
+	dom := analysis.NewDominators(f)
+	entry := f.Entry()
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b) {
+			continue
+		}
+		if !dom.Dominates(entry, b) {
+			t.Errorf("entry does not dominate %s", b.Name)
+		}
+		if !dom.Dominates(b, b) {
+			t.Errorf("%s does not dominate itself", b.Name)
+		}
+	}
+	// Dominance is antisymmetric for distinct reachable blocks.
+	for _, a := range f.Blocks {
+		for _, b := range f.Blocks {
+			if a != b && dom.Reachable(a) && dom.Reachable(b) &&
+				dom.Dominates(a, b) && dom.Dominates(b, a) {
+				t.Errorf("mutual dominance: %s and %s", a.Name, b.Name)
+			}
+		}
+	}
+}
+
+func TestLoopDetectionAndNesting(t *testing.T) {
+	m := compile(t, loopNest)
+	f := m.Func("main")
+	dom := analysis.NewDominators(f)
+	forest := analysis.FindLoops(f, dom)
+	if len(forest.All) != 3 {
+		t.Fatalf("found %d loops, want 3", len(forest.All))
+	}
+	if len(forest.Top) != 2 {
+		t.Fatalf("found %d top-level loops, want 2 (for-nest and while)", len(forest.Top))
+	}
+	var outer *analysis.Loop
+	for _, l := range forest.Top {
+		if len(l.Children) == 1 {
+			outer = l
+		}
+	}
+	if outer == nil {
+		t.Fatal("nesting not detected")
+	}
+	inner := outer.Children[0]
+	if inner.Parent != outer || inner.Depth != outer.Depth+1 {
+		t.Error("parent/depth links wrong")
+	}
+	for b := range inner.Blocks {
+		if !outer.Blocks[b] {
+			t.Error("inner loop block not contained in outer loop")
+		}
+	}
+	if len(inner.Exits()) == 0 {
+		t.Error("inner loop has no exits")
+	}
+}
+
+func TestEnsurePreheaderAndExitSplit(t *testing.T) {
+	m := compile(t, loopNest)
+	f := m.Func("main")
+	dom := analysis.NewDominators(f)
+	forest := analysis.FindLoops(f, dom)
+	loop := forest.Top[0]
+	pre := analysis.EnsurePreheader(f, loop)
+	if loop.Blocks[pre] {
+		t.Error("preheader inside loop")
+	}
+	term := pre.Terminator()
+	if term == nil || term.Op != ir.OpBr || term.Targets[0] != loop.Header {
+		t.Error("preheader does not branch straight to header")
+	}
+	exits := analysis.SplitExitEdges(f, loop)
+	if len(exits) == 0 {
+		t.Fatal("no exit blocks created")
+	}
+	preds := f.Preds()
+	for _, ex := range exits {
+		if len(preds[ex]) != 1 {
+			t.Errorf("exit block %s has %d preds, want dedicated edge", ex.Name, len(preds[ex]))
+		}
+	}
+	f.Renumber()
+	if err := f.Verify(); err != nil {
+		t.Fatalf("CFG surgery broke the function: %v", err)
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	m := compile(t, `
+int leaf(int x) { return x + 1; }
+int mid(int x) { return leaf(x) + leaf(x + 1); }
+int rec(int x) { if (x <= 0) return 0; return rec(x - 1); }
+int a(int x);
+int b(int x) { return a(x); }
+int a(int x) { if (x > 0) return b(x - 1); return 0; }
+int main() { return mid(3) + rec(2) + a(1); }
+`)
+	cg := analysis.BuildCallGraph(m)
+	leaf := m.Func("leaf")
+	if len(cg.Callers[leaf]) != 2 {
+		t.Errorf("leaf has %d call sites, want 2", len(cg.Callers[leaf]))
+	}
+	if cg.Recursive(leaf) || cg.Recursive(m.Func("mid")) {
+		t.Error("non-recursive function marked recursive")
+	}
+	if !cg.Recursive(m.Func("rec")) {
+		t.Error("self recursion not detected")
+	}
+	if !cg.Recursive(m.Func("a")) || !cg.Recursive(m.Func("b")) {
+		t.Error("mutual recursion not detected")
+	}
+}
+
+func TestPointsToSeparatesAllocations(t *testing.T) {
+	m := compile(t, `
+float g[8];
+int main() {
+	float *a = (float*)malloc(64);
+	float *b = (float*)malloc(64);
+	float *alias = a + 2;
+	a[0] = 1.0;
+	b[0] = 2.0;
+	alias[0] = 3.0;
+	g[0] = 4.0;
+	free(a); free(b);
+	return 0;
+}`)
+	pt := analysis.BuildPointsTo(m)
+	f := m.Func("main")
+	// Collect the store addresses in order.
+	var addrs []ir.Value
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore && in.Float {
+			addrs = append(addrs, in.Args[0])
+		}
+	})
+	if len(addrs) != 4 {
+		t.Fatalf("found %d float stores", len(addrs))
+	}
+	aAddr, bAddr, aliasAddr, gAddr := addrs[0], addrs[1], addrs[2], addrs[3]
+	if pt.MayAlias(aAddr, bAddr) {
+		t.Error("distinct mallocs alias")
+	}
+	if !pt.MayAlias(aAddr, aliasAddr) {
+		t.Error("pointer arithmetic alias missed")
+	}
+	if pt.MayAlias(aAddr, gAddr) {
+		t.Error("heap aliases global")
+	}
+	if len(pt.PTS(gAddr)) != 1 {
+		t.Errorf("global store pts size %d", len(pt.PTS(gAddr)))
+	}
+}
+
+func TestPointsToThroughMemoryAndCalls(t *testing.T) {
+	m := compile(t, `
+float *stash;
+void save(float *p) { stash = p; }
+float *get() { return stash; }
+int main() {
+	float *a = (float*)malloc(32);
+	save(a);
+	float *back = get();
+	back[0] = 1.0;
+	a[1] = 2.0;
+	free(a);
+	return 0;
+}`)
+	pt := analysis.BuildPointsTo(m)
+	f := m.Func("main")
+	var stores []ir.Value
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore && in.Float {
+			stores = append(stores, in.Args[0])
+		}
+	})
+	if len(stores) != 2 {
+		t.Fatalf("found %d stores", len(stores))
+	}
+	// The pointer that flowed through a global and two calls must alias
+	// the original allocation.
+	if !pt.MayAlias(stores[0], stores[1]) {
+		t.Error("flow through global+calls lost the points-to fact")
+	}
+}
+
+func TestModRefSummaries(t *testing.T) {
+	m := compile(t, `
+float *arr;
+float reader() { return arr[0]; }
+void writer(float v) { arr[1] = v; }
+void outer(float v) { writer(v); }
+int main() {
+	arr = (float*)malloc(32);
+	writer(1.0);
+	float x = reader();
+	outer(x);
+	free(arr);
+	return 0;
+}`)
+	pt := analysis.BuildPointsTo(m)
+	cg := analysis.BuildCallGraph(m)
+	mr := analysis.BuildModRef(m, pt, cg)
+
+	heapObj := findHeapObject(t, pt, m)
+	if !mr.FuncRef(m.Func("reader"))[heapObj] {
+		t.Error("reader does not ref the heap unit")
+	}
+	if mr.FuncMod(m.Func("reader"))[heapObj] {
+		t.Error("reader mods the heap unit")
+	}
+	if !mr.FuncMod(m.Func("writer"))[heapObj] {
+		t.Error("writer does not mod the heap unit")
+	}
+	// Transitive: outer -> writer.
+	if !mr.FuncMod(m.Func("outer"))[heapObj] {
+		t.Error("transitive mod not propagated to outer")
+	}
+}
+
+func findHeapObject(t *testing.T, pt *analysis.PointsTo, m *ir.Module) *analysis.Object {
+	t.Helper()
+	var obj *analysis.Object
+	m.Func("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpIntrinsic && in.Name == "malloc" {
+			obj = pt.ObjectOf(in)
+		}
+	})
+	if obj == nil {
+		t.Fatal("no heap object found")
+	}
+	return obj
+}
+
+func TestInvariance(t *testing.T) {
+	m := compile(t, `
+int main() {
+	float *a = (float*)malloc(80);
+	int n = 10;
+	int bound = n * 2;
+	for (int i = 0; i < 10; i++) {
+		a[i] = (float)(bound + i);
+	}
+	free(a);
+	return 0;
+}`)
+	f := m.Func("main")
+	f.Renumber()
+	dom := analysis.NewDominators(f)
+	forest := analysis.FindLoops(f, dom)
+	if len(forest.All) != 1 {
+		t.Fatalf("loops = %d", len(forest.All))
+	}
+	loop := forest.All[0]
+	pt := analysis.BuildPointsTo(m)
+	cg := analysis.BuildCallGraph(m)
+	mr := analysis.BuildModRef(m, pt, cg)
+	region := analysis.Region{Loop: loop}
+	eff := mr.RegionEffect(region, nil)
+	inv := mr.NewInvariance(region, eff)
+
+	// Loads of the 'a' slot and 'bound' slot inside the loop are
+	// invariant (their slots are written only before the loop); loads of
+	// 'i' are not; stores into a[] make loads of a[] non-invariant.
+	var loadA, loadI *ir.Instr
+	loop.Instrs(func(in *ir.Instr) {
+		if in.Op != ir.OpLoad {
+			return
+		}
+		slot, ok := in.Args[0].(*ir.Instr)
+		if !ok || slot.Op != ir.OpAlloca {
+			return
+		}
+		switch slot.Comment {
+		case "local a":
+			loadA = in
+		case "local i":
+			loadI = in
+		}
+	})
+	if loadA == nil || loadI == nil {
+		t.Fatal("expected loads not found")
+	}
+	if !inv.Invariant(loadA) {
+		t.Error("pointer load should be invariant")
+	}
+	if inv.Invariant(loadI) {
+		t.Error("induction variable load should not be invariant")
+	}
+	if !inv.Invariant(ir.IntConst(3)) {
+		t.Error("constant not invariant")
+	}
+}
+
+func TestSpillForwarding(t *testing.T) {
+	m := compile(t, `
+int use(int v) { return v; }
+int main() {
+	int once = 5;
+	int twice = 1;
+	twice = 2;
+	int r = use(once) + use(twice);
+	return r;
+}`)
+	f := m.Func("main")
+	fwd := analysis.SpillForwarding(f)
+	var onceSlot, twiceSlot *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpAlloca {
+			switch in.Comment {
+			case "local once":
+				onceSlot = in
+			case "local twice":
+				twiceSlot = in
+			}
+		}
+	})
+	if onceSlot == nil || twiceSlot == nil {
+		t.Fatal("slots not found")
+	}
+	if v, ok := fwd[onceSlot]; !ok {
+		t.Error("single-store slot not forwarded")
+	} else if c, isC := v.(*ir.Const); !isC || c.Int() != 5 {
+		t.Errorf("forwarded value = %v", v)
+	}
+	if _, ok := fwd[twiceSlot]; ok {
+		t.Error("multi-store slot forwarded")
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import "cgcm/internal/ir"
+
+// CallSite is one call or launch instruction plus its owning function.
+type CallSite struct {
+	Caller *ir.Func
+	Instr  *ir.Instr
+}
+
+// CallGraph records caller/callee relations for a module. Launches count
+// as edges to kernels.
+type CallGraph struct {
+	M *ir.Module
+	// Callers maps each function to the sites that invoke it.
+	Callers map[*ir.Func][]CallSite
+	// Callees maps each function to the functions it invokes.
+	Callees map[*ir.Func][]*ir.Func
+}
+
+// BuildCallGraph scans the module.
+func BuildCallGraph(m *ir.Module) *CallGraph {
+	cg := &CallGraph{
+		M:       m,
+		Callers: make(map[*ir.Func][]CallSite),
+		Callees: make(map[*ir.Func][]*ir.Func),
+	}
+	for _, f := range m.Funcs {
+		seen := make(map[*ir.Func]bool)
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op != ir.OpCall && in.Op != ir.OpLaunch {
+				return
+			}
+			cg.Callers[in.Callee] = append(cg.Callers[in.Callee], CallSite{Caller: f, Instr: in})
+			if !seen[in.Callee] {
+				seen[in.Callee] = true
+				cg.Callees[f] = append(cg.Callees[f], in.Callee)
+			}
+		})
+	}
+	return cg
+}
+
+// Recursive reports whether f can reach itself through calls.
+func (cg *CallGraph) Recursive(f *ir.Func) bool {
+	seen := make(map[*ir.Func]bool)
+	var walk func(g *ir.Func) bool
+	walk = func(g *ir.Func) bool {
+		for _, c := range cg.Callees[g] {
+			if c == f {
+				return true
+			}
+			if !seen[c] {
+				seen[c] = true
+				if walk(c) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(f)
+}

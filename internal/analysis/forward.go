@@ -1,0 +1,90 @@
+package analysis
+
+import "cgcm/internal/ir"
+
+// SpillForwarding computes, for every stack slot in f that is only ever
+// used as a direct load/store address and written by exactly one store
+// that dominates all its loads, the value that store wrote. Loads of such
+// slots are pure copies of that value — the front end's parameter spills
+// and single-assignment locals all match. Passes use this as a
+// lightweight stand-in for mem2reg when chasing pointer values.
+func SpillForwarding(f *ir.Func) map[*ir.Instr]ir.Value {
+	dom := NewDominators(f)
+	type slotUse struct {
+		stores []*ir.Instr
+		loads  []*ir.Instr
+		direct bool
+	}
+	uses := make(map[*ir.Instr]*slotUse)
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpAlloca {
+			uses[in] = &slotUse{direct: true}
+		}
+	})
+	f.Instrs(func(in *ir.Instr) {
+		for i, a := range in.Args {
+			slot, ok := a.(*ir.Instr)
+			if !ok {
+				continue
+			}
+			u, tracked := uses[slot]
+			if !tracked {
+				continue
+			}
+			switch {
+			case in.Op == ir.OpLoad && i == 0:
+				u.loads = append(u.loads, in)
+			case in.Op == ir.OpStore && i == 0:
+				u.stores = append(u.stores, in)
+			default:
+				u.direct = false
+			}
+		}
+	})
+	fwd := make(map[*ir.Instr]ir.Value)
+	for slot, u := range uses {
+		if !u.direct || len(u.stores) != 1 {
+			continue
+		}
+		st := u.stores[0]
+		ok := true
+		for _, ld := range u.loads {
+			if ld.Block == st.Block {
+				// Same block: the store must come first.
+				before := false
+				for _, in := range ld.Block.Instrs {
+					if in == st {
+						before = true
+						break
+					}
+					if in == ld {
+						break
+					}
+				}
+				if !before {
+					ok = false
+					break
+				}
+				continue
+			}
+			if !dom.Dominates(st.Block, ld.Block) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			fwd[slot] = st.Args[1]
+		}
+	}
+	return fwd
+}
+
+// Contents returns the union of the content sets of the objects in s
+// (what the doubly-indirect elements of those units point to).
+func (pt *PointsTo) Contents(s ObjSet) ObjSet {
+	out := make(ObjSet)
+	for o := range s {
+		out.addAll(pt.contents[o])
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package bench
+
+// Others returns the StreamIt and PARSEC ports.
+func Others() []Program {
+	return []Program{
+		{
+			Name: "fm", Suite: "StreamIt",
+			PaperKernels: 4, PaperIE: 4, PaperNR: 4, PaperLimiting: "Other",
+			PaperUnoptGPU: 0.00, PaperOptGPU: 0.00, PaperUnoptComm: 0.00, PaperOptComm: 0.00,
+			Source: `
+// fm: FM radio pipeline. FIR low-pass, demodulation, and two equalizer
+// bands run as kernels, but the final audio stage is a sequential IIR
+// recurrence that dominates execution — GPU and communication are noise.
+int main() {
+	float *in = (float*)malloc(4096 * 8);
+	float *lp = (float*)malloc(4096 * 8);
+	float *dem = (float*)malloc(4096 * 8);
+	float *eq1 = (float*)malloc(4096 * 8);
+	float *eq2 = (float*)malloc(4096 * 8);
+	float *audio = (float*)malloc(4096 * 8);
+	float *coef = (float*)malloc(16 * 8);
+	srand(41);
+	for (int i = 0; i < 4096; i++) in[i] = rand_float() * 2.0 - 1.0;
+	coef[0] = 1.0;
+	for (int t = 1; t < 16; t++) coef[t] = coef[t - 1] * 0.8;
+	// FIR low-pass (kernel).
+	for (int i = 0; i < 4080; i++) {
+		float s = 0.0;
+		for (int t = 0; t < 16; t++) s += in[i + t] * coef[t];
+		lp[i] = s;
+	}
+	// Demodulate (kernel).
+	for (int i = 1; i < 4080; i++) dem[i] = lp[i] * lp[i - 1] * 4.0;
+	// Equalizer bands (two kernels).
+	for (int i = 2; i < 4080; i++) eq1[i] = 0.5 * (dem[i] - dem[i - 2]);
+	for (int i = 2; i < 4080; i++) eq2[i] = 0.25 * (dem[i] + dem[i - 1] + dem[i - 2]);
+	// Audio accumulation: IIR recurrence, inherently sequential, big.
+	audio[0] = 0.0;
+	for (int r = 0; r < 24; r++) {
+		for (int i = 1; i < 4080; i++) {
+			audio[i] = audio[i - 1] * 0.98 + eq1[i] * 0.6 + eq2[i] * 0.4 + (float)r * 0.0001;
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 4080; i++) sum += audio[i];
+	print_float(sum / 1000.0);
+	free(in); free(lp); free(dem); free(eq1); free(eq2); free(audio); free(coef);
+	return 0;
+}`,
+		},
+		{
+			Name: "blackscholes", Suite: "PARSEC",
+			PaperKernels: 1, PaperIE: 0, PaperNR: 0, PaperLimiting: "Other",
+			PaperUnoptGPU: 1.74, PaperOptGPU: 3.23, PaperUnoptComm: 45.84, PaperOptComm: 0.96,
+			Source: `
+// blackscholes: European option pricing. Like PARSEC's original, the
+// portfolio is an array of structs — the layout named-region techniques
+// cannot annotate (paper Table 3: 0 of 1 kernels applicable) but CGCM's
+// allocation-unit transfers handle unchanged. The portfolio is repriced
+// for many runs; map promotion hoists its transfer out of the run loop.
+struct OptionData {
+	float S;
+	float K;
+	float T;
+	float V;
+	float price;
+};
+int main() {
+	struct OptionData *opt = (struct OptionData*)malloc(512 * sizeof(struct OptionData));
+	srand(43);
+	for (int i = 0; i < 512; i++) {
+		opt[i].S = 10.0 + rand_float() * 90.0;
+		opt[i].K = 10.0 + rand_float() * 90.0;
+		opt[i].T = 0.25 + rand_float() * 2.0;
+		opt[i].V = 0.1 + rand_float() * 0.4;
+		opt[i].price = 0.0;
+	}
+	for (int run = 0; run < 40; run++) {
+		for (int i = 0; i < 512; i++) {
+			float sq = sqrt(opt[i].T);
+			float d1 = (log(opt[i].S / opt[i].K) + (0.02 + 0.5 * opt[i].V * opt[i].V) * opt[i].T) / (opt[i].V * sq);
+			float d2 = d1 - opt[i].V * sq;
+			// Cumulative normal via the Abramowitz-Stegun polynomial.
+			float x1 = d1 < 0.0 ? 0.0 - d1 : d1;
+			float k1 = 1.0 / (1.0 + 0.2316419 * x1);
+			float w1 = 1.0 - 0.39894228 * exp(0.0 - 0.5 * x1 * x1) * k1 * (0.31938153 + k1 * (k1 * 1.781477937 - 0.356563782 + k1 * k1 * (1.330274429 * k1 - 1.821255978)));
+			float n1 = d1 < 0.0 ? 1.0 - w1 : w1;
+			float x2 = d2 < 0.0 ? 0.0 - d2 : d2;
+			float k2 = 1.0 / (1.0 + 0.2316419 * x2);
+			float w2 = 1.0 - 0.39894228 * exp(0.0 - 0.5 * x2 * x2) * k2 * (0.31938153 + k2 * (k2 * 1.781477937 - 0.356563782 + k2 * k2 * (1.330274429 * k2 - 1.821255978)));
+			float n2 = d2 < 0.0 ? 1.0 - w2 : w2;
+			opt[i].price = opt[i].S * n1 - opt[i].K * exp(0.0 - 0.02 * opt[i].T) * n2;
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 512; i++) sum += opt[i].price;
+	print_float(sum / 1000.0);
+	free(opt);
+	return 0;
+}`,
+		},
+	}
+}

@@ -1,0 +1,666 @@
+package bench
+
+// PolyBench returns the 16 PolyBench ports (Table 3 order).
+func PolyBench() []Program {
+	return []Program{
+		{
+			Name: "adi", Suite: "PolyBench",
+			PaperKernels: 7, PaperIE: 7, PaperNR: 7, PaperLimiting: "GPU",
+			PaperUnoptGPU: 0.02, PaperOptGPU: 100.0, PaperUnoptComm: 99.98, PaperOptComm: 0.0,
+			Source: `
+// adi: alternating direction implicit integration. A timestep loop runs
+// row sweeps and column sweeps; each sweep is DOALL across the
+// perpendicular dimension with a sequential recurrence inside.
+int main() {
+	float *X = (float*)malloc(48 * 48 * 8);
+	float *A = (float*)malloc(48 * 48 * 8);
+	float *B = (float*)malloc(48 * 48 * 8);
+	for (int i = 0; i < 48; i++) {
+		for (int j = 0; j < 48; j++) X[i * 48 + j] = ((float)(i * (j + 1)) + 1.0) / 48.0;
+	}
+	for (int i = 0; i < 48; i++) {
+		for (int j = 0; j < 48; j++) A[i * 48 + j] = ((float)(i * (j + 2)) + 2.0) / 48.0;
+	}
+	for (int i = 0; i < 48; i++) {
+		for (int j = 0; j < 48; j++) B[i * 48 + j] = 1.0 + ((float)(i * (j + 3)) + 3.0) / 48.0;
+	}
+	for (int t = 0; t < 10; t++) {
+		// Row sweep: forward elimination (parallel across rows i).
+		for (int i = 0; i < 48; i++) {
+			for (int j = 1; j < 48; j++) {
+				X[i * 48 + j] = X[i * 48 + j] - X[i * 48 + j - 1] * A[i * 48 + j] / B[i * 48 + j - 1];
+				B[i * 48 + j] = B[i * 48 + j] - A[i * 48 + j] * A[i * 48 + j] / B[i * 48 + j - 1];
+			}
+		}
+		// Row sweep: back substitution.
+		for (int i = 0; i < 48; i++) {
+			for (int jj = 0; jj < 46; jj++) {
+				int j = 46 - jj;
+				X[i * 48 + j] = (X[i * 48 + j] - X[i * 48 + j - 1] * A[i * 48 + j - 1]) / B[i * 48 + j];
+			}
+		}
+		// Column sweep: forward elimination (parallel across columns i).
+		for (int i = 0; i < 48; i++) {
+			for (int j = 1; j < 48; j++) {
+				X[j * 48 + i] = X[j * 48 + i] - X[(j - 1) * 48 + i] * A[j * 48 + i] / B[(j - 1) * 48 + i];
+				B[j * 48 + i] = B[j * 48 + i] - A[j * 48 + i] * A[j * 48 + i] / B[(j - 1) * 48 + i];
+			}
+		}
+		// Column sweep: back substitution.
+		for (int i = 0; i < 48; i++) {
+			for (int jj = 0; jj < 46; jj++) {
+				int j = 46 - jj;
+				X[j * 48 + i] = (X[j * 48 + i] - X[(j - 1) * 48 + i] * A[(j - 1) * 48 + i]) / B[j * 48 + i];
+			}
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 48 * 48; i++) sum += X[i];
+	print_float(sum);
+	free(X); free(A); free(B);
+	return 0;
+}`,
+		},
+		{
+			Name: "atax", Suite: "PolyBench",
+			PaperKernels: 3, PaperIE: 3, PaperNR: 3, PaperLimiting: "Comm.",
+			PaperUnoptGPU: 0.28, PaperOptGPU: 0.28, PaperUnoptComm: 98.20, PaperOptComm: 98.44,
+			Source: `
+// atax: y = A^T (A x). Two matrix-vector kernels plus an initialization
+// kernel; the vector seed is a sequential recurrence kept on the CPU.
+int main() {
+	float *A = (float*)malloc(96 * 96 * 8);
+	float *x = (float*)malloc(96 * 8);
+	float *tmp = (float*)malloc(96 * 8);
+	float *y = (float*)malloc(96 * 8);
+	for (int i = 0; i < 96; i++) {
+		for (int j = 0; j < 96; j++) A[i * 96 + j] = ((float)(i * j) + 1.0) / 96.0;
+	}
+	x[0] = 1.0;
+	for (int i = 1; i < 96; i++) x[i] = x[i - 1] * 0.99 + 0.013;
+	for (int i = 0; i < 96; i++) {
+		float s = 0.0;
+		for (int j = 0; j < 96; j++) s += A[i * 96 + j] * x[j];
+		tmp[i] = s;
+	}
+	for (int j = 0; j < 96; j++) {
+		float s = 0.0;
+		for (int i = 0; i < 96; i++) s += A[i * 96 + j] * tmp[i];
+		y[j] = s;
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 96; i++) sum += y[i];
+	print_float(sum / 1000000.0);
+	free(A); free(x); free(tmp); free(y);
+	return 0;
+}`,
+		},
+		{
+			Name: "bicg", Suite: "PolyBench",
+			PaperKernels: 2, PaperIE: 2, PaperNR: 2, PaperLimiting: "Comm.",
+			PaperUnoptGPU: 4.36, PaperOptGPU: 4.46, PaperUnoptComm: 72.38, PaperOptComm: 74.15,
+			Source: `
+// bicg: q = A p and s = A^T r. Inputs are seeded with the deterministic
+// RNG on the CPU, so only the two kernels reach the GPU.
+int main() {
+	float *A = (float*)malloc(96 * 96 * 8);
+	float *p = (float*)malloc(96 * 8);
+	float *r = (float*)malloc(96 * 8);
+	float *q = (float*)malloc(96 * 8);
+	float *s = (float*)malloc(96 * 8);
+	srand(7);
+	for (int i = 0; i < 96 * 96; i++) A[i] = rand_float();
+	for (int i = 0; i < 96; i++) p[i] = rand_float();
+	for (int i = 0; i < 96; i++) r[i] = rand_float();
+	for (int i = 0; i < 96; i++) {
+		float acc = 0.0;
+		for (int j = 0; j < 96; j++) acc += A[i * 96 + j] * p[j];
+		q[i] = acc;
+	}
+	for (int j = 0; j < 96; j++) {
+		float acc = 0.0;
+		for (int i = 0; i < 96; i++) acc += A[i * 96 + j] * r[i];
+		s[j] = acc;
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 96; i++) sum += q[i] + s[i];
+	print_float(sum);
+	free(A); free(p); free(r); free(q); free(s);
+	return 0;
+}`,
+		},
+		{
+			Name: "correlation", Suite: "PolyBench",
+			PaperKernels: 5, PaperIE: 5, PaperNR: 5, PaperLimiting: "GPU",
+			PaperUnoptGPU: 87.49, PaperOptGPU: 87.39, PaperUnoptComm: 10.17, PaperOptComm: 10.12,
+			Source: `
+// correlation: column means, standard deviations, normalization, and the
+// correlation matrix — five kernels, compute bound.
+int main() {
+	float *data = (float*)malloc(64 * 64 * 8);
+	float *mean = (float*)malloc(64 * 8);
+	float *sdev = (float*)malloc(64 * 8);
+	float *corr = (float*)malloc(64 * 64 * 8);
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) data[i * 64 + j] = ((float)(i * j) + 1.0) / 64.0 + (float)i;
+	}
+	for (int j = 0; j < 64; j++) {
+		float m = 0.0;
+		for (int i = 0; i < 64; i++) m += data[i * 64 + j];
+		mean[j] = m / 64.0;
+	}
+	for (int j = 0; j < 64; j++) {
+		float v = 0.0;
+		for (int i = 0; i < 64; i++) {
+			float d = data[i * 64 + j] - mean[j];
+			v += d * d;
+		}
+		float sd = sqrt(v / 64.0);
+		sdev[j] = sd <= 0.005 ? 1.0 : sd;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) {
+			data[i * 64 + j] = (data[i * 64 + j] - mean[j]) / (sqrt(64.0) * sdev[j]);
+		}
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) {
+			float acc = 0.0;
+			for (int k = 0; k < 64; k++) acc += data[k * 64 + i] * data[k * 64 + j];
+			corr[i * 64 + j] = i == j ? 1.0 : acc;
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 64 * 64; i++) sum += corr[i];
+	print_float(sum);
+	free(data); free(mean); free(sdev); free(corr);
+	return 0;
+}`,
+		},
+		{
+			Name: "covariance", Suite: "PolyBench",
+			PaperKernels: 4, PaperIE: 4, PaperNR: 4, PaperLimiting: "GPU",
+			PaperUnoptGPU: 77.12, PaperOptGPU: 77.28, PaperUnoptComm: 18.61, PaperOptComm: 18.43,
+			Source: `
+// covariance: means, centering, and the covariance matrix.
+int main() {
+	float *data = (float*)malloc(64 * 64 * 8);
+	float *mean = (float*)malloc(64 * 8);
+	float *cov = (float*)malloc(64 * 64 * 8);
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) data[i * 64 + j] = ((float)(i * j) + 2.0) / 64.0;
+	}
+	for (int j = 0; j < 64; j++) {
+		float m = 0.0;
+		for (int i = 0; i < 64; i++) m += data[i * 64 + j];
+		mean[j] = m / 64.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) data[i * 64 + j] = data[i * 64 + j] - mean[j];
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) {
+			float acc = 0.0;
+			for (int k = 0; k < 64; k++) acc += data[k * 64 + i] * data[k * 64 + j];
+			cov[i * 64 + j] = acc / 63.0;
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 64 * 64; i++) sum += cov[i];
+	print_float(sum);
+	free(data); free(mean); free(cov);
+	return 0;
+}`,
+		},
+		{
+			Name: "doitgen", Suite: "PolyBench",
+			PaperKernels: 3, PaperIE: 3, PaperNR: 3, PaperLimiting: "GPU",
+			PaperUnoptGPU: 87.48, PaperOptGPU: 87.52, PaperUnoptComm: 11.29, PaperOptComm: 11.20,
+			Source: `
+// doitgen: multiresolution analysis kernel with an iteration-private
+// accumulator array (stresses privatization in the parallelizer).
+int main() {
+	float *A = (float*)malloc(16 * 16 * 16 * 8);
+	float *C4 = (float*)malloc(16 * 16 * 8);
+	for (int r = 0; r < 16; r++) {
+		for (int q = 0; q < 16; q++) {
+			for (int p = 0; p < 16; p++) A[(r * 16 + q) * 16 + p] = ((float)(r * q + p) + 1.0) / 16.0;
+		}
+	}
+	for (int a = 0; a < 16; a++) {
+		for (int b = 0; b < 16; b++) C4[a * 16 + b] = ((float)(a * b) + 1.0) / 16.0;
+	}
+	for (int r = 0; r < 16; r++) {
+		for (int q = 0; q < 16; q++) {
+			float s[16];
+			for (int p = 0; p < 16; p++) {
+				float acc = 0.0;
+				for (int w = 0; w < 16; w++) acc += A[(r * 16 + q) * 16 + w] * C4[w * 16 + p];
+				s[p] = acc;
+			}
+			for (int p = 0; p < 16; p++) A[(r * 16 + q) * 16 + p] = s[p];
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 16 * 16 * 16; i++) sum += A[i];
+	print_float(sum);
+	free(A); free(C4);
+	return 0;
+}`,
+		},
+		{
+			Name: "gemm", Suite: "PolyBench",
+			PaperKernels: 4, PaperIE: 4, PaperNR: 4, PaperLimiting: "GPU",
+			PaperUnoptGPU: 73.49, PaperOptGPU: 73.76, PaperUnoptComm: 19.69, PaperOptComm: 19.49,
+			Source: `
+// gemm: C = alpha*A*B + beta*C.
+int main() {
+	float *A = (float*)malloc(128 * 128 * 8);
+	float *B = (float*)malloc(128 * 128 * 8);
+	float *C = (float*)malloc(128 * 128 * 8);
+	for (int i = 0; i < 128; i++) {
+		for (int j = 0; j < 128; j++) A[i * 128 + j] = ((float)(i * j) + 1.0) / 128.0;
+	}
+	for (int i = 0; i < 128; i++) {
+		for (int j = 0; j < 128; j++) B[i * 128 + j] = ((float)(i * (j + 1)) + 2.0) / 128.0;
+	}
+	for (int i = 0; i < 128; i++) {
+		for (int j = 0; j < 128; j++) C[i * 128 + j] = ((float)(i * (j + 2)) + 3.0) / 128.0;
+	}
+	for (int i = 0; i < 128; i++) {
+		for (int j = 0; j < 128; j++) {
+			float s = 0.0;
+			for (int k = 0; k < 128; k++) s += A[i * 128 + k] * B[k * 128 + j];
+			C[i * 128 + j] = 1.5 * s + 1.2 * C[i * 128 + j];
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 128 * 128; i++) sum += C[i];
+	print_float(sum / 1000000.0);
+	free(A); free(B); free(C);
+	return 0;
+}`,
+		},
+		{
+			Name: "gemver", Suite: "PolyBench",
+			PaperKernels: 5, PaperIE: 5, PaperNR: 5, PaperLimiting: "Comm.",
+			PaperUnoptGPU: 4.06, PaperOptGPU: 4.10, PaperUnoptComm: 88.21, PaperOptComm: 89.36,
+			Source: `
+// gemver: rank-two update plus two matrix-vector products.
+int main() {
+	float *A = (float*)malloc(96 * 96 * 8);
+	float *u1 = (float*)malloc(96 * 8);
+	float *v1 = (float*)malloc(96 * 8);
+	float *u2 = (float*)malloc(96 * 8);
+	float *v2 = (float*)malloc(96 * 8);
+	float *x = (float*)malloc(96 * 8);
+	float *y = (float*)malloc(96 * 8);
+	float *z = (float*)malloc(96 * 8);
+	float *w = (float*)malloc(96 * 8);
+	srand(11);
+	for (int i = 0; i < 96; i++) u1[i] = rand_float();
+	for (int i = 0; i < 96; i++) v1[i] = rand_float();
+	for (int i = 0; i < 96; i++) u2[i] = rand_float();
+	for (int i = 0; i < 96; i++) v2[i] = rand_float();
+	for (int i = 0; i < 96; i++) y[i] = rand_float();
+	for (int i = 0; i < 96; i++) z[i] = rand_float();
+	for (int i = 0; i < 96; i++) {
+		for (int j = 0; j < 96; j++) A[i * 96 + j] = ((float)(i * j) + 1.0) / 96.0;
+	}
+	for (int i = 0; i < 96; i++) {
+		for (int j = 0; j < 96; j++) A[i * 96 + j] = A[i * 96 + j] + u1[i] * v1[j] + u2[i] * v2[j];
+	}
+	for (int i = 0; i < 96; i++) {
+		float s = 0.0;
+		for (int j = 0; j < 96; j++) s += A[j * 96 + i] * y[j];
+		x[i] = 1.2 * s;
+	}
+	for (int i = 0; i < 96; i++) x[i] = x[i] + z[i];
+	for (int i = 0; i < 96; i++) {
+		float s = 0.0;
+		for (int j = 0; j < 96; j++) s += A[i * 96 + j] * x[j];
+		w[i] = 1.5 * s;
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 96; i++) sum += w[i];
+	print_float(sum);
+	free(A); free(u1); free(v1); free(u2); free(v2); free(x); free(y); free(z); free(w);
+	return 0;
+}`,
+		},
+		{
+			Name: "gesummv", Suite: "PolyBench",
+			PaperKernels: 2, PaperIE: 2, PaperNR: 2, PaperLimiting: "Comm.",
+			PaperUnoptGPU: 6.17, PaperOptGPU: 6.29, PaperUnoptComm: 86.17, PaperOptComm: 86.74,
+			Source: `
+// gesummv: y = alpha*A*x + beta*B*x.
+int main() {
+	float *A = (float*)malloc(96 * 96 * 8);
+	float *B = (float*)malloc(96 * 96 * 8);
+	float *x = (float*)malloc(96 * 8);
+	float *tmp = (float*)malloc(96 * 8);
+	float *y = (float*)malloc(96 * 8);
+	srand(13);
+	for (int i = 0; i < 96 * 96; i++) A[i] = rand_float();
+	for (int i = 0; i < 96 * 96; i++) B[i] = rand_float();
+	for (int i = 0; i < 96; i++) x[i] = rand_float();
+	for (int i = 0; i < 96; i++) {
+		float s = 0.0;
+		for (int j = 0; j < 96; j++) s += A[i * 96 + j] * x[j];
+		tmp[i] = s;
+	}
+	for (int i = 0; i < 96; i++) {
+		float s = 0.0;
+		for (int j = 0; j < 96; j++) s += B[i * 96 + j] * x[j];
+		y[i] = 1.3 * tmp[i] + 1.1 * s;
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 96; i++) sum += y[i];
+	print_float(sum);
+	free(A); free(B); free(x); free(tmp); free(y);
+	return 0;
+}`,
+		},
+		{
+			Name: "gramschmidt", Suite: "PolyBench",
+			PaperKernels: 3, PaperIE: 3, PaperNR: 3, PaperLimiting: "Comm.",
+			PaperUnoptGPU: 1.82, PaperOptGPU: 8.37, PaperUnoptComm: 98.18, PaperOptComm: 90.91,
+			Source: `
+// gramschmidt: modified Gram-Schmidt orthogonalization. The outer column
+// loop is sequential and computes each column's norm on the CPU, which
+// blocks map promotion — the allocation units shuttle every iteration.
+// This is the one program where the idealized inspector-executor wins.
+int main() {
+	float *A = (float*)malloc(32 * 32 * 8);
+	float *R = (float*)malloc(32 * 32 * 8);
+	float *Q = (float*)malloc(32 * 32 * 8);
+	for (int i = 0; i < 32; i++) {
+		for (int j = 0; j < 32; j++) A[i * 32 + j] = ((float)((i + 1) * (j + 1)) + 3.0) / 32.0 + (i == j ? 4.0 : 0.0);
+	}
+	for (int k = 0; k < 32; k++) {
+		float norm = 0.0;
+		for (int i = 0; i < 32; i++) norm += A[i * 32 + k] * A[i * 32 + k];
+		float rkk = sqrt(norm);
+		R[k * 32 + k] = rkk;
+		for (int i = 0; i < 32; i++) Q[i * 32 + k] = A[i * 32 + k] / rkk;
+		for (int j = 0; j < 32; j++) {
+			if (j > k) {
+				float r = 0.0;
+				for (int i = 0; i < 32; i++) r += Q[i * 32 + k] * A[i * 32 + j];
+				R[k * 32 + j] = r;
+				for (int i = 0; i < 32; i++) A[i * 32 + j] = A[i * 32 + j] - Q[i * 32 + k] * r;
+			}
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 32 * 32; i++) sum += R[i] + Q[i];
+	print_float(sum);
+	free(A); free(R); free(Q);
+	return 0;
+}`,
+		},
+		{
+			Name: "jacobi-2d-imper", Suite: "PolyBench",
+			PaperKernels: 3, PaperIE: 3, PaperNR: 3, PaperLimiting: "GPU",
+			PaperUnoptGPU: 7.20, PaperOptGPU: 95.97, PaperUnoptComm: 92.82, PaperOptComm: 3.32,
+			Source: `
+// jacobi-2d-imper: 5-point stencil timestep loop with a compute kernel
+// and a copy-back kernel; the textbook map promotion target.
+int main() {
+	float *A = (float*)malloc(64 * 64 * 8);
+	float *B = (float*)malloc(64 * 64 * 8);
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) A[i * 64 + j] = ((float)(i * (j + 2)) + 2.0) / 64.0;
+	}
+	for (int t = 0; t < 40; t++) {
+		for (int i = 1; i < 63; i++) {
+			for (int j = 1; j < 63; j++) {
+				B[i * 64 + j] = 0.2 * (A[i * 64 + j] + A[i * 64 + j - 1] + A[i * 64 + j + 1] + A[(i - 1) * 64 + j] + A[(i + 1) * 64 + j]);
+			}
+		}
+		for (int i = 1; i < 63; i++) {
+			for (int j = 1; j < 63; j++) A[i * 64 + j] = B[i * 64 + j];
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 64 * 64; i++) sum += A[i];
+	print_float(sum);
+	free(A); free(B);
+	return 0;
+}`,
+		},
+		{
+			Name: "seidel", Suite: "PolyBench",
+			PaperKernels: 1, PaperIE: 1, PaperNR: 1, PaperLimiting: "Other",
+			PaperUnoptGPU: 0.01, PaperOptGPU: 0.01, PaperUnoptComm: 0.59, PaperOptComm: 0.59,
+			Source: `
+// seidel: Gauss-Seidel updates in place, so the sweep carries true
+// dependences and only the initialization loop is DOALL. The program
+// stays CPU bound — the paper's "Other" bucket.
+int main() {
+	float *A = (float*)malloc(32 * 32 * 8);
+	for (int i = 0; i < 32; i++) {
+		for (int j = 0; j < 32; j++) A[i * 32 + j] = ((float)(i * (j + 1)) + 2.0) / 32.0;
+	}
+	for (int t = 0; t < 20; t++) {
+		for (int i = 1; i < 31; i++) {
+			for (int j = 1; j < 31; j++) {
+				A[i * 32 + j] = (A[(i - 1) * 32 + j - 1] + A[(i - 1) * 32 + j] + A[(i - 1) * 32 + j + 1] + A[i * 32 + j - 1] + A[i * 32 + j] + A[i * 32 + j + 1] + A[(i + 1) * 32 + j - 1] + A[(i + 1) * 32 + j] + A[(i + 1) * 32 + j + 1]) / 9.0;
+			}
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 32 * 32; i++) sum += A[i];
+	print_float(sum);
+	free(A);
+	return 0;
+}`,
+		},
+		{
+			Name: "lu", Suite: "PolyBench",
+			PaperKernels: 3, PaperIE: 3, PaperNR: 2, PaperLimiting: "GPU",
+			PaperUnoptGPU: 0.41, PaperOptGPU: 88.05, PaperUnoptComm: 99.59, PaperOptComm: 7.02,
+			Source: `
+// lu: LU decomposition (Doolittle). The sequential elimination loop
+// launches three kernels per step; the pivot row is staged into a buffer
+// on the GPU so no CPU code touches the matrix between launches and map
+// promotion can hoist it out of the whole elimination loop.
+int main() {
+	float *A = (float*)malloc(64 * 64 * 8);
+	float *rowk = (float*)malloc(64 * 8);
+	float *colk = (float*)malloc(64 * 8);
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) A[i * 64 + j] = ((float)(i * j) + 4.0) / 64.0 + (i == j ? 50.0 : 0.0);
+	}
+	for (int k = 0; k < 64; k++) {
+		for (int j = 0; j < 64; j++) rowk[j] = A[k * 64 + j];
+		for (int i = 0; i < 64; i++) {
+			if (i > k) {
+				float w = A[i * 64 + k] / rowk[k];
+				A[i * 64 + k] = w;
+				colk[i] = w;
+			}
+		}
+		for (int i = 0; i < 64; i++) {
+			if (i > k) {
+				for (int j = 0; j < 64; j++) {
+					if (j > k) A[i * 64 + j] = A[i * 64 + j] - colk[i] * rowk[j];
+				}
+			}
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 64 * 64; i++) sum += A[i];
+	print_float(sum);
+	free(A); free(rowk); free(colk);
+	return 0;
+}`,
+		},
+		{
+			Name: "ludcmp", Suite: "PolyBench",
+			PaperKernels: 5, PaperIE: 5, PaperNR: 3, PaperLimiting: "GPU",
+			PaperUnoptGPU: 1.23, PaperOptGPU: 87.38, PaperUnoptComm: 98.10, PaperOptComm: 4.13,
+			Source: `
+// ludcmp: LU decomposition plus forward/back substitution. The
+// triangular solves are sequential recurrences and stay on the CPU.
+int main() {
+	float *A = (float*)malloc(64 * 64 * 8);
+	float *b = (float*)malloc(64 * 8);
+	float *yv = (float*)malloc(64 * 8);
+	float *xv = (float*)malloc(64 * 8);
+	float *rowk = (float*)malloc(64 * 8);
+	float *colk = (float*)malloc(64 * 8);
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) A[i * 64 + j] = ((float)(i * j) + 4.0) / 64.0 + (i == j ? 50.0 : 0.0);
+	}
+	for (int i = 0; i < 64; i++) b[i] = ((float)i + 1.0) / 64.0;
+	for (int k = 0; k < 64; k++) {
+		for (int j = 0; j < 64; j++) rowk[j] = A[k * 64 + j];
+		for (int i = 0; i < 64; i++) {
+			if (i > k) {
+				float w = A[i * 64 + k] / rowk[k];
+				A[i * 64 + k] = w;
+				colk[i] = w;
+			}
+		}
+		for (int i = 0; i < 64; i++) {
+			if (i > k) {
+				for (int j = 0; j < 64; j++) {
+					if (j > k) A[i * 64 + j] = A[i * 64 + j] - colk[i] * rowk[j];
+				}
+			}
+		}
+	}
+	// Forward substitution (sequential recurrence: CPU).
+	for (int i = 0; i < 64; i++) {
+		float s = b[i];
+		for (int j = 0; j < i; j++) s -= A[i * 64 + j] * yv[j];
+		yv[i] = s / A[i * 64 + i];
+	}
+	// Back substitution (sequential recurrence: CPU).
+	for (int ii = 0; ii < 64; ii++) {
+		int i = 63 - ii;
+		float s = yv[i];
+		for (int j = i + 1; j < 64; j++) s -= A[i * 64 + j] * xv[j];
+		xv[i] = s;
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 64; i++) sum += xv[i];
+	print_float(sum);
+	free(A); free(b); free(yv); free(xv); free(rowk); free(colk);
+	return 0;
+}`,
+		},
+		{
+			Name: "2mm", Suite: "PolyBench",
+			PaperKernels: 7, PaperIE: 7, PaperNR: 7, PaperLimiting: "GPU",
+			PaperUnoptGPU: 75.53, PaperOptGPU: 77.25, PaperUnoptComm: 17.96, PaperOptComm: 18.25,
+			Source: `
+// 2mm: D = alpha*A*B*C + beta*D.
+int main() {
+	float *A = (float*)malloc(64 * 64 * 8);
+	float *B = (float*)malloc(64 * 64 * 8);
+	float *C = (float*)malloc(64 * 64 * 8);
+	float *D = (float*)malloc(64 * 64 * 8);
+	float *tmp = (float*)malloc(64 * 64 * 8);
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) A[i * 64 + j] = ((float)(i * j) + 1.0) / 64.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) B[i * 64 + j] = ((float)(i * (j + 1)) + 1.0) / 64.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) C[i * 64 + j] = ((float)(i * (j + 3)) + 1.0) / 64.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) D[i * 64 + j] = ((float)(i * (j + 2)) + 1.0) / 64.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) tmp[i * 64 + j] = 0.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) {
+			float s = 0.0;
+			for (int k = 0; k < 64; k++) s += 1.5 * A[i * 64 + k] * B[k * 64 + j];
+			tmp[i * 64 + j] = s;
+		}
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) {
+			float s = 0.0;
+			for (int k = 0; k < 64; k++) s += tmp[i * 64 + k] * C[k * 64 + j];
+			D[i * 64 + j] = s + 1.2 * D[i * 64 + j];
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 64 * 64; i++) sum += D[i];
+	print_float(sum / 1000000.0);
+	free(A); free(B); free(C); free(D); free(tmp);
+	return 0;
+}`,
+		},
+		{
+			Name: "3mm", Suite: "PolyBench",
+			PaperKernels: 10, PaperIE: 10, PaperNR: 10, PaperLimiting: "GPU",
+			PaperUnoptGPU: 78.75, PaperOptGPU: 79.29, PaperUnoptComm: 17.86, PaperOptComm: 17.85,
+			Source: `
+// 3mm: G = (A*B) * (C*D).
+int main() {
+	float *A = (float*)malloc(64 * 64 * 8);
+	float *B = (float*)malloc(64 * 64 * 8);
+	float *C = (float*)malloc(64 * 64 * 8);
+	float *D = (float*)malloc(64 * 64 * 8);
+	float *E = (float*)malloc(64 * 64 * 8);
+	float *F = (float*)malloc(64 * 64 * 8);
+	float *G = (float*)malloc(64 * 64 * 8);
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) A[i * 64 + j] = ((float)(i * j) + 1.0) / 64.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) B[i * 64 + j] = ((float)(i * (j + 1)) + 2.0) / 64.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) C[i * 64 + j] = ((float)(i * (j + 3)) + 3.0) / 64.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) D[i * 64 + j] = ((float)(i * (j + 2)) + 2.0) / 64.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) E[i * 64 + j] = 0.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) F[i * 64 + j] = 0.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) G[i * 64 + j] = 0.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) {
+			float s = 0.0;
+			for (int k = 0; k < 64; k++) s += A[i * 64 + k] * B[k * 64 + j];
+			E[i * 64 + j] = s;
+		}
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) {
+			float s = 0.0;
+			for (int k = 0; k < 64; k++) s += C[i * 64 + k] * D[k * 64 + j];
+			F[i * 64 + j] = s;
+		}
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) {
+			float s = 0.0;
+			for (int k = 0; k < 64; k++) s += E[i * 64 + k] * F[k * 64 + j];
+			G[i * 64 + j] = s;
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 64 * 64; i++) sum += G[i];
+	print_float(sum / 1000000000.0);
+	free(A); free(B); free(C); free(D); free(E); free(F); free(G);
+	return 0;
+}`,
+		},
+	}
+}

@@ -1,0 +1,49 @@
+// Package bench contains mini-C ports of the paper's 24 benchmark
+// programs (PolyBench, Rodinia, StreamIt, PARSEC) and the evaluation
+// harness that regenerates the paper's tables and figures.
+//
+// Problem sizes are scaled so the interpreted suite runs in seconds; the
+// simulated timing model — not wall-clock — produces the reported
+// numbers, so the performance shapes are unaffected by interpreter speed.
+// Each port preserves the loop and communication structure of the
+// original: which loops are DOALL, which data crosses the CPU-GPU
+// boundary per iteration, and what CPU work sits between kernel launches.
+package bench
+
+// Program is one benchmark.
+type Program struct {
+	Name  string
+	Suite string
+	// Source is the mini-C program text. Every program prints a checksum
+	// so the harness can validate all strategies against sequential.
+	Source string
+
+	// Paper-reported characteristics (Table 3) for comparison.
+	PaperKernels   int     // GPU kernels created by the DOALL parallelizer
+	PaperIE        int     // kernels the inspector-executor technique handles
+	PaperNR        int     // kernels the named-regions technique handles
+	PaperLimiting  string  // "GPU", "Comm.", or "Other"
+	PaperUnoptGPU  float64 // % of total time in GPU execution, unoptimized
+	PaperOptGPU    float64
+	PaperUnoptComm float64
+	PaperOptComm   float64
+}
+
+// All returns the full 24-program suite in the paper's Table 3 order.
+func All() []Program {
+	var out []Program
+	out = append(out, PolyBench()...)
+	out = append(out, Rodinia()...)
+	out = append(out, Others()...)
+	return out
+}
+
+// ByName returns the named program.
+func ByName(name string) (Program, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}

@@ -1,0 +1,66 @@
+package bench_test
+
+import (
+	"testing"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/core"
+)
+
+// TestAllProgramsAgree compiles and runs every benchmark under all four
+// strategies and checks the outputs are identical — the end-to-end
+// correctness property of communication management.
+func TestAllProgramsAgree(t *testing.T) {
+	for _, p := range bench.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			seq, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.Sequential})
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			if seq.Output == "" {
+				t.Fatal("sequential produced no output")
+			}
+			for _, s := range []core.Strategy{core.InspectorExecutor, core.CGCMUnoptimized, core.CGCMOptimized} {
+				rep, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: s})
+				if err != nil {
+					t.Fatalf("%s: %v", s, err)
+				}
+				if rep.Output != seq.Output {
+					t.Errorf("%s output diverged:\n got %q\nwant %q", s, rep.Output, seq.Output)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelCounts verifies the DOALL parallelizer finds roughly the
+// kernel structure the paper reports (exact counts for most programs;
+// substitutions documented in EXPERIMENTS.md may differ by a couple).
+func TestKernelCounts(t *testing.T) {
+	for _, p := range bench.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := core.Compile(p.Name, p.Source, core.Options{Strategy: core.CGCMUnoptimized})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			kernels := 0
+			for _, f := range prog.Module.Funcs {
+				if f.Kernel {
+					kernels++
+				}
+			}
+			if kernels == 0 {
+				t.Errorf("no kernels created (paper reports %d)", p.PaperKernels)
+			}
+			diff := kernels - p.PaperKernels
+			if diff < -2 || diff > 3 {
+				t.Errorf("kernels = %d, paper reports %d", kernels, p.PaperKernels)
+			}
+			t.Logf("%s: %d kernels (paper %d)", p.Name, kernels, p.PaperKernels)
+		})
+	}
+}

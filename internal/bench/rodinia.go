@@ -1,0 +1,333 @@
+package bench
+
+// Rodinia returns the six Rodinia ports.
+func Rodinia() []Program {
+	return []Program{
+		{
+			Name: "cfd", Suite: "Rodinia",
+			PaperKernels: 9, PaperIE: 3, PaperNR: 3, PaperLimiting: "GPU",
+			PaperUnoptGPU: 4.65, PaperOptGPU: 77.96, PaperUnoptComm: 85.90, PaperOptComm: 0.16,
+			Source: `
+// cfd: 1-D Euler solver sketch. Three conserved quantities advance each
+// timestep through flux kernels inside a helper function whose flux
+// buffer is stack-local — the shape that needs alloca promotion before
+// map promotion can climb from the helper into main and out of the
+// timestep loop. Fluxes are an array of structs (one flux vector per
+// cell interface, as in Rodinia's float3 layout), which only CGCM's
+// allocation-unit transfers can manage among the compared systems.
+struct Flux {
+	float rho;
+	float mom;
+	float ene;
+};
+void step(float *rho, float *mom, float *ene) {
+	struct Flux fl[384];
+	for (int i = 0; i < 384; i++) {
+		if (i > 0) fl[i].rho = 0.5 * (mom[i] + mom[i - 1]);
+	}
+	for (int i = 0; i < 384; i++) {
+		if (i > 0) fl[i].mom = 0.5 * (mom[i] * mom[i] / (rho[i] + 0.5) + mom[i - 1] * mom[i - 1] / (rho[i - 1] + 0.5));
+	}
+	for (int i = 0; i < 384; i++) {
+		if (i > 0) fl[i].ene = 0.5 * (ene[i] * mom[i] / (rho[i] + 0.5) + ene[i - 1] * mom[i - 1] / (rho[i - 1] + 0.5));
+	}
+	for (int i = 0; i < 384; i++) {
+		if (i > 0 && i < 383) rho[i] = rho[i] - 0.1 * (fl[i + 1].rho - fl[i].rho);
+	}
+	for (int i = 0; i < 384; i++) {
+		if (i > 0 && i < 383) mom[i] = mom[i] - 0.1 * (fl[i + 1].mom - fl[i].mom);
+	}
+	for (int i = 0; i < 384; i++) {
+		if (i > 0 && i < 383) ene[i] = ene[i] - 0.1 * (fl[i + 1].ene - fl[i].ene);
+	}
+}
+int main() {
+	float *rho = (float*)malloc(384 * 8);
+	float *mom = (float*)malloc(384 * 8);
+	float *ene = (float*)malloc(384 * 8);
+	for (int i = 0; i < 384; i++) rho[i] = 1.0 + ((float)(i % 16)) / 16.0;
+	for (int i = 0; i < 384; i++) mom[i] = 0.1 + ((float)(i % 8)) / 64.0;
+	for (int i = 0; i < 384; i++) ene[i] = 2.0 + ((float)(i % 32)) / 32.0;
+	for (int t = 0; t < 25; t++) {
+		step(rho, mom, ene);
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 384; i++) sum += rho[i] + mom[i] + ene[i];
+	print_float(sum);
+	free(rho); free(mom); free(ene);
+	return 0;
+}`,
+		},
+		{
+			Name: "hotspot", Suite: "Rodinia",
+			PaperKernels: 2, PaperIE: 1, PaperNR: 1, PaperLimiting: "GPU",
+			PaperUnoptGPU: 2.78, PaperOptGPU: 71.57, PaperUnoptComm: 92.60, PaperOptComm: 0.89,
+			Source: `
+// hotspot: thermal simulation. A timestep loop runs a stencil kernel and
+// a copy-back kernel over the temperature grid.
+int main() {
+	float *temp = (float*)malloc(64 * 64 * 8);
+	float *power = (float*)malloc(64 * 64 * 8);
+	float *tnew = (float*)malloc(64 * 64 * 8);
+	srand(23);
+	for (int i = 0; i < 64 * 64; i++) temp[i] = 320.0 + rand_float() * 10.0;
+	for (int i = 0; i < 64 * 64; i++) power[i] = rand_float() * 0.5;
+	for (int i = 0; i < 64 * 64; i++) tnew[i] = 0.0;
+	// The stencil kernel addresses power through an interior pointer
+	// (skipping the halo row) — legal pointer arithmetic CGCM tolerates
+	// but the named-region guard cannot annotate.
+	float *pcore = power + 64;
+	for (int t = 0; t < 30; t++) {
+		for (int i = 1; i < 63; i++) {
+			for (int j = 1; j < 63; j++) {
+				float c = temp[i * 64 + j];
+				float dn = temp[(i - 1) * 64 + j] - c;
+				float ds = temp[(i + 1) * 64 + j] - c;
+				float dw = temp[i * 64 + j - 1] - c;
+				float de = temp[i * 64 + j + 1] - c;
+				tnew[i * 64 + j] = c + 0.2 * (dn + ds + dw + de) + 0.05 * pcore[(i - 1) * 64 + j];
+			}
+		}
+		for (int i = 1; i < 63; i++) {
+			for (int j = 1; j < 63; j++) temp[i * 64 + j] = tnew[i * 64 + j];
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 64 * 64; i++) sum += temp[i];
+	print_float(sum / 1000.0);
+	free(temp); free(power); free(tnew);
+	return 0;
+}`,
+		},
+		{
+			Name: "kmeans", Suite: "Rodinia",
+			PaperKernels: 2, PaperIE: 2, PaperNR: 2, PaperLimiting: "Other",
+			PaperUnoptGPU: 0.65, PaperOptGPU: 0.00, PaperUnoptComm: 10.84, PaperOptComm: 0.05,
+			Source: `
+// kmeans: the clustering loop carries a convergence counter (a shared
+// reduction), so the simple DOALL parallelizer leaves it on the CPU;
+// only two initialization kernels reach the GPU. CPU time dominates —
+// the paper's "Other" bucket.
+int main() {
+	float *pts = (float*)malloc(256 * 4 * 8);
+	float *ctr = (float*)malloc(4 * 4 * 8);
+	int *assign = (int*)malloc(256 * 8);
+	float *dist = (float*)malloc(256 * 8);
+	srand(31);
+	for (int i = 0; i < 256 * 4; i++) pts[i] = rand_float() * 10.0;
+	for (int c = 0; c < 4 * 4; c++) ctr[c] = rand_float() * 10.0;
+	for (int i = 0; i < 256; i++) assign[i] = 0;
+	for (int i = 0; i < 256; i++) dist[i] = 0.0;
+	int changed = 1;
+	int iter = 0;
+	while (changed && iter < 30) {
+		changed = 0;
+		iter++;
+		for (int i = 0; i < 256; i++) {
+			float best = 1000000.0;
+			int bestc = 0;
+			for (int c = 0; c < 4; c++) {
+				float d = 0.0;
+				for (int k = 0; k < 4; k++) {
+					float diff = pts[i * 4 + k] - ctr[c * 4 + k];
+					d += diff * diff;
+				}
+				if (d < best) { best = d; bestc = c; }
+			}
+			dist[i] = best;
+			if (assign[i] != bestc) { assign[i] = bestc; changed = changed + 1; }
+		}
+		for (int c = 0; c < 4; c++) {
+			for (int k = 0; k < 4; k++) {
+				float s = 0.0;
+				float n = 0.0;
+				for (int i = 0; i < 256; i++) {
+					if (assign[i] == c) { s += pts[i * 4 + k]; n += 1.0; }
+				}
+				if (n > 0.5) ctr[c * 4 + k] = s / n;
+			}
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 256; i++) sum += dist[i] + (float)assign[i];
+	print_float(sum);
+	free(pts); free(ctr); free(assign); free(dist);
+	return 0;
+}`,
+		},
+		{
+			Name: "lud", Suite: "Rodinia",
+			PaperKernels: 6, PaperIE: 1, PaperNR: 1, PaperLimiting: "GPU",
+			PaperUnoptGPU: 3.77, PaperOptGPU: 63.57, PaperUnoptComm: 91.56, PaperOptComm: 0.39,
+			Source: `
+// lud: LU decomposition with separate L and U extraction, Rodinia style.
+int main() {
+	float *A = (float*)malloc(64 * 64 * 8);
+	float *L = (float*)malloc(64 * 64 * 8);
+	float *U = (float*)malloc(64 * 64 * 8);
+	float *rowk = (float*)malloc(64 * 8);
+	float *colk = (float*)malloc(64 * 8);
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) A[i * 64 + j] = ((float)(i * j) + 6.0) / 64.0 + (i == j ? 60.0 : 0.0);
+	}
+	for (int k = 0; k < 64; k++) {
+		// Rodinia's blocked decomposition hands each kernel a base
+		// pointer into the matrix (perimeter row, perimeter column,
+		// trailing submatrix) — interior pointers only CGCM's
+		// allocation-unit granularity can transfer correctly.
+		float *row = A + k * 64;
+		for (int j = 0; j < 64; j++) rowk[j] = row[j];
+		float *col = A + k;
+		for (int i = 0; i < 64; i++) {
+			if (i > k) {
+				float w = col[i * 64] / rowk[k];
+				col[i * 64] = w;
+				colk[i] = w;
+			}
+		}
+		float *body = A + k;
+		for (int i = 0; i < 64; i++) {
+			if (i > k) {
+				for (int j = 0; j < 64; j++) {
+					if (j > k) body[i * 64 + (j - k)] = body[i * 64 + (j - k)] - colk[i] * rowk[j];
+				}
+			}
+		}
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) L[i * 64 + j] = i > j ? A[i * 64 + j] : (i == j ? 1.0 : 0.0);
+	}
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) U[i * 64 + j] = i <= j ? A[i * 64 + j] : 0.0;
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 64 * 64; i++) sum += L[i] + U[i];
+	print_float(sum);
+	free(A); free(L); free(U); free(rowk); free(colk);
+	return 0;
+}`,
+		},
+		{
+			Name: "nw", Suite: "Rodinia",
+			PaperKernels: 4, PaperIE: 2, PaperNR: 2, PaperLimiting: "Other",
+			PaperUnoptGPU: 0.00, PaperOptGPU: 2.44, PaperUnoptComm: 100.0, PaperOptComm: 24.19,
+			Source: `
+// nw: Needleman-Wunsch sequence alignment. The score matrix fills along
+// anti-diagonals: a sequential diagonal loop launches one small kernel
+// per diagonal — hundreds of launches with almost no work each, the
+// worst case for cyclic communication (the paper measured a 1,126x
+// unoptimized slowdown).
+int main() {
+	float *score = (float*)malloc(97 * 97 * 8);
+	float *ref = (float*)malloc(97 * 97 * 8);
+	for (int i = 0; i < 97; i++) {
+		for (int j = 0; j < 97; j++) ref[i * 97 + j] = (float)((i * 7 + j * 13) % 10) - 4.0;
+	}
+	for (int j = 0; j < 97; j++) score[j] = (float)j * -1.0;
+	for (int i = 0; i < 97; i++) score[i * 97] = (float)i * -1.0;
+	for (int d = 2; d < 193; d++) {
+		int ilo = imax(1, d - 96);
+		int ihi = imin(d, 97);
+		// The kernel walks the anti-diagonal through base pointers into
+		// the middle of the matrices — pointer arithmetic the
+		// named-region guard cannot express but CGCM handles.
+		float *w = score + d;
+		float *r = ref + d;
+		for (int i = ilo; i < ihi; i++) {
+			float up = w[i * 96 - 97] - 1.0;
+			float left = w[i * 96 - 1] - 1.0;
+			float diag = w[i * 96 - 98] + r[i * 96];
+			float m = up > left ? up : left;
+			w[i * 96] = m > diag ? diag : m;
+		}
+	}
+	// Traceback on the CPU.
+	float trace = 0.0;
+	int ti = 96;
+	int tj = 96;
+	while (ti > 0 && tj > 0) {
+		trace += score[ti * 97 + tj];
+		float up = score[(ti - 1) * 97 + tj];
+		float left = score[ti * 97 + tj - 1];
+		float diag = score[(ti - 1) * 97 + tj - 1];
+		if (diag <= up && diag <= left) { ti--; tj--; }
+		else if (up <= left) { ti--; }
+		else { tj--; }
+	}
+	print_float(trace);
+	free(score); free(ref);
+	return 0;
+}`,
+		},
+		{
+			Name: "srad", Suite: "Rodinia",
+			PaperKernels: 6, PaperIE: 1, PaperNR: 1, PaperLimiting: "Other",
+			PaperUnoptGPU: 0.00, PaperOptGPU: 27.08, PaperUnoptComm: 100.0, PaperOptComm: 6.20,
+			Source: `
+// srad: speckle-reducing anisotropic diffusion. Every iteration computes
+// row sums on the GPU, derives the diffusion threshold q0 on the CPU
+// (a small straight-line region between two launches — the glue kernel
+// target), then runs gradient, coefficient, and update kernels. The
+// four directional gradients live in one array of structs, Rodinia
+// style. The paper measured a 4,437x unoptimized slowdown.
+struct Grad {
+	float n;
+	float s;
+	float w;
+	float e;
+};
+int main() {
+	float *img = (float*)malloc(64 * 64 * 8);
+	float *c = (float*)malloc(64 * 64 * 8);
+	struct Grad *g = (struct Grad*)malloc(64 * 64 * sizeof(struct Grad));
+	float *partial = (float*)malloc(64 * 8);
+	float *stats = (float*)malloc(2 * 8);
+	for (int i = 0; i < 64; i++) {
+		for (int j = 0; j < 64; j++) img[i * 64 + j] = exp(((float)((i * j) % 97)) / 97.0);
+	}
+	for (int i = 0; i < 64 * 64; i++) c[i] = 0.0;
+	for (int i = 0; i < 64 * 64; i++) { g[i].n = 0.0; g[i].s = 0.0; g[i].w = 0.0; g[i].e = 0.0; }
+	stats[0] = 1.0;
+	stats[1] = 1.0;
+	for (int t = 0; t < 40; t++) {
+		for (int i = 0; i < 64; i++) {
+			float s = 0.0;
+			for (int j = 0; j < 64; j++) s += img[i * 64 + j];
+			partial[i] = s;
+		}
+		// CPU glue between launches: derive the diffusion threshold.
+		stats[0] = (partial[0] + partial[31] + partial[63]) * 0.33 / 64.0;
+		stats[1] = stats[0] * stats[0] * 0.25 + 0.05;
+		for (int i = 1; i < 63; i++) {
+			for (int j = 1; j < 63; j++) {
+				float v = img[i * 64 + j];
+				g[i * 64 + j].n = img[(i - 1) * 64 + j] - v;
+				g[i * 64 + j].s = img[(i + 1) * 64 + j] - v;
+				g[i * 64 + j].w = img[i * 64 + j - 1] - v;
+				g[i * 64 + j].e = img[i * 64 + j + 1] - v;
+			}
+		}
+		for (int i = 1; i < 63; i++) {
+			for (int j = 1; j < 63; j++) {
+				float v = img[i * 64 + j] + 0.01;
+				float g2 = (g[i * 64 + j].n * g[i * 64 + j].n + g[i * 64 + j].s * g[i * 64 + j].s + g[i * 64 + j].w * g[i * 64 + j].w + g[i * 64 + j].e * g[i * 64 + j].e) / (v * v);
+				float q = g2 / (stats[1] + 0.01);
+				c[i * 64 + j] = 1.0 / (1.0 + q);
+			}
+		}
+		for (int i = 1; i < 62; i++) {
+			for (int j = 1; j < 62; j++) {
+				float d = c[i * 64 + j] * g[i * 64 + j].n + c[(i + 1) * 64 + j] * g[i * 64 + j].s + c[i * 64 + j] * g[i * 64 + j].w + c[i * 64 + j + 1] * g[i * 64 + j].e;
+				img[i * 64 + j] = img[i * 64 + j] + 0.05 * d;
+			}
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < 64 * 64; i++) sum += img[i];
+	print_float(sum);
+	free(img); free(c); free(g); free(partial); free(stats);
+	return 0;
+}`,
+		},
+	}
+}

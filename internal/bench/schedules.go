@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"cgcm/internal/core"
+	"cgcm/internal/machine"
+)
+
+// scheduleProgram is the synthetic workload behind Figure 2: a loop that
+// repeatedly runs a small kernel over one vector, exactly the pattern
+// whose schedule differs between naive cyclic, inspector-executor, and
+// acyclic communication.
+const scheduleProgram = `
+int main() {
+	float *v = (float*)malloc(1024 * 8);
+	for (int i = 0; i < 1024; i++) v[i] = (float)i;
+	for (int t = 0; t < 6; t++) {
+		for (int i = 0; i < 1024; i++) v[i] = v[i] * 1.01 + 0.5;
+	}
+	float s = 0.0;
+	for (int i = 0; i < 1024; i++) s += v[i];
+	print_float(s / 1000000.0);
+	free(v);
+	return 0;
+}`
+
+// Schedule is one rendered execution schedule.
+type Schedule struct {
+	Name   string
+	Events []machine.Event
+	Wall   float64
+}
+
+// CollectSchedules runs the Figure 2 workload under the three
+// communication systems with machine tracing enabled.
+func CollectSchedules() ([]Schedule, error) {
+	configs := []struct {
+		name string
+		s    core.Strategy
+	}{
+		{"naive cyclic (unoptimized CGCM)", core.CGCMUnoptimized},
+		{"inspector-executor", core.InspectorExecutor},
+		{"acyclic (optimized CGCM)", core.CGCMOptimized},
+	}
+	var out []Schedule
+	for _, cfg := range configs {
+		rep, err := core.CompileAndRun("fig2.c", scheduleProgram, core.Options{
+			Strategy: cfg.s, Trace: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure 2 %s: %w", cfg.name, err)
+		}
+		out = append(out, Schedule{Name: cfg.name, Events: rep.Trace, Wall: rep.Stats.Wall})
+	}
+	return out, nil
+}
+
+// RenderFigure2 prints ASCII execution schedules (Figure 2): three lanes
+// (CPU, transfers, GPU) over a common time axis per system. Cyclic
+// patterns show alternating transfer/kernel bubbles; the acyclic pattern
+// shows one transfer in, a dense kernel lane, and one transfer out.
+func RenderFigure2(w io.Writer, schedules []Schedule) {
+	fmt.Fprintln(w, "Figure 2: execution schedules (C=CPU compute, s=stall, H=HtoD, D=DtoH, K=kernel)")
+	const cols = 100
+	for _, sch := range schedules {
+		if sch.Wall <= 0 {
+			continue
+		}
+		lanes := map[string][]byte{
+			"CPU ": bytes(cols),
+			"Xfer": bytes(cols),
+			"GPU ": bytes(cols),
+		}
+		mark := func(lane string, ev machine.Event, ch byte) {
+			lo := int(ev.Start / sch.Wall * float64(cols))
+			hi := int(ev.End / sch.Wall * float64(cols))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < cols; i++ {
+				lanes[lane][i] = ch
+			}
+		}
+		for _, ev := range sch.Events {
+			switch ev.Kind {
+			case machine.EvCPU:
+				mark("CPU ", ev, 'C')
+			case machine.EvStall:
+				mark("CPU ", ev, 's')
+			case machine.EvHtoD:
+				mark("Xfer", ev, 'H')
+			case machine.EvDtoH:
+				mark("Xfer", ev, 'D')
+			case machine.EvKernel:
+				mark("GPU ", ev, 'K')
+			}
+		}
+		fmt.Fprintf(w, "\n%s  (wall %.1f us)\n", sch.Name, sch.Wall*1e6)
+		for _, lane := range []string{"CPU ", "Xfer", "GPU "} {
+			fmt.Fprintf(w, "  %s |%s|\n", lane, lanes[lane])
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func bytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '.'
+	}
+	return b
+}

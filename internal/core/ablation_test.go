@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"testing"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/core"
+)
+
+// TestAblationGlueKernels: on srad (whose timestep loop has CPU glue
+// between launches), disabling glue kernels must leave more transfers and
+// a slower run, while outputs stay identical.
+func TestAblationGlueKernels(t *testing.T) {
+	p, ok := bench.ByName("srad")
+	if !ok {
+		t.Fatal("srad missing")
+	}
+	full, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.CGCMOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noGlue, err := core.CompileAndRun(p.Name, p.Source, core.Options{
+		Strategy: core.CGCMOptimized, DisableGlueKernels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Output != noGlue.Output {
+		t.Fatal("glue kernels changed program output")
+	}
+	if full.GlueKernels == 0 {
+		t.Fatal("glue kernels did not fire on srad")
+	}
+	if full.Stats.NumDtoH >= noGlue.Stats.NumDtoH {
+		t.Errorf("glue kernels did not reduce transfers: %d vs %d",
+			full.Stats.NumDtoH, noGlue.Stats.NumDtoH)
+	}
+	if full.Stats.Wall >= noGlue.Stats.Wall {
+		t.Errorf("glue kernels did not speed up srad: %.0fus vs %.0fus",
+			full.Stats.Wall*1e6, noGlue.Stats.Wall*1e6)
+	}
+}
+
+// TestAblationAllocaPromotion: cfd's helper holds flux buffers in its
+// stack frame; without alloca promotion those maps cannot climb into
+// main and out of the timestep loop.
+func TestAblationAllocaPromotion(t *testing.T) {
+	p, ok := bench.ByName("cfd")
+	if !ok {
+		t.Fatal("cfd missing")
+	}
+	full, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.CGCMOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noAP, err := core.CompileAndRun(p.Name, p.Source, core.Options{
+		Strategy: core.CGCMOptimized, DisableAllocaPromotion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Output != noAP.Output {
+		t.Fatal("alloca promotion changed program output")
+	}
+	if full.AllocaPromotions == 0 {
+		t.Fatal("alloca promotion did not fire on cfd")
+	}
+	if full.Stats.NumHtoD >= noAP.Stats.NumHtoD {
+		t.Errorf("alloca promotion did not reduce transfers: %d vs %d",
+			full.Stats.NumHtoD, noAP.Stats.NumHtoD)
+	}
+}
+
+// TestAblationMapPromotion: with map promotion off, every optimized
+// program degenerates to the unoptimized communication pattern.
+func TestAblationMapPromotion(t *testing.T) {
+	p, ok := bench.ByName("jacobi-2d-imper")
+	if !ok {
+		t.Fatal("jacobi missing")
+	}
+	full, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.CGCMOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMP, err := core.CompileAndRun(p.Name, p.Source, core.Options{
+		Strategy: core.CGCMOptimized, DisableMapPromotion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unopt, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.CGCMUnoptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Output != noMP.Output || full.Output != unopt.Output {
+		t.Fatal("outputs diverged")
+	}
+	if full.Promotions == 0 {
+		t.Fatal("map promotion did not fire on jacobi")
+	}
+	if full.Stats.NumDtoH >= noMP.Stats.NumDtoH {
+		t.Errorf("map promotion did not reduce DtoH: %d vs %d",
+			full.Stats.NumDtoH, noMP.Stats.NumDtoH)
+	}
+	// Without map promotion the transfer count matches unoptimized.
+	if noMP.Stats.NumDtoH != unopt.Stats.NumDtoH {
+		t.Errorf("map-promotion-only ablation (%d DtoH) differs from unoptimized (%d)",
+			noMP.Stats.NumDtoH, unopt.Stats.NumDtoH)
+	}
+}
+
+// TestOptimizationNeverHurts reproduces the paper's §6.3 claim on a
+// sample of programs: "Across all 24 applications, communication
+// optimizations never reduce performance."
+func TestOptimizationNeverHurts(t *testing.T) {
+	for _, name := range []string{"gemm", "seidel", "kmeans", "nw", "gramschmidt", "fm"} {
+		p, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		un, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.CGCMUnoptimized})
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.CGCMOptimized})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.Stats.Wall > un.Stats.Wall*1.001 {
+			t.Errorf("%s: optimization hurt: %.0fus -> %.0fus", name,
+				un.Stats.Wall*1e6, op.Stats.Wall*1e6)
+		}
+	}
+}
+
+// TestSequentialHasNoGPUActivity sanity-checks the baseline.
+func TestSequentialHasNoGPUActivity(t *testing.T) {
+	p, _ := bench.ByName("gemm")
+	rep, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.NumKernels != 0 || rep.Stats.BytesHtoD != 0 {
+		t.Errorf("sequential run used the GPU: %+v", rep.Stats)
+	}
+}
+
+// TestInspectorTransfersBytesNotUnits verifies the idealized comparator's
+// contract: one byte per touched allocation unit per direction.
+func TestInspectorTransfersBytesNotUnits(t *testing.T) {
+	src := `
+int main() {
+	float *a = (float*)malloc(1024 * 8);
+	float *b = (float*)malloc(1024 * 8);
+	for (int i = 0; i < 1024; i++) a[i] = 1.0;
+	for (int i = 0; i < 1024; i++) b[i] = a[i] * 2.0;
+	print_float(b[5]);
+	free(a); free(b);
+	return 0;
+}`
+	rep, err := core.CompileAndRun("ie.c", src, core.Options{Strategy: core.InspectorExecutor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two launches; first touches {a}, second {a, b}: at most 3 HtoD
+	// bytes and 2 DtoH bytes.
+	if rep.Stats.BytesHtoD > 3 || rep.Stats.BytesDtoH > 2 {
+		t.Errorf("inspector moved %d/%d bytes; the oracle moves one per unit",
+			rep.Stats.BytesHtoD, rep.Stats.BytesDtoH)
+	}
+	if rep.Stats.NumKernels != 2 {
+		t.Errorf("kernels = %d", rep.Stats.NumKernels)
+	}
+}

@@ -1,0 +1,279 @@
+// Package core assembles the CGCM system: the mini-C front end, the DOALL
+// parallelizer, communication management, the communication optimization
+// passes, and the simulated machine, behind one Pipeline API (Figure 3 of
+// the paper).
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"cgcm/internal/doall"
+	"cgcm/internal/interp"
+	"cgcm/internal/ir"
+	"cgcm/internal/irbuild"
+	"cgcm/internal/machine"
+	"cgcm/internal/minic/parser"
+	"cgcm/internal/minic/sema"
+	"cgcm/internal/passes/allocapromo"
+	"cgcm/internal/passes/commmgmt"
+	"cgcm/internal/passes/constfold"
+	"cgcm/internal/passes/gluekernel"
+	"cgcm/internal/passes/mappromo"
+	runtimelib "cgcm/internal/runtime"
+)
+
+// Strategy selects how a program is parallelized and how its CPU-GPU
+// communication is handled — the four systems Figure 4 compares.
+type Strategy int
+
+// Strategies.
+const (
+	// Sequential runs the program unmodified on the CPU.
+	Sequential Strategy = iota
+	// InspectorExecutor parallelizes DOALL loops and manages communication
+	// with the idealized inspector-executor protocol (§6.3).
+	InspectorExecutor
+	// CGCMUnoptimized parallelizes DOALL loops and inserts unoptimized
+	// CGCM management (map/unmap/release at every launch).
+	CGCMUnoptimized
+	// CGCMOptimized additionally runs the communication optimizations:
+	// glue kernels, alloca promotion, then map promotion (§5.4 ordering).
+	CGCMOptimized
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Sequential:
+		return "sequential"
+	case InspectorExecutor:
+		return "inspector-executor"
+	case CGCMUnoptimized:
+		return "cgcm-unoptimized"
+	case CGCMOptimized:
+		return "cgcm-optimized"
+	}
+	return "?"
+}
+
+// Options configures a compilation.
+type Options struct {
+	Strategy Strategy
+	// Cost overrides the machine cost model; nil uses the default.
+	Cost *machine.CostModel
+	// Trace enables machine event tracing (Figure 2).
+	Trace bool
+	// DumpWriter, when set, receives IR dumps after each phase.
+	DumpWriter io.Writer
+	// Limits overrides interpreter limits.
+	Limits *interp.Limits
+	// DisableDOALL skips the parallelizer (for manually parallelized
+	// inputs that already contain launches).
+	DisableDOALL bool
+	// DisableGlueKernels/DisableAllocaPromotion allow ablation of the
+	// enabling transformations while keeping map promotion.
+	DisableGlueKernels     bool
+	DisableAllocaPromotion bool
+	// DisableMapPromotion ablates map promotion itself.
+	DisableMapPromotion bool
+}
+
+// Report is the outcome of running a compiled program.
+type Report struct {
+	Strategy Strategy
+	Output   string
+	Exit     int64
+
+	Stats   machine.Stats
+	RTStats runtimelib.Stats
+
+	// Kernels is the number of distinct GPU kernels in the final module.
+	Kernels int
+	// LaunchSites is the number of launch instructions.
+	LaunchSites int
+	// DOALLLoopsFound/Parallelized report parallelizer activity.
+	DOALLLoopsFound        int
+	DOALLLoopsParallelized int
+	// Promotions reports map promotion activity (optimized strategy).
+	Promotions int
+	// GlueKernels reports glue kernel outlinings.
+	GlueKernels int
+	// AllocaPromotions reports alloca promotion activity.
+	AllocaPromotions int
+
+	Trace []machine.Event
+}
+
+// Program is a compiled mini-C program ready to run.
+type Program struct {
+	Module *ir.Module
+	Opts   Options
+
+	doallFound        int
+	doallParallelized int
+	promotions        int
+	glueKernels       int
+	allocaPromotions  int
+}
+
+// Compile parses, checks, lowers, and transforms src according to opts.
+func Compile(name, src string, opts Options) (*Program, error) {
+	file, perrs := parser.Parse(name, src)
+	if len(perrs) > 0 {
+		return nil, joinErrors("parse", perrs)
+	}
+	info, serrs := sema.Check(file)
+	if len(serrs) > 0 {
+		return nil, joinErrors("check", serrs)
+	}
+	mod, err := irbuild.Build(info)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Module: mod, Opts: opts}
+	dump := func(phase string) {
+		if opts.DumpWriter != nil {
+			fmt.Fprintf(opts.DumpWriter, "=== after %s ===\n%s\n", phase, mod)
+		}
+	}
+	dump("irbuild")
+
+	// Constant folding is semantics-preserving and runs under every
+	// strategy, so all four systems execute identical arithmetic; it
+	// also lets the parallelizer compute static trip counts from
+	// literal-expression bounds.
+	if _, err := constfold.Run(mod); err != nil {
+		return nil, err
+	}
+	dump("constfold")
+
+	if opts.Strategy == Sequential {
+		return p, nil
+	}
+	if !opts.DisableDOALL {
+		dres, err := doall.Run(mod)
+		if err != nil {
+			return nil, err
+		}
+		p.doallFound = dres.LoopsFound
+		p.doallParallelized = dres.LoopsParallelized
+		dump("doall")
+	}
+	if opts.Strategy == InspectorExecutor {
+		// Inspector-executor manages communication at run time; no
+		// compile-time management is inserted.
+		return p, nil
+	}
+	if _, err := commmgmt.Run(mod); err != nil {
+		return nil, err
+	}
+	dump("commmgmt")
+
+	if opts.Strategy == CGCMOptimized {
+		// §5.4: "the glue kernel optimization runs before alloca
+		// promotion, and map promotion runs last."
+		if !opts.DisableGlueKernels {
+			gres, err := gluekernel.Run(mod)
+			if err != nil {
+				return nil, err
+			}
+			p.glueKernels = gres.Outlined
+			dump("gluekernel")
+		}
+		if !opts.DisableAllocaPromotion {
+			ares, err := allocapromo.Run(mod)
+			if err != nil {
+				return nil, err
+			}
+			p.allocaPromotions = ares.Promoted
+			dump("allocapromo")
+		}
+		if !opts.DisableMapPromotion {
+			mres, err := mappromo.Run(mod)
+			if err != nil {
+				return nil, err
+			}
+			p.promotions = mres.Promotions
+			dump("mappromo")
+		}
+	}
+	return p, nil
+}
+
+// Run executes the compiled program on a fresh simulated machine.
+func (p *Program) Run() (*Report, error) {
+	cost := machine.DefaultCostModel()
+	if p.Opts.Cost != nil {
+		cost = *p.Opts.Cost
+	}
+	mach := machine.New(cost)
+	if p.Opts.Trace {
+		mach.EnableTrace()
+	}
+	rt := runtimelib.New(mach)
+	var out bytes.Buffer
+	in := interp.New(p.Module, mach, rt, &out)
+	if p.Opts.Strategy == InspectorExecutor {
+		in.Mode = interp.Inspector
+	}
+	if p.Opts.Limits != nil {
+		in.Lim = *p.Opts.Limits
+	}
+	exit, err := in.Run()
+	rep := &Report{
+		Strategy:               p.Opts.Strategy,
+		Output:                 out.String(),
+		Exit:                   exit,
+		Stats:                  mach.Stats(),
+		RTStats:                rt.Stats(),
+		DOALLLoopsFound:        p.doallFound,
+		DOALLLoopsParallelized: p.doallParallelized,
+		Promotions:             p.promotions,
+		GlueKernels:            p.glueKernels,
+		AllocaPromotions:       p.allocaPromotions,
+	}
+	mach.FlushTrace()
+	rep.Trace = mach.Trace()
+	for _, f := range p.Module.Funcs {
+		if f.Kernel {
+			rep.Kernels++
+		}
+	}
+	p.Module.Renumber()
+	for _, f := range p.Module.Funcs {
+		f.Instrs(func(instr *ir.Instr) {
+			if instr.Op == ir.OpLaunch {
+				rep.LaunchSites++
+			}
+		})
+	}
+	if err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// CompileAndRun is the one-call convenience used by examples and tests.
+func CompileAndRun(name, src string, opts Options) (*Report, error) {
+	p, err := Compile(name, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}
+
+func joinErrors(phase string, errs []error) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s failed with %d error(s):", phase, len(errs))
+	for i, e := range errs {
+		if i == 8 {
+			sb.WriteString("\n  ...")
+			break
+		}
+		sb.WriteString("\n  " + e.Error())
+	}
+	return fmt.Errorf("%s", sb.String())
+}

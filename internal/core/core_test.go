@@ -1,0 +1,223 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"cgcm/internal/core"
+)
+
+// vecScale repeatedly scales a heap vector on the GPU inside a timestep
+// loop — the canonical shape where unoptimized CGCM is cyclic and map
+// promotion makes it acyclic.
+const vecScale = `
+int main() {
+	int n = 512;
+	float *a = (float*)malloc(n * sizeof(float));
+	for (int i = 0; i < n; i++) {
+		a[i] = (float)i;
+	}
+	for (int t = 0; t < 10; t++) {
+		for (int i = 0; i < n; i++) {
+			a[i] = a[i] * 2.0 + 1.0;
+		}
+	}
+	float sum = 0.0;
+	for (int i = 0; i < n; i++) sum += a[i];
+	print_float(sum / 1000000.0);
+	free(a);
+	return 0;
+}`
+
+func compileRun(t *testing.T, name, src string, opts core.Options) *core.Report {
+	t.Helper()
+	rep, err := core.CompileAndRun(name, src, opts)
+	if err != nil {
+		out := ""
+		if rep != nil {
+			out = rep.Output
+		}
+		t.Fatalf("%s [%s]: %v\noutput:\n%s", name, opts.Strategy, err, out)
+	}
+	return rep
+}
+
+func TestStrategiesAgreeOnVecScale(t *testing.T) {
+	seq := compileRun(t, "vecscale.c", vecScale, core.Options{Strategy: core.Sequential})
+	if seq.Output == "" {
+		t.Fatal("sequential produced no output")
+	}
+	for _, s := range []core.Strategy{core.InspectorExecutor, core.CGCMUnoptimized, core.CGCMOptimized} {
+		rep := compileRun(t, "vecscale.c", vecScale, core.Options{Strategy: s})
+		if rep.Output != seq.Output {
+			t.Errorf("%s output diverged:\n got %q\nwant %q", s, rep.Output, seq.Output)
+		}
+		if rep.DOALLLoopsParallelized == 0 {
+			t.Errorf("%s: no loops parallelized", s)
+		}
+		if rep.Stats.NumKernels == 0 {
+			t.Errorf("%s: no kernels executed", s)
+		}
+	}
+}
+
+func TestMapPromotionMakesAcyclic(t *testing.T) {
+	un := compileRun(t, "vecscale.c", vecScale, core.Options{Strategy: core.CGCMUnoptimized})
+	op := compileRun(t, "vecscale.c", vecScale, core.Options{Strategy: core.CGCMOptimized})
+	if op.Promotions == 0 {
+		t.Fatalf("optimized run performed no map promotions")
+	}
+	// The timestep loop launches 10 kernels; unoptimized CGCM copies the
+	// vector both ways every iteration, optimized copies it in once and
+	// out once across the whole loop.
+	if op.Stats.NumDtoH >= un.Stats.NumDtoH {
+		t.Errorf("optimized DtoH transfers (%d) not fewer than unoptimized (%d)",
+			op.Stats.NumDtoH, un.Stats.NumDtoH)
+	}
+	if op.Stats.Wall >= un.Stats.Wall {
+		t.Errorf("optimized wall %.6f not faster than unoptimized %.6f",
+			op.Stats.Wall, un.Stats.Wall)
+	}
+}
+
+func TestSpeedupOrdering(t *testing.T) {
+	seq := compileRun(t, "vecscale.c", vecScale, core.Options{Strategy: core.Sequential})
+	op := compileRun(t, "vecscale.c", vecScale, core.Options{Strategy: core.CGCMOptimized})
+	t.Logf("sequential wall=%.6gs optimized wall=%.6gs (%.2fx)",
+		seq.Stats.Wall, op.Stats.Wall, seq.Stats.Wall/op.Stats.Wall)
+}
+
+// matmul checks 2D flattened indexing survives the dependence test.
+const matmul = `
+int main() {
+	float *a = (float*)malloc(32 * 32 * sizeof(float));
+	float *b = (float*)malloc(32 * 32 * sizeof(float));
+	float *c = (float*)malloc(32 * 32 * sizeof(float));
+	for (int i = 0; i < 32; i++) {
+		for (int j = 0; j < 32; j++) {
+			a[i * 32 + j] = (float)(i + j);
+			b[i * 32 + j] = (float)(i - j);
+			c[i * 32 + j] = 0.0;
+		}
+	}
+	for (int i = 0; i < 32; i++) {
+		for (int j = 0; j < 32; j++) {
+			float s = 0.0;
+			for (int k = 0; k < 32; k++) {
+				s += a[i * 32 + k] * b[k * 32 + j];
+			}
+			c[i * 32 + j] = s;
+		}
+	}
+	float checksum = 0.0;
+	for (int i = 0; i < 32 * 32; i++) checksum += c[i];
+	print_float(checksum);
+	free(a); free(b); free(c);
+	return 0;
+}`
+
+func TestMatmulParallelizes(t *testing.T) {
+	seq := compileRun(t, "matmul.c", matmul, core.Options{Strategy: core.Sequential})
+	op := compileRun(t, "matmul.c", matmul, core.Options{Strategy: core.CGCMOptimized})
+	if op.Output != seq.Output {
+		t.Errorf("matmul diverged: got %q want %q", op.Output, seq.Output)
+	}
+	if op.DOALLLoopsParallelized == 0 {
+		t.Error("matmul: no loops parallelized")
+	}
+}
+
+// globalArray exercises globals as kernel live-ins (named regions).
+const globalArray = `
+float data[256];
+int main() {
+	for (int i = 0; i < 256; i++) data[i] = (float)i * 0.5;
+	for (int t = 0; t < 4; t++) {
+		for (int i = 0; i < 256; i++) data[i] = data[i] + 1.0;
+	}
+	float s = 0.0;
+	for (int i = 0; i < 256; i++) s += data[i];
+	print_float(s);
+	return 0;
+}`
+
+func TestGlobalArrayManaged(t *testing.T) {
+	seq := compileRun(t, "globals.c", globalArray, core.Options{Strategy: core.Sequential})
+	for _, s := range []core.Strategy{core.CGCMUnoptimized, core.CGCMOptimized} {
+		rep := compileRun(t, "globals.c", globalArray, core.Options{Strategy: s})
+		if rep.Output != seq.Output {
+			t.Errorf("%s: got %q want %q", s, rep.Output, seq.Output)
+		}
+	}
+}
+
+// manualKernel is Listing 2's shape: manual parallelization with a
+// declared kernel, automatic communication management.
+const manualKernel = `
+__global__ void scale(float *v, int n, float f) {
+	int i = tid();
+	if (i < n) {
+		v[i] = v[i] * f;
+	}
+}
+int main() {
+	int n = 256;
+	float *v = (float*)malloc(n * sizeof(float));
+	for (int i = 0; i < n; i++) v[i] = (float)i;
+	for (int t = 0; t < 5; t++) {
+		scale<<<2, 128>>>(v, n, 1.5);
+	}
+	float s = 0.0;
+	for (int i = 0; i < n; i++) s += v[i];
+	print_float(s / 100000.0);
+	free(v);
+	return 0;
+}`
+
+func TestManualParallelizationManaged(t *testing.T) {
+	// DOALL disabled: the kernel is hand-written; CGCM only manages
+	// communication (the paper's "manual parallelization, automatic
+	// communication" quadrant). The verification loops remain on the CPU.
+	for _, s := range []core.Strategy{core.CGCMUnoptimized, core.CGCMOptimized} {
+		rep := compileRun(t, "manual.c", manualKernel, core.Options{Strategy: s, DisableDOALL: true})
+		if !strings.Contains(rep.Output, "0.24") { // 32640*1.5^5/1e5 = 2.478...
+			t.Logf("output: %q", rep.Output)
+		}
+		if rep.Stats.NumKernels != 5 {
+			t.Errorf("%s: expected 5 kernel executions, got %d", s, rep.Stats.NumKernels)
+		}
+	}
+	un := compileRun(t, "manual.c", manualKernel, core.Options{Strategy: core.CGCMUnoptimized, DisableDOALL: true})
+	op := compileRun(t, "manual.c", manualKernel, core.Options{Strategy: core.CGCMOptimized, DisableDOALL: true})
+	if un.Output != op.Output {
+		t.Errorf("manual kernel outputs diverge: %q vs %q", un.Output, op.Output)
+	}
+}
+
+// stringArray is Listing 2 itself: an array of strings processed by a
+// kernel, requiring mapArray (double indirection).
+const stringArray = `
+char *lines[3] = {"what so proudly", "we hailed", "at the twilight"};
+int lens[3];
+__global__ void measure(char **arr, int *out, int n) {
+	int i = tid();
+	if (i < n) {
+		char *s = arr[i];
+		int len = 0;
+		while (s[len]) len = len + 1;
+		out[i] = len;
+	}
+}
+int main() {
+	measure<<<1, 3>>>(lines, lens, 3);
+	for (int i = 0; i < 3; i++) print_int(lens[i]);
+	return 0;
+}`
+
+func TestStringArrayMapArray(t *testing.T) {
+	rep := compileRun(t, "strings.c", stringArray, core.Options{Strategy: core.CGCMUnoptimized, DisableDOALL: true})
+	want := "15\n9\n15\n"
+	if rep.Output != want {
+		t.Errorf("got %q want %q", rep.Output, want)
+	}
+}

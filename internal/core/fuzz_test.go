@@ -1,0 +1,207 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cgcm/internal/core"
+)
+
+// exprGen generates random integer arithmetic expressions over a fixed
+// set of variables, together with a Go evaluator producing the expected
+// value — a differential test of the whole stack (parser, sema, irbuild,
+// constant folding, interpreter).
+type exprGen struct {
+	rng  *rand.Rand
+	vars map[string]int64
+}
+
+func (g *exprGen) gen(depth int) (src string, val int64) {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			v := int64(g.rng.Intn(100))
+			return fmt.Sprintf("%d", v), v
+		default:
+			names := []string{"a", "b", "c", "d"}
+			n := names[g.rng.Intn(len(names))]
+			return n, g.vars[n]
+		}
+	}
+	ls, lv := g.gen(depth - 1)
+	rs, rv := g.gen(depth - 1)
+	switch g.rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", ls, rs), lv * rv
+	case 3:
+		if rv == 0 {
+			return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+		}
+		return fmt.Sprintf("(%s / %s)", ls, rs), lv / rv
+	case 4:
+		if rv == 0 {
+			return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+		}
+		return fmt.Sprintf("(%s %% %s)", ls, rs), lv % rv
+	case 5:
+		b := int64(0)
+		if lv < rv {
+			b = 1
+		}
+		return fmt.Sprintf("(%s < %s ? 1 : 0)", ls, rs), b
+	default:
+		return fmt.Sprintf("(%s & %s)", ls, rs), lv & rv
+	}
+}
+
+func TestFuzzExpressionsAgainstNativeGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 60; trial++ {
+		g := &exprGen{rng: rng, vars: map[string]int64{
+			"a": int64(rng.Intn(50)),
+			"b": int64(rng.Intn(50)) - 25,
+			"c": int64(rng.Intn(10)) + 1,
+			"d": int64(rng.Intn(1000)),
+		}}
+		var exprs []string
+		var want strings.Builder
+		for i := 0; i < 4; i++ {
+			src, val := g.gen(4)
+			exprs = append(exprs, src)
+			fmt.Fprintf(&want, "%d\n", val)
+		}
+		prog := fmt.Sprintf(`
+int main() {
+	int a = %d;
+	int b = %d;
+	int c = %d;
+	int d = %d;
+	print_int(%s);
+	print_int(%s);
+	print_int(%s);
+	print_int(%s);
+	return 0;
+}`, g.vars["a"], g.vars["b"], g.vars["c"], g.vars["d"],
+			exprs[0], exprs[1], exprs[2], exprs[3])
+
+		rep, err := core.CompileAndRun("fuzz.c", prog, core.Options{Strategy: core.Sequential})
+		if err != nil {
+			t.Fatalf("trial %d: %v\nprogram:\n%s", trial, err, prog)
+		}
+		if rep.Output != want.String() {
+			t.Fatalf("trial %d: got %q want %q\nprogram:\n%s", trial, rep.Output, want.String(), prog)
+		}
+	}
+}
+
+// TestFuzzLoopsAcrossStrategies generates random (guaranteed-DOALL and
+// not-necessarily-DOALL) loops and checks that all four systems agree
+// with each other — the core soundness property: whatever the
+// parallelizer and the communication optimizer decide, output never
+// changes.
+func TestFuzzLoopsAcrossStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7777))
+	ops := []string{"+", "-", "*"}
+	for trial := 0; trial < 30; trial++ {
+		n := 16 + rng.Intn(48)
+		stride := 1 + rng.Intn(3)
+		timesteps := 1 + rng.Intn(6)
+		op1 := ops[rng.Intn(len(ops))]
+		indexOps := []string{"+", "-"}
+		op2 := indexOps[rng.Intn(len(indexOps))]
+		shift := rng.Intn(3) - 1 // -1, 0, or 1: neighbor reads of b
+		scale := 1 + rng.Intn(4)
+
+		prog := fmt.Sprintf(`
+int main() {
+	float *a = (float*)malloc(%d * 8);
+	float *b = (float*)malloc(%d * 8);
+	for (int i = 0; i < %d; i++) a[i] = (float)(i %% 7) * 0.5;
+	for (int i = 0; i < %d; i++) b[i] = (float)(i %% 5) + 1.0;
+	for (int t = 0; t < %d; t++) {
+		for (int i = 2; i < %d; i += %d) {
+			a[i] = (a[i] %s b[i %s %d]) + (float)%d * 0.25;
+		}
+	}
+	float s = 0.0;
+	for (int i = 0; i < %d; i++) s += a[i] * (float)((i %% 3) + 1);
+	print_float(s);
+	free(a); free(b);
+	return 0;
+}`, n+2, n+2, n+2, n+2, timesteps, n, stride, op1, op2, iabs(shift)+1, scale, n)
+
+		var ref string
+		for _, s := range []core.Strategy{core.Sequential, core.InspectorExecutor, core.CGCMUnoptimized, core.CGCMOptimized} {
+			rep, err := core.CompileAndRun("fuzzloop.c", prog, core.Options{Strategy: s})
+			if err != nil {
+				t.Fatalf("trial %d [%s]: %v\nprogram:\n%s", trial, s, err, prog)
+			}
+			if s == core.Sequential {
+				ref = rep.Output
+			} else if rep.Output != ref {
+				t.Fatalf("trial %d [%s]: output %q != sequential %q\nprogram:\n%s",
+					trial, s, rep.Output, ref, prog)
+			}
+		}
+	}
+}
+
+func iabs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestFuzzStructLayouts randomizes struct field mixes and verifies field
+// store/load round-trips and sizeof consistency end to end.
+func TestFuzzStructLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	kinds := []string{"char", "int", "float"}
+	for trial := 0; trial < 25; trial++ {
+		nf := 2 + rng.Intn(5)
+		var fields, stores, checks strings.Builder
+		var want strings.Builder
+		for i := 0; i < nf; i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			fmt.Fprintf(&fields, "\t%s f%d;\n", k, i)
+			switch k {
+			case "char":
+				v := 32 + rng.Intn(90)
+				fmt.Fprintf(&stores, "\ts.f%d = (char)%d;\n", i, v)
+				fmt.Fprintf(&checks, "\tprint_int((int)s.f%d);\n", i)
+				fmt.Fprintf(&want, "%d\n", v)
+			case "int":
+				v := rng.Intn(100000) - 50000
+				fmt.Fprintf(&stores, "\ts.f%d = %d;\n", i, v)
+				fmt.Fprintf(&checks, "\tprint_int(s.f%d);\n", i)
+				fmt.Fprintf(&want, "%d\n", v)
+			case "float":
+				v := float64(rng.Intn(1000)) / 4
+				fmt.Fprintf(&stores, "\ts.f%d = %g;\n", i, v)
+				fmt.Fprintf(&checks, "\tprint_float(s.f%d);\n", i)
+				fmt.Fprintf(&want, "%g\n", v)
+			}
+		}
+		prog := fmt.Sprintf(`
+struct T {
+%s};
+int main() {
+	struct T s;
+%s%s	return 0;
+}`, fields.String(), stores.String(), checks.String())
+		rep, err := core.CompileAndRun("fuzzstruct.c", prog, core.Options{Strategy: core.Sequential})
+		if err != nil {
+			t.Fatalf("trial %d: %v\nprogram:\n%s", trial, err, prog)
+		}
+		if rep.Output != want.String() {
+			t.Fatalf("trial %d: got %q want %q\nprogram:\n%s", trial, rep.Output, want.String(), prog)
+		}
+	}
+}

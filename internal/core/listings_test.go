@@ -1,0 +1,141 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"cgcm/internal/core"
+	"cgcm/internal/ir"
+)
+
+// listing2 is the paper's Listing 2: automatic implicit management of an
+// array of strings repeatedly processed by a kernel.
+const paperListing2 = `
+char *h_h_array[4] = {
+	"What so proudly we hailed",
+	"at the twilight's last gleaming",
+	"whose broad stripes",
+	"and bright stars"
+};
+int out[4];
+__global__ void kernel(char **d_array, int *lens, int n) {
+	int i = tid();
+	if (i < n) {
+		char *s = d_array[i];
+		int len = 0;
+		while (s[len]) len = len + 1;
+		lens[i] = len;
+	}
+}
+int main() {
+	for (int i = 0; i < 8; i++) {
+		kernel<<<1, 4>>>(h_h_array, out, 4);
+	}
+	for (int i = 0; i < 4; i++) print_int(out[i]);
+	return 0;
+}`
+
+// runtimeCallsInLoop classifies the runtime calls of main by whether they
+// sit inside a loop.
+func runtimeCallsInLoop(t *testing.T, p *core.Program) (inside, outside map[string]int) {
+	t.Helper()
+	inside, outside = map[string]int{}, map[string]int{}
+	main := p.Module.Func("main")
+	main.Renumber()
+	// A block is "in a loop" if it can reach itself.
+	reachesSelf := func(b *ir.Block) bool {
+		seen := map[*ir.Block]bool{}
+		stack := append([]*ir.Block(nil), b.Succs()...)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if x == b {
+				return true
+			}
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			stack = append(stack, x.Succs()...)
+		}
+		return false
+	}
+	for _, b := range main.Blocks {
+		inLoop := reachesSelf(b)
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpIntrinsic && strings.HasPrefix(in.Name, "cgcm.") {
+				if inLoop {
+					inside[in.Name]++
+				} else {
+					outside[in.Name]++
+				}
+			}
+		}
+	}
+	return
+}
+
+// TestListing3Shape verifies unoptimized management produces the paper's
+// Listing 3: mapArray before the launch, unmapArray and releaseArray
+// after, all INSIDE the loop (the cyclic pattern).
+func TestListing3Shape(t *testing.T) {
+	p, err := core.Compile("listing2.c", paperListing2, core.Options{
+		Strategy: core.CGCMUnoptimized, DisableDOALL: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside, _ := runtimeCallsInLoop(t, p)
+	if inside["cgcm.mapArray"] == 0 {
+		t.Error("Listing 3: no mapArray inside the loop")
+	}
+	if inside["cgcm.unmapArray"] == 0 {
+		t.Error("Listing 3: no unmapArray inside the loop (cyclic DtoH missing)")
+	}
+	if inside["cgcm.releaseArray"] == 0 {
+		t.Error("Listing 3: no releaseArray inside the loop")
+	}
+}
+
+// TestListing4Shape verifies map promotion produces the paper's Listing 4:
+// a hoisted mapArray above the loop, unmapArray/releaseArray below it,
+// NO unmapArray left inside (interior DtoH deleted), while the interior
+// mapArray remains for pointer translation.
+func TestListing4Shape(t *testing.T) {
+	p, err := core.Compile("listing2.c", paperListing2, core.Options{
+		Strategy: core.CGCMOptimized, DisableDOALL: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside, outside := runtimeCallsInLoop(t, p)
+	if outside["cgcm.mapArray"] == 0 {
+		t.Error("Listing 4: no hoisted mapArray above the loop")
+	}
+	if outside["cgcm.unmapArray"] == 0 {
+		t.Error("Listing 4: no unmapArray below the loop")
+	}
+	if inside["cgcm.unmapArray"] != 0 {
+		t.Errorf("Listing 4: %d unmapArray calls remain inside the loop", inside["cgcm.unmapArray"])
+	}
+	if inside["cgcm.mapArray"] == 0 {
+		t.Error("Listing 4: interior mapArray (pointer translation) was deleted")
+	}
+	if inside["cgcm.releaseArray"] == 0 {
+		t.Error("Listing 4: interior releaseArray (balance) was deleted")
+	}
+
+	// And the optimized program still computes the right lengths.
+	rep, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Output != "25\n31\n19\n16\n" {
+		t.Errorf("output %q", rep.Output)
+	}
+	// Communication: the string units cross once in, results once out —
+	// not once per launch.
+	if rep.Stats.NumHtoD > 8 {
+		t.Errorf("HtoD count %d: communication still cyclic", rep.Stats.NumHtoD)
+	}
+}

@@ -1,0 +1,157 @@
+package doall
+
+import "testing"
+
+// White-box tests of checkGroup, the core of the dependence test. Each
+// case builds synthetic affine accesses directly, covering geometries the
+// end-to-end tests reach only implicitly.
+
+func mkAccess(iv int64, c int64, size int64, store bool, inner map[*ivRange]int64) access {
+	a := newAffine()
+	a.iv = iv
+	a.c = c
+	if inner != nil {
+		a.inner = inner
+	}
+	return access{aff: a, size: size, isStore: store}
+}
+
+func TestCheckGroupSimpleStride(t *testing.T) {
+	// a[i] stores, stride 8 covers the 8-byte element.
+	accs := []access{mkAccess(8, 0, 8, true, nil)}
+	if r := checkGroup(accs, 1, 100); r != "" {
+		t.Errorf("unit-stride store rejected: %s", r)
+	}
+	// Two stores per iteration at i and i+1 collide across iterations.
+	accs = []access{
+		mkAccess(8, 0, 8, true, nil),
+		mkAccess(8, 8, 8, true, nil),
+	}
+	if r := checkGroup(accs, 1, 100); r == "" {
+		t.Error("overlapping store pair accepted")
+	}
+}
+
+func TestCheckGroupZeroStride(t *testing.T) {
+	// A store whose address ignores the IV is a classic output dependence.
+	accs := []access{mkAccess(0, 0, 8, true, nil)}
+	if r := checkGroup(accs, 1, 100); r == "" {
+		t.Error("zero-stride store accepted")
+	}
+}
+
+func TestCheckGroupStrideScaling(t *testing.T) {
+	// Stride 8 with step 2 covers a 16-byte window.
+	accs := []access{
+		mkAccess(8, 0, 8, true, nil),
+		mkAccess(8, 8, 8, false, nil),
+	}
+	if r := checkGroup(accs, 2, 100); r != "" {
+		t.Errorf("step-2 widened stride rejected: %s", r)
+	}
+	if r := checkGroup(accs, 1, 100); r == "" {
+		t.Error("step-1 with 16-byte window accepted")
+	}
+}
+
+func TestCheckGroupRowMajorInner(t *testing.T) {
+	// a[i*32+j] with j in [0,31]: row stride 256 covers the row span.
+	j := &ivRange{min: 0, max: 31}
+	accs := []access{mkAccess(256, 0, 8, true, map[*ivRange]int64{j: 8})}
+	if r := checkGroup(accs, 1, 32); r != "" {
+		t.Errorf("row-major store rejected: %s", r)
+	}
+	// With j up to 32 (touching the next row) it must be rejected.
+	jWide := &ivRange{min: 0, max: 32}
+	accs = []access{mkAccess(256, 0, 8, true, map[*ivRange]int64{jWide: 8})}
+	if r := checkGroup(accs, 1, 32); r == "" {
+		t.Error("row-overflowing store accepted")
+	}
+}
+
+func TestCheckGroupColumnSweep(t *testing.T) {
+	// a[j*32+i] parallel over i: the small stride (8) is the IV's, the
+	// inner j contributes stride 256 — legal only when the IV's trip is
+	// statically known to fit under the coarser stride.
+	j := &ivRange{min: 1, max: 31}
+	accs := []access{mkAccess(8, 0, 8, true, map[*ivRange]int64{j: 256})}
+	if r := checkGroup(accs, 1, 32); r != "" {
+		t.Errorf("column sweep with known trip rejected: %s", r)
+	}
+	if r := checkGroup(accs, 1, -1); r == "" {
+		t.Error("column sweep with unknown trip accepted")
+	}
+	// Trip 33 would cross into the next column's footprint.
+	if r := checkGroup(accs, 1, 40); r == "" {
+		t.Error("column sweep with oversize trip accepted")
+	}
+}
+
+func TestCheckGroupNeighborReadsFoldIntoInner(t *testing.T) {
+	// store a[i*32+j], load a[i*32+j-1]: the -8 folds into j's range.
+	j := &ivRange{min: 1, max: 31}
+	accs := []access{
+		mkAccess(256, 0, 8, true, map[*ivRange]int64{j: 8}),
+		mkAccess(256, -8, 8, false, map[*ivRange]int64{j: 8}),
+	}
+	if r := checkGroup(accs, 1, 32); r != "" {
+		t.Errorf("row recurrence (intra-iteration) rejected: %s", r)
+	}
+}
+
+func TestCheckGroupWavefrontShifts(t *testing.T) {
+	// One-dimensional accesses with IV shifts (nw): store at 512i, loads
+	// at 512i-520 and 512i-8 — disjoint residuals, any shift.
+	accs := []access{
+		mkAccess(512, 0, 8, true, nil),
+		mkAccess(512, -520, 8, false, nil),
+		mkAccess(512, -8, 8, false, nil),
+	}
+	if r := checkGroup(accs, 1, -1); r != "" {
+		t.Errorf("wavefront pattern rejected: %s", r)
+	}
+	// A load at exactly one stride behind the store (same residual,
+	// different shift) IS a cross-iteration dependence.
+	accs = []access{
+		mkAccess(512, 0, 8, true, nil),
+		mkAccess(512, -512, 8, false, nil),
+	}
+	if r := checkGroup(accs, 1, -1); r == "" {
+		t.Error("true flow dependence (a[i] <- a[i-1]) accepted")
+	}
+}
+
+func TestCheckGroupMismatchedShapes(t *testing.T) {
+	j := &ivRange{min: 0, max: 15}
+	// Different IV strides on one unit.
+	accs := []access{
+		mkAccess(8, 0, 8, true, nil),
+		mkAccess(16, 0, 8, false, nil),
+	}
+	if r := checkGroup(accs, 1, 16); r == "" {
+		t.Error("mixed IV strides accepted")
+	}
+	// Different inner shapes.
+	accs = []access{
+		mkAccess(256, 0, 8, true, map[*ivRange]int64{j: 8}),
+		mkAccess(256, 0, 8, false, nil),
+	}
+	if r := checkGroup(accs, 1, 16); r == "" {
+		t.Error("mismatched inner shapes accepted")
+	}
+}
+
+func TestCheckGroupLoadsOnlyNeverCalled(t *testing.T) {
+	// checkDependences only calls checkGroup for groups containing a
+	// store; a store-free group here still passes trivially when strides
+	// are sane (defensive coverage of the all-loads path).
+	accs := []access{
+		mkAccess(8, 0, 8, false, nil),
+		mkAccess(8, -8, 8, false, nil),
+	}
+	// Loads can overlap freely; with no store the shift test never
+	// rejects a pair of loads.
+	if r := checkGroup(accs, 1, -1); r != "" {
+		t.Errorf("load-only group rejected: %s", r)
+	}
+}

@@ -1,0 +1,236 @@
+// Package doall implements the "simple automatic DOALL parallelizer" the
+// paper couples with CGCM (§6.1): counted loops whose iterations are
+// provably independent are outlined into GPU kernels and replaced by a
+// kernel launch, one thread per iteration.
+//
+// The applicability test is deliberately simple, as in the paper:
+//
+//   - the loop is a counted for-loop (single induction variable with a
+//     constant step and an invariant upper bound, single exit through the
+//     header);
+//   - the body has no side effects beyond memory stores (no calls except
+//     pure math intrinsics, no I/O, no allocation);
+//   - every store address is affine in the induction variable, and the
+//     stride in the induction variable covers the span of all inner-loop
+//     offsets, so distinct iterations write disjoint addresses;
+//   - loads from stored allocation units fit the same windows (no
+//     cross-iteration flow);
+//   - scalars declared inside the body are private per iteration.
+//
+// Unlike CGCM itself, this parallelizer requires static alias analysis
+// (points-to), mirroring the paper's observation that "the parallelizer
+// requires static alias analysis. In practice, CGCM is more applicable
+// than the simple DOALL transformation pass."
+package doall
+
+import (
+	"fmt"
+
+	"cgcm/internal/analysis"
+	"cgcm/internal/ir"
+)
+
+// BlockDim is the CUDA-style thread block size used for generated
+// launches.
+const BlockDim = 128
+
+// Result reports what the parallelizer did.
+type Result struct {
+	// Kernels maps each generated kernel to the function it came from.
+	Kernels map[*ir.Func]*ir.Func
+	// LoopsFound counts candidate loops inspected.
+	LoopsFound int
+	// LoopsParallelized counts loops converted to kernel launches.
+	LoopsParallelized int
+	// Rejections records why loops were not parallelized (diagnostics).
+	Rejections []string
+}
+
+// Run parallelizes every DOALL loop in the module's CPU functions.
+func Run(m *ir.Module) (*Result, error) {
+	res := &Result{Kernels: make(map[*ir.Func]*ir.Func)}
+	kernelCount := 0
+	for _, f := range m.Funcs {
+		if f.Kernel {
+			continue
+		}
+		// Iterate: each transformation invalidates the CFG analyses.
+		for {
+			changed, err := runOnce(m, f, res, &kernelCount)
+			if err != nil {
+				return nil, err
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	m.Renumber()
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("doall produced invalid IR: %w", err)
+	}
+	return res, nil
+}
+
+// runOnce tries to parallelize one loop in f, outermost first.
+func runOnce(m *ir.Module, f *ir.Func, res *Result, kernelCount *int) (bool, error) {
+	f.Renumber()
+	dom := analysis.NewDominators(f)
+	forest := analysis.FindLoops(f, dom)
+	pt := analysis.BuildPointsTo(m)
+	cg := analysis.BuildCallGraph(m)
+	mr := analysis.BuildModRef(m, pt, cg)
+
+	var try func(l *analysis.Loop) (bool, error)
+	try = func(l *analysis.Loop) (bool, error) {
+		res.LoopsFound++
+		if done, why := parallelize(m, f, l, dom, forest, pt, mr, kernelCount); done {
+			res.LoopsParallelized++
+			return true, nil
+		} else if why != "" {
+			res.Rejections = append(res.Rejections, fmt.Sprintf("%s/%s: %s", f.Name, l.Header.Name, why))
+		}
+		for _, c := range l.Children {
+			if ok, err := try(c); ok || err != nil {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	for _, l := range forest.Top {
+		if ok, err := try(l); ok || err != nil {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// ivInfo describes a recognized induction variable.
+type ivInfo struct {
+	slot  *ir.Instr // the alloca holding the variable
+	step  int64
+	hi    ir.Value // exclusive upper bound (after Le normalization)
+	hiAdd int64    // +1 for Le comparisons
+	cmp   *ir.Instr
+	incr  *ir.Instr // the single store that advances the variable
+}
+
+// recognizeIV matches the counted-loop pattern produced by the front end:
+// header loads the variable, compares it against an invariant bound, and a
+// single store in the latch-dominating block advances it by a constant.
+func recognizeIV(f *ir.Func, l *analysis.Loop, dom *analysis.Dominators, pt *analysis.PointsTo) (*ivInfo, string) {
+	term := l.Header.Terminator()
+	if term == nil || term.Op != ir.OpCondBr {
+		return nil, "header does not end in a conditional branch"
+	}
+	// The true target must stay in the loop, the false target must leave.
+	if !l.Blocks[term.Targets[0]] || l.Blocks[term.Targets[1]] {
+		return nil, "header branch shape unsupported"
+	}
+	cmp, ok := term.Args[0].(*ir.Instr)
+	if !ok || (cmp.Op != ir.OpLt && cmp.Op != ir.OpLe) || cmp.Float {
+		return nil, "loop condition is not an integer < or <= comparison"
+	}
+	ld, ok := cmp.Args[0].(*ir.Instr)
+	if !ok || ld.Op != ir.OpLoad {
+		return nil, "loop condition does not test a variable"
+	}
+	slot, ok := ld.Args[0].(*ir.Instr)
+	if !ok || slot.Op != ir.OpAlloca {
+		return nil, "induction variable is not a stack slot"
+	}
+	// The slot must be used only as the direct address of loads/stores, so
+	// nothing aliases it.
+	escaped := false
+	f.Instrs(func(in *ir.Instr) {
+		for i, a := range in.Args {
+			if a == slot {
+				if !((in.Op == ir.OpLoad && i == 0) || (in.Op == ir.OpStore && i == 0)) {
+					escaped = true
+				}
+			}
+		}
+	})
+	if escaped {
+		return nil, "induction variable escapes"
+	}
+	iv := &ivInfo{slot: slot, hi: cmp.Args[1], cmp: cmp}
+	if cmp.Op == ir.OpLe {
+		iv.hiAdd = 1
+	}
+	// Find the unique advancing store inside the loop.
+	var stores []*ir.Instr
+	l.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore && in.Args[0] == slot {
+			stores = append(stores, in)
+		}
+	})
+	if len(stores) != 1 {
+		return nil, "induction variable has multiple updates"
+	}
+	st := stores[0]
+	add, ok := st.Args[1].(*ir.Instr)
+	if !ok || add.Op != ir.OpAdd || add.Float {
+		return nil, "induction update is not an addition"
+	}
+	base, ok := add.Args[0].(*ir.Instr)
+	stepC, ok2 := add.Args[1].(*ir.Const)
+	if !ok || !ok2 || base.Op != ir.OpLoad || base.Args[0] != slot {
+		return nil, "induction update shape unsupported"
+	}
+	step := stepC.Int()
+	if step <= 0 {
+		return nil, "non-positive induction step"
+	}
+	iv.step = step
+	iv.incr = st
+	// The update must run exactly once per iteration: its block dominates
+	// every latch (source of a back edge to the header).
+	preds := f.Preds()
+	for _, p := range preds[l.Header] {
+		if l.Blocks[p] && !dom.Dominates(st.Block, p) {
+			return nil, "induction update does not dominate the latch"
+		}
+	}
+	return iv, ""
+}
+
+// singleExit verifies the loop's only exit edge is the header's false
+// branch and returns the outside target.
+func singleExit(l *analysis.Loop) (*ir.Block, string) {
+	exits := l.Exits()
+	if len(exits) != 1 {
+		return nil, fmt.Sprintf("loop has %d exit edges", len(exits))
+	}
+	if exits[0][0] != l.Header {
+		return nil, "loop exits from the body (break or return)"
+	}
+	return exits[0][1], ""
+}
+
+// bodyAdmissible screens the loop body for instructions a kernel cannot
+// contain.
+func bodyAdmissible(l *analysis.Loop) string {
+	bad := ""
+	l.Instrs(func(in *ir.Instr) {
+		if bad != "" {
+			return
+		}
+		switch in.Op {
+		case ir.OpCall:
+			bad = "loop body calls a function"
+		case ir.OpLaunch:
+			bad = "loop body launches a kernel"
+		case ir.OpRet:
+			bad = "loop body returns"
+		case ir.OpIntrinsic:
+			switch in.Name {
+			case "sqrt", "fabs", "exp", "log", "pow", "sin", "cos",
+				"floor", "ceil", "iabs", "imin", "imax", "fmin", "fmax":
+			default:
+				bad = "loop body calls impure intrinsic " + in.Name
+			}
+		}
+	})
+	return bad
+}

@@ -1,0 +1,96 @@
+package interp_test
+
+import "testing"
+
+// The interpreter caches the target segment per load/store instruction.
+// These tests stress the invalidation paths: the same instruction site
+// touching different allocation units over time, units being freed and
+// reallocated, and reallocation moving contents.
+
+func TestInlineCacheAcrossFreeRealloc(t *testing.T) {
+	out := run(t, `
+int main() {
+	float sum = 0.0;
+	for (int r = 0; r < 50; r++) {
+		float *buf = (float*)malloc(16 * 8);
+		for (int i = 0; i < 16; i++) buf[i] = (float)(r + i);
+		sum += buf[r % 16];
+		free(buf);
+	}
+	print_float(sum);
+	return 0;
+}`)
+	// sum of (r + r%16) for r in 0..49 = 1225 + (3*120 + 0 + 1) = 1586
+	if out != "1586\n" {
+		t.Errorf("got %q want 1586", out)
+	}
+}
+
+func TestInlineCacheSiteTouchesManyUnits(t *testing.T) {
+	// One load site iterating over many distinct allocation units (a
+	// jagged array): the cache must miss-and-refill correctly.
+	out := run(t, `
+int main() {
+	float *rows[8];
+	for (int i = 0; i < 8; i++) {
+		rows[i] = (float*)malloc(4 * 8);
+		for (int j = 0; j < 4; j++) rows[i][j] = (float)(i * 4 + j);
+	}
+	float s = 0.0;
+	for (int i = 0; i < 8; i++) {
+		for (int j = 0; j < 4; j++) s += rows[i][j]; // one site, 8 units
+	}
+	print_float(s); // 0..31 sum = 496
+	for (int i = 0; i < 8; i++) free(rows[i]);
+	return 0;
+}`)
+	if out != "496\n" {
+		t.Errorf("got %q want 496", out)
+	}
+}
+
+func TestReallocMovesAndOldPointerFaults(t *testing.T) {
+	out := run(t, `
+int main() {
+	int *v = (int*)malloc(4 * 8);
+	v[0] = 11;
+	v[3] = 44;
+	int *w = (int*)realloc(v, 16 * 8);
+	w[15] = 99;
+	print_int(w[0] + w[3] + w[15]); // contents preserved: 154
+	free(w);
+	return 0;
+}`)
+	if out != "154\n" {
+		t.Errorf("got %q want 154", out)
+	}
+	// The old pointer is dead after realloc.
+	err := runErr(t, `
+int main() {
+	int *v = (int*)malloc(4 * 8);
+	v[0] = 1;
+	int *w = (int*)realloc(v, 16 * 8);
+	print_int(v[0]); // stale unit
+	free(w);
+	return 0;
+}`, nil)
+	if err == nil {
+		t.Error("read through stale pre-realloc pointer succeeded")
+	}
+}
+
+func TestCacheIsolationBetweenSpaces(t *testing.T) {
+	// The same kernel instruction site runs for CPU-context hoisting and
+	// GPU threads; space checks must hold on the fast path too.
+	err := runErr(t, `
+__global__ void k(float *v) { v[0] = v[0] + 1.0; }
+int main() {
+	float *host = (float*)malloc(8);
+	host[0] = 1.0;
+	k<<<1, 1>>>(host); // unmanaged: must fault, not silently hit a cache
+	return 0;
+}`, nil)
+	if err == nil {
+		t.Fatal("kernel access to CPU memory succeeded")
+	}
+}

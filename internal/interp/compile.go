@@ -1,0 +1,99 @@
+package interp
+
+import (
+	"cgcm/internal/ir"
+	"cgcm/internal/machine"
+)
+
+// Operand precompilation: the hot path of the interpreter is resolving
+// instruction operands, and doing it through an interface type switch per
+// access costs more than the arithmetic itself. Each function is
+// "compiled" once into flat operand descriptors; evaluation is then an
+// array index plus a tiny tag switch.
+
+type opKind uint8
+
+const (
+	opConst  opKind = iota
+	opReg           // parameter or instruction result: frame register
+	opGlobal        // module global: address depends on CPU/GPU context
+)
+
+type operand struct {
+	kind opKind
+	bits uint64     // opConst: immediate value
+	reg  int32      // opReg: register slot
+	g    *ir.Global // opGlobal
+}
+
+// segCache is a monomorphic inline cache: most load/store sites touch
+// one allocation unit for the life of the program, so remembering the
+// segment skips the tree walk. A machine generation mismatch (some
+// segment was freed) forces re-validation.
+type segCache struct {
+	seg *machine.Segment
+	gen uint64
+}
+
+type compiledFunc struct {
+	fn *ir.Func
+	// blockArgs holds, per block (indexed by Block.Index), the operand
+	// descriptors of each instruction, positionally parallel to
+	// Block.Instrs.
+	blockArgs [][][]operand
+	// segCaches holds one inline cache per instruction, same indexing.
+	segCaches [][]segCache
+}
+
+// compile builds (and caches) the operand descriptors for f. The cache is
+// valid because modules are never mutated after interpretation starts —
+// all passes run at compile time, before New.
+func (in *Interp) compile(f *ir.Func) *compiledFunc {
+	if cf, ok := in.compiled[f]; ok {
+		return cf
+	}
+	f.Renumber()
+	cf := &compiledFunc{
+		fn:        f,
+		blockArgs: make([][][]operand, len(f.Blocks)),
+		segCaches: make([][]segCache, len(f.Blocks)),
+	}
+	for _, b := range f.Blocks {
+		perInstr := make([][]operand, len(b.Instrs))
+		for j, instr := range b.Instrs {
+			ops := make([]operand, len(instr.Args))
+			for i, a := range instr.Args {
+				switch v := a.(type) {
+				case *ir.Const:
+					ops[i] = operand{kind: opConst, bits: v.Bits}
+				case *ir.Param:
+					ops[i] = operand{kind: opReg, reg: int32(v.Reg)}
+				case *ir.Instr:
+					ops[i] = operand{kind: opReg, reg: int32(v.Reg)}
+				case *ir.GlobalRef:
+					ops[i] = operand{kind: opGlobal, g: v.Global}
+				}
+			}
+			perInstr[j] = ops
+		}
+		cf.blockArgs[b.Index] = perInstr
+		cf.segCaches[b.Index] = make([]segCache, len(b.Instrs))
+	}
+	in.compiled[f] = cf
+	return cf
+}
+
+// evalOp resolves one precompiled operand.
+func (in *Interp) evalOp(fr *frame, op *operand) uint64 {
+	switch op.kind {
+	case opConst:
+		return op.bits
+	case opReg:
+		return fr.regs[op.reg]
+	default:
+		if fr.gpu != nil && !fr.gpu.inspect {
+			return in.devAddr[op.g]
+		}
+		return in.globalAddr[op.g]
+	}
+}

@@ -1,0 +1,170 @@
+package interp_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cgcm/internal/interp"
+	"cgcm/internal/irbuild"
+	"cgcm/internal/machine"
+	"cgcm/internal/minic/parser"
+	"cgcm/internal/minic/sema"
+	runtimelib "cgcm/internal/runtime"
+)
+
+// runErr compiles and runs src (no passes), expecting a runtime error.
+func runErr(t *testing.T, src string, lim *interp.Limits) error {
+	t.Helper()
+	file, errs := parser.Parse("test.c", src)
+	for _, e := range errs {
+		t.Fatalf("parse: %v", e)
+	}
+	info, serrs := sema.Check(file)
+	for _, e := range serrs {
+		t.Fatalf("sema: %v", e)
+	}
+	mod, err := irbuild.Build(info)
+	if err != nil {
+		t.Fatalf("irbuild: %v", err)
+	}
+	m := machine.New(machine.DefaultCostModel())
+	rt := runtimelib.New(m)
+	var out bytes.Buffer
+	in := interp.New(mod, m, rt, &out)
+	if lim != nil {
+		in.Lim = *lim
+	}
+	_, rerr := in.Run()
+	return rerr
+}
+
+func expectErr(t *testing.T, src, substr string) {
+	t.Helper()
+	err := runErr(t, src, nil)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got success", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+func TestKernelAccessToCPUFaults(t *testing.T) {
+	// A kernel dereferencing an unmanaged CPU pointer is exactly the bug
+	// CGCM prevents; the machine must catch it loudly.
+	expectErr(t, `
+__global__ void k(float *v) { v[0] = 1.0; }
+int main() {
+	float *v = (float*)malloc(8);
+	k<<<1, 1>>>(v);
+	free(v);
+	return 0;
+}`, "GPU kernel write of CPU address")
+}
+
+func TestNullDereference(t *testing.T) {
+	expectErr(t, `
+int main() {
+	int *p = (int*)0;
+	return *p;
+}`, "unmapped address")
+}
+
+func TestOutOfBoundsWithinHeap(t *testing.T) {
+	expectErr(t, `
+int main() {
+	float *v = (float*)malloc(16);
+	v[2] = 1.0; // bytes 16..24: past the allocation unit
+	free(v);
+	return 0;
+}`, "fault")
+}
+
+func TestUseAfterFree(t *testing.T) {
+	expectErr(t, `
+int main() {
+	float *v = (float*)malloc(16);
+	free(v);
+	return (int)v[0];
+}`, "unmapped")
+}
+
+func TestDivisionByZero(t *testing.T) {
+	expectErr(t, `
+int main() {
+	int a = 10;
+	int b = 0;
+	return a / b;
+}`, "division by zero")
+	expectErr(t, `
+int main() {
+	int a = 10;
+	int b = 0;
+	return a % b;
+}`, "remainder by zero")
+}
+
+func TestStepLimit(t *testing.T) {
+	err := runErr(t, `
+int main() {
+	int x = 0;
+	while (1) { x++; }
+	return x;
+}`, &interp.Limits{MaxSteps: 100000})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("infinite loop not caught: %v", err)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	err := runErr(t, `
+int infinite(int x) { return infinite(x + 1); }
+int main() { return infinite(0); }`, &interp.Limits{MaxCallDepth: 64})
+	if err == nil || !strings.Contains(err.Error(), "depth limit") {
+		t.Fatalf("runaway recursion not caught: %v", err)
+	}
+}
+
+func TestFloatDivisionByZeroIsIEEE(t *testing.T) {
+	// Float division follows IEEE754: no trap, produces +Inf.
+	out := run(t, `
+int main() {
+	float a = 1.0;
+	float b = 0.0;
+	print_int(a / b > 1000000.0 ? 1 : 0);
+	return 0;
+}`)
+	if out != "1\n" {
+		t.Errorf("float div by zero: %q", out)
+	}
+}
+
+func TestBoundedRecursionWorks(t *testing.T) {
+	out := run(t, `
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main() { print_int(fact(10)); return 0; }`)
+	if out != "3628800\n" {
+		t.Errorf("fact(10) = %q", out)
+	}
+}
+
+func TestAllocaReuseAcrossIterations(t *testing.T) {
+	// A loop-local array must behave like C block scoping: the slot is
+	// reused (stable capacity) and explicitly initialized values work.
+	out := run(t, `
+int main() {
+	float sum = 0.0;
+	for (int i = 0; i < 100; i++) {
+		float buf[8];
+		buf[0] = (float)i;
+		buf[7] = buf[0] * 2.0;
+		sum += buf[7];
+	}
+	print_float(sum);
+	return 0;
+}`)
+	if out != "9900\n" {
+		t.Errorf("got %q", out)
+	}
+}

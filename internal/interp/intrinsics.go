@@ -1,0 +1,217 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"cgcm/internal/ir"
+	"cgcm/internal/machine"
+)
+
+// intrinsic dispatches an OpIntrinsic instruction. It returns the result
+// bits and the op cost to charge to the executing context.
+func (in *Interp) intrinsic(fr *frame, instr *ir.Instr, ops []operand) (uint64, int64, error) {
+	a := func(i int) uint64 { return in.evalOp(fr, &ops[i]) }
+	af := func(i int) float64 { return ir.B2F(in.evalOp(fr, &ops[i])) }
+	ff := func(v float64) uint64 { return ir.F2B(v) }
+	onGPU := fr.gpu != nil && !fr.gpu.inspect
+
+	switch instr.Name {
+	// --- Heap (CPU only; sema enforces) ---
+	case "malloc":
+		in.flushOps()
+		return in.RT.Malloc(int64(a(0))), 8, nil
+	case "calloc":
+		in.flushOps()
+		return in.RT.Calloc(int64(a(0)), int64(a(1))), 8, nil
+	case "realloc":
+		in.flushOps()
+		p, err := in.RT.Realloc(a(0), int64(a(1)))
+		return p, 8, in.wrapErr(fr, err)
+	case "free":
+		in.flushOps()
+		return 0, 8, in.wrapErr(fr, in.RT.Free(a(0)))
+
+	// --- Strings ---
+	case "strlen":
+		ptr := a(0)
+		n := int64(0)
+		for {
+			addr := ptr + uint64(n)
+			if err := in.checkSpace(fr, addr, false); err != nil {
+				return 0, 0, err
+			}
+			in.recordInspect(fr, addr, false)
+			c, err := in.Mach.Load(addr, 1)
+			if err != nil {
+				return 0, 0, in.wrapErr(fr, err)
+			}
+			if c == 0 {
+				break
+			}
+			n++
+		}
+		return uint64(n), n + 2, nil
+
+	// --- Math ---
+	case "sqrt":
+		return ff(math.Sqrt(af(0))), 6, nil
+	case "fabs":
+		return ff(math.Abs(af(0))), 1, nil
+	case "exp":
+		return ff(math.Exp(af(0))), 10, nil
+	case "log":
+		return ff(math.Log(af(0))), 10, nil
+	case "pow":
+		return ff(math.Pow(af(0), af(1))), 14, nil
+	case "sin":
+		return ff(math.Sin(af(0))), 10, nil
+	case "cos":
+		return ff(math.Cos(af(0))), 10, nil
+	case "floor":
+		return ff(math.Floor(af(0))), 1, nil
+	case "ceil":
+		return ff(math.Ceil(af(0))), 1, nil
+	case "iabs":
+		v := int64(a(0))
+		if v < 0 {
+			v = -v
+		}
+		return uint64(v), 1, nil
+	case "imin":
+		x, y := int64(a(0)), int64(a(1))
+		if x < y {
+			return uint64(x), 1, nil
+		}
+		return uint64(y), 1, nil
+	case "imax":
+		x, y := int64(a(0)), int64(a(1))
+		if x > y {
+			return uint64(x), 1, nil
+		}
+		return uint64(y), 1, nil
+	case "fmin":
+		return ff(math.Min(af(0), af(1))), 1, nil
+	case "fmax":
+		return ff(math.Max(af(0), af(1))), 1, nil
+
+	// --- Deterministic RNG ---
+	case "srand":
+		in.rng = a(0) | 1
+		return 0, 1, nil
+	case "rand_int":
+		n := int64(a(0))
+		if n <= 0 {
+			n = 1
+		}
+		return uint64(int64(in.nextRand() >> 11 % uint64(n))), 4, nil
+	case "rand_float":
+		return ff(float64(in.nextRand()>>11) / float64(1<<53)), 4, nil
+
+	// --- Output ---
+	case "print_int":
+		fmt.Fprintf(in.Out, "%d\n", int64(a(0)))
+		return 0, 4, nil
+	case "print_float":
+		fmt.Fprintf(in.Out, "%.6g\n", af(0))
+		return 0, 4, nil
+	case "print_str":
+		s, err := in.cString(fr, a(0))
+		if err != nil {
+			return 0, 0, err
+		}
+		fmt.Fprintf(in.Out, "%s\n", s)
+		return 0, 4, nil
+
+	// --- GPU thread identity ---
+	case "tid":
+		if fr.gpu == nil {
+			return 0, 0, &Error{Fn: fr.fn.Name, Msg: "tid() outside kernel"}
+		}
+		return uint64(fr.gpu.tid), 1, nil
+	case "ntid":
+		if fr.gpu == nil {
+			return 0, 0, &Error{Fn: fr.fn.Name, Msg: "ntid() outside kernel"}
+		}
+		return uint64(fr.gpu.ntid), 1, nil
+
+	// --- Manual communication (CUDA driver style, Listing 1) ---
+	case "cuda_malloc":
+		in.flushOps()
+		base := in.Mach.Alloc(machine.GPU, int64(a(0)), "cuda_malloc")
+		in.Mach.ChargeAllocGPU()
+		return base, 0, nil
+	case "cuda_free":
+		in.flushOps()
+		return 0, 0, in.wrapErr(fr, in.Mach.Free(machine.GPU, a(0)))
+	case "cuda_memcpy_h2d":
+		in.flushOps()
+		return 0, 0, in.wrapErr(fr, in.Mach.CopyHtoD(a(0), a(1), int64(a(2))))
+	case "cuda_memcpy_d2h":
+		in.flushOps()
+		return 0, 0, in.wrapErr(fr, in.Mach.CopyDtoH(a(0), a(1), int64(a(2))))
+
+	// --- CGCM runtime library ---
+	case "cgcm.map":
+		if onGPU {
+			return 0, 0, &Error{Fn: fr.fn.Name, Msg: "cgcm.map on GPU"}
+		}
+		in.flushOps()
+		p, err := in.RT.Map(a(0))
+		return p, 0, in.wrapErr(fr, err)
+	case "cgcm.unmap":
+		in.flushOps()
+		return 0, 0, in.wrapErr(fr, in.RT.Unmap(a(0)))
+	case "cgcm.release":
+		in.flushOps()
+		return 0, 0, in.wrapErr(fr, in.RT.Release(a(0)))
+	case "cgcm.mapArray":
+		in.flushOps()
+		p, err := in.RT.MapArray(a(0))
+		return p, 0, in.wrapErr(fr, err)
+	case "cgcm.unmapArray":
+		in.flushOps()
+		return 0, 0, in.wrapErr(fr, in.RT.UnmapArray(a(0)))
+	case "cgcm.releaseArray":
+		in.flushOps()
+		return 0, 0, in.wrapErr(fr, in.RT.ReleaseArray(a(0)))
+	}
+	return 0, 0, &Error{Fn: fr.fn.Name, Msg: "unknown intrinsic " + instr.Name}
+}
+
+func (in *Interp) wrapErr(fr *frame, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Fn: fr.fn.Name, Msg: err.Error()}
+}
+
+func (in *Interp) nextRand() uint64 {
+	x := in.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	in.rng = x
+	return x
+}
+
+func (in *Interp) cString(fr *frame, ptr uint64) (string, error) {
+	var out []byte
+	for {
+		addr := ptr + uint64(len(out))
+		if err := in.checkSpace(fr, addr, false); err != nil {
+			return "", err
+		}
+		c, err := in.Mach.Load(addr, 1)
+		if err != nil {
+			return "", in.wrapErr(fr, err)
+		}
+		if c == 0 {
+			return string(out), nil
+		}
+		out = append(out, byte(c))
+		if len(out) > 1<<20 {
+			return "", &Error{Fn: fr.fn.Name, Msg: "unterminated string"}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package interp
+
+import (
+	"fmt"
+
+	"cgcm/internal/ir"
+	"cgcm/internal/machine"
+)
+
+// launch executes an OpLaunch instruction according to the launch mode.
+func (in *Interp) launch(fr *frame, instr *ir.Instr, ops []operand) error {
+	grid := int64(in.evalOp(fr, &ops[0]))
+	blockDim := int64(in.evalOp(fr, &ops[1]))
+	threads := grid * blockDim
+	if threads <= 0 {
+		threads = 1
+	}
+	args := make([]uint64, len(ops)-2)
+	for i := range args {
+		args[i] = in.evalOp(fr, &ops[i+2])
+	}
+	in.flushOps()
+	if in.Mode == Inspector {
+		return in.launchInspector(instr.Callee, threads, args)
+	}
+	return in.launchManaged(instr.Callee, threads, args)
+}
+
+// launchManaged runs every thread against GPU memory and charges one
+// asynchronous kernel. The runtime epoch advances so subsequent unmaps
+// know GPU memory may have changed.
+func (in *Interp) launchManaged(kernel *ir.Func, threads int64, args []uint64) error {
+	in.RT.KernelLaunched()
+	var totalOps, maxOps int64
+	for t := int64(0); t < threads; t++ {
+		var ops int64
+		ctx := &gpuCtx{tid: t, ntid: threads, ops: &ops}
+		if _, err := in.call(kernel, args, ctx); err != nil {
+			return fmt.Errorf("kernel %s, thread %d: %w", kernel.Name, t, err)
+		}
+		totalOps += ops
+		if ops > maxOps {
+			maxOps = ops
+		}
+	}
+	in.Mach.LaunchKernel(kernel.Name, threads, totalOps, maxOps)
+	return nil
+}
+
+// launchInspector implements the paper's idealized inspector-executor
+// comparator (§6.3): "The inspector-executor system has an oracle for
+// scheduling and transfers exactly one byte between CPU and GPU for each
+// accessed allocation unit. A compiler creates the inspector from the
+// original loop." Inspection is sequential CPU work proportional to the
+// loop's memory accesses; communication is one tiny (cyclic) transfer per
+// touched allocation unit in each direction; execution then occupies the
+// GPU timeline. Functionally, threads run against host memory — the
+// oracle's transfers are assumed perfect.
+func (in *Interp) launchInspector(kernel *ir.Func, threads int64, args []uint64) error {
+	in.RT.KernelLaunched()
+	in.inspectorTouched = make(map[uint64]bool)
+	in.inspectorWrote = make(map[uint64]bool)
+	in.inspectorLocal = make(map[uint64]bool)
+	in.inspectorAcc = 0
+
+	var totalOps, maxOps int64
+	for t := int64(0); t < threads; t++ {
+		var ops int64
+		ctx := &gpuCtx{tid: t, ntid: threads, ops: &ops, inspect: true}
+		if _, err := in.call(kernel, args, ctx); err != nil {
+			return fmt.Errorf("inspector kernel %s, thread %d: %w", kernel.Name, t, err)
+		}
+		totalOps += ops
+		if ops > maxOps {
+			maxOps = ops
+		}
+	}
+	// Sequential inspection: the inspector walks the loop's address
+	// stream on the CPU before any parallel work can start.
+	in.Mach.InspectorOps(in.inspectorAcc)
+	// Oracle transfers: one byte per accessed unit in, one byte per
+	// written unit out. Each transfer pays full latency — this is what
+	// keeps the pattern cyclic.
+	for range in.inspectorTouched {
+		in.Mach.ChargeTransfer(machine.EvHtoD, 1)
+	}
+	in.Mach.LaunchKernel(kernel.Name, threads, totalOps, maxOps)
+	for range in.inspectorWrote {
+		in.Mach.ChargeTransfer(machine.EvDtoH, 1)
+	}
+	return nil
+}

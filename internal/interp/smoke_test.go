@@ -1,0 +1,169 @@
+package interp_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cgcm/internal/interp"
+	"cgcm/internal/irbuild"
+	"cgcm/internal/machine"
+	"cgcm/internal/minic/parser"
+	"cgcm/internal/minic/sema"
+	runtimelib "cgcm/internal/runtime"
+)
+
+// run compiles src (without any CGCM passes) and interprets it, returning
+// the program output.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	file, errs := parser.Parse("test.c", src)
+	for _, e := range errs {
+		t.Fatalf("parse: %v", e)
+	}
+	info, serrs := sema.Check(file)
+	for _, e := range serrs {
+		t.Fatalf("sema: %v", e)
+	}
+	mod, err := irbuild.Build(info)
+	if err != nil {
+		t.Fatalf("irbuild: %v", err)
+	}
+	m := machine.New(machine.DefaultCostModel())
+	rt := runtimelib.New(m)
+	var out bytes.Buffer
+	in := interp.New(mod, m, rt, &out)
+	if _, err := in.Run(); err != nil {
+		t.Fatalf("run: %v\noutput so far:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	out := run(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() {
+	int s = 0;
+	for (int i = 0; i < 10; i++) s += i;
+	print_int(s);          // 45
+	print_int(fib(10));    // 55
+	float x = 2.0;
+	print_float(sqrt(x) * sqrt(x)); // 2
+	int a = 7, b = 3;
+	print_int(a % b);      // 1
+	print_int(a / b);      // 2
+	print_int(a << 2);     // 28
+	print_int(-a >> 1);    // -4
+	print_int(a > b && b > 0); // 1
+	print_int(a < b || !b);    // 0
+	return 0;
+}`)
+	want := "45\n55\n2\n1\n2\n28\n-4\n1\n0\n"
+	if out != want {
+		t.Errorf("got output:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestPointersArraysHeap(t *testing.T) {
+	out := run(t, `
+int g[4] = {10, 20, 30, 40};
+char msg[6];
+int sum(int *p, int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += p[i];
+	return s;
+}
+int main() {
+	print_int(sum(g, 4)); // 100
+	int *h = (int*)malloc(8 * sizeof(int));
+	for (int i = 0; i < 8; i++) h[i] = i * i;
+	print_int(h[7]); // 49
+	int *mid = h + 3;
+	print_int(mid[1]);   // 16
+	print_int(*(h + 2)); // 4
+	print_int((int)(mid - h)); // 3
+	free(h);
+	char *s = "hello";
+	print_int(strlen(s)); // 5
+	print_str(s);
+	int x = 5;
+	int *px = &x;
+	*px = 9;
+	print_int(x); // 9
+	// weak typing round-trip
+	long addr = (long)px;
+	int *py = (int*)addr;
+	print_int(*py); // 9
+	return 0;
+}`)
+	want := "100\n49\n16\n4\n3\n5\nhello\n9\n9\n"
+	if out != want {
+		t.Errorf("got output:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestManualKernelLaunch(t *testing.T) {
+	// Listing-2 style: manual parallelization, manual (here: intrinsic-
+	// free, so we map by hand in source is impossible) — instead this
+	// exercises a kernel over GPU memory with communication managed by
+	// the test harness below via CGCM intrinsics once commmgmt exists.
+	// Here the kernel only reads its scalar args, so no communication is
+	// needed and the launch must still execute all threads.
+	out := run(t, `
+int total;
+__global__ void k(int n) {
+	int i = tid();
+	if (i >= n) return;
+	// scalar-only kernel: no memory traffic
+	int x = i * 2;
+	x = x + 1;
+}
+int main() {
+	k<<<4, 32>>>(100);
+	print_int(7);
+	return 0;
+}`)
+	if !strings.Contains(out, "7") {
+		t.Errorf("missing output, got %q", out)
+	}
+}
+
+func TestStringArrayGlobals(t *testing.T) {
+	out := run(t, `
+char *names[3] = {"alpha", "beta", "gamma"};
+int main() {
+	for (int i = 0; i < 3; i++) print_str(names[i]);
+	print_int((int)strlen(names[2]));
+	return 0;
+}`)
+	want := "alpha\nbeta\ngamma\n5\n"
+	if out != want {
+		t.Errorf("got output:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestDoWhileTernaryCompound(t *testing.T) {
+	out := run(t, `
+int main() {
+	int i = 0;
+	int n = 0;
+	do { n += 2; i++; } while (i < 3);
+	print_int(n); // 6
+	int x = 10;
+	x -= 4; x *= 3; x /= 2; x %= 7;
+	print_int(x); // (10-4)*3/2 % 7 = 9 % 7 = 2
+	print_int(x > 1 ? 100 : 200); // 100
+	int j = 0;
+	int c = 0;
+	while (1) { j++; if (j > 5) break; if (j % 2) continue; c += j; }
+	print_int(c); // 2+4 = 6
+	return 0;
+}`)
+	want := "6\n2\n100\n6\n"
+	if out != want {
+		t.Errorf("got output:\n%s\nwant:\n%s", out, want)
+	}
+}

@@ -1,0 +1,59 @@
+package ir
+
+// CloneInstr returns a copy of in with operands rewritten through remap:
+// operands present in remap are replaced; others are kept as-is. Targets
+// and Block are not copied (the caller places the clone).
+func CloneInstr(in *Instr, remap map[Value]Value) *Instr {
+	c := &Instr{
+		Op:      in.Op,
+		Float:   in.Float,
+		Size:    in.Size,
+		Callee:  in.Callee,
+		Name:    in.Name,
+		Comment: in.Comment,
+	}
+	c.Args = make([]Value, len(in.Args))
+	for i, a := range in.Args {
+		if r, ok := remap[a]; ok {
+			c.Args[i] = r
+		} else {
+			c.Args[i] = a
+		}
+	}
+	c.Targets = append([]*Block(nil), in.Targets...)
+	return c
+}
+
+// ReplaceUses rewrites every operand equal to old with new throughout the
+// function.
+func (f *Func) ReplaceUses(old, new Value) {
+	f.Instrs(func(in *Instr) {
+		for i, a := range in.Args {
+			if a == old {
+				in.Args[i] = new
+			}
+		}
+	})
+}
+
+// DefChain returns the transitive closure of instruction operands feeding v
+// (including v itself when it is an instruction), in def-before-use order.
+// It is used by passes that clone a pointer computation out of a region.
+func DefChain(v Value) []*Instr {
+	var order []*Instr
+	seen := make(map[*Instr]bool)
+	var visit func(Value)
+	visit = func(v Value) {
+		in, ok := v.(*Instr)
+		if !ok || seen[in] {
+			return
+		}
+		seen[in] = true
+		for _, a := range in.Args {
+			visit(a)
+		}
+		order = append(order, in)
+	}
+	visit(v)
+	return order
+}

@@ -1,0 +1,112 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+func f2b(v float64) uint64 { return math.Float64bits(v) }
+func b2f(b uint64) float64 { return math.Float64frombits(b) }
+
+// F2B converts a float64 to its IEEE754 bit pattern (the IR's universal
+// 64-bit word representation).
+func F2B(v float64) uint64 { return f2b(v) }
+
+// B2F converts an IEEE754 bit pattern back to float64.
+func B2F(b uint64) float64 { return b2f(b) }
+
+// String renders the instruction in a readable single-line form.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.Op.HasResult() {
+		fmt.Fprintf(&sb, "%%v%d = ", in.Reg)
+	}
+	sb.WriteString(in.Op.String())
+	if in.Float {
+		sb.WriteString(".f")
+	}
+	switch in.Op {
+	case OpAlloca:
+		fmt.Fprintf(&sb, " %d", in.Size)
+	case OpLoad, OpStore:
+		fmt.Fprintf(&sb, "%d", in.Size*8)
+	case OpCall, OpLaunch:
+		fmt.Fprintf(&sb, " @%s", in.Callee.Name)
+	case OpIntrinsic:
+		fmt.Fprintf(&sb, " %s", in.Name)
+	}
+	for i, a := range in.Args {
+		if i == 0 {
+			sb.WriteString(" ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.valueString(in.Block.fnOrNil()))
+	}
+	for i, t := range in.Targets {
+		if i == 0 && len(in.Args) == 0 {
+			sb.WriteString(" ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("." + t.Name)
+	}
+	if in.Comment != "" {
+		sb.WriteString("  ; " + in.Comment)
+	}
+	return sb.String()
+}
+
+func (b *Block) fnOrNil() *Func {
+	if b == nil {
+		return nil
+	}
+	return b.Fn
+}
+
+// String renders the function as readable IR text.
+func (f *Func) String() string {
+	f.Renumber()
+	var sb strings.Builder
+	kind := "func"
+	if f.Kernel {
+		kind = "kernel"
+	}
+	fmt.Fprintf(&sb, "%s @%s(", kind, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%%%s", p.Name)
+		if p.Float {
+			sb.WriteString(":f")
+		}
+	}
+	sb.WriteString(") {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&sb, ".%s:\n", blk.Name)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders the whole module.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for _, g := range m.Globals {
+		ro := ""
+		if g.ReadOnly {
+			ro = " readonly"
+		}
+		fmt.Fprintf(&sb, "global @%s [%d bytes]%s\n", g.Name, g.Size, ro)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString("\n")
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}

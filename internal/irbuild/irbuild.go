@@ -1,0 +1,967 @@
+// Package irbuild lowers a type-checked mini-C AST into the register IR.
+//
+// Locals (including parameters) live in stack slots created by Alloca so
+// that address-of and reassignment need no SSA construction; arrays decay
+// to their slot address. Pointer arithmetic is lowered to explicit byte
+// arithmetic, so after this point the program is just integer math over
+// two address spaces — exactly the untyped setting CGCM's run-time library
+// is designed for.
+package irbuild
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cgcm/internal/ir"
+	"cgcm/internal/minic/ast"
+	"cgcm/internal/minic/sema"
+	"cgcm/internal/minic/token"
+	"cgcm/internal/minic/types"
+)
+
+// Build lowers the checked file to an IR module. The returned module
+// contains a synthetic "__cgcm_init" function when global initializers
+// require run-time address computation (e.g. arrays of string pointers);
+// the interpreter runs it before main.
+func Build(info *sema.Info) (*ir.Module, error) {
+	b := &builder{
+		info:    info,
+		m:       ir.NewModule(info.File.Name),
+		vars:    make(map[ast.Node]varSlot),
+		strPool: make(map[string]*ir.Global),
+		funcs:   make(map[*ast.FuncDecl]*ir.Func),
+	}
+	// Declare IR functions first so calls can reference them.
+	for _, fd := range info.Funcs {
+		f := &ir.Func{Name: fd.Name, Kernel: fd.Kernel}
+		res := fd.Result
+		f.HasResult = !res.IsVoid()
+		f.ResultFloat = res.IsFloat()
+		for i, p := range fd.Params {
+			pt := p.Type
+			f.Params = append(f.Params, &ir.Param{
+				Fn: f, Index: i, Name: paramName(p.Name, i), Float: pt.Decay().IsFloat(),
+			})
+		}
+		b.m.AddFunc(f)
+		b.funcs[fd] = f
+	}
+	// Globals.
+	for _, g := range info.Globals {
+		if err := b.buildGlobal(g); err != nil {
+			return nil, err
+		}
+	}
+	// Function bodies.
+	for _, fd := range info.Funcs {
+		if fd.Body == nil {
+			return nil, fmt.Errorf("%s: function %s has no body", fd.Pos(), fd.Name)
+		}
+		if err := b.buildFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	b.finishInit()
+	b.m.Renumber()
+	if err := b.m.Verify(); err != nil {
+		return nil, fmt.Errorf("irbuild produced invalid IR: %w", err)
+	}
+	return b.m, nil
+}
+
+func paramName(name string, i int) string {
+	if name == "" {
+		return fmt.Sprintf("arg%d", i)
+	}
+	return name
+}
+
+type varSlot struct {
+	val ir.Value    // alloca instruction or GlobalRef (address of the slot)
+	typ *types.Type // declared type
+}
+
+type builder struct {
+	info    *sema.Info
+	m       *ir.Module
+	vars    map[ast.Node]varSlot
+	strPool map[string]*ir.Global
+	funcs   map[*ast.FuncDecl]*ir.Func
+
+	fn  *ir.Func
+	cur *ir.Block
+
+	breaks    []*ir.Block
+	continues []*ir.Block
+
+	initFn  *ir.Func
+	initCur *ir.Block
+
+	strCount int
+	err      error
+}
+
+func (b *builder) errorf(pos token.Pos, format string, args ...interface{}) {
+	if b.err == nil {
+		b.err = fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+	}
+}
+
+// emit appends an instruction to the current block.
+func (b *builder) emit(in *ir.Instr) *ir.Instr {
+	return b.cur.Append(in)
+}
+
+func (b *builder) emitOp(op ir.Op, float bool, args ...ir.Value) *ir.Instr {
+	return b.emit(&ir.Instr{Op: op, Float: float, Args: args})
+}
+
+func (b *builder) load(addr ir.Value, t *types.Type) *ir.Instr {
+	return b.emit(&ir.Instr{Op: ir.OpLoad, Args: []ir.Value{addr}, Size: accessSize(t), Float: t.IsFloat()})
+}
+
+func (b *builder) store(addr, v ir.Value, t *types.Type) {
+	b.emit(&ir.Instr{Op: ir.OpStore, Args: []ir.Value{addr, v}, Size: accessSize(t), Float: t.IsFloat()})
+}
+
+func accessSize(t *types.Type) int64 {
+	if t.Kind() == types.Char {
+		return 1
+	}
+	return 8
+}
+
+func (b *builder) br(target *ir.Block) {
+	if b.cur.Terminator() == nil {
+		b.emit(&ir.Instr{Op: ir.OpBr, Targets: []*ir.Block{target}})
+	}
+}
+
+func (b *builder) condbr(cond ir.Value, then, els *ir.Block) {
+	b.emit(&ir.Instr{Op: ir.OpCondBr, Args: []ir.Value{cond}, Targets: []*ir.Block{then, els}})
+}
+
+// stringGlobal interns a NUL-terminated string literal as a read-only
+// global allocation unit and returns a reference to it.
+func (b *builder) stringGlobal(s string) *ir.Global {
+	if g, ok := b.strPool[s]; ok {
+		return g
+	}
+	data := append([]byte(s), 0)
+	g := &ir.Global{
+		Name:     fmt.Sprintf(".str%d", b.strCount),
+		Size:     int64(len(data)),
+		Init:     data,
+		ReadOnly: true,
+	}
+	b.strCount++
+	b.m.AddGlobal(g)
+	b.strPool[s] = g
+	return g
+}
+
+// initBlock returns the current block of the __cgcm_init function,
+// creating the function on first use.
+func (b *builder) initBlock() *ir.Block {
+	if b.initFn == nil {
+		b.initFn = &ir.Func{Name: "__cgcm_init"}
+		b.initCur = b.initFn.NewBlock("entry")
+	}
+	return b.initCur
+}
+
+func (b *builder) finishInit() {
+	if b.initFn != nil {
+		b.initCur.Append(&ir.Instr{Op: ir.OpRet})
+		b.m.AddFunc(b.initFn)
+	}
+}
+
+// --- Globals ---
+
+func (b *builder) buildGlobal(d *ast.VarDecl) error {
+	t := d.Type
+	g := &ir.Global{
+		Name:     d.Name,
+		Size:     t.Size(),
+		ReadOnly: d.IsConst,
+		Float:    elemType(&t).IsFloat(),
+	}
+	b.m.AddGlobal(g)
+	b.vars[d] = varSlot{val: &ir.GlobalRef{Global: g}, typ: &t}
+
+	// Try a pure compile-time byte image first.
+	if img, ok := b.constImage(d, &t); ok {
+		g.Init = img
+		return b.err
+	}
+	// Otherwise emit initialization code into __cgcm_init.
+	b.cur = b.initBlock()
+	b.fn = b.initFn
+	base := &ir.GlobalRef{Global: g}
+	if d.Init != nil {
+		v := b.exprConv(d.Init, &t)
+		b.store(base, v, &t)
+	}
+	elem := t.Elem()
+	for i, e := range d.InitList {
+		addr := b.emitOp(ir.OpAdd, false, base, ir.IntConst(int64(i)*elem.Size()))
+		v := b.exprConv(e, elem)
+		b.store(addr, v, elem)
+	}
+	b.initCur = b.cur
+	return b.err
+}
+
+func elemType(t *types.Type) *types.Type {
+	for t.IsArray() {
+		t = t.Elem()
+	}
+	return t
+}
+
+// constImage tries to evaluate the initializer to a static byte image.
+func (b *builder) constImage(d *ast.VarDecl, t *types.Type) ([]byte, bool) {
+	if d.Init == nil && len(d.InitList) == 0 {
+		return nil, true // zero initialized
+	}
+	img := make([]byte, t.Size())
+	put := func(off int64, v uint64, sz int64) {
+		if sz == 1 {
+			img[off] = byte(v)
+			return
+		}
+		binary.LittleEndian.PutUint64(img[off:], v)
+	}
+	if d.Init != nil {
+		bits, isf, ok := constEval(d.Init)
+		if !ok {
+			return nil, false
+		}
+		put(0, convertBits(bits, isf, t), accessSize(t))
+		return img, true
+	}
+	elem := t.Elem()
+	for i, e := range d.InitList {
+		bits, isf, ok := constEval(e)
+		if !ok {
+			return nil, false
+		}
+		put(int64(i)*elem.Size(), convertBits(bits, isf, elem), accessSize(elem))
+	}
+	return img, true
+}
+
+// convertBits converts a constant between int and float representations to
+// match the destination type.
+func convertBits(bits uint64, isFloat bool, to *types.Type) uint64 {
+	if to.IsFloat() && !isFloat {
+		return ir.F2B(float64(int64(bits)))
+	}
+	if !to.IsFloat() && isFloat {
+		return uint64(int64(ir.B2F(bits)))
+	}
+	return bits
+}
+
+// constEval evaluates a compile-time constant expression to 64-bit value
+// bits plus a float flag.
+func constEval(e ast.Expr) (bits uint64, isFloat, ok bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return uint64(e.Value), false, true
+	case *ast.FloatLit:
+		return ir.F2B(e.Value), true, true
+	case *ast.UnaryExpr:
+		xb, xf, xok := constEval(e.X)
+		if !xok {
+			return 0, false, false
+		}
+		switch e.Op {
+		case token.Minus:
+			if xf {
+				return ir.F2B(-ir.B2F(xb)), true, true
+			}
+			return uint64(-int64(xb)), false, true
+		case token.Tilde:
+			return ^xb, false, true
+		case token.Not:
+			if xb == 0 {
+				return 1, false, true
+			}
+			return 0, false, true
+		}
+		return 0, false, false
+	case *ast.BinaryExpr:
+		xb, xf, xok := constEval(e.X)
+		yb, yf, yok := constEval(e.Y)
+		if !xok || !yok {
+			return 0, false, false
+		}
+		if xf || yf {
+			x, y := toF(xb, xf), toF(yb, yf)
+			switch e.Op {
+			case token.Plus:
+				return ir.F2B(x + y), true, true
+			case token.Minus:
+				return ir.F2B(x - y), true, true
+			case token.Star:
+				return ir.F2B(x * y), true, true
+			case token.Slash:
+				return ir.F2B(x / y), true, true
+			}
+			return 0, false, false
+		}
+		x, y := int64(xb), int64(yb)
+		switch e.Op {
+		case token.Plus:
+			return uint64(x + y), false, true
+		case token.Minus:
+			return uint64(x - y), false, true
+		case token.Star:
+			return uint64(x * y), false, true
+		case token.Slash:
+			if y == 0 {
+				return 0, false, false
+			}
+			return uint64(x / y), false, true
+		case token.Percent:
+			if y == 0 {
+				return 0, false, false
+			}
+			return uint64(x % y), false, true
+		case token.Shl:
+			return uint64(x << uint(y)), false, true
+		case token.Shr:
+			return uint64(x >> uint(y)), false, true
+		case token.Amp:
+			return uint64(x & y), false, true
+		case token.Pipe:
+			return uint64(x | y), false, true
+		case token.Caret:
+			return uint64(x ^ y), false, true
+		}
+		return 0, false, false
+	case *ast.CastExpr:
+		xb, xf, xok := constEval(e.X)
+		if !xok {
+			return 0, false, false
+		}
+		to := e.To
+		return convertBits(xb, xf, &to), to.IsFloat(), true
+	case *ast.SizeofExpr:
+		if e.OfExpr != nil {
+			t := e.OfExpr.Type()
+			return uint64(t.Size()), false, true
+		}
+		return uint64(e.Of.Size()), false, true
+	}
+	return 0, false, false
+}
+
+func toF(bits uint64, isFloat bool) float64 {
+	if isFloat {
+		return ir.B2F(bits)
+	}
+	return float64(int64(bits))
+}
+
+// --- Functions ---
+
+func (b *builder) buildFunc(fd *ast.FuncDecl) error {
+	f := b.funcs[fd]
+	b.fn = f
+	b.cur = f.NewBlock("entry")
+	b.breaks, b.continues = nil, nil
+
+	// Spill parameters into stack slots so they are addressable and
+	// mutable like any C parameter.
+	for i, p := range fd.Params {
+		pt := p.Type
+		dt := pt.Decay()
+		slot := b.emit(&ir.Instr{Op: ir.OpAlloca, Size: dt.Size(), Comment: "param " + f.Params[i].Name})
+		b.store(slot, f.Params[i], dt)
+		b.vars[p] = varSlot{val: slot, typ: dt}
+	}
+	b.stmt(fd.Body)
+	// Implicit return.
+	if b.cur.Terminator() == nil {
+		if f.HasResult {
+			zero := ir.Value(ir.IntConst(0))
+			if f.ResultFloat {
+				zero = ir.FloatConst(0)
+			}
+			b.emit(&ir.Instr{Op: ir.OpRet, Args: []ir.Value{zero}})
+		} else {
+			b.emit(&ir.Instr{Op: ir.OpRet})
+		}
+	}
+	return b.err
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	if b.err != nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		b.declStmt(s.Decl)
+	case *ast.ExprStmt:
+		b.expr(s.X)
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.WhileStmt:
+		b.whileStmt(s)
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			res := b.fnResultType()
+			v := b.exprConv(s.Value, res)
+			b.emit(&ir.Instr{Op: ir.OpRet, Args: []ir.Value{v}})
+		} else {
+			b.emit(&ir.Instr{Op: ir.OpRet})
+		}
+		b.cur = b.fn.NewBlock("dead")
+	case *ast.BreakStmt:
+		if len(b.breaks) == 0 {
+			b.errorf(s.Pos(), "break outside loop")
+			return
+		}
+		b.br(b.breaks[len(b.breaks)-1])
+		b.cur = b.fn.NewBlock("dead")
+	case *ast.ContinueStmt:
+		if len(b.continues) == 0 {
+			b.errorf(s.Pos(), "continue outside loop")
+			return
+		}
+		b.br(b.continues[len(b.continues)-1])
+		b.cur = b.fn.NewBlock("dead")
+	case *ast.LaunchStmt:
+		b.launch(s)
+	default:
+		b.errorf(s.Pos(), "unsupported statement %T", s)
+	}
+}
+
+func (b *builder) fnResultType() *types.Type {
+	if b.fn.ResultFloat {
+		return types.FloatType
+	}
+	return types.IntType
+}
+
+func (b *builder) declStmt(d *ast.VarDecl) {
+	t := d.Type
+	slot := b.emit(&ir.Instr{Op: ir.OpAlloca, Size: t.Size(), Comment: "local " + d.Name})
+	b.vars[d] = varSlot{val: slot, typ: &t}
+	if d.Init != nil {
+		v := b.exprConv(d.Init, &t)
+		b.store(slot, v, &t)
+	}
+	if len(d.InitList) > 0 {
+		elem := t.Elem()
+		for i, e := range d.InitList {
+			addr := b.emitOp(ir.OpAdd, false, slot, ir.IntConst(int64(i)*elem.Size()))
+			v := b.exprConv(e, elem)
+			b.store(addr, v, elem)
+		}
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	cond := b.condValue(s.Cond)
+	then := b.fn.NewBlock("then")
+	done := b.fn.NewBlock("endif")
+	els := done
+	if s.Else != nil {
+		els = b.fn.NewBlock("else")
+	}
+	b.condbr(cond, then, els)
+	b.cur = then
+	b.stmt(s.Then)
+	b.br(done)
+	if s.Else != nil {
+		b.cur = els
+		b.stmt(s.Else)
+		b.br(done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.fn.NewBlock("forhead")
+	body := b.fn.NewBlock("forbody")
+	post := b.fn.NewBlock("forpost")
+	exit := b.fn.NewBlock("forexit")
+	b.br(head)
+	b.cur = head
+	if s.Cond != nil {
+		cond := b.condValue(s.Cond)
+		b.condbr(cond, body, exit)
+	} else {
+		b.br(body)
+	}
+	b.breaks = append(b.breaks, exit)
+	b.continues = append(b.continues, post)
+	b.cur = body
+	b.stmt(s.Body)
+	b.br(post)
+	b.cur = post
+	if s.Post != nil {
+		b.expr(s.Post)
+	}
+	b.br(head)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = exit
+}
+
+func (b *builder) whileStmt(s *ast.WhileStmt) {
+	head := b.fn.NewBlock("whilehead")
+	body := b.fn.NewBlock("whilebody")
+	exit := b.fn.NewBlock("whileexit")
+	if s.DoWhile {
+		b.br(body)
+	} else {
+		b.br(head)
+	}
+	b.cur = head
+	cond := b.condValue(s.Cond)
+	b.condbr(cond, body, exit)
+	b.breaks = append(b.breaks, exit)
+	b.continues = append(b.continues, head)
+	b.cur = body
+	b.stmt(s.Body)
+	b.br(head)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = exit
+}
+
+func (b *builder) launch(s *ast.LaunchStmt) {
+	kfd, ok := b.info.Funcs[s.Kernel]
+	if !ok {
+		b.errorf(s.Pos(), "launch of unknown kernel %s", s.Kernel)
+		return
+	}
+	kf := b.funcs[kfd]
+	args := []ir.Value{
+		b.exprConv(s.Grid, types.IntType),
+		b.exprConv(s.Block, types.IntType),
+	}
+	for i, a := range s.Args {
+		pt := kfd.Params[i].Type
+		args = append(args, b.exprConv(a, pt.Decay()))
+	}
+	b.emit(&ir.Instr{Op: ir.OpLaunch, Callee: kf, Args: args})
+}
+
+// condValue lowers a boolean context expression to an int 0/1 value.
+func (b *builder) condValue(e ast.Expr) ir.Value {
+	v := b.expr(e)
+	t := e.Type()
+	if t.IsFloat() {
+		return b.emitOp(ir.OpNe, true, v, ir.FloatConst(0))
+	}
+	// Comparisons already produce 0/1, but normalizing is harmless and
+	// keeps CondBr semantics uniform.
+	return v
+}
+
+// exprConv evaluates e and converts the value to type to.
+func (b *builder) exprConv(e ast.Expr, to *types.Type) ir.Value {
+	v := b.expr(e)
+	t := e.Type()
+	return b.convert(v, t.Decay(), to.Decay())
+}
+
+func (b *builder) convert(v ir.Value, from, to *types.Type) ir.Value {
+	if from.IsFloat() == to.IsFloat() {
+		if to.Kind() == types.Char && from.Kind() != types.Char {
+			return b.emitOp(ir.OpAnd, false, v, ir.IntConst(0xff))
+		}
+		return v
+	}
+	if to.IsFloat() {
+		return b.emitOp(ir.OpIToF, true, v)
+	}
+	r := ir.Value(b.emitOp(ir.OpFToI, false, v))
+	if to.Kind() == types.Char {
+		r = b.emitOp(ir.OpAnd, false, r, ir.IntConst(0xff))
+	}
+	return r
+}
+
+// addr lowers an lvalue expression to the address of its storage.
+func (b *builder) addr(e ast.Expr) ir.Value {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym := b.info.Uses[e]
+		if sym == nil {
+			b.errorf(e.Pos(), "unresolved identifier %s", e.Name)
+			return ir.IntConst(0)
+		}
+		slot, ok := b.vars[sym.Decl]
+		if !ok {
+			b.errorf(e.Pos(), "no storage for %s", e.Name)
+			return ir.IntConst(0)
+		}
+		return slot.val
+	case *ast.IndexExpr:
+		xt := e.X.Type()
+		var base ir.Value
+		if xt.IsArray() {
+			base = b.addr(e.X)
+		} else {
+			base = b.expr(e.X)
+		}
+		elem := xt.Decay().Elem()
+		idx := b.exprConv(e.Index, types.IntType)
+		off := b.emitOp(ir.OpMul, false, idx, ir.IntConst(elem.Size()))
+		return b.emitOp(ir.OpAdd, false, base, off)
+	case *ast.MemberExpr:
+		var base ir.Value
+		var st *types.Type
+		if e.Arrow {
+			base = b.expr(e.X)
+			st = e.X.Type().Decay().Elem()
+		} else {
+			base = b.addr(e.X)
+			st = e.X.Type()
+		}
+		f, ok := st.FieldByName(e.Name)
+		if !ok {
+			b.errorf(e.Pos(), "no field %s", e.Name)
+			return ir.IntConst(0)
+		}
+		// The field-offset add is tagged: applicability analyses use the
+		// tag to recognize array-of-struct access patterns.
+		return b.emit(&ir.Instr{
+			Op: ir.OpAdd, Args: []ir.Value{base, ir.IntConst(f.Offset)},
+			Comment: "field " + st.StructName() + "." + e.Name,
+		})
+	case *ast.UnaryExpr:
+		if e.Op == token.Star {
+			return b.expr(e.X)
+		}
+	}
+	b.errorf(e.Pos(), "expression is not an lvalue")
+	return ir.IntConst(0)
+}
+
+func (b *builder) expr(e ast.Expr) ir.Value {
+	if b.err != nil {
+		return ir.IntConst(0)
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return ir.IntConst(e.Value)
+	case *ast.FloatLit:
+		return ir.FloatConst(e.Value)
+	case *ast.StringLit:
+		return &ir.GlobalRef{Global: b.stringGlobal(e.Value)}
+	case *ast.Ident:
+		t := e.Type()
+		if t.IsArray() || t.IsStruct() {
+			return b.addr(e) // aggregates denote their address
+		}
+		a := b.addr(e)
+		return b.load(a, t)
+	case *ast.IndexExpr:
+		t := e.Type()
+		a := b.addr(e)
+		if t.IsArray() || t.IsStruct() {
+			return a // aggregates denote their address
+		}
+		return b.load(a, t)
+	case *ast.MemberExpr:
+		t := e.Type()
+		a := b.addr(e)
+		if t.IsArray() || t.IsStruct() {
+			return a
+		}
+		return b.load(a, t)
+	case *ast.UnaryExpr:
+		return b.unary(e)
+	case *ast.BinaryExpr:
+		return b.binary(e)
+	case *ast.AssignExpr:
+		return b.assign(e)
+	case *ast.IncDecExpr:
+		return b.incdec(e)
+	case *ast.CastExpr:
+		to := e.To
+		return b.exprConv(e.X, &to)
+	case *ast.CondExpr:
+		return b.condExpr(e)
+	case *ast.CallExpr:
+		return b.call(e)
+	case *ast.SizeofExpr:
+		if e.OfExpr != nil {
+			t := e.OfExpr.Type()
+			return ir.IntConst(t.Size())
+		}
+		return ir.IntConst(e.Of.Size())
+	}
+	b.errorf(e.Pos(), "unsupported expression %T", e)
+	return ir.IntConst(0)
+}
+
+func (b *builder) unary(e *ast.UnaryExpr) ir.Value {
+	switch e.Op {
+	case token.Minus:
+		t := e.Type()
+		v := b.expr(e.X)
+		if t.IsFloat() {
+			return b.emitOp(ir.OpSub, true, ir.FloatConst(0), v)
+		}
+		return b.emitOp(ir.OpSub, false, ir.IntConst(0), v)
+	case token.Not:
+		v := b.condValue(e.X)
+		return b.emitOp(ir.OpEq, false, v, ir.IntConst(0))
+	case token.Tilde:
+		v := b.expr(e.X)
+		return b.emitOp(ir.OpXor, false, v, ir.IntConst(-1))
+	case token.Star:
+		t := e.Type()
+		a := b.expr(e.X)
+		if t.IsArray() || t.IsStruct() {
+			return a
+		}
+		return b.load(a, t)
+	case token.Amp:
+		return b.addr(e.X)
+	}
+	b.errorf(e.Pos(), "unsupported unary operator %s", e.Op)
+	return ir.IntConst(0)
+}
+
+func (b *builder) binary(e *ast.BinaryExpr) ir.Value {
+	switch e.Op {
+	case token.AmpAmp, token.PipePip:
+		return b.shortCircuit(e)
+	case token.Comma:
+		b.expr(e.X)
+		return b.expr(e.Y)
+	}
+	xt, yt := e.X.Type().Decay(), e.Y.Type().Decay()
+	switch e.Op {
+	case token.Eq, token.Ne, token.Lt, token.Le, token.Gt, token.Ge:
+		common := types.Common(xt, yt)
+		x := b.exprConv(e.X, common)
+		y := b.exprConv(e.Y, common)
+		var op ir.Op
+		switch e.Op {
+		case token.Eq:
+			op = ir.OpEq
+		case token.Ne:
+			op = ir.OpNe
+		case token.Lt:
+			op = ir.OpLt
+		case token.Le:
+			op = ir.OpLe
+		case token.Gt:
+			op = ir.OpGt
+		case token.Ge:
+			op = ir.OpGe
+		}
+		return b.emitOp(op, common.IsFloat(), x, y)
+	}
+	// Pointer arithmetic.
+	if e.Op == token.Plus || e.Op == token.Minus {
+		switch {
+		case xt.IsPointer() && yt.IsInteger():
+			p := b.expr(e.X)
+			i := b.exprConv(e.Y, types.IntType)
+			off := b.emitOp(ir.OpMul, false, i, ir.IntConst(xt.Elem().Size()))
+			if e.Op == token.Plus {
+				return b.emitOp(ir.OpAdd, false, p, off)
+			}
+			return b.emitOp(ir.OpSub, false, p, off)
+		case xt.IsInteger() && yt.IsPointer() && e.Op == token.Plus:
+			i := b.exprConv(e.X, types.IntType)
+			p := b.expr(e.Y)
+			off := b.emitOp(ir.OpMul, false, i, ir.IntConst(yt.Elem().Size()))
+			return b.emitOp(ir.OpAdd, false, p, off)
+		case xt.IsPointer() && yt.IsPointer() && e.Op == token.Minus:
+			x := b.expr(e.X)
+			y := b.expr(e.Y)
+			d := b.emitOp(ir.OpSub, false, x, y)
+			return b.emitOp(ir.OpDiv, false, d, ir.IntConst(xt.Elem().Size()))
+		}
+	}
+	common := types.Common(xt, yt)
+	x := b.exprConv(e.X, common)
+	y := b.exprConv(e.Y, common)
+	var op ir.Op
+	switch e.Op {
+	case token.Plus:
+		op = ir.OpAdd
+	case token.Minus:
+		op = ir.OpSub
+	case token.Star:
+		op = ir.OpMul
+	case token.Slash:
+		op = ir.OpDiv
+	case token.Percent:
+		op = ir.OpRem
+	case token.Amp:
+		op = ir.OpAnd
+	case token.Pipe:
+		op = ir.OpOr
+	case token.Caret:
+		op = ir.OpXor
+	case token.Shl:
+		op = ir.OpShl
+	case token.Shr:
+		op = ir.OpShr
+	default:
+		b.errorf(e.Pos(), "unsupported binary operator %s", e.Op)
+		return ir.IntConst(0)
+	}
+	return b.emitOp(op, common.IsFloat(), x, y)
+}
+
+// shortCircuit lowers && and || with a temporary stack slot.
+func (b *builder) shortCircuit(e *ast.BinaryExpr) ir.Value {
+	slot := b.emit(&ir.Instr{Op: ir.OpAlloca, Size: 8, Comment: "shortcircuit"})
+	evalY := b.fn.NewBlock("sc_rhs")
+	done := b.fn.NewBlock("sc_done")
+	x := b.condValue(e.X)
+	xBool := b.emitOp(ir.OpNe, false, x, ir.IntConst(0))
+	b.store(slot, xBool, types.IntType)
+	if e.Op == token.AmpAmp {
+		b.condbr(xBool, evalY, done)
+	} else {
+		b.condbr(xBool, done, evalY)
+	}
+	b.cur = evalY
+	y := b.condValue(e.Y)
+	yBool := b.emitOp(ir.OpNe, false, y, ir.IntConst(0))
+	b.store(slot, yBool, types.IntType)
+	b.br(done)
+	b.cur = done
+	return b.load(slot, types.IntType)
+}
+
+func (b *builder) condExpr(e *ast.CondExpr) ir.Value {
+	t := e.Type()
+	dt := t.Decay()
+	slot := b.emit(&ir.Instr{Op: ir.OpAlloca, Size: 8, Comment: "condexpr"})
+	then := b.fn.NewBlock("cthen")
+	els := b.fn.NewBlock("celse")
+	done := b.fn.NewBlock("cdone")
+	cond := b.condValue(e.Cond)
+	b.condbr(cond, then, els)
+	b.cur = then
+	tv := b.exprConv(e.Then, dt)
+	b.store(slot, tv, dt)
+	b.br(done)
+	b.cur = els
+	ev := b.exprConv(e.Else, dt)
+	b.store(slot, ev, dt)
+	b.br(done)
+	b.cur = done
+	return b.load(slot, dt)
+}
+
+func (b *builder) assign(e *ast.AssignExpr) ir.Value {
+	lt := e.Lhs.Type()
+	dlt := lt.Decay()
+	a := b.addr(e.Lhs)
+	if e.Op == token.Assign {
+		v := b.exprConv(e.Rhs, dlt)
+		b.store(a, v, dlt)
+		return v
+	}
+	old := b.load(a, dlt)
+	var op ir.Op
+	switch e.Op {
+	case token.PlusAssign:
+		op = ir.OpAdd
+	case token.MinusAssign:
+		op = ir.OpSub
+	case token.StarAssign:
+		op = ir.OpMul
+	case token.SlashAssign:
+		op = ir.OpDiv
+	case token.PercentAssign:
+		op = ir.OpRem
+	default:
+		b.errorf(e.Pos(), "unsupported compound assignment %s", e.Op)
+		return ir.IntConst(0)
+	}
+	var v ir.Value
+	if dlt.IsPointer() {
+		i := b.exprConv(e.Rhs, types.IntType)
+		off := b.emitOp(ir.OpMul, false, i, ir.IntConst(dlt.Elem().Size()))
+		v = b.emitOp(op, false, old, off)
+	} else {
+		rhs := b.exprConv(e.Rhs, dlt)
+		v = b.emitOp(op, dlt.IsFloat(), old, rhs)
+	}
+	b.store(a, v, dlt)
+	return v
+}
+
+func (b *builder) incdec(e *ast.IncDecExpr) ir.Value {
+	t := e.X.Type()
+	dt := t.Decay()
+	a := b.addr(e.X)
+	old := b.load(a, dt)
+	delta := ir.Value(ir.IntConst(1))
+	if dt.IsPointer() {
+		delta = ir.IntConst(dt.Elem().Size())
+	} else if dt.IsFloat() {
+		delta = ir.FloatConst(1)
+	}
+	op := ir.OpAdd
+	if e.Op == token.MinusMinus {
+		op = ir.OpSub
+	}
+	v := b.emitOp(op, dt.IsFloat(), old, delta)
+	b.store(a, v, dt)
+	if e.Prefix {
+		return v
+	}
+	return old
+}
+
+func (b *builder) call(e *ast.CallExpr) ir.Value {
+	if bi, ok := sema.Builtins[e.Name]; ok {
+		var args []ir.Value
+		for i, a := range e.Args {
+			want := types.IntType
+			if i < len(bi.Params) {
+				want = bi.Params[i]
+			}
+			args = append(args, b.exprConv(a, want))
+		}
+		return b.emit(&ir.Instr{
+			Op:    ir.OpIntrinsic,
+			Name:  e.Name,
+			Args:  args,
+			Float: bi.Result.IsFloat(),
+		})
+	}
+	fd, ok := b.info.Funcs[e.Name]
+	if !ok {
+		b.errorf(e.Pos(), "call of unknown function %s", e.Name)
+		return ir.IntConst(0)
+	}
+	f := b.funcs[fd]
+	var args []ir.Value
+	for i, a := range e.Args {
+		pt := fd.Params[i].Type
+		args = append(args, b.exprConv(a, pt.Decay()))
+	}
+	return b.emit(&ir.Instr{Op: ir.OpCall, Callee: f, Args: args, Float: f.ResultFloat})
+}

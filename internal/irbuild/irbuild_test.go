@@ -1,0 +1,232 @@
+package irbuild_test
+
+import (
+	"testing"
+
+	"cgcm/internal/ir"
+	"cgcm/internal/irbuild"
+	"cgcm/internal/minic/parser"
+	"cgcm/internal/minic/sema"
+)
+
+func build(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	f, perrs := parser.Parse("t.c", src)
+	if len(perrs) > 0 {
+		t.Fatalf("parse: %v", perrs)
+	}
+	info, serrs := sema.Check(f)
+	if len(serrs) > 0 {
+		t.Fatalf("sema: %v", serrs)
+	}
+	m, err := irbuild.Build(info)
+	if err != nil {
+		t.Fatalf("irbuild: %v", err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func TestGlobalImages(t *testing.T) {
+	m := build(t, `
+int a = 7;
+float b = 2.5;
+char c = 'x';
+int arr[3] = {1, 2, 3};
+float farr[2] = {1.5, -2.0};
+int computed = 3 * 4 + (1 << 4);
+int zero[8];
+int main() { return 0; }`)
+	g := func(name string) *ir.Global {
+		gl := m.GlobalByName(name)
+		if gl == nil {
+			t.Fatalf("global %s missing", name)
+		}
+		return gl
+	}
+	if got := g("a"); got.Size != 8 || le64(got.Init) != 7 {
+		t.Errorf("a image wrong: %v", got.Init)
+	}
+	if got := g("b"); ir.B2F(le64(got.Init)) != 2.5 {
+		t.Errorf("b image wrong")
+	}
+	if got := g("c"); got.Size != 1 || got.Init[0] != 'x' {
+		t.Errorf("c image wrong: %v", got.Init)
+	}
+	if got := g("arr"); got.Size != 24 || le64(got.Init[8:]) != 2 {
+		t.Errorf("arr image wrong: %v", got.Init)
+	}
+	if got := g("computed"); le64(got.Init) != 28 {
+		t.Errorf("computed = %d, want 28", le64(got.Init))
+	}
+	if got := g("zero"); got.Init != nil {
+		t.Errorf("zero-initialized global has an image")
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func TestStringsBecomeReadOnlyGlobals(t *testing.T) {
+	m := build(t, `
+int main() {
+	char *s = "abc";
+	char *again = "abc";
+	char *other = "xyz";
+	return (int)strlen(s) + (int)strlen(again) + (int)strlen(other);
+}`)
+	strGlobals := 0
+	for _, g := range m.Globals {
+		if g.ReadOnly && g.Size == 4 {
+			strGlobals++
+			if string(g.Init[:3]) != "abc" && string(g.Init[:3]) != "xyz" {
+				t.Errorf("string image %q", g.Init)
+			}
+		}
+	}
+	if strGlobals != 2 {
+		t.Errorf("interned string globals = %d, want 2 (dedup)", strGlobals)
+	}
+}
+
+func TestPointerInitializersUseInitFunc(t *testing.T) {
+	m := build(t, `
+char *names[2] = {"a", "b"};
+int main() { return 0; }`)
+	initFn := m.Func("__cgcm_init")
+	if initFn == nil {
+		t.Fatal("no __cgcm_init despite pointer initializers")
+	}
+	stores := 0
+	initFn.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			stores++
+		}
+	})
+	if stores != 2 {
+		t.Errorf("init stores = %d, want 2", stores)
+	}
+	// Purely numeric modules get no init function.
+	m2 := build(t, `int x = 4; int main() { return 0; }`)
+	if m2.Func("__cgcm_init") != nil {
+		t.Error("numeric-only module has an init function")
+	}
+}
+
+func TestPointerArithmeticScaling(t *testing.T) {
+	m := build(t, `
+int main() {
+	float *p = (float*)malloc(80);
+	float *q = p + 3;
+	long d = (long)(q - p);
+	free(p);
+	return (int)d;
+}`)
+	// p + 3 must scale by 8: find a mul by 8 feeding an add.
+	found := false
+	m.Func("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpMul {
+			if c, ok := in.Args[1].(*ir.Const); ok && c.Int() == 8 {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Error("pointer arithmetic not scaled by element size")
+	}
+}
+
+func TestCharAccessSize(t *testing.T) {
+	m := build(t, `
+int main() {
+	char buf[4];
+	buf[1] = 'y';
+	return (int)buf[1];
+}`)
+	var sawByteStore, sawByteLoad bool
+	m.Func("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore && in.Size == 1 {
+			sawByteStore = true
+		}
+		if in.Op == ir.OpLoad && in.Size == 1 {
+			sawByteLoad = true
+		}
+	})
+	if !sawByteStore || !sawByteLoad {
+		t.Error("char accesses are not byte-sized")
+	}
+}
+
+func TestShortCircuitBlocks(t *testing.T) {
+	m := build(t, `
+int f() { return 1; }
+int main() {
+	int a = 1;
+	if (a && f()) return 1;
+	return 0;
+}`)
+	// && must branch around the call to f.
+	blocks := len(m.Func("main").Blocks)
+	if blocks < 4 {
+		t.Errorf("short-circuit produced only %d blocks", blocks)
+	}
+}
+
+func TestLaunchLowering(t *testing.T) {
+	m := build(t, `
+__global__ void k(float *v, int n) {
+	int i = tid();
+	if (i < n) v[i] = 0.0;
+}
+int main() {
+	float buf[8];
+	k<<<2, 4>>>(buf, 8);
+	return 0;
+}`)
+	var launch *ir.Instr
+	m.Func("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpLaunch {
+			launch = in
+		}
+	})
+	if launch == nil {
+		t.Fatal("no launch instruction")
+	}
+	if launch.Callee.Name != "k" || !launch.Callee.Kernel {
+		t.Error("launch callee wrong")
+	}
+	if g := launch.Args[0].(*ir.Const); g.Int() != 2 {
+		t.Errorf("grid = %d", g.Int())
+	}
+	if len(launch.Args) != 4 {
+		t.Errorf("launch args = %d, want grid+block+2", len(launch.Args))
+	}
+}
+
+func TestFloatIntConversionInserted(t *testing.T) {
+	m := build(t, `
+int main() {
+	float f = 3;    // int literal to float slot
+	int i = (int)(f * 2.0);
+	return i;
+}`)
+	var itof, ftoi bool
+	m.Func("main").Instrs(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.OpIToF:
+			itof = true
+		case ir.OpFToI:
+			ftoi = true
+		}
+	})
+	if !itof || !ftoi {
+		t.Errorf("conversions missing: itof=%v ftoi=%v", itof, ftoi)
+	}
+}

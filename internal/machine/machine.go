@@ -1,0 +1,560 @@
+// Package machine simulates the paper's experimental platform: a host CPU
+// and a discrete GPU with divided memories joined by a PCIe-like link.
+//
+// The simulation has two independent concerns:
+//
+//   - Functional: two 64-bit address spaces holding allocation-unit
+//     segments. Loads and stores resolve against the segment table and
+//     fault if they cross spaces (a CPU dereference of a GPU pointer or
+//     vice versa), exactly the failure mode CGCM's communication
+//     management exists to prevent. Pointers are plain integers, so all
+//     of C's pointer arithmetic works, including arithmetic that walks
+//     inside an allocation unit.
+//
+//   - Temporal: a virtual clock advanced by an analytic cost model
+//     (CPU op cost, GPU op throughput, kernel launch overhead, transfer
+//     latency and bandwidth). The CPU and GPU have separate timelines;
+//     kernels launch asynchronously and device-to-host transfers
+//     synchronize, so cyclic communication patterns pay the round-trip
+//     price the paper's Figure 2 illustrates while acyclic patterns
+//     overlap CPU and GPU work.
+package machine
+
+import (
+	"fmt"
+
+	"cgcm/internal/rbtree"
+)
+
+// Space identifies an address space.
+type Space int
+
+// Address spaces.
+const (
+	CPU Space = iota
+	GPU
+)
+
+func (s Space) String() string {
+	if s == GPU {
+		return "GPU"
+	}
+	return "CPU"
+}
+
+// Address space layout: the GPU space begins at GPUBase. Nothing is ever
+// allocated in [0, nullGuard) so that null and small integers fault.
+const (
+	GPUBase   uint64 = 0x4000_0000_0000
+	nullGuard uint64 = 0x1_0000
+)
+
+// SpaceOf returns which space an address belongs to.
+func SpaceOf(addr uint64) Space {
+	if addr >= GPUBase {
+		return GPU
+	}
+	return CPU
+}
+
+// Fault is a memory access error: out of bounds, unmapped, freed, or
+// wrong-space access.
+type Fault struct {
+	Addr uint64
+	Size int64
+	Msg  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("memory fault at %#x (size %d): %s", f.Addr, f.Size, f.Msg)
+}
+
+// Segment is a single allocation unit in one of the spaces.
+type Segment struct {
+	Base  uint64
+	Data  []byte
+	Space Space
+	Name  string // diagnostic label ("global x", "malloc", "alloca main")
+}
+
+// End returns the first address past the segment.
+func (s *Segment) End() uint64 { return s.Base + uint64(len(s.Data)) }
+
+// Load reads size bytes (1 or 8) at addr directly from the segment,
+// reporting false when the access falls outside it. Interpreter inline
+// caches use this fast path; Machine.Load is the general entry point.
+func (s *Segment) Load(addr uint64, size int64) (uint64, bool) {
+	off := addr - s.Base
+	if addr < s.Base || off+uint64(size) > uint64(len(s.Data)) {
+		return 0, false
+	}
+	if size == 1 {
+		return uint64(s.Data[off]), true
+	}
+	d := s.Data[off : off+8]
+	return uint64(d[0]) | uint64(d[1])<<8 | uint64(d[2])<<16 | uint64(d[3])<<24 |
+		uint64(d[4])<<32 | uint64(d[5])<<40 | uint64(d[6])<<48 | uint64(d[7])<<56, true
+}
+
+// Store writes size bytes (1 or 8) at addr directly into the segment,
+// reporting false when the access falls outside it.
+func (s *Segment) Store(addr uint64, size int64, val uint64) bool {
+	off := addr - s.Base
+	if addr < s.Base || off+uint64(size) > uint64(len(s.Data)) {
+		return false
+	}
+	if size == 1 {
+		s.Data[off] = byte(val)
+		return true
+	}
+	d := s.Data[off : off+8]
+	d[0] = byte(val)
+	d[1] = byte(val >> 8)
+	d[2] = byte(val >> 16)
+	d[3] = byte(val >> 24)
+	d[4] = byte(val >> 32)
+	d[5] = byte(val >> 40)
+	d[6] = byte(val >> 48)
+	d[7] = byte(val >> 56)
+	return true
+}
+
+// CostModel holds the analytic timing parameters, in seconds and bytes.
+// The defaults approximate the paper's platform: a 2.4 GHz Core 2 Quad
+// host, a GTX 480 with 480 CUDA cores, and a PCIe link whose per-transfer
+// latency dwarfs per-byte cost for small transfers — the property that
+// makes cyclic patterns slow.
+type CostModel struct {
+	CPUOp          float64 // seconds per CPU scalar operation
+	GPUOp          float64 // seconds per GPU scalar operation on one core
+	GPUCores       int     // parallel GPU lanes
+	LaunchCPU      float64 // CPU-side cost to enqueue a kernel
+	LaunchGPU      float64 // GPU-side fixed overhead per kernel
+	TransferLat    float64 // fixed latency per DMA transfer
+	TransferPerB   float64 // seconds per byte of DMA payload
+	AllocGPU       float64 // cuMemAlloc cost
+	InspectorPerOp float64 // CPU cost per inspected memory access (inspector-executor)
+
+	// SyncAfterLaunch makes every kernel launch synchronous, removing
+	// CPU/GPU overlap. Used by the overlap ablation benchmark; real
+	// CUDA launches are asynchronous.
+	SyncAfterLaunch bool
+}
+
+// DefaultCostModel returns the calibrated cost model used by the
+// evaluation harness.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		CPUOp:        0.55e-9, // ~1.8 IPC at 2.4GHz, SSE-vectorized baseline
+		GPUOp:        2.5e-9,  // per core; 480 cores aggregate
+		GPUCores:     480,
+		LaunchCPU:    2e-6,
+		LaunchGPU:    3e-6,
+		TransferLat:  15e-6,
+		TransferPerB: 1.0 / 0.6e9,
+		// Bandwidth is expressed relative to simulated compute: the
+		// interpreter charges ~4 IR ops per source flop (explicit address
+		// arithmetic), so PCIe bytes are scaled by the same factor to
+		// keep the paper's compute-to-transfer balance (~26 flops per
+		// transferred float on the Core2/GTX480 platform).
+		AllocGPU:       10e-6,
+		InspectorPerOp: 1.5e-9, // address-stream walk, no FP work
+	}
+}
+
+// EventKind classifies trace events for schedule rendering (Figure 2).
+type EventKind int
+
+// Event kinds.
+const (
+	EvCPU EventKind = iota
+	EvKernel
+	EvHtoD
+	EvDtoH
+	EvStall // CPU waiting on the GPU
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCPU:
+		return "cpu"
+	case EvKernel:
+		return "kernel"
+	case EvHtoD:
+		return "HtoD"
+	case EvDtoH:
+		return "DtoH"
+	case EvStall:
+		return "stall"
+	}
+	return "?"
+}
+
+// Event is one span on a timeline lane.
+type Event struct {
+	Kind       EventKind
+	Start, End float64
+	Label      string
+	Bytes      int64
+}
+
+// Stats aggregates the temporal counters the evaluation reports.
+type Stats struct {
+	CPUTime    float64 // total busy CPU compute time
+	GPUTime    float64 // total busy GPU kernel time
+	CommTime   float64 // total transfer time (latency + payload)
+	StallTime  float64 // CPU time spent waiting for the GPU
+	Wall       float64 // final wall-clock (CPU timeline after Sync)
+	BytesHtoD  int64
+	BytesDtoH  int64
+	NumHtoD    int64
+	NumDtoH    int64
+	NumKernels int64
+	CPUOps     int64
+	GPUOps     int64
+}
+
+// Machine is one simulated host+device pair.
+type Machine struct {
+	Cost CostModel
+
+	segs    [2]rbtree.Tree[*Segment]
+	nextCPU uint64
+	nextGPU uint64
+
+	cpuTime  float64
+	gpuReady float64
+
+	stats Stats
+
+	traceOn bool
+	trace   []Event
+
+	// pendingCPU accumulates CPU op time not yet flushed to the trace, so
+	// traces show contiguous CPU spans rather than one per instruction.
+	pendingCPUStart float64
+	pendingCPUOps   int64
+
+	// cache holds recently accessed segments per space (4-way, round
+	// robin): kernels typically stream a handful of arrays, and each
+	// entry saves a tree walk per access.
+	cache    [2][4]*Segment
+	cacheIdx [2]uint8
+
+	// gen increments whenever a segment is freed, invalidating the
+	// interpreter's per-instruction inline caches.
+	gen uint64
+}
+
+// Gen returns the segment-table generation; it changes whenever a
+// segment is freed, so any cached *Segment from an older generation must
+// be re-validated.
+func (m *Machine) Gen() uint64 { return m.gen }
+
+// New creates a machine with the given cost model.
+func New(cost CostModel) *Machine {
+	return &Machine{
+		Cost:    cost,
+		nextCPU: nullGuard,
+		nextGPU: GPUBase,
+	}
+}
+
+// EnableTrace switches on event tracing (Figure 2 rendering).
+func (m *Machine) EnableTrace() { m.traceOn = true }
+
+// Trace returns the recorded events.
+func (m *Machine) Trace() []Event { return m.trace }
+
+// Stats returns a snapshot of the counters; Wall reflects a full sync.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.Wall = m.cpuTime
+	if m.gpuReady > s.Wall {
+		s.Wall = m.gpuReady
+	}
+	return s
+}
+
+// Now returns the CPU timeline's current time.
+func (m *Machine) Now() float64 { return m.cpuTime }
+
+func align(n uint64) uint64 { return (n + 15) &^ 15 }
+
+// Alloc creates a segment of size bytes in the given space and returns its
+// base address. Size 0 allocates a 1-byte unit (like malloc(0) returning a
+// unique pointer).
+func (m *Machine) Alloc(space Space, size int64, name string) uint64 {
+	if size <= 0 {
+		size = 1
+	}
+	var base uint64
+	if space == CPU {
+		base = m.nextCPU
+		m.nextCPU = align(m.nextCPU + uint64(size))
+	} else {
+		base = m.nextGPU
+		m.nextGPU = align(m.nextGPU + uint64(size))
+	}
+	seg := &Segment{Base: base, Data: make([]byte, size), Space: space, Name: name}
+	m.segs[space].Put(base, seg)
+	return base
+}
+
+// Free removes the segment at base. It is an error to free a non-base
+// address or an unmapped address, matching C.
+func (m *Machine) Free(space Space, base uint64) error {
+	if _, ok := m.segs[space].Get(base); !ok {
+		return &Fault{Addr: base, Msg: fmt.Sprintf("free of non-allocated %s address", space)}
+	}
+	m.segs[space].Delete(base)
+	for i, c := range &m.cache[space] {
+		if c != nil && c.Base == base {
+			m.cache[space][i] = nil
+		}
+	}
+	m.gen++
+	return nil
+}
+
+// FindSegment returns the segment containing addr, or nil.
+func (m *Machine) FindSegment(addr uint64) *Segment {
+	space := SpaceOf(addr)
+	for _, c := range &m.cache[space] {
+		if c != nil && addr >= c.Base && addr < c.End() {
+			return c
+		}
+	}
+	_, seg, ok := m.segs[space].GreatestLTE(addr)
+	if !ok || addr >= seg.End() {
+		return nil
+	}
+	i := m.cacheIdx[space]
+	m.cache[space][i] = seg
+	m.cacheIdx[space] = (i + 1) & 3
+	return seg
+}
+
+func (m *Machine) segmentFor(addr uint64, size int64) (*Segment, error) {
+	seg := m.FindSegment(addr)
+	if seg == nil {
+		return nil, &Fault{Addr: addr, Size: size, Msg: "unmapped address"}
+	}
+	if addr+uint64(size) > seg.End() {
+		return nil, &Fault{Addr: addr, Size: size, Msg: fmt.Sprintf(
+			"access crosses end of allocation unit %q [%#x,%#x)", seg.Name, seg.Base, seg.End())}
+	}
+	return seg, nil
+}
+
+// Load reads size bytes (1 or 8) at addr, little-endian, zero-extended.
+func (m *Machine) Load(addr uint64, size int64) (uint64, error) {
+	seg, err := m.segmentFor(addr, size)
+	if err != nil {
+		return 0, err
+	}
+	off := addr - seg.Base
+	if size == 1 {
+		return uint64(seg.Data[off]), nil
+	}
+	d := seg.Data[off : off+8]
+	return uint64(d[0]) | uint64(d[1])<<8 | uint64(d[2])<<16 | uint64(d[3])<<24 |
+		uint64(d[4])<<32 | uint64(d[5])<<40 | uint64(d[6])<<48 | uint64(d[7])<<56, nil
+}
+
+// Store writes size bytes (1 or 8) of val at addr, little-endian.
+func (m *Machine) Store(addr uint64, size int64, val uint64) error {
+	seg, err := m.segmentFor(addr, size)
+	if err != nil {
+		return err
+	}
+	off := addr - seg.Base
+	if size == 1 {
+		seg.Data[off] = byte(val)
+		return nil
+	}
+	d := seg.Data[off : off+8]
+	d[0] = byte(val)
+	d[1] = byte(val >> 8)
+	d[2] = byte(val >> 16)
+	d[3] = byte(val >> 24)
+	d[4] = byte(val >> 32)
+	d[5] = byte(val >> 40)
+	d[6] = byte(val >> 48)
+	d[7] = byte(val >> 56)
+	return nil
+}
+
+// ReadBytes copies n bytes out of a single allocation unit.
+func (m *Machine) ReadBytes(addr uint64, n int64) ([]byte, error) {
+	seg, err := m.segmentFor(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	off := addr - seg.Base
+	out := make([]byte, n)
+	copy(out, seg.Data[off:])
+	return out, nil
+}
+
+// WriteBytes copies data into a single allocation unit at addr.
+func (m *Machine) WriteBytes(addr uint64, data []byte) error {
+	seg, err := m.segmentFor(addr, int64(len(data)))
+	if err != nil {
+		return err
+	}
+	copy(seg.Data[addr-seg.Base:], data)
+	return nil
+}
+
+func (m *Machine) emit(ev Event) {
+	if m.traceOn {
+		m.trace = append(m.trace, ev)
+	}
+}
+
+func (m *Machine) flushCPUSpan() {
+	if m.pendingCPUOps > 0 {
+		m.emit(Event{Kind: EvCPU, Start: m.pendingCPUStart, End: m.cpuTime,
+			Label: fmt.Sprintf("%d ops", m.pendingCPUOps)})
+		m.pendingCPUOps = 0
+	}
+}
+
+// CPUOps charges n scalar operations to the CPU timeline.
+func (m *Machine) CPUOps(n int64) {
+	if n <= 0 {
+		return
+	}
+	if m.pendingCPUOps == 0 {
+		m.pendingCPUStart = m.cpuTime
+	}
+	m.pendingCPUOps += n
+	d := float64(n) * m.Cost.CPUOp
+	m.cpuTime += d
+	m.stats.CPUTime += d
+	m.stats.CPUOps += n
+}
+
+// InspectorOps charges n sequential inspection operations to the CPU.
+func (m *Machine) InspectorOps(n int64) {
+	if n <= 0 {
+		return
+	}
+	d := float64(n) * m.Cost.InspectorPerOp
+	m.cpuTime += d
+	m.stats.CPUTime += d
+	m.emit(Event{Kind: EvCPU, Start: m.cpuTime - d, End: m.cpuTime,
+		Label: fmt.Sprintf("inspect %d", n)})
+}
+
+// LaunchKernel models an asynchronous kernel launch executing totalOps
+// scalar operations across threads, where the longest thread executes
+// maxThreadOps. The CPU pays only the enqueue cost; the kernel occupies
+// the GPU timeline.
+func (m *Machine) LaunchKernel(name string, threads int64, totalOps, maxThreadOps int64) {
+	m.flushCPUSpan()
+	m.cpuTime += m.Cost.LaunchCPU
+	start := m.cpuTime
+	if m.gpuReady > start {
+		start = m.gpuReady
+	}
+	// Kernel duration: fixed overhead plus the larger of the aggregate
+	// throughput bound and the critical-path (longest thread) bound.
+	throughput := float64(totalOps) * m.Cost.GPUOp / float64(m.Cost.GPUCores)
+	critical := float64(maxThreadOps) * m.Cost.GPUOp
+	dur := m.Cost.LaunchGPU + throughput
+	if critical > throughput {
+		dur = m.Cost.LaunchGPU + critical
+	}
+	m.gpuReady = start + dur
+	m.stats.GPUTime += dur
+	m.stats.NumKernels++
+	m.stats.GPUOps += totalOps
+	m.emit(Event{Kind: EvKernel, Start: start, End: m.gpuReady, Label: name})
+	if m.Cost.SyncAfterLaunch {
+		m.stats.StallTime += m.gpuReady - m.cpuTime
+		m.cpuTime = m.gpuReady
+	}
+}
+
+// CopyHtoD models a host-to-device DMA of n bytes plus the functional byte
+// copy from src (CPU space) to dst (GPU space). The transfer must wait for
+// in-flight kernels (the device serializes its DMA engine with compute,
+// like cudaMemcpy on the default stream).
+func (m *Machine) CopyHtoD(dst, src uint64, n int64) error {
+	data, err := m.ReadBytes(src, n)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteBytes(dst, data); err != nil {
+		return err
+	}
+	m.xfer(EvHtoD, n)
+	m.stats.BytesHtoD += n
+	m.stats.NumHtoD++
+	return nil
+}
+
+// CopyDtoH models a device-to-host DMA of n bytes plus the byte copy.
+func (m *Machine) CopyDtoH(dst, src uint64, n int64) error {
+	data, err := m.ReadBytes(src, n)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteBytes(dst, data); err != nil {
+		return err
+	}
+	m.xfer(EvDtoH, n)
+	m.stats.BytesDtoH += n
+	m.stats.NumDtoH++
+	return nil
+}
+
+// ChargeTransfer charges transfer time for n bytes in the given direction
+// without moving any bytes (used by the idealized inspector-executor,
+// which the paper grants an oracle that transfers exactly the needed
+// bytes; the functional copy happens wholesale elsewhere).
+func (m *Machine) ChargeTransfer(kind EventKind, n int64) {
+	m.xfer(kind, n)
+	if kind == EvHtoD {
+		m.stats.BytesHtoD += n
+		m.stats.NumHtoD++
+	} else {
+		m.stats.BytesDtoH += n
+		m.stats.NumDtoH++
+	}
+}
+
+func (m *Machine) xfer(kind EventKind, n int64) {
+	m.flushCPUSpan()
+	// Transfers synchronize with the GPU: wait for kernels to drain.
+	if m.gpuReady > m.cpuTime {
+		m.emit(Event{Kind: EvStall, Start: m.cpuTime, End: m.gpuReady, Label: "sync"})
+		m.stats.StallTime += m.gpuReady - m.cpuTime
+		m.cpuTime = m.gpuReady
+	}
+	d := m.Cost.TransferLat + float64(n)*m.Cost.TransferPerB
+	m.emit(Event{Kind: kind, Start: m.cpuTime, End: m.cpuTime + d, Bytes: n})
+	m.cpuTime += d
+	m.gpuReady = m.cpuTime
+	m.stats.CommTime += d
+}
+
+// ChargeAllocGPU charges the CPU timeline for one cuMemAlloc call. The
+// runtime library calls this when Map allocates device memory; kernel
+// thread-local scratch is free.
+func (m *Machine) ChargeAllocGPU() { m.cpuTime += m.Cost.AllocGPU }
+
+// Sync blocks the CPU until the GPU is idle.
+func (m *Machine) Sync() {
+	m.flushCPUSpan()
+	if m.gpuReady > m.cpuTime {
+		m.emit(Event{Kind: EvStall, Start: m.cpuTime, End: m.gpuReady, Label: "sync"})
+		m.stats.StallTime += m.gpuReady - m.cpuTime
+		m.cpuTime = m.gpuReady
+	}
+}
+
+// FlushTrace closes any open CPU span (call before reading Trace).
+func (m *Machine) FlushTrace() { m.flushCPUSpan() }

@@ -1,0 +1,428 @@
+// Package ast defines the abstract syntax tree for mini-C.
+package ast
+
+import (
+	"cgcm/internal/minic/token"
+	"cgcm/internal/minic/types"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Name  string
+	Decls []Decl
+}
+
+// Pos returns the position of the first declaration.
+func (f *File) Pos() token.Pos {
+	if len(f.Decls) > 0 {
+		return f.Decls[0].Pos()
+	}
+	return token.Pos{}
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// VarDecl declares a global or local variable, possibly with array
+// dimensions and an initializer.
+type VarDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Type    types.Type // full declared type (after array/pointer decoration)
+	Init    Expr       // scalar initializer, or nil
+	// InitList holds brace-enclosed initializer elements for arrays.
+	InitList []Expr
+	IsConst  bool
+	IsStatic bool
+}
+
+func (d *VarDecl) Pos() token.Pos { return d.DeclPos }
+func (d *VarDecl) declNode()      {}
+
+// Param is a function parameter.
+type Param struct {
+	ParamPos token.Pos
+	Name     string
+	Type     types.Type
+}
+
+func (p *Param) Pos() token.Pos { return p.ParamPos }
+
+// FuncDecl declares (and possibly defines) a function. Kernel is true for
+// __global__ functions, which execute on the GPU.
+type FuncDecl struct {
+	DeclPos token.Pos
+	Name    string
+	Result  types.Type
+	Params  []*Param
+	Body    *BlockStmt // nil for a prototype
+	Kernel  bool
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.DeclPos }
+func (d *FuncDecl) declNode()      {}
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// DeclStmt wraps a local variable declaration.
+type DeclStmt struct{ Decl *VarDecl }
+
+func (s *DeclStmt) Pos() token.Pos { return s.Decl.Pos() }
+func (s *DeclStmt) stmtNode()      {}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct{ X Expr }
+
+func (s *ExprStmt) Pos() token.Pos { return s.X.Pos() }
+func (s *ExprStmt) stmtNode()      {}
+
+// BlockStmt is a brace-enclosed statement list. NoScope marks synthetic
+// blocks (comma-separated declarators) that share the enclosing scope.
+type BlockStmt struct {
+	LBrace  token.Pos
+	List    []Stmt
+	NoScope bool
+}
+
+func (s *BlockStmt) Pos() token.Pos { return s.LBrace }
+func (s *BlockStmt) stmtNode()      {}
+
+// IfStmt is if (Cond) Then [else Else].
+type IfStmt struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // or nil
+}
+
+func (s *IfStmt) Pos() token.Pos { return s.IfPos }
+func (s *IfStmt) stmtNode()      {}
+
+// ForStmt is for (Init; Cond; Post) Body. Init may be a declaration.
+type ForStmt struct {
+	ForPos token.Pos
+	Init   Stmt // nil, *DeclStmt, or *ExprStmt
+	Cond   Expr // nil means true
+	Post   Expr // nil for none
+	Body   Stmt
+}
+
+func (s *ForStmt) Pos() token.Pos { return s.ForPos }
+func (s *ForStmt) stmtNode()      {}
+
+// WhileStmt is while (Cond) Body, or do Body while (Cond) when DoWhile.
+type WhileStmt struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     Stmt
+	DoWhile  bool
+}
+
+func (s *WhileStmt) Pos() token.Pos { return s.WhilePos }
+func (s *WhileStmt) stmtNode()      {}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	RetPos token.Pos
+	Value  Expr // or nil
+}
+
+func (s *ReturnStmt) Pos() token.Pos { return s.RetPos }
+func (s *ReturnStmt) stmtNode()      {}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ KwPos token.Pos }
+
+func (s *BreakStmt) Pos() token.Pos { return s.KwPos }
+func (s *BreakStmt) stmtNode()      {}
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ KwPos token.Pos }
+
+func (s *ContinueStmt) Pos() token.Pos { return s.KwPos }
+func (s *ContinueStmt) stmtNode()      {}
+
+// LaunchStmt is a CUDA-style kernel launch: Kernel<<<Grid, Block>>>(Args).
+type LaunchStmt struct {
+	NamePos token.Pos
+	Kernel  string
+	Grid    Expr
+	Block   Expr
+	Args    []Expr
+}
+
+func (s *LaunchStmt) Pos() token.Pos { return s.NamePos }
+func (s *LaunchStmt) stmtNode()      {}
+
+// Expr is an expression. After semantic analysis every expression carries
+// its static type via SetType/Type.
+type Expr interface {
+	Node
+	exprNode()
+	Type() *types.Type
+	SetType(*types.Type)
+}
+
+type typed struct{ typ *types.Type }
+
+func (t *typed) Type() *types.Type      { return t.typ }
+func (t *typed) SetType(ty *types.Type) { t.typ = ty }
+
+// Ident is a reference to a named variable or function.
+type Ident struct {
+	typed
+	NamePos token.Pos
+	Name    string
+}
+
+func (e *Ident) Pos() token.Pos { return e.NamePos }
+func (e *Ident) exprNode()      {}
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	typed
+	LitPos token.Pos
+	Value  int64
+}
+
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+func (e *IntLit) exprNode()      {}
+
+// FloatLit is a floating point literal.
+type FloatLit struct {
+	typed
+	LitPos token.Pos
+	Value  float64
+}
+
+func (e *FloatLit) Pos() token.Pos { return e.LitPos }
+func (e *FloatLit) exprNode()      {}
+
+// StringLit is a string literal; it denotes a pointer to an anonymous
+// read-only global char array holding the NUL-terminated contents.
+type StringLit struct {
+	typed
+	LitPos token.Pos
+	Value  string
+}
+
+func (e *StringLit) Pos() token.Pos { return e.LitPos }
+func (e *StringLit) exprNode()      {}
+
+// BinaryExpr is X Op Y for arithmetic, comparison, logical, and bitwise
+// operators. && and || short-circuit.
+type BinaryExpr struct {
+	typed
+	OpPos token.Pos
+	Op    token.Kind
+	X, Y  Expr
+}
+
+func (e *BinaryExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *BinaryExpr) exprNode()      {}
+
+// UnaryExpr is Op X for -, !, ~, * (deref), and & (address-of).
+type UnaryExpr struct {
+	typed
+	OpPos token.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+func (e *UnaryExpr) Pos() token.Pos { return e.OpPos }
+func (e *UnaryExpr) exprNode()      {}
+
+// IndexExpr is X[Index]; equivalent to *(X + Index) with pointer scaling.
+type IndexExpr struct {
+	typed
+	X      Expr
+	Index  Expr
+	LBrack token.Pos
+}
+
+func (e *IndexExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *IndexExpr) exprNode()      {}
+
+// MemberExpr is X.Name (Arrow false) or X->Name (Arrow true).
+type MemberExpr struct {
+	typed
+	X      Expr
+	Name   string
+	DotPos token.Pos
+	Arrow  bool
+}
+
+func (e *MemberExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *MemberExpr) exprNode()      {}
+
+// CallExpr calls a named function (mini-C has no function pointers).
+type CallExpr struct {
+	typed
+	NamePos token.Pos
+	Name    string
+	Args    []Expr
+}
+
+func (e *CallExpr) Pos() token.Pos { return e.NamePos }
+func (e *CallExpr) exprNode()      {}
+
+// AssignExpr is Lhs = Rhs (or op-assign like +=). Assignment is an
+// expression, as in C; its value is the stored value.
+type AssignExpr struct {
+	typed
+	OpPos token.Pos
+	Op    token.Kind // Assign, PlusAssign, ...
+	Lhs   Expr
+	Rhs   Expr
+}
+
+func (e *AssignExpr) Pos() token.Pos { return e.Lhs.Pos() }
+func (e *AssignExpr) exprNode()      {}
+
+// IncDecExpr is X++ / X-- / ++X / --X.
+type IncDecExpr struct {
+	typed
+	OpPos  token.Pos
+	Op     token.Kind // PlusPlus or MinusMinus
+	X      Expr
+	Prefix bool
+}
+
+func (e *IncDecExpr) Pos() token.Pos { return e.OpPos }
+func (e *IncDecExpr) exprNode()      {}
+
+// CastExpr is (Type) X. Casts are unchecked: mini-C deliberately keeps
+// C's weak typing so that CGCM's use-based type inference has work to do.
+type CastExpr struct {
+	typed
+	LParen token.Pos
+	To     types.Type
+	X      Expr
+}
+
+func (e *CastExpr) Pos() token.Pos { return e.LParen }
+func (e *CastExpr) exprNode()      {}
+
+// CondExpr is Cond ? Then : Else.
+type CondExpr struct {
+	typed
+	Cond, Then, Else Expr
+}
+
+func (e *CondExpr) Pos() token.Pos { return e.Cond.Pos() }
+func (e *CondExpr) exprNode()      {}
+
+// SizeofExpr is sizeof(Type) or sizeof expr.
+type SizeofExpr struct {
+	typed
+	KwPos  token.Pos
+	Of     types.Type // set when sizeof(type)
+	OfExpr Expr       // set when sizeof expr
+}
+
+func (e *SizeofExpr) Pos() token.Pos { return e.KwPos }
+func (e *SizeofExpr) exprNode()      {}
+
+// Walk calls fn for every node in the subtree rooted at n, parents before
+// children. If fn returns false the node's children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			Walk(d, fn)
+		}
+	case *VarDecl:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+		for _, e := range x.InitList {
+			Walk(e, fn)
+		}
+	case *FuncDecl:
+		if x.Body != nil {
+			Walk(x.Body, fn)
+		}
+	case *DeclStmt:
+		Walk(x.Decl, fn)
+	case *ExprStmt:
+		Walk(x.X, fn)
+	case *BlockStmt:
+		for _, s := range x.List {
+			Walk(s, fn)
+		}
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+		if x.Cond != nil {
+			Walk(x.Cond, fn)
+		}
+		if x.Post != nil {
+			Walk(x.Post, fn)
+		}
+		Walk(x.Body, fn)
+	case *WhileStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Body, fn)
+	case *ReturnStmt:
+		if x.Value != nil {
+			Walk(x.Value, fn)
+		}
+	case *LaunchStmt:
+		Walk(x.Grid, fn)
+		Walk(x.Block, fn)
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *IndexExpr:
+		Walk(x.X, fn)
+		Walk(x.Index, fn)
+	case *MemberExpr:
+		Walk(x.X, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *AssignExpr:
+		Walk(x.Lhs, fn)
+		Walk(x.Rhs, fn)
+	case *IncDecExpr:
+		Walk(x.X, fn)
+	case *CastExpr:
+		Walk(x.X, fn)
+	case *CondExpr:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *SizeofExpr:
+		if x.OfExpr != nil {
+			Walk(x.OfExpr, fn)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package lexer turns mini-C source text into a token stream.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cgcm/internal/minic/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans mini-C source text.
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+	errs []error
+
+	// launchDepth tracks whether we are between <<< and >>> so that the
+	// scanner can disambiguate >>> from >> followed by >. The parser
+	// drives this via EnterLaunch/ExitLaunch; scanning is otherwise
+	// context free because <<< only ever appears after an identifier in
+	// launch position, which mini-C has no other use for.
+	launchDepth int
+}
+
+// New returns a lexer over src. file is used in positions.
+func New(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...interface{}) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			pos := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(pos, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		return l.scanIdent(pos)
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '.' && isDigit(l.peekAt(1)):
+		return l.scanNumber(pos)
+	case c == '\'':
+		return l.scanChar(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+	return l.scanOperator(pos)
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isIdentCont(l.peek()) {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	if kw, ok := token.Keywords[text]; ok {
+		return token.Token{Kind: kw, Pos: pos, Text: text}
+	}
+	return token.Token{Kind: token.Ident, Pos: pos, Text: text}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	isFloat := false
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseUint(text[2:], 16, 64)
+		if err != nil {
+			l.errorf(pos, "invalid hex literal %q", text)
+		}
+		return token.Token{Kind: token.IntLit, Pos: pos, Text: text, Int: int64(v)}
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && l.peekAt(1) != '.' {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		// Exponent part: e[+-]?digits.
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			// Not an exponent after all (e.g. identifier follows).
+			l.off = save
+		}
+	}
+	// Suffixes f/F (float), u/U, l/L are accepted and ignored.
+	for l.peek() == 'f' || l.peek() == 'F' || l.peek() == 'u' || l.peek() == 'U' || l.peek() == 'l' || l.peek() == 'L' {
+		if l.peek() == 'f' || l.peek() == 'F' {
+			isFloat = true
+		}
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	numeric := strings.TrimRight(text, "fFuUlL")
+	if isFloat {
+		v, err := strconv.ParseFloat(numeric, 64)
+		if err != nil {
+			l.errorf(pos, "invalid float literal %q", text)
+		}
+		return token.Token{Kind: token.FloatLit, Pos: pos, Text: text, Float: v}
+	}
+	v, err := strconv.ParseInt(numeric, 10, 64)
+	if err != nil {
+		l.errorf(pos, "invalid integer literal %q", text)
+	}
+	return token.Token{Kind: token.IntLit, Pos: pos, Text: text, Int: v}
+}
+
+func (l *Lexer) scanEscape(pos token.Pos) byte {
+	l.advance() // backslash
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated escape sequence")
+		return 0
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\', '\'', '"':
+		return c
+	default:
+		l.errorf(pos, "unknown escape sequence \\%c", c)
+		return c
+	}
+}
+
+func (l *Lexer) scanChar(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var v byte
+	if l.peek() == '\\' {
+		v = l.scanEscape(pos)
+	} else if l.off < len(l.src) && l.peek() != '\'' {
+		v = l.advance()
+	} else {
+		l.errorf(pos, "empty character literal")
+	}
+	if l.peek() == '\'' {
+		l.advance()
+	} else {
+		l.errorf(pos, "unterminated character literal")
+	}
+	return token.Token{Kind: token.CharLit, Pos: pos, Text: string(v), Int: int64(v)}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.off < len(l.src) && l.peek() != '"' && l.peek() != '\n' {
+		if l.peek() == '\\' {
+			sb.WriteByte(l.scanEscape(pos))
+		} else {
+			sb.WriteByte(l.advance())
+		}
+	}
+	if l.peek() == '"' {
+		l.advance()
+	} else {
+		l.errorf(pos, "unterminated string literal")
+	}
+	s := sb.String()
+	return token.Token{Kind: token.StringLit, Pos: pos, Text: s, Str: s}
+}
+
+func (l *Lexer) scanOperator(pos token.Pos) token.Token {
+	mk := func(k token.Kind, n int) token.Token {
+		text := l.src[l.off : l.off+n]
+		for i := 0; i < n; i++ {
+			l.advance()
+		}
+		return token.Token{Kind: k, Pos: pos, Text: text}
+	}
+	c := l.peek()
+	switch c {
+	case '+':
+		switch l.peekAt(1) {
+		case '+':
+			return mk(token.PlusPlus, 2)
+		case '=':
+			return mk(token.PlusAssign, 2)
+		}
+		return mk(token.Plus, 1)
+	case '-':
+		switch l.peekAt(1) {
+		case '-':
+			return mk(token.MinusMinus, 2)
+		case '=':
+			return mk(token.MinusAssign, 2)
+		case '>':
+			return mk(token.Arrow, 2)
+		}
+		return mk(token.Minus, 1)
+	case '*':
+		if l.peekAt(1) == '=' {
+			return mk(token.StarAssign, 2)
+		}
+		return mk(token.Star, 1)
+	case '/':
+		if l.peekAt(1) == '=' {
+			return mk(token.SlashAssign, 2)
+		}
+		return mk(token.Slash, 1)
+	case '%':
+		if l.peekAt(1) == '=' {
+			return mk(token.PercentAssign, 2)
+		}
+		return mk(token.Percent, 1)
+	case '&':
+		if l.peekAt(1) == '&' {
+			return mk(token.AmpAmp, 2)
+		}
+		return mk(token.Amp, 1)
+	case '|':
+		if l.peekAt(1) == '|' {
+			return mk(token.PipePip, 2)
+		}
+		return mk(token.Pipe, 1)
+	case '^':
+		return mk(token.Caret, 1)
+	case '~':
+		return mk(token.Tilde, 1)
+	case '!':
+		if l.peekAt(1) == '=' {
+			return mk(token.Ne, 2)
+		}
+		return mk(token.Not, 1)
+	case '=':
+		if l.peekAt(1) == '=' {
+			return mk(token.Eq, 2)
+		}
+		return mk(token.Assign, 1)
+	case '<':
+		if l.peekAt(1) == '<' {
+			if l.peekAt(2) == '<' {
+				return mk(token.LaunchOpen, 3)
+			}
+			return mk(token.Shl, 2)
+		}
+		if l.peekAt(1) == '=' {
+			return mk(token.Le, 2)
+		}
+		return mk(token.Lt, 1)
+	case '>':
+		if l.peekAt(1) == '>' && l.peekAt(2) == '>' && l.launchDepth > 0 {
+			return mk(token.LaunchClose, 3)
+		}
+		if l.peekAt(1) == '>' {
+			return mk(token.Shr, 2)
+		}
+		if l.peekAt(1) == '=' {
+			return mk(token.Ge, 2)
+		}
+		return mk(token.Gt, 1)
+	case '(':
+		return mk(token.LParen, 1)
+	case ')':
+		return mk(token.RParen, 1)
+	case '{':
+		return mk(token.LBrace, 1)
+	case '}':
+		return mk(token.RBrace, 1)
+	case '[':
+		return mk(token.LBracket, 1)
+	case ']':
+		return mk(token.RBracket, 1)
+	case ',':
+		return mk(token.Comma, 1)
+	case ';':
+		return mk(token.Semi, 1)
+	case '?':
+		return mk(token.Question, 1)
+	case ':':
+		return mk(token.Colon, 1)
+	case '.':
+		return mk(token.Dot, 1)
+	}
+	l.advance()
+	l.errorf(pos, "unexpected character %q", string(c))
+	return token.Token{Kind: token.Illegal, Pos: pos, Text: string(c)}
+}
+
+// EnterLaunch tells the lexer the parser is inside a <<< ... >>> launch
+// configuration, enabling >>> to be scanned as a launch close bracket.
+func (l *Lexer) EnterLaunch() { l.launchDepth++ }
+
+// ExitLaunch leaves launch-configuration scanning mode.
+func (l *Lexer) ExitLaunch() {
+	if l.launchDepth > 0 {
+		l.launchDepth--
+	}
+}

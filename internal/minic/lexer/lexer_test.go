@@ -1,0 +1,146 @@
+package lexer
+
+import (
+	"testing"
+
+	"cgcm/internal/minic/token"
+)
+
+func scanAll(t *testing.T, src string) []token.Token {
+	t.Helper()
+	l := New("test.c", src)
+	var toks []token.Token
+	for {
+		tok := l.Next()
+		if tok.Kind == token.EOF {
+			break
+		}
+		toks = append(toks, tok)
+		if len(toks) > 10000 {
+			t.Fatal("lexer did not terminate")
+		}
+	}
+	return toks
+}
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	got := kinds(scanAll(t, src))
+	if len(got) != len(want) {
+		t.Fatalf("%q: got %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%q: token %d = %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "+ - * / % ++ -- += -= *= /= %=",
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.PlusPlus, token.MinusMinus, token.PlusAssign, token.MinusAssign,
+		token.StarAssign, token.SlashAssign, token.PercentAssign)
+	expectKinds(t, "== != < > <= >= && || ! ~ & | ^",
+		token.Eq, token.Ne, token.Lt, token.Gt, token.Le, token.Ge,
+		token.AmpAmp, token.PipePip, token.Not, token.Tilde,
+		token.Amp, token.Pipe, token.Caret)
+	expectKinds(t, "<< >>", token.Shl, token.Shr)
+}
+
+func TestLaunchBrackets(t *testing.T) {
+	// <<< scans unconditionally; >>> needs launch mode.
+	expectKinds(t, "<<<", token.LaunchOpen)
+	l := New("t.c", "k<<<1, 2>>>")
+	if tok := l.Next(); tok.Kind != token.Ident {
+		t.Fatalf("got %v", tok)
+	}
+	if tok := l.Next(); tok.Kind != token.LaunchOpen {
+		t.Fatalf("got %v", tok)
+	}
+	l.EnterLaunch()
+	l.Next() // 1
+	l.Next() // ,
+	l.Next() // 2
+	if tok := l.Next(); tok.Kind != token.LaunchClose {
+		t.Fatalf("expected >>>, got %v", tok)
+	}
+	l.ExitLaunch()
+}
+
+func TestShiftVsLaunchClose(t *testing.T) {
+	// Outside launch mode, >>> is >> then >.
+	expectKinds(t, "a >>> b", token.Ident, token.Shr, token.Gt, token.Ident)
+}
+
+func TestNumbers(t *testing.T) {
+	toks := scanAll(t, "0 42 0x1f 3.5 1e3 2.5e-2 1f 7L")
+	wantInts := map[int]int64{0: 0, 1: 42, 2: 0x1f, 7: 7}
+	wantFloats := map[int]float64{3: 3.5, 4: 1000, 5: 0.025, 6: 1}
+	for i, v := range wantInts {
+		if toks[i].Kind != token.IntLit || toks[i].Int != v {
+			t.Errorf("token %d = %v (%d), want int %d", i, toks[i].Kind, toks[i].Int, v)
+		}
+	}
+	for i, v := range wantFloats {
+		if toks[i].Kind != token.FloatLit || toks[i].Float != v {
+			t.Errorf("token %d = %v (%g), want float %g", i, toks[i].Kind, toks[i].Float, v)
+		}
+	}
+}
+
+func TestCharAndStringLiterals(t *testing.T) {
+	toks := scanAll(t, `'a' '\n' '\0' "hi\tthere" ""`)
+	if toks[0].Int != 'a' || toks[1].Int != '\n' || toks[2].Int != 0 {
+		t.Errorf("char literals decoded wrong: %v", toks[:3])
+	}
+	if toks[3].Kind != token.StringLit || toks[3].Str != "hi\tthere" {
+		t.Errorf("string = %q", toks[3].Str)
+	}
+	if toks[4].Str != "" {
+		t.Errorf("empty string = %q", toks[4].Str)
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	expectKinds(t, "int foo while __global__ sizeof unsigned",
+		token.KwInt, token.Ident, token.KwWhile, token.KwGlobal, token.KwSizeof, token.KwUnsigned)
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // line comment\nb /* block\ncomment */ c",
+		token.Ident, token.Ident, token.Ident)
+}
+
+func TestPositions(t *testing.T) {
+	toks := scanAll(t, "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexicalErrors(t *testing.T) {
+	cases := []string{"@", "'", `"unterminated`, "/* unterminated", `'\q'`}
+	for _, src := range cases {
+		l := New("t.c", src)
+		for {
+			if l.Next().Kind == token.EOF {
+				break
+			}
+		}
+		if len(l.Errors()) == 0 {
+			t.Errorf("%q: no lexical error reported", src)
+		}
+	}
+}

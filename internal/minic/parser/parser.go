@@ -1,0 +1,736 @@
+// Package parser implements a recursive-descent parser for mini-C.
+package parser
+
+import (
+	"fmt"
+
+	"cgcm/internal/minic/ast"
+	"cgcm/internal/minic/lexer"
+	"cgcm/internal/minic/token"
+	"cgcm/internal/minic/types"
+)
+
+// Error is a syntax error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: syntax error: %s", e.Pos, e.Msg) }
+
+// Parser parses one mini-C translation unit.
+type Parser struct {
+	lex     *lexer.Lexer
+	tok     token.Token   // current token
+	pending []token.Token // pushed-back tokens (LIFO)
+	errs    []error
+	// structs registers struct tags declared so far (declare before use,
+	// as in single-pass C compilers).
+	structs map[string]*types.Type
+}
+
+// Parse parses src and returns the file. Parsing continues after errors
+// where possible; all errors are returned.
+func Parse(filename, src string) (*ast.File, []error) {
+	p := &Parser{lex: lexer.New(filename, src), structs: make(map[string]*types.Type)}
+	p.next()
+	file := &ast.File{Name: filename}
+	for p.tok.Kind != token.EOF {
+		start := p.tok
+		d := p.parseDecl()
+		if d != nil {
+			file.Decls = append(file.Decls, d)
+		}
+		if p.tok == start && p.tok.Kind != token.EOF {
+			// No progress: skip a token to avoid livelock.
+			p.next()
+		}
+	}
+	p.errs = append(p.errs, p.lex.Errors()...)
+	return file, p.errs
+}
+
+func (p *Parser) next() {
+	if n := len(p.pending); n > 0 {
+		p.tok = p.pending[n-1]
+		p.pending = p.pending[:n-1]
+		return
+	}
+	p.tok = p.lex.Next()
+}
+
+// peek returns the token after the current one without consuming it.
+func (p *Parser) peek() token.Token {
+	if n := len(p.pending); n > 0 {
+		return p.pending[n-1]
+	}
+	t := p.lex.Next()
+	p.pending = append(p.pending, t)
+	return t
+}
+
+// unread rewinds the parser by one token: the current token is pushed
+// back and prev becomes current again.
+func (p *Parser) unread(prev token.Token) {
+	p.pending = append(p.pending, p.tok)
+	p.tok = prev
+}
+
+func (p *Parser) errorf(pos token.Pos, format string, args ...interface{}) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		return t
+	}
+	p.next()
+	return t
+}
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// parseBaseType parses a scalar or struct base type:
+// [const] [unsigned] int|long|float|double|char|void|struct Tag.
+// Qualifiers const and unsigned are accepted and recorded/ignored
+// respectively (mini-C integers are 64-bit signed; const matters only for
+// globals, where it marks the allocation unit read-only). Struct types
+// are returned by identity from the tag registry, so self-referential
+// pointer fields observe the completed layout.
+func (p *Parser) parseBaseType() (*types.Type, bool) {
+	isConst := false
+	for p.tok.Kind == token.KwConst || p.tok.Kind == token.KwStatic {
+		if p.tok.Kind == token.KwConst {
+			isConst = true
+		}
+		p.next()
+	}
+	p.accept(token.KwUnsigned)
+	var t *types.Type
+	switch p.tok.Kind {
+	case token.KwStruct:
+		p.next()
+		name := p.expect(token.Ident)
+		st, ok := p.structs[name.Text]
+		if !ok {
+			p.errorf(name.Pos, "undefined struct %s", name.Text)
+			st = types.IntType
+		}
+		t = st
+	case token.KwInt, token.KwLong:
+		t = types.IntType
+		p.next()
+		// "long long", "long int" etc.
+		for p.tok.Kind == token.KwInt || p.tok.Kind == token.KwLong {
+			p.next()
+		}
+	case token.KwFloat, token.KwDouble:
+		t = types.FloatType
+		p.next()
+	case token.KwChar:
+		t = types.CharType
+		p.next()
+	case token.KwVoid:
+		t = types.VoidType
+		p.next()
+	default:
+		if p.tok.Kind == token.KwUnsigned {
+			t = types.IntType
+			p.next()
+		} else {
+			return nil, isConst
+		}
+	}
+	// Trailing const (e.g. "char const").
+	if p.accept(token.KwConst) {
+		isConst = true
+	}
+	return t, isConst
+}
+
+// parseType parses base type plus pointer stars.
+func (p *Parser) parseType() (*types.Type, bool) {
+	t, isConst := p.parseBaseType()
+	if t == nil {
+		p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+		return types.IntType, isConst
+	}
+	for p.tok.Kind == token.Star {
+		p.next()
+		p.accept(token.KwConst)
+		t = types.PointerTo(t)
+	}
+	return t, isConst
+}
+
+// startsType reports whether the current token can begin a type.
+func (p *Parser) startsType() bool { return p.tok.Kind.IsTypeKeyword() }
+
+// parseDecl parses a top-level declaration.
+func (p *Parser) parseDecl() ast.Decl {
+	pos := p.tok.Pos
+	kernel := p.accept(token.KwGlobal)
+	isStatic := false
+	for p.tok.Kind == token.KwStatic {
+		isStatic = true
+		p.next()
+	}
+	// struct definitions: struct Tag { fields };
+	if p.tok.Kind == token.KwStruct && !kernel {
+		if p.peekStructDef() {
+			p.parseStructDef()
+			return nil
+		}
+	}
+	if !p.startsType() {
+		p.errorf(pos, "expected declaration, found %s", p.tok)
+		p.next()
+		return nil
+	}
+	typ, isConst := p.parseType()
+	name := p.expect(token.Ident)
+	if p.tok.Kind == token.LParen {
+		return p.parseFuncRest(pos, kernel, typ, name.Text)
+	}
+	if kernel {
+		p.errorf(pos, "__global__ may only qualify functions")
+	}
+	d := p.parseVarRest(pos, typ, name.Text, isConst)
+	d.IsStatic = isStatic
+	p.expect(token.Semi)
+	return d
+}
+
+// peekStructDef reports whether the parser sits on `struct Ident {`,
+// leaving the parser positioned at the identifier when it does and fully
+// rewound when it does not.
+func (p *Parser) peekStructDef() bool {
+	if p.tok.Kind != token.KwStruct {
+		return false
+	}
+	structTok := p.tok
+	p.next()
+	if p.tok.Kind != token.Ident {
+		p.unread(structTok)
+		return false
+	}
+	if p.peek().Kind == token.LBrace {
+		return true // positioned at the tag identifier
+	}
+	p.unread(structTok)
+	return false
+}
+
+// parseStructDef parses `Tag { type name; ... } ;` with the parser
+// positioned at the tag identifier (peekStructDef arranged this).
+func (p *Parser) parseStructDef() {
+	name := p.expect(token.Ident)
+	if _, dup := p.structs[name.Text]; dup {
+		p.errorf(name.Pos, "redefinition of struct %s", name.Text)
+	}
+	// Register the incomplete type first so pointer fields can refer to
+	// the struct being defined (linked lists, trees).
+	self := types.NewNamedStruct(name.Text)
+	p.structs[name.Text] = self
+	p.expect(token.LBrace)
+	var fields []types.Field
+	seen := make(map[string]bool)
+	for p.tok.Kind != token.RBrace && p.tok.Kind != token.EOF {
+		ft, _ := p.parseType()
+		fname := p.expect(token.Ident)
+		// Fixed array fields.
+		var dims []int64
+		for p.tok.Kind == token.LBracket {
+			p.next()
+			if p.tok.Kind == token.IntLit {
+				dims = append(dims, p.tok.Int)
+				p.next()
+			} else {
+				p.errorf(p.tok.Pos, "struct array field dimension must be an integer literal")
+			}
+			p.expect(token.RBracket)
+		}
+		for i := len(dims) - 1; i >= 0; i-- {
+			ft = types.ArrayOf(ft, dims[i])
+		}
+		if seen[fname.Text] {
+			p.errorf(fname.Pos, "duplicate field %s in struct %s", fname.Text, name.Text)
+		}
+		seen[fname.Text] = true
+		if ft == self || (ft.IsArray() && ft.Elem() == self) {
+			p.errorf(fname.Pos, "field %s embeds incomplete struct %s by value", fname.Text, name.Text)
+			ft = types.IntType
+		}
+		fields = append(fields, types.Field{Name: fname.Text, Type: ft})
+		p.expect(token.Semi)
+	}
+	p.expect(token.RBrace)
+	p.expect(token.Semi)
+	if len(fields) == 0 {
+		p.errorf(name.Pos, "struct %s has no fields", name.Text)
+	}
+	self.SetFields(fields)
+}
+
+// parseVarRest parses array dimensions and an optional initializer after
+// the declared name.
+func (p *Parser) parseVarRest(pos token.Pos, typ *types.Type, name string, isConst bool) *ast.VarDecl {
+	// Array dimensions: T name[a][b] declares array of arrays.
+	var dims []int64
+	for p.tok.Kind == token.LBracket {
+		p.next()
+		if p.tok.Kind == token.IntLit {
+			dims = append(dims, p.tok.Int)
+			p.next()
+		} else {
+			// Dimension may be a constant expression; mini-C requires
+			// literal dimensions, matching the benchmarks.
+			p.errorf(p.tok.Pos, "array dimension must be an integer literal")
+			dims = append(dims, 1)
+			for p.tok.Kind != token.RBracket && p.tok.Kind != token.EOF {
+				p.next()
+			}
+		}
+		p.expect(token.RBracket)
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		typ = types.ArrayOf(typ, dims[i])
+	}
+	d := &ast.VarDecl{DeclPos: pos, Name: name, Type: *typ, IsConst: isConst}
+	if p.accept(token.Assign) {
+		if p.tok.Kind == token.LBrace {
+			p.next()
+			for p.tok.Kind != token.RBrace && p.tok.Kind != token.EOF {
+				d.InitList = append(d.InitList, p.parseAssignExpr())
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+			p.expect(token.RBrace)
+		} else {
+			d.Init = p.parseAssignExpr()
+		}
+	}
+	return d
+}
+
+func (p *Parser) parseFuncRest(pos token.Pos, kernel bool, result *types.Type, name string) *ast.FuncDecl {
+	p.expect(token.LParen)
+	var params []*ast.Param
+	if p.tok.Kind != token.RParen {
+		if p.tok.Kind == token.KwVoid && p.peek().Kind == token.RParen {
+			p.next() // f(void)
+		} else {
+			for {
+				ppos := p.tok.Pos
+				pt, _ := p.parseType()
+				pname := ""
+				if p.tok.Kind == token.Ident {
+					pname = p.tok.Text
+					p.next()
+				}
+				// Array parameters decay to pointers.
+				for p.tok.Kind == token.LBracket {
+					p.next()
+					if p.tok.Kind == token.IntLit {
+						p.next()
+					}
+					p.expect(token.RBracket)
+					pt = types.PointerTo(pt)
+				}
+				params = append(params, &ast.Param{ParamPos: ppos, Name: pname, Type: *pt})
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+		}
+	}
+	p.expect(token.RParen)
+	d := &ast.FuncDecl{DeclPos: pos, Name: name, Result: *result, Params: params, Kernel: kernel}
+	if p.tok.Kind == token.LBrace {
+		d.Body = p.parseBlock()
+	} else {
+		p.expect(token.Semi)
+	}
+	return d
+}
+
+func (p *Parser) parseBlock() *ast.BlockStmt {
+	lb := p.expect(token.LBrace)
+	b := &ast.BlockStmt{LBrace: lb.Pos}
+	for p.tok.Kind != token.RBrace && p.tok.Kind != token.EOF {
+		start := p.tok
+		s := p.parseStmt()
+		if s != nil {
+			b.List = append(b.List, s)
+		}
+		if p.tok == start {
+			p.next()
+		}
+	}
+	p.expect(token.RBrace)
+	return b
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	switch p.tok.Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwWhile:
+		return p.parseWhile()
+	case token.KwDo:
+		return p.parseDoWhile()
+	case token.KwReturn:
+		pos := p.tok.Pos
+		p.next()
+		s := &ast.ReturnStmt{RetPos: pos}
+		if p.tok.Kind != token.Semi {
+			s.Value = p.parseExpr()
+		}
+		p.expect(token.Semi)
+		return s
+	case token.KwBreak:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.Semi)
+		return &ast.BreakStmt{KwPos: pos}
+	case token.KwContinue:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.Semi)
+		return &ast.ContinueStmt{KwPos: pos}
+	case token.Semi:
+		p.next()
+		return &ast.BlockStmt{LBrace: p.tok.Pos}
+	}
+	if p.startsType() {
+		return p.parseDeclStmt()
+	}
+	// Kernel launch?
+	if p.tok.Kind == token.Ident && p.peek().Kind == token.LaunchOpen {
+		return p.parseLaunch()
+	}
+	x := p.parseExpr()
+	p.expect(token.Semi)
+	return &ast.ExprStmt{X: x}
+}
+
+func (p *Parser) parseDeclStmt() ast.Stmt {
+	pos := p.tok.Pos
+	typ, isConst := p.parseType()
+	name := p.expect(token.Ident)
+	d := p.parseVarRest(pos, typ, name.Text, isConst)
+	// Comma-separated declarators share the base type; split them into a
+	// block of DeclStmts.
+	if p.tok.Kind == token.Comma {
+		blk := &ast.BlockStmt{LBrace: pos, NoScope: true}
+		blk.List = append(blk.List, &ast.DeclStmt{Decl: d})
+		base := typ
+		for p.accept(token.Comma) {
+			t2 := base
+			for p.tok.Kind == token.Star {
+				p.next()
+				t2 = types.PointerTo(t2)
+			}
+			n2 := p.expect(token.Ident)
+			d2 := p.parseVarRest(p.tok.Pos, t2, n2.Text, isConst)
+			blk.List = append(blk.List, &ast.DeclStmt{Decl: d2})
+		}
+		p.expect(token.Semi)
+		return blk
+	}
+	p.expect(token.Semi)
+	return &ast.DeclStmt{Decl: d}
+}
+
+func (p *Parser) parseLaunch() ast.Stmt {
+	name := p.expect(token.Ident)
+	p.lex.EnterLaunch()
+	p.expect(token.LaunchOpen)
+	grid := p.parseAssignExpr()
+	p.expect(token.Comma)
+	block := p.parseAssignExpr()
+	p.expect(token.LaunchClose)
+	p.lex.ExitLaunch()
+	p.expect(token.LParen)
+	var args []ast.Expr
+	if p.tok.Kind != token.RParen {
+		for {
+			args = append(args, p.parseAssignExpr())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+	}
+	p.expect(token.RParen)
+	p.expect(token.Semi)
+	return &ast.LaunchStmt{NamePos: name.Pos, Kernel: name.Text, Grid: grid, Block: block, Args: args}
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	pos := p.expect(token.KwIf).Pos
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	then := p.parseStmt()
+	s := &ast.IfStmt{IfPos: pos, Cond: cond, Then: then}
+	if p.accept(token.KwElse) {
+		s.Else = p.parseStmt()
+	}
+	return s
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	pos := p.expect(token.KwFor).Pos
+	p.expect(token.LParen)
+	s := &ast.ForStmt{ForPos: pos}
+	if p.tok.Kind != token.Semi {
+		if p.startsType() {
+			s.Init = p.parseDeclStmt() // consumes the semicolon
+		} else {
+			x := p.parseExpr()
+			s.Init = &ast.ExprStmt{X: x}
+			p.expect(token.Semi)
+		}
+	} else {
+		p.expect(token.Semi)
+	}
+	if p.tok.Kind != token.Semi {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(token.Semi)
+	if p.tok.Kind != token.RParen {
+		s.Post = p.parseExpr()
+	}
+	p.expect(token.RParen)
+	s.Body = p.parseStmt()
+	return s
+}
+
+func (p *Parser) parseWhile() ast.Stmt {
+	pos := p.expect(token.KwWhile).Pos
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	body := p.parseStmt()
+	return &ast.WhileStmt{WhilePos: pos, Cond: cond, Body: body}
+}
+
+func (p *Parser) parseDoWhile() ast.Stmt {
+	pos := p.expect(token.KwDo).Pos
+	body := p.parseStmt()
+	p.expect(token.KwWhile)
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	p.expect(token.Semi)
+	return &ast.WhileStmt{WhilePos: pos, Cond: cond, Body: body, DoWhile: true}
+}
+
+// Expression parsing. Precedence follows C.
+
+func (p *Parser) parseExpr() ast.Expr {
+	x := p.parseAssignExpr()
+	for p.tok.Kind == token.Comma {
+		// The comma operator: evaluate both, result is the right side.
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseAssignExpr()
+		x = &ast.BinaryExpr{OpPos: pos, Op: token.Comma, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *Parser) parseAssignExpr() ast.Expr {
+	x := p.parseCondExpr()
+	switch p.tok.Kind {
+	case token.Assign, token.PlusAssign, token.MinusAssign, token.StarAssign,
+		token.SlashAssign, token.PercentAssign:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		rhs := p.parseAssignExpr()
+		return &ast.AssignExpr{OpPos: pos, Op: op, Lhs: x, Rhs: rhs}
+	}
+	return x
+}
+
+func (p *Parser) parseCondExpr() ast.Expr {
+	cond := p.parseBinaryExpr(1)
+	if p.tok.Kind != token.Question {
+		return cond
+	}
+	p.next()
+	then := p.parseAssignExpr()
+	p.expect(token.Colon)
+	els := p.parseCondExpr()
+	return &ast.CondExpr{Cond: cond, Then: then, Else: els}
+}
+
+// binaryPrec returns the precedence of a binary operator, 0 if not binary.
+func binaryPrec(k token.Kind) int {
+	switch k {
+	case token.PipePip:
+		return 1
+	case token.AmpAmp:
+		return 2
+	case token.Pipe:
+		return 3
+	case token.Caret:
+		return 4
+	case token.Amp:
+		return 5
+	case token.Eq, token.Ne:
+		return 6
+	case token.Lt, token.Gt, token.Le, token.Ge:
+		return 7
+	case token.Shl, token.Shr:
+		return 8
+	case token.Plus, token.Minus:
+		return 9
+	case token.Star, token.Slash, token.Percent:
+		return 10
+	}
+	return 0
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) ast.Expr {
+	x := p.parseUnaryExpr()
+	for {
+		prec := binaryPrec(p.tok.Kind)
+		if prec == 0 || prec < minPrec {
+			return x
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseBinaryExpr(prec + 1)
+		x = &ast.BinaryExpr{OpPos: pos, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *Parser) parseUnaryExpr() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.Plus:
+		p.next()
+		return p.parseUnaryExpr()
+	case token.Minus, token.Not, token.Tilde, token.Star, token.Amp:
+		op := p.tok.Kind
+		p.next()
+		x := p.parseUnaryExpr()
+		return &ast.UnaryExpr{OpPos: pos, Op: op, X: x}
+	case token.PlusPlus, token.MinusMinus:
+		op := p.tok.Kind
+		p.next()
+		x := p.parseUnaryExpr()
+		return &ast.IncDecExpr{OpPos: pos, Op: op, X: x, Prefix: true}
+	case token.KwSizeof:
+		p.next()
+		if p.tok.Kind == token.LParen && p.peek().Kind.IsTypeKeyword() {
+			p.next()
+			t, _ := p.parseType()
+			p.expect(token.RParen)
+			return &ast.SizeofExpr{KwPos: pos, Of: *t}
+		}
+		x := p.parseUnaryExpr()
+		return &ast.SizeofExpr{KwPos: pos, OfExpr: x}
+	case token.LParen:
+		// Cast or parenthesized expression.
+		if p.peek().Kind.IsTypeKeyword() {
+			p.next()
+			t, _ := p.parseType()
+			p.expect(token.RParen)
+			x := p.parseUnaryExpr()
+			return &ast.CastExpr{LParen: pos, To: *t, X: x}
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+func (p *Parser) parsePostfixExpr() ast.Expr {
+	x := p.parsePrimaryExpr()
+	for {
+		switch p.tok.Kind {
+		case token.LBracket:
+			lb := p.tok.Pos
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBracket)
+			x = &ast.IndexExpr{X: x, Index: idx, LBrack: lb}
+		case token.Dot, token.Arrow:
+			arrow := p.tok.Kind == token.Arrow
+			pos := p.tok.Pos
+			p.next()
+			name := p.expect(token.Ident)
+			x = &ast.MemberExpr{X: x, Name: name.Text, DotPos: pos, Arrow: arrow}
+		case token.PlusPlus, token.MinusMinus:
+			op := p.tok.Kind
+			pos := p.tok.Pos
+			p.next()
+			x = &ast.IncDecExpr{OpPos: pos, Op: op, X: x}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimaryExpr() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.Ident:
+		name := p.tok.Text
+		p.next()
+		if p.tok.Kind == token.LParen {
+			p.next()
+			var args []ast.Expr
+			if p.tok.Kind != token.RParen {
+				for {
+					args = append(args, p.parseAssignExpr())
+					if !p.accept(token.Comma) {
+						break
+					}
+				}
+			}
+			p.expect(token.RParen)
+			return &ast.CallExpr{NamePos: pos, Name: name, Args: args}
+		}
+		return &ast.Ident{NamePos: pos, Name: name}
+	case token.IntLit:
+		v := p.tok.Int
+		p.next()
+		return &ast.IntLit{LitPos: pos, Value: v}
+	case token.CharLit:
+		v := p.tok.Int
+		p.next()
+		return &ast.IntLit{LitPos: pos, Value: v}
+	case token.FloatLit:
+		v := p.tok.Float
+		p.next()
+		return &ast.FloatLit{LitPos: pos, Value: v}
+	case token.StringLit:
+		v := p.tok.Str
+		p.next()
+		return &ast.StringLit{LitPos: pos, Value: v}
+	case token.LParen:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RParen)
+		return x
+	}
+	p.errorf(pos, "expected expression, found %s", p.tok)
+	p.next()
+	return &ast.IntLit{LitPos: pos, Value: 0}
+}

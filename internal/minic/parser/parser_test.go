@@ -1,0 +1,270 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"cgcm/internal/minic/ast"
+	"cgcm/internal/minic/parser"
+	"cgcm/internal/minic/token"
+)
+
+func parseOK(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, errs := parser.Parse("t.c", src)
+	for _, e := range errs {
+		t.Fatalf("unexpected error: %v", e)
+	}
+	return f
+}
+
+func parseErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, errs := parser.Parse("t.c", src)
+	if len(errs) == 0 {
+		t.Fatalf("%q: expected error containing %q, got none", src, wantSubstr)
+	}
+	for _, e := range errs {
+		if strings.Contains(e.Error(), wantSubstr) {
+			return
+		}
+	}
+	t.Fatalf("%q: errors %v do not mention %q", src, errs, wantSubstr)
+}
+
+func TestGlobalDeclarations(t *testing.T) {
+	f := parseOK(t, `
+int x;
+float y = 1.5;
+const char msg[6] = "hello";
+int table[4] = {1, 2, 3, 4};
+char *names[2] = {"a", "b"};
+`)
+	if len(f.Decls) != 5 {
+		t.Fatalf("got %d decls", len(f.Decls))
+	}
+	tbl := f.Decls[3].(*ast.VarDecl)
+	if len(tbl.InitList) != 4 {
+		t.Errorf("table init list = %d", len(tbl.InitList))
+	}
+	msg := f.Decls[2].(*ast.VarDecl)
+	if !msg.IsConst {
+		t.Error("const not recorded")
+	}
+}
+
+func TestFunctionForms(t *testing.T) {
+	f := parseOK(t, `
+void empty() {}
+int one(int a) { return a; }
+float many(float a, int *b, char **c) { return a; }
+int proto(int x);
+__global__ void kern(float *v, int n) { }
+int arrparam(int a[16]) { return a[0]; }
+`)
+	fd := f.Decls[4].(*ast.FuncDecl)
+	if !fd.Kernel {
+		t.Error("__global__ not recorded")
+	}
+	ap := f.Decls[5].(*ast.FuncDecl)
+	pt := ap.Params[0].Type
+	if !pt.IsPointer() {
+		t.Errorf("array parameter did not decay: %s", pt.String())
+	}
+}
+
+// findExpr extracts the first expression statement of main.
+func firstExpr(t *testing.T, body string) ast.Expr {
+	t.Helper()
+	f := parseOK(t, "int main() { "+body+" return 0; }")
+	fd := f.Decls[0].(*ast.FuncDecl)
+	es, ok := fd.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		t.Fatalf("first statement is %T", fd.Body.List[0])
+	}
+	return es.X
+}
+
+func TestPrecedence(t *testing.T) {
+	// a + b * c parses as a + (b*c)
+	e := firstExpr(t, "a + b * c;").(*ast.BinaryExpr)
+	if e.Op != token.Plus {
+		t.Fatalf("root op %v", e.Op)
+	}
+	if inner, ok := e.Y.(*ast.BinaryExpr); !ok || inner.Op != token.Star {
+		t.Fatalf("rhs %T", e.Y)
+	}
+	// a < b == c < d parses as (a<b) == (c<d)
+	e2 := firstExpr(t, "a < b == c < d;").(*ast.BinaryExpr)
+	if e2.Op != token.Eq {
+		t.Fatalf("root op %v", e2.Op)
+	}
+	// a = b = c right-associates
+	e3 := firstExpr(t, "a = b = c;").(*ast.AssignExpr)
+	if _, ok := e3.Rhs.(*ast.AssignExpr); !ok {
+		t.Fatalf("rhs %T", e3.Rhs)
+	}
+	// unary binds tighter than binary
+	e4 := firstExpr(t, "-a * b;").(*ast.BinaryExpr)
+	if e4.Op != token.Star {
+		t.Fatalf("root %v", e4.Op)
+	}
+	// shift vs comparison: a << 2 < b is (a<<2) < b
+	e5 := firstExpr(t, "a << 2 < b;").(*ast.BinaryExpr)
+	if e5.Op != token.Lt {
+		t.Fatalf("root %v", e5.Op)
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	if _, ok := firstExpr(t, "(int)x;").(*ast.CastExpr); !ok {
+		t.Error("(int)x did not parse as cast")
+	}
+	if _, ok := firstExpr(t, "(x);").(*ast.Ident); !ok {
+		t.Error("(x) did not parse as parenthesized ident")
+	}
+	c := firstExpr(t, "(float*)p;").(*ast.CastExpr)
+	if !c.To.IsPointer() {
+		t.Errorf("cast target = %s", c.To.String())
+	}
+}
+
+func TestTernaryAndSizeof(t *testing.T) {
+	if _, ok := firstExpr(t, "a ? b : c;").(*ast.CondExpr); !ok {
+		t.Error("ternary did not parse")
+	}
+	s := firstExpr(t, "sizeof(int);").(*ast.SizeofExpr)
+	if s.Of.Size() != 8 {
+		t.Errorf("sizeof(int) type = %v", s.Of.String())
+	}
+	s2 := firstExpr(t, "sizeof x;").(*ast.SizeofExpr)
+	if s2.OfExpr == nil {
+		t.Error("sizeof expr form missing operand")
+	}
+}
+
+func TestStatements(t *testing.T) {
+	f := parseOK(t, `
+int main() {
+	int i = 0, j = 1;
+	if (i) { j = 2; } else j = 3;
+	while (i < 10) i++;
+	do { i--; } while (i > 0);
+	for (int k = 0; k < 4; k++) { if (k == 2) continue; if (k == 3) break; }
+	for (;;) { break; }
+	return j;
+}`)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	if len(fd.Body.List) < 6 {
+		t.Fatalf("got %d statements", len(fd.Body.List))
+	}
+	if blk, ok := fd.Body.List[0].(*ast.BlockStmt); !ok || !blk.NoScope {
+		t.Errorf("comma declaration did not become a NoScope block: %T", fd.Body.List[0])
+	}
+}
+
+func TestLaunchStatement(t *testing.T) {
+	f := parseOK(t, `
+__global__ void k(int a, float *p);
+int main() {
+	float buf[4];
+	k<<<2, 128>>>(7, buf);
+	return 0;
+}`)
+	fd := f.Decls[1].(*ast.FuncDecl)
+	var launch *ast.LaunchStmt
+	ast.Walk(fd.Body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.LaunchStmt); ok {
+			launch = l
+		}
+		return true
+	})
+	if launch == nil {
+		t.Fatal("no launch parsed")
+	}
+	if launch.Kernel != "k" || len(launch.Args) != 2 {
+		t.Errorf("launch = %q with %d args", launch.Kernel, len(launch.Args))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, "int main() { return 0 }", "expected ;")
+	parseErr(t, "int main() { if (x { } return 0; }", "expected")
+	parseErr(t, "banana main() {}", "expected declaration")
+	parseErr(t, "int a[x];", "integer literal")
+	parseErr(t, "__global__ int g;", "__global__ may only qualify functions")
+}
+
+func TestCommaOperator(t *testing.T) {
+	e := firstExpr(t, "a = (b, c);")
+	asn := e.(*ast.AssignExpr)
+	if bin, ok := asn.Rhs.(*ast.BinaryExpr); !ok || bin.Op != token.Comma {
+		t.Fatalf("rhs %T", asn.Rhs)
+	}
+}
+
+func TestStructParsing(t *testing.T) {
+	f := parseOK(t, `
+struct Pair { int a; float b; };
+struct List { int value; struct List *next; };
+struct Pair table[4];
+struct Pair *make();
+int use(struct Pair *p) { return p->a + (int)p[1].b; }
+int main() {
+	struct Pair local;
+	local.a = 3;
+	local.b = 2.5;
+	struct List *l = (struct List*)malloc(sizeof(struct List));
+	l->next = l;
+	free(l);
+	return local.a + use(table);
+}`)
+	// struct defs produce no decls; 4 real decls remain.
+	if len(f.Decls) != 4 {
+		t.Fatalf("decls = %d, want 4", len(f.Decls))
+	}
+	tbl := f.Decls[0].(*ast.VarDecl)
+	if !tbl.Type.IsArray() || !tbl.Type.Elem().IsStruct() {
+		t.Errorf("table type = %s", tbl.Type.String())
+	}
+	if tbl.Type.Elem().Size() != 16 {
+		t.Errorf("sizeof(struct Pair) = %d", tbl.Type.Elem().Size())
+	}
+}
+
+func TestMemberPrecedence(t *testing.T) {
+	// p->a + 1 parses as (p->a) + 1; s.a[2].b chains postfix.
+	e := firstExprStruct(t, "q = p->a + 1;")
+	asn := e.(*ast.AssignExpr)
+	bin := asn.Rhs.(*ast.BinaryExpr)
+	if _, ok := bin.X.(*ast.MemberExpr); !ok {
+		t.Fatalf("lhs of + is %T, want member", bin.X)
+	}
+	// -x.a parses as -(x.a)
+	e2 := firstExprStruct(t, "q = -p->a;")
+	un := e2.(*ast.AssignExpr).Rhs.(*ast.UnaryExpr)
+	if _, ok := un.X.(*ast.MemberExpr); !ok {
+		t.Fatalf("operand of - is %T", un.X)
+	}
+}
+
+func firstExprStruct(t *testing.T, body string) ast.Expr {
+	t.Helper()
+	f := parseOK(t, `
+struct S { int a; };
+int main() { struct S *p; int q; `+body+` return q; }`)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	for _, s := range fd.Body.List {
+		if es, ok := s.(*ast.ExprStmt); ok {
+			return es.X
+		}
+	}
+	t.Fatal("no expression statement")
+	return nil
+}
+
+func TestStructParseErrors(t *testing.T) {
+	parseErr(t, `struct X { int a }; int main() { return 0; }`, "expected ;")
+	parseErr(t, `int main() { struct Nope n; return 0; }`, "undefined struct")
+	parseErr(t, `struct A { int x; }; struct A { int y; }; int main() { return 0; }`, "redefinition")
+}

@@ -1,0 +1,199 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"cgcm/internal/minic/parser"
+	"cgcm/internal/minic/sema"
+)
+
+func check(t *testing.T, src string) []error {
+	t.Helper()
+	f, perrs := parser.Parse("t.c", src)
+	if len(perrs) > 0 {
+		t.Fatalf("parse errors: %v", perrs)
+	}
+	_, errs := sema.Check(f)
+	return errs
+}
+
+func checkOK(t *testing.T, src string) {
+	t.Helper()
+	if errs := check(t, src); len(errs) > 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+}
+
+func checkErr(t *testing.T, src, substr string) {
+	t.Helper()
+	errs := check(t, src)
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return
+		}
+	}
+	t.Fatalf("expected error containing %q, got %v", substr, errs)
+}
+
+func TestValidProgram(t *testing.T) {
+	checkOK(t, `
+int g = 3;
+float arr[4];
+int add(int a, int b) { return a + b; }
+__global__ void k(float *v, int n) {
+	int i = tid();
+	if (i < n) v[i] = v[i] * 2.0;
+}
+int main() {
+	int x = add(g, 4);
+	k<<<1, 4>>>(arr, 4);
+	float *p = arr;
+	p[x % 4] = 1.5;
+	return 0;
+}`)
+}
+
+func TestUndefined(t *testing.T) {
+	checkErr(t, `int main() { return y; }`, "undefined: y")
+	checkErr(t, `int main() { foo(); return 0; }`, "undefined function foo")
+}
+
+func TestMissingMain(t *testing.T) {
+	checkErr(t, `int helper() { return 1; }`, "no main function")
+}
+
+func TestRedeclaration(t *testing.T) {
+	checkErr(t, `int x; float x; int main() { return 0; }`, "redeclaration")
+	checkErr(t, `int main() { int a; int a; return 0; }`, "redeclaration")
+	checkErr(t, `int f() { return 1; } int f() { return 2; } int main() { return 0; }`, "redefinition")
+}
+
+func TestScoping(t *testing.T) {
+	checkOK(t, `int main() { { int a = 1; } { int a = 2; } return 0; }`)
+	checkErr(t, `int main() { { int a = 1; } return a; }`, "undefined: a")
+	// Shadowing is legal in nested scopes.
+	checkOK(t, `int a; int main() { int a = 2; { int a = 3; } return a; }`)
+}
+
+func TestArity(t *testing.T) {
+	checkErr(t, `int f(int a) { return a; } int main() { return f(1, 2); }`, "expects 1 arguments")
+	checkErr(t, `int main() { return strlen(); }`, "expects 1 arguments")
+}
+
+func TestLvalueRules(t *testing.T) {
+	checkErr(t, `int main() { 3 = 4; return 0; }`, "not an lvalue")
+	checkErr(t, `int main() { int a; &(a + 1); return 0; }`, "address of non-lvalue")
+	checkErr(t, `int main() { (1 + 2)++; return 0; }`, "not an lvalue")
+}
+
+func TestKernelRules(t *testing.T) {
+	checkErr(t, `__global__ int k() { return 1; } int main() { return 0; }`,
+		"must return void")
+	checkErr(t, `
+__global__ void k(int n) {}
+int main() { k(3); return 0; }`, "must be launched")
+	checkErr(t, `
+void notk(int n) {}
+int main() { notk<<<1, 1>>>(3); return 0; }`, "not a __global__ kernel")
+	checkErr(t, `
+__global__ void a() {}
+__global__ void b() { a<<<1, 1>>>(); }
+int main() { return 0; }`, "kernels may not launch kernels")
+	checkErr(t, `
+int f() { return 1; }
+__global__ void k() { f(); }
+int main() { k<<<1, 1>>>(); return 0; }`, "may not call CPU function")
+	checkErr(t, `
+__global__ void k(float ***deep) {}
+int main() { return 0; }`, "indirection depth 3")
+}
+
+func TestBuiltinPlacement(t *testing.T) {
+	checkErr(t, `int main() { return tid(); }`, "only be called inside a kernel")
+	checkErr(t, `
+__global__ void k() { int *p = (int*)malloc(8); }
+int main() { k<<<1, 1>>>(); return 0; }`, "may not be called inside a kernel")
+	checkErr(t, `int malloc; int main() { return 0; }`, "redeclares a builtin")
+}
+
+func TestTypeErrors(t *testing.T) {
+	checkErr(t, `int main() { int x; return *x; }`, "cannot dereference non-pointer")
+	checkErr(t, `int main() { void *p; return *p; }`, "cannot dereference void*")
+	checkErr(t, `int main() { int x; return x[0]; }`, "cannot index non-pointer")
+	checkErr(t, `int main() { float f; int g; return f % g; }`, "requires integer operands")
+	checkErr(t, `int main() { int *p; int *q; p * q; return 0; }`, "pointer")
+	checkErr(t, `void v; int main() { return 0; }`, "void type")
+}
+
+func TestWeakTypingAllowed(t *testing.T) {
+	// These are exactly the casts CGCM must tolerate.
+	checkOK(t, `
+int main() {
+	float *p = (float*)malloc(8);
+	long addr = (long)p;
+	float *q = (float*)addr;
+	char *c = (char*)q;
+	int *i = (int*)(c + 4);
+	free(p);
+	return (int)(long)i;
+}`)
+}
+
+func TestVoidReturn(t *testing.T) {
+	checkErr(t, `void f() { return 3; } int main() { return 0; }`, "return with value in void function")
+	checkErr(t, `int f() { return; } int main() { return 0; }`, "missing return value")
+}
+
+func TestStructRules(t *testing.T) {
+	header := `
+struct Point { float x; float y; };
+`
+	checkOK(t, header+`
+int main() {
+	struct Point p;
+	p.x = 1.0;
+	struct Point *q = &p;
+	q->y = 2.0;
+	return (int)(p.x + q->y);
+}`)
+	checkErr(t, header+`int main() { struct Point p; p.z = 1.0; return 0; }`,
+		"has no field z")
+	checkErr(t, header+`int main() { struct Point p; return p->x > 0.0; }`,
+		"requires a pointer to struct")
+	checkErr(t, header+`int main() { int n = 3; return n.x > 0; }`,
+		"requires a struct")
+	checkErr(t, header+`struct Point make() { struct Point p; return p; } int main() { return 0; }`,
+		"returns a struct by value")
+	checkErr(t, header+`float get(struct Point p) { return p.x; } int main() { return 0; }`,
+		"passes a struct by value")
+	checkErr(t, header+`int main() { struct Point a; struct Point b; a = b; return 0; }`,
+		"whole-struct assignment")
+	checkErr(t, header+`int main() { struct Point p = {1.0, 2.0}; return 0; }`,
+		"cannot have initializers")
+	checkParseErr(t, `int main() { struct Missing m; return 0; }`, "undefined struct")
+}
+
+// checkParseErr expects the error at parse time (struct tags resolve in
+// the parser, single-pass C style).
+func checkParseErr(t *testing.T, src, substr string) {
+	t.Helper()
+	_, perrs := parser.Parse("t.c", src)
+	for _, e := range perrs {
+		if strings.Contains(e.Error(), substr) {
+			return
+		}
+	}
+	t.Fatalf("expected parse error containing %q, got %v", substr, perrs)
+}
+
+func TestStructRedefinition(t *testing.T) {
+	checkParseErr(t, `
+struct A { int x; };
+struct A { int y; };
+int main() { return 0; }`, "redefinition of struct A")
+	checkParseErr(t, `
+struct B { struct B inner; };
+int main() { return 0; }`, "incomplete struct B by value")
+	checkParseErr(t, `struct Empty { }; int main() { return 0; }`, "has no fields")
+}

@@ -1,0 +1,252 @@
+// Package token defines lexical tokens of the mini-C language accepted by
+// the CGCM front end, together with source positions.
+//
+// Mini-C is the C subset the paper's evaluation exercises: scalar types,
+// pointers (arbitrary depth in CPU code), arrays, globals, functions,
+// CUDA-style __global__ kernels and k<<<grid,block>>>(...) launches, plus
+// the usual statement and expression forms. The deliberately weak type
+// system (free casts between integers and pointers) is part of the point:
+// CGCM must manage communication without trusting declared types.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds.
+const (
+	Illegal Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	Ident     // foo
+	IntLit    // 123, 0x7f
+	FloatLit  // 1.5, 2e8
+	CharLit   // 'a'
+	StringLit // "abc"
+
+	// Operators and delimiters.
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+
+	Amp     // &
+	Pipe    // |
+	Caret   // ^
+	Shl     // <<
+	Shr     // >>
+	AmpAmp  // &&
+	PipePip // ||
+	Not     // !
+	Tilde   // ~
+
+	Assign        // =
+	PlusAssign    // +=
+	MinusAssign   // -=
+	StarAssign    // *=
+	SlashAssign   // /=
+	PercentAssign // %=
+	PlusPlus      // ++
+	MinusMinus    // --
+
+	Eq // ==
+	Ne // !=
+	Lt // <
+	Gt // >
+	Le // <=
+	Ge // >=
+
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+	Question // ?
+	Colon    // :
+
+	LaunchOpen  // <<<
+	LaunchClose // >>>
+
+	Dot   // .
+	Arrow // ->
+
+	// Keywords.
+	KwInt
+	KwLong
+	KwFloat
+	KwDouble
+	KwChar
+	KwVoid
+	KwUnsigned
+	KwConst
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSizeof
+	KwGlobal // __global__
+	KwStatic
+	KwStruct
+)
+
+var names = map[Kind]string{
+	Illegal:       "ILLEGAL",
+	EOF:           "EOF",
+	Ident:         "identifier",
+	IntLit:        "integer literal",
+	FloatLit:      "float literal",
+	CharLit:       "char literal",
+	StringLit:     "string literal",
+	Plus:          "+",
+	Minus:         "-",
+	Star:          "*",
+	Slash:         "/",
+	Percent:       "%",
+	Amp:           "&",
+	Pipe:          "|",
+	Caret:         "^",
+	Shl:           "<<",
+	Shr:           ">>",
+	AmpAmp:        "&&",
+	PipePip:       "||",
+	Not:           "!",
+	Tilde:         "~",
+	Assign:        "=",
+	PlusAssign:    "+=",
+	MinusAssign:   "-=",
+	StarAssign:    "*=",
+	SlashAssign:   "/=",
+	PercentAssign: "%=",
+	PlusPlus:      "++",
+	MinusMinus:    "--",
+	Eq:            "==",
+	Ne:            "!=",
+	Lt:            "<",
+	Gt:            ">",
+	Le:            "<=",
+	Ge:            ">=",
+	LParen:        "(",
+	RParen:        ")",
+	LBrace:        "{",
+	RBrace:        "}",
+	LBracket:      "[",
+	RBracket:      "]",
+	Comma:         ",",
+	Semi:          ";",
+	Question:      "?",
+	Colon:         ":",
+	LaunchOpen:    "<<<",
+	LaunchClose:   ">>>",
+	Dot:           ".",
+	Arrow:         "->",
+	KwInt:         "int",
+	KwLong:        "long",
+	KwFloat:       "float",
+	KwDouble:      "double",
+	KwChar:        "char",
+	KwVoid:        "void",
+	KwUnsigned:    "unsigned",
+	KwConst:       "const",
+	KwIf:          "if",
+	KwElse:        "else",
+	KwFor:         "for",
+	KwWhile:       "while",
+	KwDo:          "do",
+	KwReturn:      "return",
+	KwBreak:       "break",
+	KwContinue:    "continue",
+	KwSizeof:      "sizeof",
+	KwGlobal:      "__global__",
+	KwStatic:      "static",
+	KwStruct:      "struct",
+}
+
+// String returns the canonical spelling (or description) of the kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"int":        KwInt,
+	"long":       KwLong,
+	"float":      KwFloat,
+	"double":     KwDouble,
+	"char":       KwChar,
+	"void":       KwVoid,
+	"unsigned":   KwUnsigned,
+	"const":      KwConst,
+	"if":         KwIf,
+	"else":       KwElse,
+	"for":        KwFor,
+	"while":      KwWhile,
+	"do":         KwDo,
+	"return":     KwReturn,
+	"break":      KwBreak,
+	"continue":   KwContinue,
+	"sizeof":     KwSizeof,
+	"__global__": KwGlobal,
+	"static":     KwStatic,
+	"struct":     KwStruct,
+}
+
+// IsTypeKeyword reports whether k begins a type expression.
+func (k Kind) IsTypeKeyword() bool {
+	switch k {
+	case KwInt, KwLong, KwFloat, KwDouble, KwChar, KwVoid, KwUnsigned, KwConst, KwStruct:
+		return true
+	}
+	return false
+}
+
+// Pos is a source position: 1-based line and column plus the file name.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexeme with its position and decoded value.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // raw text as written
+
+	Int   int64   // value for IntLit and CharLit
+	Float float64 // value for FloatLit
+	Str   string  // decoded value for StringLit
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLit, FloatLit, CharLit, StringLit:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,221 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizes(t *testing.T) {
+	cases := []struct {
+		typ  *Type
+		want int64
+	}{
+		{CharType, 1},
+		{IntType, 8},
+		{FloatType, 8},
+		{VoidType, 0},
+		{PointerTo(CharType), 8},
+		{ArrayOf(IntType, 10), 80},
+		{ArrayOf(ArrayOf(CharType, 4), 3), 12},
+		{ArrayOf(PointerTo(CharType), 5), 40},
+	}
+	for _, c := range cases {
+		if got := c.typ.Size(); got != c.want {
+			t.Errorf("Size(%s) = %d, want %d", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestDecay(t *testing.T) {
+	arr := ArrayOf(FloatType, 8)
+	d := arr.Decay()
+	if !d.IsPointer() || d.Elem() != FloatType {
+		t.Errorf("array decayed to %s", d)
+	}
+	if IntType.Decay() != IntType {
+		t.Error("scalar decay changed the type")
+	}
+}
+
+func TestIndirectionDepth(t *testing.T) {
+	cases := []struct {
+		typ  *Type
+		want int
+	}{
+		{IntType, 0},
+		{PointerTo(FloatType), 1},
+		{PointerTo(PointerTo(CharType)), 2},
+		{ArrayOf(PointerTo(CharType), 4), 2}, // decays to char**
+		{PointerTo(PointerTo(PointerTo(IntType))), 3},
+	}
+	for _, c := range cases {
+		if got := c.typ.IndirectionDepth(); got != c.want {
+			t.Errorf("IndirectionDepth(%s) = %d, want %d", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a := PointerTo(ArrayOf(IntType, 3))
+	b := PointerTo(ArrayOf(IntType, 3))
+	c := PointerTo(ArrayOf(IntType, 4))
+	if !Equal(a, b) {
+		t.Error("structurally equal types compare unequal")
+	}
+	if Equal(a, c) {
+		t.Error("different lengths compare equal")
+	}
+	f1 := FuncType(IntType, []*Type{FloatType})
+	f2 := FuncType(IntType, []*Type{FloatType})
+	f3 := FuncType(IntType, []*Type{IntType})
+	if !Equal(f1, f2) || Equal(f1, f3) {
+		t.Error("function type equality wrong")
+	}
+}
+
+func TestConvertibility(t *testing.T) {
+	// The weak type system: all scalar conversions legal.
+	scalars := []*Type{CharType, IntType, FloatType, PointerTo(IntType), PointerTo(PointerTo(CharType))}
+	for _, a := range scalars {
+		for _, b := range scalars {
+			if !a.ConvertibleTo(b) {
+				t.Errorf("%s not convertible to %s", a, b)
+			}
+		}
+	}
+	if VoidType.ConvertibleTo(IntType) {
+		t.Error("void convertible to int")
+	}
+	// Arrays decay before the check.
+	if !ArrayOf(IntType, 4).ConvertibleTo(PointerTo(IntType)) {
+		t.Error("array not convertible to pointer")
+	}
+}
+
+func TestCommon(t *testing.T) {
+	if Common(IntType, FloatType) != FloatType {
+		t.Error("int+float should be float")
+	}
+	if Common(CharType, IntType) != IntType {
+		t.Error("char+int should be int")
+	}
+	p := PointerTo(IntType)
+	if !Common(p, IntType).IsPointer() {
+		t.Error("ptr+int should stay pointer")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]*Type{
+		"int":        IntType,
+		"char*":      PointerTo(CharType),
+		"float*[4]":  ArrayOf(PointerTo(FloatType), 4),
+		"void":       VoidType,
+		"int(float)": FuncType(IntType, []*Type{FloatType}),
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestQuickPointerRoundTrip property: pointer depth increases by exactly
+// one per PointerTo and Size stays 8.
+func TestQuickPointerRoundTrip(t *testing.T) {
+	f := func(depth uint8) bool {
+		d := int(depth % 6)
+		typ := IntType
+		for i := 0; i < d; i++ {
+			typ = PointerTo(typ)
+		}
+		return typ.IndirectionDepth() == d && (d == 0 || typ.Size() == 8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickArraySize property: array size is multiplicative.
+func TestQuickArraySize(t *testing.T) {
+	f := func(n uint8, m uint8) bool {
+		a := ArrayOf(ArrayOf(FloatType, int64(m)), int64(n))
+		return a.Size() == int64(n)*int64(m)*8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	pair := StructOf("Pair", []Field{
+		{Name: "a", Type: IntType},
+		{Name: "b", Type: FloatType},
+	})
+	if pair.Size() != 16 {
+		t.Errorf("Pair size = %d", pair.Size())
+	}
+	b, ok := pair.FieldByName("b")
+	if !ok || b.Offset != 8 {
+		t.Errorf("b offset = %d, %v", b.Offset, ok)
+	}
+	// char packing and tail padding.
+	mixed := StructOf("Mixed", []Field{
+		{Name: "t", Type: CharType},
+		{Name: "u", Type: CharType},
+		{Name: "v", Type: FloatType},
+		{Name: "w", Type: CharType},
+	})
+	if v, _ := mixed.FieldByName("v"); v.Offset != 8 {
+		t.Errorf("v offset = %d, want 8 (aligned)", v.Offset)
+	}
+	if mixed.Size() != 24 {
+		t.Errorf("Mixed size = %d, want 24 (tail padded)", mixed.Size())
+	}
+	// char-only structs stay tight.
+	tiny := StructOf("Tiny", []Field{
+		{Name: "x", Type: CharType},
+		{Name: "y", Type: CharType},
+	})
+	if tiny.Size() != 2 {
+		t.Errorf("Tiny size = %d, want 2", tiny.Size())
+	}
+	// Nominal equality.
+	other := StructOf("Pair", []Field{{Name: "z", Type: IntType}})
+	if !Equal(pair, other) {
+		t.Error("same-tag structs unequal (nominal typing)")
+	}
+	if Equal(pair, tiny) {
+		t.Error("different tags equal")
+	}
+	// Array tiling uses the padded size.
+	arr := ArrayOf(mixed, 3)
+	if arr.Size() != 72 {
+		t.Errorf("array of Mixed size = %d", arr.Size())
+	}
+	if pair.String() != "struct Pair" {
+		t.Errorf("String = %q", pair.String())
+	}
+	if pair.IndirectionDepth() != 0 || PointerTo(pair).IndirectionDepth() != 1 {
+		t.Error("struct indirection depth wrong")
+	}
+}
+
+func TestNestedStructLayout(t *testing.T) {
+	inner := StructOf("Inner", []Field{
+		{Name: "c", Type: CharType},
+		{Name: "f", Type: FloatType},
+	})
+	outer := StructOf("Outer", []Field{
+		{Name: "tag", Type: CharType},
+		{Name: "in", Type: inner},
+		{Name: "z", Type: CharType},
+	})
+	in, _ := outer.FieldByName("in")
+	if in.Offset != 8 {
+		t.Errorf("nested struct offset = %d, want 8", in.Offset)
+	}
+	if outer.Size() != 8+16+8 {
+		t.Errorf("Outer size = %d", outer.Size())
+	}
+}

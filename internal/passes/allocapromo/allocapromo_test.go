@@ -1,0 +1,179 @@
+package allocapromo_test
+
+import (
+	"testing"
+
+	"cgcm/internal/ir"
+	"cgcm/internal/irbuild"
+	"cgcm/internal/minic/parser"
+	"cgcm/internal/minic/sema"
+	"cgcm/internal/passes/allocapromo"
+	"cgcm/internal/passes/commmgmt"
+)
+
+func prepare(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	f, perrs := parser.Parse("t.c", src)
+	if len(perrs) > 0 {
+		t.Fatalf("parse: %v", perrs)
+	}
+	info, serrs := sema.Check(f)
+	if len(serrs) > 0 {
+		t.Fatalf("sema: %v", serrs)
+	}
+	m, err := irbuild.Build(info)
+	if err != nil {
+		t.Fatalf("irbuild: %v", err)
+	}
+	if _, err := commmgmt.Run(m); err != nil {
+		t.Fatalf("commmgmt: %v", err)
+	}
+	return m
+}
+
+const helperWithBuffer = `
+__global__ void k(float *buf, int n) {
+	int i = tid();
+	if (i < n) buf[i] = (float)i;
+}
+void helper() {
+	float buf[32];
+	k<<<1, 32>>>(buf, 32);
+}
+int main() {
+	for (int t = 0; t < 4; t++) helper();
+	return 0;
+}`
+
+func TestPromotesCommunicatedBuffer(t *testing.T) {
+	m := prepare(t, helperWithBuffer)
+	res, err := allocapromo.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Promoted != 1 {
+		t.Fatalf("promoted %d, want 1", res.Promoted)
+	}
+	helper := m.Func("helper")
+	// The buffer alloca is gone from helper; a parameter replaced it.
+	var bufAllocas int
+	helper.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpAlloca && in.Size == 256 {
+			bufAllocas++
+		}
+	})
+	if bufAllocas != 0 {
+		t.Error("buffer alloca still in helper")
+	}
+	if len(helper.Params) != 1 {
+		t.Fatalf("helper has %d params, want 1", len(helper.Params))
+	}
+	// main gained the alloca in its entry block and passes it.
+	mainFn := m.Func("main")
+	entryAlloca := false
+	for _, in := range mainFn.Entry().Instrs {
+		if in.Op == ir.OpAlloca && in.Size == 256 {
+			entryAlloca = true
+		}
+	}
+	if !entryAlloca {
+		t.Error("caller entry block has no preallocated slot")
+	}
+	calls := 0
+	mainFn.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpCall && in.Callee == helper {
+			calls++
+			if len(in.Args) != 1 {
+				t.Errorf("call site has %d args, want 1", len(in.Args))
+			}
+		}
+	})
+	if calls != 1 {
+		t.Errorf("call sites = %d", calls)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid after promotion: %v", err)
+	}
+}
+
+func TestSkipsSpillSlots(t *testing.T) {
+	// Parameter spill slots are directly stored; promoting them would
+	// hide the spill pattern from other passes.
+	m := prepare(t, `
+__global__ void k(float *v, int n) {
+	int i = tid();
+	if (i < n) v[i] = 1.0;
+}
+void helper(float *v) {
+	k<<<1, 16>>>(v, 16);
+}
+int main() {
+	float *v = (float*)malloc(128);
+	helper(v);
+	free(v);
+	return 0;
+}`)
+	res, err := allocapromo.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Promoted != 0 {
+		t.Errorf("promoted %d spill slots, want 0", res.Promoted)
+	}
+	if got := len(m.Func("helper").Params); got != 1 {
+		t.Errorf("helper params = %d, want unchanged 1", got)
+	}
+}
+
+func TestSkipsRecursiveAndMain(t *testing.T) {
+	m := prepare(t, `
+__global__ void k(float *v, int n) {
+	int i = tid();
+	if (i < n) v[i] = 1.0;
+}
+void rec(int d) {
+	float buf[16];
+	k<<<1, 16>>>(buf, 16);
+	if (d > 0) rec(d - 1);
+}
+int main() {
+	float local[16];
+	k<<<1, 16>>>(local, 16);
+	rec(2);
+	return 0;
+}`)
+	res, err := allocapromo.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Promoted != 0 {
+		t.Errorf("promoted %d allocas from recursive/main functions", res.Promoted)
+	}
+}
+
+func TestSkipsNonCommunicatedLocals(t *testing.T) {
+	m := prepare(t, `
+__global__ void k(float *v, int n) {
+	int i = tid();
+	if (i < n) v[i] = 1.0;
+}
+void helper(float *v) {
+	float scratch[8];
+	scratch[0] = 1.0;
+	v[0] = scratch[0];
+	k<<<1, 8>>>(v, 8);
+}
+int main() {
+	float *v = (float*)malloc(64);
+	helper(v);
+	free(v);
+	return 0;
+}`)
+	res, err := allocapromo.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Promoted != 0 {
+		t.Errorf("promoted %d non-communicated locals, want 0", res.Promoted)
+	}
+}

@@ -1,0 +1,179 @@
+// Package commmgmt implements CGCM's communication management pass (§4).
+//
+// The pass starts from "sequential CPU codes calling parallel GPU codes
+// without any CPU-GPU communication" and, for every kernel launch, inserts
+// calls to the run-time library: map/mapArray for each live-in pointer
+// before the launch (replacing the launch argument with the translated
+// device pointer), unmap/unmapArray after the launch for each live-out
+// pointer, and release/releaseArray to balance the mapping. Live-in
+// globals used by the kernel are managed the same way; the kernel
+// references their device named regions directly.
+//
+// Which arguments are pointers — and at what indirection depth — comes
+// from use-based type inference (internal/typeinfer), never from the
+// unreliable C types.
+package commmgmt
+
+import (
+	"fmt"
+	"sort"
+
+	"cgcm/internal/analysis"
+	"cgcm/internal/ir"
+	"cgcm/internal/typeinfer"
+)
+
+// Result reports what the pass did.
+type Result struct {
+	Launches     int
+	MapsInserted int
+	ArrayMaps    int
+	// Classifications per kernel, for diagnostics and tests.
+	Kernels map[*ir.Func]*typeinfer.Classification
+}
+
+// Run manages communication for every launch in the module's CPU code.
+func Run(m *ir.Module) (*Result, error) {
+	pt := analysis.BuildPointsTo(m)
+	res := &Result{Kernels: make(map[*ir.Func]*typeinfer.Classification)}
+
+	classify := func(k *ir.Func) (*typeinfer.Classification, error) {
+		if c, ok := res.Kernels[k]; ok {
+			return c, nil
+		}
+		c, err := typeinfer.Infer(k, pt)
+		if err != nil {
+			return nil, err
+		}
+		res.Kernels[k] = c
+		return c, nil
+	}
+
+	for _, f := range m.Funcs {
+		if f.Kernel {
+			continue
+		}
+		// Collect launches first; insertion mutates blocks.
+		var launches []*ir.Instr
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpLaunch {
+				launches = append(launches, in)
+			}
+		})
+		for _, launch := range launches {
+			cls, err := classify(launch.Callee)
+			if err != nil {
+				return nil, err
+			}
+			if err := manage(launch, cls, res, pt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	m.Renumber()
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("commmgmt produced invalid IR: %w", err)
+	}
+	return res, nil
+}
+
+// ManageLaunch manages a single launch. The glue kernel pass uses it for
+// the launches it creates after the module-wide management pass has run.
+func ManageLaunch(m *ir.Module, launch *ir.Instr) error {
+	pt := analysis.BuildPointsTo(m)
+	cls, err := typeinfer.Infer(launch.Callee, pt)
+	if err != nil {
+		return err
+	}
+	res := &Result{Kernels: map[*ir.Func]*typeinfer.Classification{launch.Callee: cls}}
+	return manage(launch, cls, res, pt)
+}
+
+// isDevicePointer reports whether a launch argument already names GPU
+// memory (it derives from cuda_malloc — the manually managed quadrant).
+// CGCM must not re-map such pointers.
+func isDevicePointer(v ir.Value, pt *analysis.PointsTo) bool {
+	pts := pt.PTS(v)
+	if len(pts) == 0 {
+		return false
+	}
+	for o := range pts {
+		if !o.Device {
+			return false
+		}
+	}
+	return true
+}
+
+// livein is one value needing communication management at a launch.
+type livein struct {
+	val   ir.Value
+	depth int
+	// argIdx is the launch argument index to rewrite, or -1 for globals.
+	argIdx int
+}
+
+// manage inserts runtime calls around one launch.
+func manage(launch *ir.Instr, cls *typeinfer.Classification, res *Result, pt *analysis.PointsTo) error {
+	res.Launches++
+	blk := launch.Block
+	k := launch.Callee
+
+	var ins []livein
+	// Pointer arguments (launch args after grid and block).
+	for i, p := range k.Params {
+		d := cls.ParamDepth[p]
+		if d > 0 && !isDevicePointer(launch.Args[i+2], pt) {
+			ins = append(ins, livein{val: launch.Args[i+2], depth: d, argIdx: i + 2})
+		}
+	}
+	// Globals the kernel references.
+	var globals []*ir.Global
+	for g := range cls.GlobalDepth {
+		globals = append(globals, g)
+	}
+	sort.Slice(globals, func(i, j int) bool { return globals[i].Name < globals[j].Name })
+	for _, g := range globals {
+		ins = append(ins, livein{val: &ir.GlobalRef{Global: g}, depth: cls.GlobalDepth[g], argIdx: -1})
+	}
+
+	// Before the launch: map each live-in, rewriting pointer arguments to
+	// the translated device pointer.
+	for _, li := range ins {
+		name := "cgcm.map"
+		if li.depth == 2 {
+			name = "cgcm.mapArray"
+			res.ArrayMaps++
+		}
+		mp := &ir.Instr{Op: ir.OpIntrinsic, Name: name, Args: []ir.Value{li.val},
+			Comment: "live-in for " + k.Name}
+		blk.InsertBefore(mp, launch)
+		if li.argIdx >= 0 {
+			launch.Args[li.argIdx] = mp
+		}
+		res.MapsInserted++
+	}
+	// After the launch: unmap every live-out, then release everything.
+	cursor := launch
+	for _, li := range ins {
+		name := "cgcm.unmap"
+		if li.depth == 2 {
+			name = "cgcm.unmapArray"
+		}
+		um := &ir.Instr{Op: ir.OpIntrinsic, Name: name, Args: []ir.Value{li.val},
+			Comment: "live-out for " + k.Name}
+		blk.InsertAfter(um, cursor)
+		cursor = um
+	}
+	for _, li := range ins {
+		name := "cgcm.release"
+		if li.depth == 2 {
+			name = "cgcm.releaseArray"
+		}
+		rel := &ir.Instr{Op: ir.OpIntrinsic, Name: name, Args: []ir.Value{li.val},
+			Comment: "balance for " + k.Name}
+		blk.InsertAfter(rel, cursor)
+		cursor = rel
+	}
+	return nil
+}

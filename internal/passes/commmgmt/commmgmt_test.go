@@ -1,0 +1,191 @@
+package commmgmt_test
+
+import (
+	"strings"
+	"testing"
+
+	"cgcm/internal/ir"
+	"cgcm/internal/irbuild"
+	"cgcm/internal/minic/parser"
+	"cgcm/internal/minic/sema"
+	"cgcm/internal/passes/commmgmt"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	f, perrs := parser.Parse("t.c", src)
+	if len(perrs) > 0 {
+		t.Fatalf("parse: %v", perrs)
+	}
+	info, serrs := sema.Check(f)
+	if len(serrs) > 0 {
+		t.Fatalf("sema: %v", serrs)
+	}
+	m, err := irbuild.Build(info)
+	if err != nil {
+		t.Fatalf("irbuild: %v", err)
+	}
+	return m
+}
+
+// launchContext returns the instruction sequence of the block holding the
+// first launch in main.
+func launchContext(t *testing.T, m *ir.Module) (*ir.Block, int) {
+	t.Helper()
+	var blk *ir.Block
+	idx := -1
+	m.Func("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpLaunch && blk == nil {
+			blk = in.Block
+			for i, x := range blk.Instrs {
+				if x == in {
+					idx = i
+				}
+			}
+		}
+	})
+	if blk == nil {
+		t.Fatal("no launch in main")
+	}
+	return blk, idx
+}
+
+func TestInsertsMapUnmapRelease(t *testing.T) {
+	m := compile(t, `
+__global__ void k(float *v, int n) {
+	int i = tid();
+	if (i < n) v[i] = 1.0;
+}
+int main() {
+	float *v = (float*)malloc(64);
+	k<<<1, 8>>>(v, 8);
+	free(v);
+	return 0;
+}`)
+	res, err := commmgmt.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launches != 1 || res.MapsInserted != 1 {
+		t.Errorf("launches=%d maps=%d", res.Launches, res.MapsInserted)
+	}
+	blk, idx := launchContext(t, m)
+	launch := blk.Instrs[idx]
+	// Before: a map whose result feeds the launch's pointer argument.
+	mp := blk.Instrs[idx-1]
+	if !mp.IsRuntimeCall("map") {
+		t.Fatalf("instruction before launch is %v", mp)
+	}
+	if launch.Args[2] != ir.Value(mp) {
+		t.Error("launch pointer argument not rewritten to the translated pointer")
+	}
+	// The scalar argument is untouched.
+	if _, isInstr := launch.Args[3].(*ir.Instr); isInstr {
+		if launch.Args[3].(*ir.Instr).IsRuntimeCall("") {
+			t.Error("scalar argument was mapped")
+		}
+	}
+	// After: unmap then release on the ORIGINAL pointer.
+	um := blk.Instrs[idx+1]
+	rel := blk.Instrs[idx+2]
+	if !um.IsRuntimeCall("unmap") || !rel.IsRuntimeCall("release") {
+		t.Fatalf("after-launch sequence: %v, %v", um, rel)
+	}
+	if um.Args[0] != mp.Args[0] || rel.Args[0] != mp.Args[0] {
+		t.Error("unmap/release do not name the original CPU pointer")
+	}
+}
+
+func TestArrayVariantsForDoublePointers(t *testing.T) {
+	m := compile(t, `
+__global__ void k(char **arr, int n) {
+	int i = tid();
+	if (i < n) {
+		char *s = arr[i];
+		s[0] = s[0];
+	}
+}
+int main() {
+	char **arr = (char**)malloc(32);
+	k<<<1, 4>>>(arr, 4);
+	free(arr);
+	return 0;
+}`)
+	res, err := commmgmt.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ArrayMaps != 1 {
+		t.Errorf("array maps = %d, want 1", res.ArrayMaps)
+	}
+	names := runtimeCalls(m)
+	for _, want := range []string{"cgcm.mapArray", "cgcm.unmapArray", "cgcm.releaseArray"} {
+		if names[want] != 1 {
+			t.Errorf("%s inserted %d times, want 1 (have %v)", want, names[want], names)
+		}
+	}
+}
+
+func TestGlobalsManaged(t *testing.T) {
+	m := compile(t, `
+float table[32];
+__global__ void k(int n) {
+	int i = tid();
+	if (i < n) table[i] = 2.0;
+}
+int main() {
+	k<<<1, 32>>>(32);
+	return 0;
+}`)
+	if _, err := commmgmt.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	blk, idx := launchContext(t, m)
+	mp := blk.Instrs[idx-1]
+	if !mp.IsRuntimeCall("map") {
+		t.Fatalf("global not mapped before launch: %v", mp)
+	}
+	if g, ok := mp.Args[0].(*ir.GlobalRef); !ok || g.Global.Name != "table" {
+		t.Errorf("map argument is %v, want @table", mp.Args[0])
+	}
+}
+
+func TestMultipleLaunchesEachManaged(t *testing.T) {
+	m := compile(t, `
+__global__ void k(float *v, int n) {
+	int i = tid();
+	if (i < n) v[i] = 1.0;
+}
+int main() {
+	float *v = (float*)malloc(64);
+	for (int t = 0; t < 3; t++) {
+		k<<<1, 8>>>(v, 8);
+	}
+	k<<<1, 8>>>(v, 8);
+	free(v);
+	return 0;
+}`)
+	res, err := commmgmt.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launches != 2 {
+		t.Errorf("managed %d launch sites, want 2", res.Launches)
+	}
+	names := runtimeCalls(m)
+	if names["cgcm.map"] != 2 || names["cgcm.unmap"] != 2 || names["cgcm.release"] != 2 {
+		t.Errorf("call counts: %v", names)
+	}
+}
+
+func runtimeCalls(m *ir.Module) map[string]int {
+	names := map[string]int{}
+	for _, f := range m.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpIntrinsic && strings.HasPrefix(in.Name, "cgcm.") {
+				names[in.Name]++
+			}
+		})
+	}
+	return names
+}

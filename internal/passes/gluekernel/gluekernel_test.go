@@ -1,0 +1,190 @@
+package gluekernel_test
+
+import (
+	"testing"
+
+	"cgcm/internal/ir"
+	"cgcm/internal/irbuild"
+	"cgcm/internal/minic/parser"
+	"cgcm/internal/minic/sema"
+	"cgcm/internal/passes/commmgmt"
+	"cgcm/internal/passes/gluekernel"
+)
+
+func prepare(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	f, perrs := parser.Parse("t.c", src)
+	if len(perrs) > 0 {
+		t.Fatalf("parse: %v", perrs)
+	}
+	info, serrs := sema.Check(f)
+	if len(serrs) > 0 {
+		t.Fatalf("sema: %v", serrs)
+	}
+	m, err := irbuild.Build(info)
+	if err != nil {
+		t.Fatalf("irbuild: %v", err)
+	}
+	if _, err := commmgmt.Run(m); err != nil {
+		t.Fatalf("commmgmt: %v", err)
+	}
+	return m
+}
+
+// glueShape: a loop launching two kernels with a small CPU update of
+// mapped data between them — the exact situation §5.3 describes.
+const glueShape = `
+__global__ void produce(float *buf, int n) {
+	int i = tid();
+	if (i < n) buf[i] = (float)i;
+}
+__global__ void consume(float *buf, float *stats, int n) {
+	int i = tid();
+	if (i < n) buf[i] = buf[i] * stats[0];
+}
+int main() {
+	float *buf = (float*)malloc(64 * 8);
+	float *stats = (float*)malloc(2 * 8);
+	stats[0] = 1.0;
+	for (int t = 0; t < 6; t++) {
+		produce<<<1, 64>>>(buf, 64);
+		stats[0] = buf[0] * 0.5 + buf[63] * 0.5;
+		consume<<<1, 64>>>(buf, stats, 64);
+	}
+	print_float(stats[0]);
+	free(buf); free(stats);
+	return 0;
+}`
+
+func TestOutlinesGlueRegion(t *testing.T) {
+	m := prepare(t, glueShape)
+	res, err := gluekernel.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outlined != 1 {
+		t.Fatalf("outlined %d regions, want 1", res.Outlined)
+	}
+	var glue *ir.Func
+	for _, f := range m.Funcs {
+		if f.Kernel && len(f.Name) > 6 && f.Name[:6] == "main__" && f.Name[6] == 'g' {
+			glue = f
+		}
+	}
+	if glue == nil {
+		t.Fatal("no glue kernel created")
+	}
+	// The glue launch must be single-threaded and managed.
+	var launch *ir.Instr
+	m.Func("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpLaunch && in.Callee == glue {
+			launch = in
+		}
+	})
+	if launch == nil {
+		t.Fatal("no launch of the glue kernel")
+	}
+	g, b := launch.Args[0].(*ir.Const), launch.Args[1].(*ir.Const)
+	if g.Int() != 1 || b.Int() != 1 {
+		t.Errorf("glue launch is <<<%d,%d>>>, want <<<1,1>>>", g.Int(), b.Int())
+	}
+	// Management around it (map before, unmap/release after).
+	blk := launch.Block
+	managed := false
+	for _, in := range blk.Instrs {
+		if in.IsRuntimeCall("map") {
+			for _, u := range blk.Instrs {
+				if u == launch {
+					managed = true
+				}
+			}
+		}
+	}
+	if !managed {
+		t.Error("glue launch not managed")
+	}
+	// The CPU code between the two original launches must be gone: no
+	// float loads of mapped data remain in the loop body block.
+	if err := m.Verify(); err != nil {
+		t.Fatalf("invalid after glue outlining: %v", err)
+	}
+}
+
+func TestGlueRegionNotInInnerLoop(t *testing.T) {
+	// CPU code inside a deeper sequential loop must NOT be outlined —
+	// it would become one launch per inner iteration.
+	m := prepare(t, `
+__global__ void k(float *buf, int n) {
+	int i = tid();
+	if (i < n) buf[i] = buf[i] + 1.0;
+}
+int main() {
+	float *buf = (float*)malloc(64 * 8);
+	float s = 0.0;
+	for (int t = 0; t < 4; t++) {
+		k<<<1, 64>>>(buf, 64);
+		for (int i = 0; i < 64; i++) {
+			s += buf[i] * buf[i] * buf[i]; // reduction: stays CPU, nested
+		}
+	}
+	print_float(s);
+	free(buf);
+	return 0;
+}`)
+	res, err := gluekernel.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outlined != 0 {
+		t.Errorf("outlined %d nested-loop regions, want 0", res.Outlined)
+	}
+}
+
+func TestNoGlueWithoutLaunches(t *testing.T) {
+	m := prepare(t, `
+int main() {
+	float *buf = (float*)malloc(64 * 8);
+	for (int t = 0; t < 4; t++) {
+		buf[0] = buf[0] + 1.0;
+	}
+	print_float(buf[0]);
+	free(buf);
+	return 0;
+}`)
+	res, err := gluekernel.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outlined != 0 {
+		t.Errorf("outlined %d regions in a launch-free program", res.Outlined)
+	}
+}
+
+func TestControlSlotsStayOnCPU(t *testing.T) {
+	// Code touching the loop's own induction slot must not be outlined.
+	m := prepare(t, `
+__global__ void k(float *buf, int n) {
+	int i = tid();
+	if (i < n) buf[i] = buf[i] + 1.0;
+}
+int main() {
+	float *buf = (float*)malloc(64 * 8);
+	int t = 0;
+	while (t < 6) {
+		k<<<1, 64>>>(buf, 64);
+		t = t + 1; // loop control: must stay on the CPU
+	}
+	print_float(buf[0]);
+	free(buf);
+	return 0;
+}`)
+	res, err := gluekernel.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The increment is the only candidate CPU code and touches the
+	// control slot, so nothing may be outlined.
+	if res.Outlined != 0 {
+		t.Errorf("outlined %d control-flow regions, want 0", res.Outlined)
+	}
+}

@@ -1,0 +1,411 @@
+// Package runtime implements the CGCM run-time support library (§3 of the
+// paper).
+//
+// The library tracks allocation units — contiguous regions of memory
+// allocated as a single unit (heap blocks, stack slots, globals) — in a
+// self-balancing tree map indexed by base address, and translates opaque
+// CPU pointers into equivalent GPU pointers at allocation-unit
+// granularity. Transferring whole allocation units means valid pointer
+// arithmetic yields the same results on the CPU and the GPU (C99 makes
+// arithmetic beyond an allocation unit undefined), so no static analysis
+// of aliasing, typing, or indirection is needed.
+//
+// Map, Unmap, and Release follow Algorithms 1-3 verbatim; the array
+// variants implement the doubly-indirect semantics of §3.2. Reference
+// counts deallocate GPU memory; an epoch counter (bumped at every kernel
+// launch) makes Unmap copy each unit back at most once per epoch.
+package runtime
+
+import (
+	"fmt"
+
+	"cgcm/internal/machine"
+	"cgcm/internal/rbtree"
+)
+
+// runtimeCallOps is the CPU op charge per runtime-library entry point
+// (tree lookup plus bookkeeping).
+const runtimeCallOps = 50
+
+// AllocInfo describes one tracked allocation unit (the allocInfoMap entry
+// of Algorithm 1).
+type AllocInfo struct {
+	Base     uint64
+	Size     int64
+	Name     string
+	IsGlobal bool
+	ReadOnly bool
+
+	DevPtr   uint64 // GPU copy base; 0 when not resident
+	RefCount int
+	Epoch    uint64
+
+	// DeviceGlobal is the preallocated named region for globals
+	// (cuModuleGetGlobal's result).
+	DeviceGlobal uint64
+}
+
+// shadowArray tracks the GPU-side pointer array created by MapArray for a
+// doubly-indirect allocation unit.
+type shadowArray struct {
+	DevArr   uint64
+	RefCount int
+	// Elems are the CPU element pointers captured at map time, used to
+	// unmap/release the same units later.
+	Elems []uint64
+}
+
+// Error is a runtime-library error (unknown pointer, unbalanced release,
+// and similar misuse).
+type Error struct {
+	Op  string
+	Ptr uint64
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("cgcm runtime: %s(%#x): %s", e.Op, e.Ptr, e.Msg)
+}
+
+// Stats counts runtime-library activity.
+type Stats struct {
+	Maps, Unmaps, Releases int64
+	MapArrays, UnmapArrays int64
+	ReleaseArrays          int64
+	HtoDCopies, DtoHCopies int64
+	EpochSkips             int64 // unmaps avoided by the epoch check
+	ResidencySkips         int64 // maps avoided by refcount residency
+	LiveUnits              int   // currently tracked allocation units
+}
+
+// Runtime is one CGCM runtime instance bound to a machine.
+type Runtime struct {
+	M *machine.Machine
+
+	allocs  rbtree.Tree[*AllocInfo]
+	shadows map[uint64]*shadowArray
+	epoch   uint64
+	stats   Stats
+}
+
+// New creates a runtime for machine m.
+func New(m *machine.Machine) *Runtime {
+	return &Runtime{M: m, shadows: make(map[uint64]*shadowArray)}
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (r *Runtime) Stats() Stats {
+	s := r.stats
+	s.LiveUnits = r.allocs.Len()
+	return s
+}
+
+// Epoch returns the current kernel epoch.
+func (r *Runtime) Epoch() uint64 { return r.epoch }
+
+// KernelLaunched advances the global epoch; the interpreter calls it at
+// every kernel launch ("an epoch count which increases every time the
+// program launches a GPU function").
+func (r *Runtime) KernelLaunched() { r.epoch++ }
+
+// DeclareGlobal registers a global variable's host allocation unit and
+// its preallocated device named region (§3.1: "the compiler inserts calls
+// to the run-time library's declareGlobal function before main").
+func (r *Runtime) DeclareGlobal(name string, base uint64, size int64, readOnly bool, deviceGlobal uint64) {
+	r.allocs.Put(base, &AllocInfo{
+		Base: base, Size: size, Name: name,
+		IsGlobal: true, ReadOnly: readOnly, DeviceGlobal: deviceGlobal,
+	})
+}
+
+// DeclareAlloca registers an escaping stack variable's allocation unit.
+// The registration expires when the frame pops (RemoveAlloca).
+func (r *Runtime) DeclareAlloca(base uint64, size int64, name string) {
+	r.allocs.Put(base, &AllocInfo{Base: base, Size: size, Name: name})
+}
+
+// RemoveAlloca expires a stack registration. Any GPU residual is freed.
+func (r *Runtime) RemoveAlloca(base uint64) {
+	if info, ok := r.allocs.Get(base); ok {
+		if info.RefCount > 0 && !info.IsGlobal && info.DevPtr != 0 {
+			// The unit leaves scope while mapped: release the GPU copy to
+			// avoid leaking device memory. Well-formed compiler output
+			// balances map/release before scope exit, so this is defensive.
+			_ = r.M.Free(machine.GPU, info.DevPtr)
+		}
+		r.allocs.Delete(base)
+	}
+}
+
+// Malloc allocates a heap allocation unit and registers it (the library
+// "wraps around malloc, calloc, realloc, and free").
+func (r *Runtime) Malloc(size int64) uint64 {
+	base := r.M.Alloc(machine.CPU, size, "malloc")
+	r.allocs.Put(base, &AllocInfo{Base: base, Size: size, Name: "malloc"})
+	return base
+}
+
+// Calloc allocates a zeroed heap unit (machine memory is always zeroed).
+func (r *Runtime) Calloc(n, size int64) uint64 { return r.Malloc(n * size) }
+
+// Realloc resizes a heap unit, preserving contents up to the smaller size.
+func (r *Runtime) Realloc(ptr uint64, size int64) (uint64, error) {
+	if ptr == 0 {
+		return r.Malloc(size), nil
+	}
+	info, ok := r.allocs.Get(ptr)
+	if !ok || info.IsGlobal {
+		return 0, &Error{Op: "realloc", Ptr: ptr, Msg: "not a heap allocation unit base"}
+	}
+	nbase := r.Malloc(size)
+	n := info.Size
+	if size < n {
+		n = size
+	}
+	data, err := r.M.ReadBytes(ptr, n)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.M.WriteBytes(nbase, data); err != nil {
+		return 0, err
+	}
+	if err := r.Free(ptr); err != nil {
+		return 0, err
+	}
+	return nbase, nil
+}
+
+// Free releases a heap unit and its registration.
+func (r *Runtime) Free(ptr uint64) error {
+	info, ok := r.allocs.Get(ptr)
+	if !ok {
+		return &Error{Op: "free", Ptr: ptr, Msg: "not an allocation unit base"}
+	}
+	if info.IsGlobal {
+		return &Error{Op: "free", Ptr: ptr, Msg: "cannot free a global"}
+	}
+	if info.DevPtr != 0 && info.RefCount > 0 {
+		_ = r.M.Free(machine.GPU, info.DevPtr)
+	}
+	r.allocs.Delete(ptr)
+	return r.M.Free(machine.CPU, ptr)
+}
+
+// Lookup finds the allocation unit containing ptr via greatestLTE.
+func (r *Runtime) Lookup(ptr uint64) *AllocInfo {
+	_, info, ok := r.allocs.GreatestLTE(ptr)
+	if !ok || ptr >= info.Base+uint64(info.Size) {
+		return nil
+	}
+	return info
+}
+
+func (r *Runtime) lookupOrErr(op string, ptr uint64) (*AllocInfo, error) {
+	info := r.Lookup(ptr)
+	if info == nil {
+		return nil, &Error{Op: op, Ptr: ptr, Msg: "pointer is not inside any tracked allocation unit"}
+	}
+	return info, nil
+}
+
+// Map implements Algorithm 1: given a CPU pointer, return the equivalent
+// GPU pointer, allocating and copying the allocation unit if it is not
+// already resident.
+func (r *Runtime) Map(ptr uint64) (uint64, error) {
+	r.M.CPUOps(runtimeCallOps)
+	r.stats.Maps++
+	info, err := r.lookupOrErr("map", ptr)
+	if err != nil {
+		return 0, err
+	}
+	if info.RefCount == 0 {
+		if !info.IsGlobal {
+			info.DevPtr = r.M.Alloc(machine.GPU, info.Size, "dev:"+info.Name)
+			r.M.ChargeAllocGPU()
+		} else {
+			info.DevPtr = info.DeviceGlobal // cuModuleGetGlobal
+		}
+		if err := r.M.CopyHtoD(info.DevPtr, info.Base, info.Size); err != nil {
+			return 0, err
+		}
+		r.stats.HtoDCopies++
+	} else {
+		r.stats.ResidencySkips++
+	}
+	info.RefCount++
+	return info.DevPtr + (ptr - info.Base), nil
+}
+
+// Unmap implements Algorithm 2: update the CPU allocation unit from the
+// GPU copy unless the unit's epoch is current or the unit is read-only.
+func (r *Runtime) Unmap(ptr uint64) error {
+	r.M.CPUOps(runtimeCallOps)
+	r.stats.Unmaps++
+	info, err := r.lookupOrErr("unmap", ptr)
+	if err != nil {
+		return err
+	}
+	if info.Epoch != r.epoch && !info.ReadOnly {
+		if info.DevPtr == 0 {
+			return &Error{Op: "unmap", Ptr: ptr, Msg: "allocation unit has no GPU copy"}
+		}
+		if err := r.M.CopyDtoH(info.Base, info.DevPtr, info.Size); err != nil {
+			return err
+		}
+		r.stats.DtoHCopies++
+		info.Epoch = r.epoch
+	} else {
+		r.stats.EpochSkips++
+	}
+	return nil
+}
+
+// Release implements Algorithm 3: drop a reference; free the GPU copy of
+// a non-global unit when the count reaches zero.
+func (r *Runtime) Release(ptr uint64) error {
+	r.M.CPUOps(runtimeCallOps)
+	r.stats.Releases++
+	info, err := r.lookupOrErr("release", ptr)
+	if err != nil {
+		return err
+	}
+	if info.RefCount == 0 {
+		return &Error{Op: "release", Ptr: ptr, Msg: "unbalanced release (refcount already zero)"}
+	}
+	info.RefCount--
+	if info.RefCount == 0 && !info.IsGlobal {
+		if err := r.M.Free(machine.GPU, info.DevPtr); err != nil {
+			return err
+		}
+		info.DevPtr = 0
+	}
+	return nil
+}
+
+// MapArray implements the doubly-indirect variant: translate every CPU
+// pointer stored in ptr's allocation unit into a GPU pointer in a fresh
+// GPU-side array, then return a pointer into that array.
+func (r *Runtime) MapArray(ptr uint64) (uint64, error) {
+	r.M.CPUOps(runtimeCallOps)
+	r.stats.MapArrays++
+	info, err := r.lookupOrErr("mapArray", ptr)
+	if err != nil {
+		return 0, err
+	}
+	sh := r.shadows[info.Base]
+	if sh != nil && sh.RefCount > 0 {
+		// Shadow already live: re-map every element so reference counts
+		// stay balanced with the matching ReleaseArray (the maps are
+		// residency hits and copy nothing).
+		for _, p := range sh.Elems {
+			if _, err := r.Map(p); err != nil {
+				return 0, err
+			}
+		}
+		sh.RefCount++
+		return sh.DevArr + (ptr - info.Base), nil
+	}
+	{
+		n := info.Size / 8
+		elems := make([]uint64, 0, n)
+		devElems := make([]uint64, n)
+		for i := int64(0); i < n; i++ {
+			p, err := r.M.Load(info.Base+uint64(i*8), 8)
+			if err != nil {
+				return 0, err
+			}
+			if p == 0 {
+				continue
+			}
+			d, err := r.Map(p)
+			if err != nil {
+				return 0, &Error{Op: "mapArray", Ptr: ptr,
+					Msg: fmt.Sprintf("element %d: %v", i, err)}
+			}
+			devElems[i] = d
+			elems = append(elems, p)
+		}
+		var devArr uint64
+		if info.IsGlobal {
+			// A global array of pointers is translated in place into its
+			// device named region, so kernels referencing the global see
+			// device element pointers.
+			devArr = info.DeviceGlobal
+		} else {
+			devArr = r.M.Alloc(machine.GPU, info.Size, "devarray:"+info.Name)
+			r.M.ChargeAllocGPU()
+		}
+		for i, d := range devElems {
+			if err := r.M.Store(devArr+uint64(i*8), 8, d); err != nil {
+				return 0, err
+			}
+		}
+		r.M.ChargeTransfer(machine.EvHtoD, info.Size)
+		r.stats.HtoDCopies++
+		sh = &shadowArray{DevArr: devArr, Elems: elems}
+		r.shadows[info.Base] = sh
+	}
+	sh.RefCount++
+	return sh.DevArr + (ptr - info.Base), nil
+}
+
+// UnmapArray updates the CPU copy of every allocation unit pointed to by
+// the array's elements. The pointer array itself is never copied back:
+// CGCM forbids GPU functions from storing pointers, so the array cannot
+// have changed, and copying GPU pointers into CPU memory would corrupt it.
+func (r *Runtime) UnmapArray(ptr uint64) error {
+	r.M.CPUOps(runtimeCallOps)
+	r.stats.UnmapArrays++
+	info, err := r.lookupOrErr("unmapArray", ptr)
+	if err != nil {
+		return err
+	}
+	sh := r.shadows[info.Base]
+	if sh == nil || sh.RefCount == 0 {
+		return &Error{Op: "unmapArray", Ptr: ptr, Msg: "array is not mapped"}
+	}
+	for _, p := range sh.Elems {
+		if err := r.Unmap(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReleaseArray drops a reference on the array and on every element's
+// allocation unit, freeing the GPU shadow array at zero.
+func (r *Runtime) ReleaseArray(ptr uint64) error {
+	r.M.CPUOps(runtimeCallOps)
+	r.stats.ReleaseArrays++
+	info, err := r.lookupOrErr("releaseArray", ptr)
+	if err != nil {
+		return err
+	}
+	sh := r.shadows[info.Base]
+	if sh == nil || sh.RefCount == 0 {
+		return &Error{Op: "releaseArray", Ptr: ptr, Msg: "unbalanced releaseArray"}
+	}
+	for _, p := range sh.Elems {
+		if err := r.Release(p); err != nil {
+			return err
+		}
+	}
+	sh.RefCount--
+	if sh.RefCount == 0 {
+		if !info.IsGlobal {
+			if err := r.M.Free(machine.GPU, sh.DevArr); err != nil {
+				return err
+			}
+		}
+		delete(r.shadows, info.Base)
+	}
+	return nil
+}
+
+// TrackedUnits returns the number of live allocation units (tests).
+func (r *Runtime) TrackedUnits() int { return r.allocs.Len() }
+
+// VisitUnits calls fn for each tracked allocation unit in address order.
+func (r *Runtime) VisitUnits(fn func(*AllocInfo) bool) {
+	r.allocs.Ascend(func(_ uint64, info *AllocInfo) bool { return fn(info) })
+}
