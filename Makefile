@@ -1,0 +1,27 @@
+# Developer entry points. `make ci` is the gate: build, vet, and the full
+# test suite under the Go race detector (the kernel-execution engine and
+# the bench harness are concurrent; -race keeps them honest).
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# Host-side engine speedup: compare workers=1 vs workers=N.
+bench:
+	$(GO) test -bench 'BenchmarkEngine$$' -benchtime 3x ./internal/bench/
+
+ci: build vet race

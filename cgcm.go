@@ -40,6 +40,7 @@ package cgcm
 
 import (
 	"cgcm/internal/core"
+	"cgcm/internal/interp"
 	"cgcm/internal/machine"
 )
 
@@ -69,6 +70,10 @@ type Report = core.Report
 
 // Program is a compiled program ready to run on fresh machines.
 type Program = core.Program
+
+// RaceFinding reports two kernel threads writing overlapping bytes
+// (collected in Report.Races when Options.RaceCheck is set).
+type RaceFinding = interp.RaceFinding
 
 // CostModel holds the simulated machine's timing parameters.
 type CostModel = machine.CostModel

@@ -11,9 +11,12 @@
 //	cgcmbench -table3      # just program characteristics
 //	cgcmbench -fig4        # just the speedups
 //	cgcmbench -program lu  # one program, all four systems
+//	cgcmbench -json        # also write machine-readable BENCH_<n>.json
+//	cgcmbench -workers 8   # kernel-engine worker goroutines per launch
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +25,72 @@ import (
 	"cgcm/internal/bench"
 )
 
+// jsonRow is the machine-readable form of one measured program.
+type jsonRow struct {
+	Program string  `json:"program"`
+	Suite   string  `json:"suite"`
+	WallSeq float64 `json:"wall_seq"`
+	WallIE  float64 `json:"wall_inspector"`
+	WallUn  float64 `json:"wall_cgcm_unopt"`
+	WallOpt float64 `json:"wall_cgcm_opt"`
+
+	SpeedupIE    float64 `json:"speedup_inspector"`
+	SpeedupUnopt float64 `json:"speedup_cgcm_unopt"`
+	SpeedupOpt   float64 `json:"speedup_cgcm_opt"`
+
+	Limiting string `json:"limiting"`
+
+	// HostNS is real host time spent measuring this program (all four
+	// systems), in nanoseconds — the only host-dependent field.
+	HostNS int64 `json:"host_ns"`
+}
+
+// jsonReport is the top-level BENCH_<n>.json document.
+type jsonReport struct {
+	Workers      int       `json:"workers"` // 0 = GOMAXPROCS
+	Rows         []jsonRow `json:"rows"`
+	GeomeanIE    float64   `json:"geomean_inspector"`
+	GeomeanUnopt float64   `json:"geomean_cgcm_unopt"`
+	GeomeanOpt   float64   `json:"geomean_cgcm_opt"`
+	HostNS       int64     `json:"host_ns_total"`
+}
+
+// writeJSON writes rows to the first free BENCH_<n>.json and returns the
+// path.
+func writeJSON(rows []*bench.Row) (string, error) {
+	rep := jsonReport{Workers: bench.Workers}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, jsonRow{
+			Program: r.Name, Suite: r.Suite,
+			WallSeq: r.Seq.Stats.Wall, WallIE: r.IE.Stats.Wall,
+			WallUn: r.Unopt.Stats.Wall, WallOpt: r.Opt.Stats.Wall,
+			SpeedupIE: r.SpeedupIE, SpeedupUnopt: r.SpeedupUnopt, SpeedupOpt: r.SpeedupOpt,
+			Limiting: r.Limiting, HostNS: r.HostNS,
+		})
+		rep.HostNS += r.HostNS
+	}
+	rep.GeomeanIE, rep.GeomeanUnopt, rep.GeomeanOpt, _, _, _ = bench.Geomeans(rows)
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	for n := 0; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if os.IsExist(err) {
+			continue
+		}
+		if err != nil {
+			return "", err
+		}
+		_, werr := f.Write(append(data, '\n'))
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		return path, werr
+	}
+}
+
 func main() {
 	t1 := flag.Bool("table1", false, "render Table 1 (applicability comparison)")
 	f2 := flag.Bool("fig2", false, "render Figure 2 (execution schedules)")
@@ -29,7 +98,10 @@ func main() {
 	f4 := flag.Bool("fig4", false, "render Figure 4 (whole-program speedups)")
 	one := flag.String("program", "", "run a single named program")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	jsonOut := flag.Bool("json", false, "write measured rows to BENCH_<n>.json")
+	workers := flag.Int("workers", 0, "kernel-engine worker goroutines per launch (0 = GOMAXPROCS)")
 	flag.Parse()
+	bench.Workers = *workers
 
 	all := !*t1 && !*f2 && !*t3 && !*f4 && *one == ""
 
@@ -47,6 +119,14 @@ func main() {
 		bench.RenderFigure4(os.Stdout, []*bench.Row{row})
 		fmt.Println()
 		bench.RenderTable3(os.Stdout, []*bench.Row{row})
+		if *jsonOut {
+			path, err := writeJSON([]*bench.Row{row})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 		return
 	}
 
@@ -67,7 +147,7 @@ func main() {
 		}
 		bench.RenderFigure2(os.Stdout, sch)
 	}
-	if all || *t3 || *f4 {
+	if all || *t3 || *f4 || *jsonOut {
 		var logw io.Writer = os.Stderr
 		if *quiet {
 			logw = io.Discard
@@ -83,6 +163,14 @@ func main() {
 		}
 		if all || *f4 {
 			bench.RenderFigure4(os.Stdout, rows)
+		}
+		if *jsonOut {
+			path, err := writeJSON(rows)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
 }

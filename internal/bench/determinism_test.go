@@ -1,0 +1,87 @@
+package bench_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/core"
+)
+
+// TestEngineDeterminism checks the parallel kernel-execution engine's
+// core contract: for every benchmark program and every strategy, running
+// the simulated GPU threads on one worker and on four workers produces
+// byte-identical program output and identical machine and runtime
+// statistics. The simulation is a deterministic function of the program;
+// the worker count only changes host wall-clock.
+//
+// With RaceCheck enabled on the 4-worker run it also checks the write-set
+// race detector stays silent on the whole suite — every DOALL kernel the
+// parallelizer emits has disjoint per-thread write sets.
+func TestEngineDeterminism(t *testing.T) {
+	strategies := []core.Strategy{
+		core.Sequential, core.InspectorExecutor, core.CGCMUnoptimized, core.CGCMOptimized,
+	}
+	for _, p := range bench.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, s := range strategies {
+				one, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: s, Workers: 1})
+				if err != nil {
+					t.Fatalf("[%s] workers=1: %v", s, err)
+				}
+				four, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: s, Workers: 4, RaceCheck: true})
+				if err != nil {
+					t.Fatalf("[%s] workers=4: %v", s, err)
+				}
+				if one.Output != four.Output {
+					t.Errorf("[%s] output differs between workers=1 and workers=4", s)
+				}
+				if one.Stats != four.Stats {
+					t.Errorf("[%s] machine stats differ:\n  workers=1: %+v\n  workers=4: %+v", s, one.Stats, four.Stats)
+				}
+				if one.RTStats != four.RTStats {
+					t.Errorf("[%s] runtime stats differ: %+v vs %+v", s, one.RTStats, four.RTStats)
+				}
+				if one.Exit != four.Exit {
+					t.Errorf("[%s] exit codes differ: %d vs %d", s, one.Exit, four.Exit)
+				}
+				if len(four.Races) != 0 {
+					t.Errorf("[%s] race detector flagged a DOALL kernel: %+v", s, four.Races)
+				}
+			}
+		})
+	}
+}
+
+// TestRunProgramParallelMatchesDirect checks the concurrent harness
+// (four strategies at once) computes the same speedups as direct
+// back-to-back runs.
+func TestRunProgramParallelMatchesDirect(t *testing.T) {
+	p, ok := bench.ByName("gemm")
+	if !ok {
+		t.Fatal("gemm not in suite")
+	}
+	row, err := bench.RunProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.CGCMOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Seq.Stats != seq.Stats || row.Opt.Stats != opt.Stats {
+		t.Error("concurrent harness changed simulated statistics")
+	}
+	if got, want := fmt.Sprintf("%.9f", row.SpeedupOpt), fmt.Sprintf("%.9f", seq.Stats.Wall/opt.Stats.Wall); got != want {
+		t.Errorf("speedup %s != %s", got, want)
+	}
+	if row.HostNS <= 0 {
+		t.Error("HostNS not recorded")
+	}
+}

@@ -1,0 +1,70 @@
+package bench_test
+
+import (
+	"runtime"
+	"testing"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/core"
+)
+
+// heavySrc is a compute-bound launch: 16384 simulated GPU threads, each
+// spinning on ~400 float operations. It exists to measure the parallel
+// kernel-execution engine itself — host wall-clock, not simulated time.
+const heavySrc = `
+__global__ void work(float *v, int n) {
+	int i = tid();
+	if (i < n) {
+		float x = (float)i;
+		for (int j = 0; j < 400; j++) {
+			x = x * 1.000001 + 0.5;
+		}
+		v[i] = x;
+	}
+}
+int main() {
+	float *v = (float*)malloc(16384 * 8);
+	work<<<64, 256>>>(v, 16384);
+	print_float(v[0] + v[16383]);
+	free(v);
+	return 0;
+}`
+
+// benchmarkEngine runs the heavy launch end to end with a fixed worker
+// count. Compare BenchmarkEngine/workers=1 against workers=N to see the
+// engine's host-side speedup; on a multi-core runner the N-worker
+// variant should be at least ~2x faster.
+func benchmarkEngine(b *testing.B, workers int) {
+	p, err := core.Compile("heavy.c", heavySrc, core.Options{
+		Strategy: core.CGCMOptimized, DisableDOALL: true, Workers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchmarkEngine(b, 1) })
+	b.Run("workers=2", func(b *testing.B) { benchmarkEngine(b, 2) })
+	b.Run("workers=4", func(b *testing.B) { benchmarkEngine(b, 4) })
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		b.Run("workers=max", func(b *testing.B) { benchmarkEngine(b, n) })
+	}
+}
+
+// BenchmarkSuiteSweep measures the whole-suite harness (RunAll), which
+// additionally parallelizes across programs and across the four
+// strategies of each program.
+func BenchmarkSuiteSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAll(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

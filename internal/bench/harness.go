@@ -3,8 +3,12 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"cgcm/internal/analysis"
 	"cgcm/internal/core"
@@ -12,6 +16,11 @@ import (
 	"cgcm/internal/stats"
 	"cgcm/internal/typeinfer"
 )
+
+// Workers configures the parallel kernel-execution engine for every
+// measurement run (core.Options.Workers); 0 means GOMAXPROCS. Simulated
+// results are identical for every value — only host wall-clock changes.
+var Workers int
 
 // Row holds the measured results for one program across the compared
 // systems — everything Table 3 and Figure 4 need.
@@ -31,31 +40,45 @@ type Row struct {
 	KernelsCGCM int // distinct kernels CGCM manages
 	KernelsIE   int // kernels the inspector-executor/named-region guard admits
 	KernelsNR   int
+
+	// HostNS is the real (host) time spent measuring this program across
+	// all four systems, in nanoseconds. It is the only field that depends
+	// on the host machine.
+	HostNS int64
 }
 
-// RunProgram measures one program under all four systems.
+// RunProgram measures one program under all four systems. The four
+// strategies compile and run concurrently — each on its own simulated
+// machine, so they share nothing — and their reports land in fixed
+// fields, so results are identical to running them back to back.
 func RunProgram(p Program) (*Row, error) {
 	row := &Row{Program: p}
+	start := time.Now()
 	run := func(s core.Strategy) (*core.Report, error) {
-		rep, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: s})
+		rep, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: s, Workers: Workers})
 		if err != nil {
 			return nil, fmt.Errorf("%s [%s]: %w", p.Name, s, err)
 		}
 		return rep, nil
 	}
-	var err error
-	if row.Seq, err = run(core.Sequential); err != nil {
-		return nil, err
+	strategies := [4]core.Strategy{core.Sequential, core.InspectorExecutor, core.CGCMUnoptimized, core.CGCMOptimized}
+	var reps [4]*core.Report
+	var errs [4]error
+	var wg sync.WaitGroup
+	for i := range strategies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reps[i], errs[i] = run(strategies[i])
+		}(i)
 	}
-	if row.IE, err = run(core.InspectorExecutor); err != nil {
-		return nil, err
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	if row.Unopt, err = run(core.CGCMUnoptimized); err != nil {
-		return nil, err
-	}
-	if row.Opt, err = run(core.CGCMOptimized); err != nil {
-		return nil, err
-	}
+	row.Seq, row.IE, row.Unopt, row.Opt = reps[0], reps[1], reps[2], reps[3]
 	for _, rep := range []*core.Report{row.IE, row.Unopt, row.Opt} {
 		if rep.Output != row.Seq.Output {
 			return nil, fmt.Errorf("%s [%s]: output diverged from sequential", p.Name, rep.Strategy)
@@ -83,10 +106,12 @@ func RunProgram(p Program) (*Row, error) {
 		row.Limiting = "Other"
 	}
 
+	var err error
 	row.KernelsCGCM, row.KernelsIE, row.KernelsNR, err = applicabilityCounts(p)
 	if err != nil {
 		return nil, err
 	}
+	row.HostNS = time.Since(start).Nanoseconds()
 	return row, nil
 }
 
@@ -275,18 +300,45 @@ func hasDataDependentIndexing(f *ir.Func, pt *analysis.PointsTo) bool {
 }
 
 // RunAll measures the whole suite, reporting progress to log (if
-// non-nil).
+// non-nil). Programs are measured concurrently on up to GOMAXPROCS
+// goroutines; each runs on its own simulated machines, so the rows are
+// identical to a sequential sweep and come back in suite order.
 func RunAll(log io.Writer) ([]*Row, error) {
-	var rows []*Row
-	for _, p := range All() {
-		if log != nil {
-			fmt.Fprintf(log, "running %-16s (%s)...\n", p.Name, p.Suite)
-		}
-		row, err := RunProgram(p)
+	progs := All()
+	rows := make([]*Row, len(progs))
+	errs := make([]error, len(progs))
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(progs) {
+		nw = len(progs)
+	}
+	var next atomic.Int64
+	var logMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(progs) {
+					return
+				}
+				p := progs[i]
+				if log != nil {
+					logMu.Lock()
+					fmt.Fprintf(log, "running %-16s (%s)...\n", p.Name, p.Suite)
+					logMu.Unlock()
+				}
+				rows[i], errs[i] = RunProgram(p)
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the first failure in suite order, independent of schedule.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -79,6 +79,13 @@ type Options struct {
 	DisableAllocaPromotion bool
 	// DisableMapPromotion ablates map promotion itself.
 	DisableMapPromotion bool
+	// Workers sets the number of host goroutines simulating GPU threads
+	// per kernel launch; 0 means GOMAXPROCS. Results are identical for
+	// every worker count.
+	Workers int
+	// RaceCheck enables the kernel write-set race detector; findings are
+	// collected in Report.Races.
+	RaceCheck bool
 }
 
 // Report is the outcome of running a compiled program.
@@ -103,6 +110,9 @@ type Report struct {
 	GlueKernels int
 	// AllocaPromotions reports alloca promotion activity.
 	AllocaPromotions int
+
+	// Races holds write-set race findings (when Options.RaceCheck).
+	Races []interp.RaceFinding
 
 	Trace []machine.Event
 }
@@ -222,8 +232,11 @@ func (p *Program) Run() (*Report, error) {
 	if p.Opts.Limits != nil {
 		in.Lim = *p.Opts.Limits
 	}
+	in.Workers = p.Opts.Workers
+	in.RaceCheck = p.Opts.RaceCheck
 	exit, err := in.Run()
 	rep := &Report{
+		Races: in.Races,
 		Strategy:               p.Opts.Strategy,
 		Output:                 out.String(),
 		Exit:                   exit,

@@ -82,18 +82,3 @@ func (in *Interp) compile(f *ir.Func) *compiledFunc {
 	in.compiled[f] = cf
 	return cf
 }
-
-// evalOp resolves one precompiled operand.
-func (in *Interp) evalOp(fr *frame, op *operand) uint64 {
-	switch op.kind {
-	case opConst:
-		return op.bits
-	case opReg:
-		return fr.regs[op.reg]
-	default:
-		if fr.gpu != nil && !fr.gpu.inspect {
-			return in.devAddr[op.g]
-		}
-		return in.globalAddr[op.g]
-	}
-}

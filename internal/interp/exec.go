@@ -1,0 +1,641 @@
+package interp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"cgcm/internal/ir"
+	"cgcm/internal/machine"
+)
+
+// Scratch address-space layout. Kernel allocas are thread-local by
+// construction (CGCM forbids kernels from storing pointers), so each
+// worker context allocates them from a private slice of the address
+// space instead of the shared segment tree. That keeps the tree
+// read-only for the whole launch — the property that lets workers walk
+// it without locks — and makes frame pops free.
+//
+// Managed launches place scratch above every real GPU allocation;
+// inspector launches (which run threads against CPU memory) place it
+// just below GPUBase, far above any real CPU allocation.
+const (
+	gpuScratchBase uint64 = 1 << 47 // 0x8000_0000_0000, still GPU space
+	scratchStride  uint64 = 1 << 32 // private arena bytes per worker
+)
+
+// stepBatch is how many steps a context draws from the shared pool at a
+// time; the MaxSteps limit is exact in total, only its attribution to a
+// particular thread is batched.
+const stepBatch = 8192
+
+// inspectState collects one context's share of an inspector-mode launch.
+type inspectState struct {
+	touched map[uint64]bool
+	wrote   map[uint64]bool
+	acc     int64
+}
+
+// exec is one execution context. The interpreter's root context runs CPU
+// code exactly as the sequential interpreter did; each kernel launch
+// borrows additional worker contexts (one per host core) that execute
+// disjoint chunks of the thread space concurrently. Everything a thread
+// mutates during execution lives here, so workers share only read-only
+// state: the module, the compiled-function cache, and the machine's
+// segment tree.
+type exec struct {
+	in *Interp
+
+	// budget is the context's remaining share of the step pool.
+	budget int64
+
+	depth      int
+	rng        uint64
+	pendingOps int64 // root context only: unflushed CPU op charges
+	out        io.Writer
+
+	// worker marks contexts that execute kernel chunks; they resolve
+	// memory through lock-free lookups and private caches.
+	worker bool
+	id     int // worker index, selects the scratch arena
+
+	// caches holds this worker's per-instruction inline caches, the
+	// concurrency-safe equivalent of compiledFunc.segCaches.
+	caches   map[*compiledFunc][][]segCache
+	segCache [4]*machine.Segment
+	segIdx   uint8
+	cacheGen uint64
+
+	// scratch stack allocator for kernel allocas (worker contexts).
+	scratchBase uint64
+	scratchNext uint64
+	scratchSegs []*machine.Segment
+
+	// insp is non-nil while running an inspector-mode chunk.
+	insp *inspectState
+	// race is non-nil when the write-set race detector is recording.
+	race *raceLog
+
+	// outSlot receives lazily-created per-chunk output buffers, merged
+	// in thread order after the launch barrier.
+	outSlot **bytes.Buffer
+
+	// totalOps/maxOps accumulate per-thread op counts for the launch.
+	totalOps, maxOps int64
+
+	frames []*frame // frame free list
+}
+
+// Write implements io.Writer for worker contexts: kernel-side output is
+// buffered per chunk and replayed in thread order after the barrier.
+func (ex *exec) Write(p []byte) (int, error) {
+	if *ex.outSlot == nil {
+		*ex.outSlot = new(bytes.Buffer)
+	}
+	return (*ex.outSlot).Write(p)
+}
+
+// beginLaunch prepares a worker context for one kernel launch.
+func (ex *exec) beginLaunch(inspect bool, depth int) {
+	if inspect {
+		ex.scratchBase = machine.GPUBase - uint64(ex.id+1)*scratchStride
+	} else {
+		ex.scratchBase = gpuScratchBase + uint64(ex.id)*scratchStride
+	}
+	ex.scratchNext = ex.scratchBase
+	ex.scratchSegs = ex.scratchSegs[:0]
+	ex.depth = depth
+	ex.totalOps, ex.maxOps = 0, 0
+	for i := range ex.segCache {
+		ex.segCache[i] = nil
+	}
+	if inspect {
+		if ex.insp == nil {
+			ex.insp = &inspectState{touched: make(map[uint64]bool), wrote: make(map[uint64]bool)}
+		} else {
+			clear(ex.insp.touched)
+			clear(ex.insp.wrote)
+			ex.insp.acc = 0
+		}
+	} else {
+		ex.insp = nil
+	}
+	if ex.in.RaceCheck && !inspect {
+		if ex.race == nil {
+			ex.race = &raceLog{}
+		}
+		ex.race.ivs = ex.race.ivs[:0]
+	} else {
+		ex.race = nil
+	}
+}
+
+// endLaunch returns the context's unused step budget to the shared pool
+// and drops references that should not outlive the launch.
+func (ex *exec) endLaunch() {
+	ex.in.returnSteps(ex.budget)
+	ex.budget = 0
+	ex.out = nil
+	ex.outSlot = nil
+}
+
+// takeSteps draws up to want steps from the shared pool, returning how
+// many were granted (0 when the MaxSteps limit is exhausted).
+func (in *Interp) takeSteps(want int64) int64 {
+	for {
+		cur := in.stepsTaken.Load()
+		if cur >= in.stepLimit {
+			return 0
+		}
+		take := want
+		if cur+take > in.stepLimit {
+			take = in.stepLimit - cur
+		}
+		if in.stepsTaken.CompareAndSwap(cur, cur+take) {
+			return take
+		}
+	}
+}
+
+func (in *Interp) returnSteps(n int64) {
+	if n > 0 {
+		in.stepsTaken.Add(-n)
+	}
+}
+
+// refillSteps tops up the context's budget; false means the global step
+// limit is exhausted.
+func (ex *exec) refillSteps() bool {
+	take := ex.in.takeSteps(stepBatch)
+	if take == 0 {
+		return false
+	}
+	ex.budget += take
+	return true
+}
+
+func (ex *exec) flushOps() {
+	if ex.pendingOps > 0 {
+		ex.in.Mach.CPUOps(ex.pendingOps)
+		ex.pendingOps = 0
+	}
+}
+
+func (ex *exec) chargeWork(fr *frame, n int64) {
+	if n == 0 {
+		return
+	}
+	if fr.gpu != nil {
+		*fr.gpu.ops += n
+	} else {
+		ex.pendingOps += n
+	}
+}
+
+// getFrame takes a frame from the free list (or allocates one) and
+// resets it for fn: registers zeroed, alloca bookkeeping cleared.
+func (ex *exec) getFrame(fn *ir.Func, cf *compiledFunc, gpu *gpuCtx) *frame {
+	var fr *frame
+	if n := len(ex.frames); n > 0 {
+		fr = ex.frames[n-1]
+		ex.frames = ex.frames[:n-1]
+		if cap(fr.regs) < fn.NumRegs {
+			fr.regs = make([]uint64, fn.NumRegs)
+		} else {
+			fr.regs = fr.regs[:fn.NumRegs]
+			for i := range fr.regs {
+				fr.regs[i] = 0
+			}
+		}
+		clear(fr.allocaCache)
+		fr.allocas = fr.allocas[:0]
+	} else {
+		fr = &frame{regs: make([]uint64, fn.NumRegs)}
+	}
+	fr.fn, fr.cf, fr.gpu = fn, cf, gpu
+	return fr
+}
+
+func (ex *exec) putFrame(fr *frame) {
+	fr.gpu = nil
+	ex.frames = append(ex.frames, fr)
+}
+
+// inScratch reports whether addr falls in this worker's scratch arena.
+func (ex *exec) inScratch(addr uint64) bool {
+	return ex.worker && addr-ex.scratchBase < scratchStride
+}
+
+// allocScratch carves a kernel alloca out of the worker's private arena.
+func (ex *exec) allocScratch(size int64, space machine.Space, name string) (uint64, error) {
+	if size <= 0 {
+		size = 1
+	}
+	base := ex.scratchNext
+	next := (base + uint64(size) + 15) &^ 15
+	if next-ex.scratchBase > scratchStride {
+		return 0, fmt.Errorf("kernel scratch arena exhausted (%d bytes requested)", size)
+	}
+	ex.scratchNext = next
+	ex.scratchSegs = append(ex.scratchSegs, &machine.Segment{
+		Base: base, Data: make([]byte, size), Space: space, Name: name,
+	})
+	return base, nil
+}
+
+// lookupSeg resolves addr for a worker context: scratch first (private,
+// so no other worker can observe it), then the worker's small segment
+// cache, then a lock-free walk of the shared tree.
+func (ex *exec) lookupSeg(addr uint64) *machine.Segment {
+	if addr-ex.scratchBase < scratchStride {
+		for i := len(ex.scratchSegs) - 1; i >= 0; i-- {
+			if s := ex.scratchSegs[i]; addr >= s.Base && addr < s.End() {
+				return s
+			}
+		}
+		return nil
+	}
+	// The tree is read-only during a multi-worker launch, but a 1-thread
+	// glue kernel may free memory mid-launch; a generation bump drops the
+	// cache, exactly like the per-instruction inline caches.
+	if g := ex.in.Mach.Gen(); g != ex.cacheGen {
+		ex.cacheGen = g
+		for i := range ex.segCache {
+			ex.segCache[i] = nil
+		}
+	}
+	for _, c := range &ex.segCache {
+		if c != nil && addr >= c.Base && addr < c.End() {
+			return c
+		}
+	}
+	seg := ex.in.Mach.LookupSegment(addr)
+	if seg != nil {
+		ex.segCache[ex.segIdx] = seg
+		ex.segIdx = (ex.segIdx + 1) & 3
+	}
+	return seg
+}
+
+// segForAccess resolves the segment for a size-byte access at addr,
+// reproducing the machine's fault messages. Root contexts go through
+// the machine (warming its access cache as before); workers use the
+// lock-free path.
+func (ex *exec) segForAccess(addr uint64, size int64) (*machine.Segment, error) {
+	var seg *machine.Segment
+	if ex.worker {
+		seg = ex.lookupSeg(addr)
+	} else {
+		seg = ex.in.Mach.FindSegment(addr)
+	}
+	if seg == nil {
+		return nil, &machine.Fault{Addr: addr, Size: size, Msg: "unmapped address"}
+	}
+	if addr+uint64(size) > seg.End() {
+		return nil, &machine.Fault{Addr: addr, Size: size, Msg: fmt.Sprintf(
+			"access crosses end of allocation unit %q [%#x,%#x)", seg.Name, seg.Base, seg.End())}
+	}
+	return seg, nil
+}
+
+// memLoad is the general memory read used by intrinsics (strlen and
+// friends); the interpreter loop has its own inlined copy of this path.
+func (ex *exec) memLoad(fr *frame, addr uint64, size int64) (uint64, error) {
+	if err := ex.checkSpace(fr, addr, false); err != nil {
+		return 0, err
+	}
+	ex.recordInspect(addr, false)
+	seg, err := ex.segForAccess(addr, size)
+	if err != nil {
+		return 0, &Error{Fn: fr.fn.Name, Msg: err.Error()}
+	}
+	v, _ := seg.Load(addr, size)
+	return v, nil
+}
+
+func (ex *exec) evalOp(fr *frame, op *operand) uint64 {
+	switch op.kind {
+	case opConst:
+		return op.bits
+	case opReg:
+		return fr.regs[op.reg]
+	default:
+		if fr.gpu != nil && !fr.gpu.inspect {
+			return ex.in.devAddr[op.g]
+		}
+		return ex.in.globalAddr[op.g]
+	}
+}
+
+// checkSpace validates that an access belongs to the executing context's
+// address space.
+func (ex *exec) checkSpace(fr *frame, addr uint64, write bool) error {
+	space := machine.SpaceOf(addr)
+	if fr.gpu != nil && !fr.gpu.inspect {
+		if space != machine.GPU {
+			what := "read"
+			if write {
+				what = "write"
+			}
+			return &Error{Fn: fr.fn.Name, Msg: fmt.Sprintf(
+				"GPU kernel %s of CPU address %#x (missing or incorrect communication management)", what, addr)}
+		}
+		return nil
+	}
+	if space != machine.CPU {
+		what := "read"
+		if write {
+			what = "write"
+		}
+		return &Error{Fn: fr.fn.Name, Msg: fmt.Sprintf(
+			"CPU %s of GPU address %#x (stale translation or missing unmap)", what, addr)}
+	}
+	return nil
+}
+
+// recordInspect notes one inspector-mode memory access. Scratch
+// addresses are kernel-frame locals that exist on the device and are
+// never transferred, so they are not recorded.
+func (ex *exec) recordInspect(addr uint64, write bool) {
+	st := ex.insp
+	if st == nil {
+		return
+	}
+	st.acc++
+	if addr-ex.scratchBase < scratchStride {
+		return
+	}
+	if info := ex.in.RT.Lookup(addr); info != nil {
+		st.touched[info.Base] = true
+		if write {
+			st.wrote[info.Base] = true
+		}
+	}
+}
+
+// blockCaches returns the per-instruction inline caches for blk. The
+// root context uses the compiledFunc's own storage (as the sequential
+// interpreter did); workers keep private copies so concurrent chunks
+// never write to shared cache lines.
+func (ex *exec) blockCaches(cf *compiledFunc, blkIndex int) []segCache {
+	if !ex.worker {
+		return cf.segCaches[blkIndex]
+	}
+	if ex.caches == nil {
+		ex.caches = make(map[*compiledFunc][][]segCache)
+	}
+	sc, ok := ex.caches[cf]
+	if !ok {
+		sc = make([][]segCache, len(cf.segCaches))
+		for i := range sc {
+			sc[i] = make([]segCache, len(cf.segCaches[i]))
+		}
+		ex.caches[cf] = sc
+	}
+	return sc[blkIndex]
+}
+
+// call executes f with argument bits, returning the result bits.
+func (ex *exec) call(f *ir.Func, args []uint64, gpu *gpuCtx) (uint64, error) {
+	in := ex.in
+	if in.depthLimit == 0 {
+		in.stepLimit = in.maxSteps()
+		in.depthLimit = in.maxDepth()
+	}
+	if ex.depth++; ex.depth > in.depthLimit {
+		ex.depth--
+		return 0, &Error{Fn: f.Name, Msg: "call depth limit exceeded"}
+	}
+	defer func() { ex.depth-- }()
+
+	cf := in.compile(f)
+	fr := ex.getFrame(f, cf, gpu)
+	for i := range f.Params {
+		if i < len(args) {
+			fr.regs[f.Params[i].Reg] = args[i]
+		}
+	}
+	if gpu != nil {
+		fr.scratchMark = ex.scratchNext
+		fr.scratchLen = len(ex.scratchSegs)
+	}
+	defer func() {
+		ex.popAllocas(fr)
+		ex.putFrame(fr)
+	}()
+
+	blk := f.Entry()
+	for {
+		br, ret, done, err := ex.execBlock(fr, blk)
+		if err != nil || done {
+			return ret, err
+		}
+		blk = br
+	}
+}
+
+func (ex *exec) popAllocas(fr *frame) {
+	if fr.gpu != nil {
+		// Kernel allocas live in the worker's scratch arena: unwind the
+		// stack allocator to the frame's entry watermark.
+		ex.scratchSegs = ex.scratchSegs[:fr.scratchLen]
+		ex.scratchNext = fr.scratchMark
+		return
+	}
+	in := ex.in
+	for i := len(fr.allocas) - 1; i >= 0; i-- {
+		base := fr.allocas[i]
+		in.RT.RemoveAlloca(base)
+		_ = in.Mach.Free(machine.CPU, base)
+	}
+	fr.allocas = fr.allocas[:0]
+}
+
+// execBlock runs one basic block and returns the successor (or the return
+// value with done=true).
+func (ex *exec) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint64, done bool, err error) {
+	in := ex.in
+	gpu := fr.gpu
+	blockOps := fr.cf.blockArgs[blk.Index]
+	blockSC := ex.blockCaches(fr.cf, blk.Index)
+	onGPU := gpu != nil && !gpu.inspect
+	wantSpace := machine.CPU
+	if onGPU {
+		wantSpace = machine.GPU
+	}
+	inspecting := gpu != nil && gpu.inspect
+	for ii, instr := range blk.Instrs {
+		ops := blockOps[ii]
+		if ex.budget--; ex.budget < 0 {
+			if !ex.refillSteps() {
+				return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: "step limit exceeded (infinite loop?)"}
+			}
+		}
+		cost := int64(1)
+		switch instr.Op {
+		case ir.OpAlloca:
+			if base, ok := fr.allocaCache[instr]; ok {
+				fr.regs[instr.Reg] = base
+				break
+			}
+			var base uint64
+			if gpu != nil {
+				space := machine.GPU
+				name := "kalloca " + fr.fn.Name
+				if gpu.inspect {
+					space = machine.CPU
+				}
+				var aerr error
+				base, aerr = ex.allocScratch(instr.Size, space, name)
+				if aerr != nil {
+					return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: aerr.Error()}
+				}
+			} else {
+				base = in.Mach.Alloc(machine.CPU, instr.Size, "alloca "+fr.fn.Name)
+				in.RT.DeclareAlloca(base, instr.Size, "alloca "+fr.fn.Name)
+				fr.allocas = append(fr.allocas, base)
+			}
+			if fr.allocaCache == nil {
+				fr.allocaCache = make(map[*ir.Instr]uint64)
+			}
+			fr.allocaCache[instr] = base
+			fr.regs[instr.Reg] = base
+			cost = 2
+
+		case ir.OpLoad:
+			addr := ex.evalOp(fr, &ops[0])
+			cost = 3
+			// Inline-cache fast path (not in inspector mode, which must
+			// record every access).
+			if !inspecting {
+				sc := &blockSC[ii]
+				if sc.seg != nil && sc.gen == in.Mach.Gen() && sc.seg.Space == wantSpace {
+					if v, ok := sc.seg.Load(addr, instr.Size); ok {
+						fr.regs[instr.Reg] = v
+						break
+					}
+				}
+			} else {
+				ex.recordInspect(addr, false)
+			}
+			if err := ex.checkSpace(fr, addr, false); err != nil {
+				return nil, 0, false, err
+			}
+			seg, serr := ex.segForAccess(addr, instr.Size)
+			if serr != nil {
+				return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: serr.Error()}
+			}
+			v, _ := seg.Load(addr, instr.Size)
+			fr.regs[instr.Reg] = v
+			if !inspecting && !ex.inScratch(addr) {
+				blockSC[ii] = segCache{seg: seg, gen: in.Mach.Gen()}
+			}
+
+		case ir.OpStore:
+			addr := ex.evalOp(fr, &ops[0])
+			cost = 3
+			if !inspecting {
+				sc := &blockSC[ii]
+				if sc.seg != nil && sc.gen == in.Mach.Gen() && sc.seg.Space == wantSpace {
+					if sc.seg.Store(addr, instr.Size, ex.evalOp(fr, &ops[1])) {
+						if ex.race != nil {
+							ex.race.record(addr, instr.Size)
+						}
+						break
+					}
+				}
+			} else {
+				ex.recordInspect(addr, true)
+			}
+			if err := ex.checkSpace(fr, addr, true); err != nil {
+				return nil, 0, false, err
+			}
+			seg, serr := ex.segForAccess(addr, instr.Size)
+			if serr != nil {
+				return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: serr.Error()}
+			}
+			seg.Store(addr, instr.Size, ex.evalOp(fr, &ops[1]))
+			if !inspecting && !ex.inScratch(addr) {
+				blockSC[ii] = segCache{seg: seg, gen: in.Mach.Gen()}
+				if ex.race != nil {
+					ex.race.record(addr, instr.Size)
+				}
+			}
+
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+			ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+			ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+			x := ex.evalOp(fr, &ops[0])
+			y := ex.evalOp(fr, &ops[1])
+			v, err := arith(instr, x, y)
+			if err != nil {
+				return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: err.Error()}
+			}
+			fr.regs[instr.Reg] = v
+
+		case ir.OpIToF:
+			fr.regs[instr.Reg] = ir.F2B(float64(int64(ex.evalOp(fr, &ops[0]))))
+		case ir.OpFToI:
+			fr.regs[instr.Reg] = uint64(int64(ir.B2F(ex.evalOp(fr, &ops[0]))))
+
+		case ir.OpCall:
+			args := make([]uint64, len(ops))
+			for i := range ops {
+				args[i] = ex.evalOp(fr, &ops[i])
+			}
+			v, err := ex.call(instr.Callee, args, gpu)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			if in.exited {
+				return nil, 0, true, nil
+			}
+			if instr.Reg >= 0 {
+				fr.regs[instr.Reg] = v
+			}
+			cost = 5
+
+		case ir.OpIntrinsic:
+			v, c, err := ex.intrinsic(fr, instr, ops)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			if instr.Reg >= 0 {
+				fr.regs[instr.Reg] = v
+			}
+			cost = c
+
+		case ir.OpLaunch:
+			if gpu != nil {
+				return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: "nested kernel launch"}
+			}
+			if err := ex.launch(fr, instr, ops); err != nil {
+				return nil, 0, false, err
+			}
+			cost = 0 // launch cost charged by the machine
+
+		case ir.OpRet:
+			ex.chargeWork(fr, cost)
+			if len(ops) > 0 {
+				return nil, ex.evalOp(fr, &ops[0]), true, nil
+			}
+			return nil, 0, true, nil
+
+		case ir.OpBr:
+			ex.chargeWork(fr, cost)
+			return instr.Targets[0], 0, false, nil
+
+		case ir.OpCondBr:
+			ex.chargeWork(fr, cost)
+			if ex.evalOp(fr, &ops[0]) != 0 {
+				return instr.Targets[0], 0, false, nil
+			}
+			return instr.Targets[1], 0, false, nil
+
+		default:
+			return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: "unknown opcode " + instr.Op.String()}
+		}
+		ex.chargeWork(fr, cost)
+	}
+	return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: "block " + blk.Name + " fell through without terminator"}
+}

@@ -14,12 +14,20 @@
 //
 // An alternative launch mode implements the paper's idealized
 // inspector-executor comparator (§6.3).
+//
+// Kernel launches execute in parallel on the host: the thread space is
+// partitioned into contiguous chunks claimed by a pool of worker
+// contexts (see exec.go and launch.go), each owning its frame stack, op
+// counters, scratch allocator, and inspector touch-set. Results merge
+// deterministically after the barrier, so program output, machine
+// statistics, and faults are identical for any worker count.
 package interp
 
 import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"cgcm/internal/ir"
 	"cgcm/internal/machine"
@@ -68,29 +76,41 @@ type Interp struct {
 	Mode LaunchMode
 	Lim  Limits
 
+	// Workers is the number of host goroutines used to execute the
+	// threads of each kernel launch; 0 means GOMAXPROCS. Output, machine
+	// statistics, and faults are identical for every worker count.
+	Workers int
+
+	// RaceCheck enables the write-set race detector: each kernel
+	// thread's store intervals are recorded and intersected after the
+	// launch barrier, and overlapping writes from distinct threads are
+	// reported in Races. Detection is independent of the worker count
+	// (it works even with Workers=1).
+	RaceCheck bool
+	// Races accumulates race detector findings across launches.
+	Races []RaceFinding
+
 	globalAddr map[*ir.Global]uint64 // host addresses
 	devAddr    map[*ir.Global]uint64 // device named regions
 
 	// compiled caches per-function operand descriptors (see compile.go).
+	// It is filled by the root context only; launches pre-compile every
+	// function reachable from the kernel so workers hit read-only.
 	compiled   map[*ir.Func]*compiledFunc
 	stepLimit  int64
 	depthLimit int
 
-	steps      int64
-	pendingOps int64
-	rng        uint64
-	exited     bool
-	exitCode   int64
-	depth      int
+	// stepsTaken is the shared step pool: contexts draw batches from it
+	// (see exec.takeSteps) so the MaxSteps limit is enforced across all
+	// workers without an atomic operation per instruction.
+	stepsTaken atomic.Int64
 
-	// inspectorTouched collects allocation units touched by the current
-	// inspector-mode launch. inspectorLocal holds kernel-frame scratch
-	// (parameter spills, privatized locals) that exists on the device and
-	// is never transferred.
-	inspectorTouched map[uint64]bool
-	inspectorWrote   map[uint64]bool
-	inspectorLocal   map[uint64]bool
-	inspectorAcc     int64
+	exited   bool
+	exitCode int64
+
+	// root executes CPU code; workers execute kernel thread chunks.
+	root    *exec
+	workers []*exec
 }
 
 // New prepares an interpreter for the module: it loads globals into both
@@ -102,8 +122,8 @@ func New(mod *ir.Module, mach *machine.Machine, rt *runtime.Runtime, out io.Writ
 		globalAddr: make(map[*ir.Global]uint64),
 		devAddr:    make(map[*ir.Global]uint64),
 		compiled:   make(map[*ir.Func]*compiledFunc),
-		rng:        0x9E3779B97F4A7C15,
 	}
+	in.root = &exec{in: in, out: out, rng: 0x9E3779B97F4A7C15}
 	for _, g := range mod.Globals {
 		base := mach.Alloc(machine.CPU, g.Size, "global "+g.Name)
 		if g.Init != nil {
@@ -128,7 +148,7 @@ func (in *Interp) Run() (int64, error) {
 	in.stepLimit = in.maxSteps()
 	in.depthLimit = in.maxDepth()
 	if f := in.Mod.Func("__cgcm_init"); f != nil {
-		if _, err := in.call(f, nil, nil); err != nil {
+		if _, err := in.root.call(f, nil, nil); err != nil {
 			return 0, err
 		}
 	}
@@ -136,11 +156,11 @@ func (in *Interp) Run() (int64, error) {
 	if mainFn == nil {
 		return 0, &Error{Fn: "main", Msg: "module has no main"}
 	}
-	ret, err := in.call(mainFn, nil, nil)
+	ret, err := in.root.call(mainFn, nil, nil)
 	if err != nil {
 		return 0, err
 	}
-	in.flushOps()
+	in.root.flushOps()
 	in.Mach.Sync()
 	if in.exited {
 		return in.exitCode, nil
@@ -161,111 +181,16 @@ type frame struct {
 	fn      *ir.Func
 	cf      *compiledFunc
 	regs    []uint64
-	allocas []uint64
+	allocas []uint64 // CPU-frame allocation unit bases (root context only)
 	gpu     *gpuCtx
 	// allocaCache reuses a slot when the same alloca re-executes in one
 	// frame (C scope re-entry semantics; keeps loop-local declarations
 	// from growing the segment table).
 	allocaCache map[*ir.Instr]uint64
-}
-
-func (in *Interp) flushOps() {
-	if in.pendingOps > 0 {
-		in.Mach.CPUOps(in.pendingOps)
-		in.pendingOps = 0
-	}
-}
-
-func (in *Interp) chargeCPU(n int64) { in.pendingOps += n }
-
-func (in *Interp) val(fr *frame, v ir.Value) uint64 {
-	switch v := v.(type) {
-	case *ir.Const:
-		return v.Bits
-	case *ir.Param:
-		return fr.regs[v.Reg]
-	case *ir.Instr:
-		return fr.regs[v.Reg]
-	case *ir.GlobalRef:
-		if fr.gpu != nil && !fr.gpu.inspect {
-			return in.devAddr[v.Global]
-		}
-		return in.globalAddr[v.Global]
-	}
-	panic(fmt.Sprintf("interp: unknown value kind %T", v))
-}
-
-// checkSpace validates that an access belongs to the executing context's
-// address space.
-func (in *Interp) checkSpace(fr *frame, addr uint64, write bool) error {
-	space := machine.SpaceOf(addr)
-	if fr.gpu != nil && !fr.gpu.inspect {
-		if space != machine.GPU {
-			what := "read"
-			if write {
-				what = "write"
-			}
-			return &Error{Fn: fr.fn.Name, Msg: fmt.Sprintf(
-				"GPU kernel %s of CPU address %#x (missing or incorrect communication management)", what, addr)}
-		}
-		return nil
-	}
-	if space != machine.CPU {
-		what := "read"
-		if write {
-			what = "write"
-		}
-		return &Error{Fn: fr.fn.Name, Msg: fmt.Sprintf(
-			"CPU %s of GPU address %#x (stale translation or missing unmap)", what, addr)}
-	}
-	return nil
-}
-
-func (in *Interp) recordInspect(fr *frame, addr uint64, write bool) {
-	if fr.gpu == nil || !fr.gpu.inspect {
-		return
-	}
-	in.inspectorAcc++
-	if info := in.RT.Lookup(addr); info != nil {
-		if in.inspectorLocal[info.Base] {
-			return
-		}
-		in.inspectorTouched[info.Base] = true
-		if write {
-			in.inspectorWrote[info.Base] = true
-		}
-	}
-}
-
-// call executes f with argument bits, returning the result bits.
-func (in *Interp) call(f *ir.Func, args []uint64, gpu *gpuCtx) (uint64, error) {
-	if in.depthLimit == 0 {
-		in.stepLimit = in.maxSteps()
-		in.depthLimit = in.maxDepth()
-	}
-	if in.depth++; in.depth > in.depthLimit {
-		in.depth--
-		return 0, &Error{Fn: f.Name, Msg: "call depth limit exceeded"}
-	}
-	defer func() { in.depth-- }()
-
-	cf := in.compile(f)
-	fr := &frame{fn: f, cf: cf, regs: make([]uint64, f.NumRegs), gpu: gpu}
-	for i := range f.Params {
-		if i < len(args) {
-			fr.regs[f.Params[i].Reg] = args[i]
-		}
-	}
-	defer in.popAllocas(fr)
-
-	blk := f.Entry()
-	for {
-		br, ret, done, err := in.execBlock(fr, blk)
-		if err != nil || done {
-			return ret, err
-		}
-		blk = br
-	}
+	// scratchMark/scratchLen snapshot the worker scratch allocator at
+	// frame entry so popAllocas can unwind kernel allocas in O(1).
+	scratchMark uint64
+	scratchLen  int
 }
 
 func (in *Interp) maxDepth() int {
@@ -280,205 +205,6 @@ func (in *Interp) maxSteps() int64 {
 		return in.Lim.MaxSteps
 	}
 	return DefaultLimits.MaxSteps
-}
-
-func (in *Interp) popAllocas(fr *frame) {
-	for i := len(fr.allocas) - 1; i >= 0; i-- {
-		base := fr.allocas[i]
-		if fr.gpu == nil {
-			in.RT.RemoveAlloca(base)
-			_ = in.Mach.Free(machine.CPU, base)
-		} else if !fr.gpu.inspect {
-			_ = in.Mach.Free(machine.GPU, base)
-		} else {
-			in.RT.RemoveAlloca(base)
-			_ = in.Mach.Free(machine.CPU, base)
-		}
-	}
-	fr.allocas = nil
-}
-
-// execBlock runs one basic block and returns the successor (or the return
-// value with done=true).
-func (in *Interp) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint64, done bool, err error) {
-	gpu := fr.gpu
-	blockOps := fr.cf.blockArgs[blk.Index]
-	blockSC := fr.cf.segCaches[blk.Index]
-	onGPU := gpu != nil && !gpu.inspect
-	wantSpace := machine.CPU
-	if onGPU {
-		wantSpace = machine.GPU
-	}
-	inspecting := gpu != nil && gpu.inspect
-	for ii, instr := range blk.Instrs {
-		ops := blockOps[ii]
-		in.steps++
-		if in.steps > in.stepLimit {
-			return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: "step limit exceeded (infinite loop?)"}
-		}
-		cost := int64(1)
-		switch instr.Op {
-		case ir.OpAlloca:
-			if base, ok := fr.allocaCache[instr]; ok {
-				fr.regs[instr.Reg] = base
-				break
-			}
-			var base uint64
-			if gpu != nil && !gpu.inspect {
-				base = in.Mach.Alloc(machine.GPU, instr.Size, "kalloca "+fr.fn.Name)
-			} else {
-				base = in.Mach.Alloc(machine.CPU, instr.Size, "alloca "+fr.fn.Name)
-				in.RT.DeclareAlloca(base, instr.Size, "alloca "+fr.fn.Name)
-				if gpu != nil && gpu.inspect {
-					in.inspectorLocal[base] = true
-				}
-			}
-			if fr.allocaCache == nil {
-				fr.allocaCache = make(map[*ir.Instr]uint64)
-			}
-			fr.allocaCache[instr] = base
-			fr.allocas = append(fr.allocas, base)
-			fr.regs[instr.Reg] = base
-			cost = 2
-
-		case ir.OpLoad:
-			addr := in.evalOp(fr, &ops[0])
-			cost = 3
-			// Inline-cache fast path (not in inspector mode, which must
-			// record every access).
-			if !inspecting {
-				sc := &blockSC[ii]
-				if sc.seg != nil && sc.gen == in.Mach.Gen() && sc.seg.Space == wantSpace {
-					if v, ok := sc.seg.Load(addr, instr.Size); ok {
-						fr.regs[instr.Reg] = v
-						break
-					}
-				}
-			} else {
-				in.recordInspect(fr, addr, false)
-			}
-			if err := in.checkSpace(fr, addr, false); err != nil {
-				return nil, 0, false, err
-			}
-			v, err := in.Mach.Load(addr, instr.Size)
-			if err != nil {
-				return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: err.Error()}
-			}
-			fr.regs[instr.Reg] = v
-			if !inspecting {
-				blockSC[ii] = segCache{seg: in.Mach.FindSegment(addr), gen: in.Mach.Gen()}
-			}
-
-		case ir.OpStore:
-			addr := in.evalOp(fr, &ops[0])
-			cost = 3
-			if !inspecting {
-				sc := &blockSC[ii]
-				if sc.seg != nil && sc.gen == in.Mach.Gen() && sc.seg.Space == wantSpace {
-					if sc.seg.Store(addr, instr.Size, in.evalOp(fr, &ops[1])) {
-						break
-					}
-				}
-			} else {
-				in.recordInspect(fr, addr, true)
-			}
-			if err := in.checkSpace(fr, addr, true); err != nil {
-				return nil, 0, false, err
-			}
-			if err := in.Mach.Store(addr, instr.Size, in.evalOp(fr, &ops[1])); err != nil {
-				return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: err.Error()}
-			}
-			if !inspecting {
-				blockSC[ii] = segCache{seg: in.Mach.FindSegment(addr), gen: in.Mach.Gen()}
-			}
-
-		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
-			ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
-			ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
-			x := in.evalOp(fr, &ops[0])
-			y := in.evalOp(fr, &ops[1])
-			v, err := arith(instr, x, y)
-			if err != nil {
-				return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: err.Error()}
-			}
-			fr.regs[instr.Reg] = v
-
-		case ir.OpIToF:
-			fr.regs[instr.Reg] = ir.F2B(float64(int64(in.evalOp(fr, &ops[0]))))
-		case ir.OpFToI:
-			fr.regs[instr.Reg] = uint64(int64(ir.B2F(in.evalOp(fr, &ops[0]))))
-
-		case ir.OpCall:
-			args := make([]uint64, len(ops))
-			for i := range ops {
-				args[i] = in.evalOp(fr, &ops[i])
-			}
-			v, err := in.call(instr.Callee, args, gpu)
-			if err != nil {
-				return nil, 0, false, err
-			}
-			if in.exited {
-				return nil, 0, true, nil
-			}
-			if instr.Reg >= 0 {
-				fr.regs[instr.Reg] = v
-			}
-			cost = 5
-
-		case ir.OpIntrinsic:
-			v, c, err := in.intrinsic(fr, instr, ops)
-			if err != nil {
-				return nil, 0, false, err
-			}
-			if instr.Reg >= 0 {
-				fr.regs[instr.Reg] = v
-			}
-			cost = c
-
-		case ir.OpLaunch:
-			if gpu != nil {
-				return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: "nested kernel launch"}
-			}
-			if err := in.launch(fr, instr, ops); err != nil {
-				return nil, 0, false, err
-			}
-			cost = 0 // launch cost charged by the machine
-
-		case ir.OpRet:
-			in.chargeWork(fr, cost)
-			if len(ops) > 0 {
-				return nil, in.evalOp(fr, &ops[0]), true, nil
-			}
-			return nil, 0, true, nil
-
-		case ir.OpBr:
-			in.chargeWork(fr, cost)
-			return instr.Targets[0], 0, false, nil
-
-		case ir.OpCondBr:
-			in.chargeWork(fr, cost)
-			if in.evalOp(fr, &ops[0]) != 0 {
-				return instr.Targets[0], 0, false, nil
-			}
-			return instr.Targets[1], 0, false, nil
-
-		default:
-			return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: "unknown opcode " + instr.Op.String()}
-		}
-		in.chargeWork(fr, cost)
-	}
-	return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: "block " + blk.Name + " fell through without terminator"}
-}
-
-func (in *Interp) chargeWork(fr *frame, n int64) {
-	if n == 0 {
-		return
-	}
-	if fr.gpu != nil {
-		*fr.gpu.ops += n
-	} else {
-		in.pendingOps += n
-	}
 }
 
 func arith(instr *ir.Instr, x, y uint64) (uint64, error) {

@@ -10,41 +10,38 @@ import (
 
 // intrinsic dispatches an OpIntrinsic instruction. It returns the result
 // bits and the op cost to charge to the executing context.
-func (in *Interp) intrinsic(fr *frame, instr *ir.Instr, ops []operand) (uint64, int64, error) {
-	a := func(i int) uint64 { return in.evalOp(fr, &ops[i]) }
-	af := func(i int) float64 { return ir.B2F(in.evalOp(fr, &ops[i])) }
+func (ex *exec) intrinsic(fr *frame, instr *ir.Instr, ops []operand) (uint64, int64, error) {
+	in := ex.in
+	a := func(i int) uint64 { return ex.evalOp(fr, &ops[i]) }
+	af := func(i int) float64 { return ir.B2F(ex.evalOp(fr, &ops[i])) }
 	ff := func(v float64) uint64 { return ir.F2B(v) }
 	onGPU := fr.gpu != nil && !fr.gpu.inspect
 
 	switch instr.Name {
 	// --- Heap (CPU only; sema enforces) ---
 	case "malloc":
-		in.flushOps()
+		ex.flushOps()
 		return in.RT.Malloc(int64(a(0))), 8, nil
 	case "calloc":
-		in.flushOps()
-		return in.RT.Calloc(int64(a(0)), int64(a(1))), 8, nil
+		ex.flushOps()
+		p, err := in.RT.Calloc(int64(a(0)), int64(a(1)))
+		return p, 8, ex.wrapErr(fr, err)
 	case "realloc":
-		in.flushOps()
+		ex.flushOps()
 		p, err := in.RT.Realloc(a(0), int64(a(1)))
-		return p, 8, in.wrapErr(fr, err)
+		return p, 8, ex.wrapErr(fr, err)
 	case "free":
-		in.flushOps()
-		return 0, 8, in.wrapErr(fr, in.RT.Free(a(0)))
+		ex.flushOps()
+		return 0, 8, ex.wrapErr(fr, in.RT.Free(a(0)))
 
 	// --- Strings ---
 	case "strlen":
 		ptr := a(0)
 		n := int64(0)
 		for {
-			addr := ptr + uint64(n)
-			if err := in.checkSpace(fr, addr, false); err != nil {
-				return 0, 0, err
-			}
-			in.recordInspect(fr, addr, false)
-			c, err := in.Mach.Load(addr, 1)
+			c, err := ex.memLoad(fr, ptr+uint64(n), 1)
 			if err != nil {
-				return 0, 0, in.wrapErr(fr, err)
+				return 0, 0, err
 			}
 			if c == 0 {
 				break
@@ -97,30 +94,30 @@ func (in *Interp) intrinsic(fr *frame, instr *ir.Instr, ops []operand) (uint64, 
 
 	// --- Deterministic RNG ---
 	case "srand":
-		in.rng = a(0) | 1
+		ex.rng = a(0) | 1
 		return 0, 1, nil
 	case "rand_int":
 		n := int64(a(0))
 		if n <= 0 {
 			n = 1
 		}
-		return uint64(int64(in.nextRand() >> 11 % uint64(n))), 4, nil
+		return uint64(int64(ex.nextRand() >> 11 % uint64(n))), 4, nil
 	case "rand_float":
-		return ff(float64(in.nextRand()>>11) / float64(1<<53)), 4, nil
+		return ff(float64(ex.nextRand()>>11) / float64(1<<53)), 4, nil
 
 	// --- Output ---
 	case "print_int":
-		fmt.Fprintf(in.Out, "%d\n", int64(a(0)))
+		fmt.Fprintf(ex.out, "%d\n", int64(a(0)))
 		return 0, 4, nil
 	case "print_float":
-		fmt.Fprintf(in.Out, "%.6g\n", af(0))
+		fmt.Fprintf(ex.out, "%.6g\n", af(0))
 		return 0, 4, nil
 	case "print_str":
-		s, err := in.cString(fr, a(0))
+		s, err := ex.cString(fr, a(0))
 		if err != nil {
 			return 0, 0, err
 		}
-		fmt.Fprintf(in.Out, "%s\n", s)
+		fmt.Fprintf(ex.out, "%s\n", s)
 		return 0, 4, nil
 
 	// --- GPU thread identity ---
@@ -137,74 +134,70 @@ func (in *Interp) intrinsic(fr *frame, instr *ir.Instr, ops []operand) (uint64, 
 
 	// --- Manual communication (CUDA driver style, Listing 1) ---
 	case "cuda_malloc":
-		in.flushOps()
+		ex.flushOps()
 		base := in.Mach.Alloc(machine.GPU, int64(a(0)), "cuda_malloc")
 		in.Mach.ChargeAllocGPU()
 		return base, 0, nil
 	case "cuda_free":
-		in.flushOps()
-		return 0, 0, in.wrapErr(fr, in.Mach.Free(machine.GPU, a(0)))
+		ex.flushOps()
+		return 0, 0, ex.wrapErr(fr, in.Mach.Free(machine.GPU, a(0)))
 	case "cuda_memcpy_h2d":
-		in.flushOps()
-		return 0, 0, in.wrapErr(fr, in.Mach.CopyHtoD(a(0), a(1), int64(a(2))))
+		ex.flushOps()
+		return 0, 0, ex.wrapErr(fr, in.Mach.CopyHtoD(a(0), a(1), int64(a(2))))
 	case "cuda_memcpy_d2h":
-		in.flushOps()
-		return 0, 0, in.wrapErr(fr, in.Mach.CopyDtoH(a(0), a(1), int64(a(2))))
+		ex.flushOps()
+		return 0, 0, ex.wrapErr(fr, in.Mach.CopyDtoH(a(0), a(1), int64(a(2))))
 
 	// --- CGCM runtime library ---
 	case "cgcm.map":
 		if onGPU {
 			return 0, 0, &Error{Fn: fr.fn.Name, Msg: "cgcm.map on GPU"}
 		}
-		in.flushOps()
+		ex.flushOps()
 		p, err := in.RT.Map(a(0))
-		return p, 0, in.wrapErr(fr, err)
+		return p, 0, ex.wrapErr(fr, err)
 	case "cgcm.unmap":
-		in.flushOps()
-		return 0, 0, in.wrapErr(fr, in.RT.Unmap(a(0)))
+		ex.flushOps()
+		return 0, 0, ex.wrapErr(fr, in.RT.Unmap(a(0)))
 	case "cgcm.release":
-		in.flushOps()
-		return 0, 0, in.wrapErr(fr, in.RT.Release(a(0)))
+		ex.flushOps()
+		return 0, 0, ex.wrapErr(fr, in.RT.Release(a(0)))
 	case "cgcm.mapArray":
-		in.flushOps()
+		ex.flushOps()
 		p, err := in.RT.MapArray(a(0))
-		return p, 0, in.wrapErr(fr, err)
+		return p, 0, ex.wrapErr(fr, err)
 	case "cgcm.unmapArray":
-		in.flushOps()
-		return 0, 0, in.wrapErr(fr, in.RT.UnmapArray(a(0)))
+		ex.flushOps()
+		return 0, 0, ex.wrapErr(fr, in.RT.UnmapArray(a(0)))
 	case "cgcm.releaseArray":
-		in.flushOps()
-		return 0, 0, in.wrapErr(fr, in.RT.ReleaseArray(a(0)))
+		ex.flushOps()
+		return 0, 0, ex.wrapErr(fr, in.RT.ReleaseArray(a(0)))
 	}
 	return 0, 0, &Error{Fn: fr.fn.Name, Msg: "unknown intrinsic " + instr.Name}
 }
 
-func (in *Interp) wrapErr(fr *frame, err error) error {
+func (ex *exec) wrapErr(fr *frame, err error) error {
 	if err == nil {
 		return nil
 	}
 	return &Error{Fn: fr.fn.Name, Msg: err.Error()}
 }
 
-func (in *Interp) nextRand() uint64 {
-	x := in.rng
+func (ex *exec) nextRand() uint64 {
+	x := ex.rng
 	x ^= x << 13
 	x ^= x >> 7
 	x ^= x << 17
-	in.rng = x
+	ex.rng = x
 	return x
 }
 
-func (in *Interp) cString(fr *frame, ptr uint64) (string, error) {
+func (ex *exec) cString(fr *frame, ptr uint64) (string, error) {
 	var out []byte
 	for {
-		addr := ptr + uint64(len(out))
-		if err := in.checkSpace(fr, addr, false); err != nil {
-			return "", err
-		}
-		c, err := in.Mach.Load(addr, 1)
+		c, err := ex.memLoad(fr, ptr+uint64(len(out)), 1)
 		if err != nil {
-			return "", in.wrapErr(fr, err)
+			return "", err
 		}
 		if c == 0 {
 			return string(out), nil

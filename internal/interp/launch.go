@@ -1,25 +1,30 @@
 package interp
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cgcm/internal/ir"
 	"cgcm/internal/machine"
 )
 
 // launch executes an OpLaunch instruction according to the launch mode.
-func (in *Interp) launch(fr *frame, instr *ir.Instr, ops []operand) error {
-	grid := int64(in.evalOp(fr, &ops[0]))
-	blockDim := int64(in.evalOp(fr, &ops[1]))
+func (ex *exec) launch(fr *frame, instr *ir.Instr, ops []operand) error {
+	in := ex.in
+	grid := int64(ex.evalOp(fr, &ops[0]))
+	blockDim := int64(ex.evalOp(fr, &ops[1]))
 	threads := grid * blockDim
 	if threads <= 0 {
 		threads = 1
 	}
 	args := make([]uint64, len(ops)-2)
 	for i := range args {
-		args[i] = in.evalOp(fr, &ops[i+2])
+		args[i] = ex.evalOp(fr, &ops[i+2])
 	}
-	in.flushOps()
+	ex.flushOps()
 	if in.Mode == Inspector {
 		return in.launchInspector(instr.Callee, threads, args)
 	}
@@ -31,19 +36,11 @@ func (in *Interp) launch(fr *frame, instr *ir.Instr, ops []operand) error {
 // know GPU memory may have changed.
 func (in *Interp) launchManaged(kernel *ir.Func, threads int64, args []uint64) error {
 	in.RT.KernelLaunched()
-	var totalOps, maxOps int64
-	for t := int64(0); t < threads; t++ {
-		var ops int64
-		ctx := &gpuCtx{tid: t, ntid: threads, ops: &ops}
-		if _, err := in.call(kernel, args, ctx); err != nil {
-			return fmt.Errorf("kernel %s, thread %d: %w", kernel.Name, t, err)
-		}
-		totalOps += ops
-		if ops > maxOps {
-			maxOps = ops
-		}
+	res, err := in.runGrid(kernel, threads, args, false)
+	if err != nil {
+		return err
 	}
-	in.Mach.LaunchKernel(kernel.Name, threads, totalOps, maxOps)
+	in.Mach.LaunchKernel(kernel.Name, threads, res.totalOps, res.maxOps)
 	return nil
 }
 
@@ -58,35 +55,245 @@ func (in *Interp) launchManaged(kernel *ir.Func, threads int64, args []uint64) e
 // oracle's transfers are assumed perfect.
 func (in *Interp) launchInspector(kernel *ir.Func, threads int64, args []uint64) error {
 	in.RT.KernelLaunched()
-	in.inspectorTouched = make(map[uint64]bool)
-	in.inspectorWrote = make(map[uint64]bool)
-	in.inspectorLocal = make(map[uint64]bool)
-	in.inspectorAcc = 0
-
-	var totalOps, maxOps int64
-	for t := int64(0); t < threads; t++ {
-		var ops int64
-		ctx := &gpuCtx{tid: t, ntid: threads, ops: &ops, inspect: true}
-		if _, err := in.call(kernel, args, ctx); err != nil {
-			return fmt.Errorf("inspector kernel %s, thread %d: %w", kernel.Name, t, err)
-		}
-		totalOps += ops
-		if ops > maxOps {
-			maxOps = ops
-		}
+	res, err := in.runGrid(kernel, threads, args, true)
+	if err != nil {
+		return err
 	}
 	// Sequential inspection: the inspector walks the loop's address
 	// stream on the CPU before any parallel work can start.
-	in.Mach.InspectorOps(in.inspectorAcc)
+	in.Mach.InspectorOps(res.inspAcc)
 	// Oracle transfers: one byte per accessed unit in, one byte per
 	// written unit out. Each transfer pays full latency — this is what
 	// keeps the pattern cyclic.
-	for range in.inspectorTouched {
+	for i := 0; i < res.inspTouched; i++ {
 		in.Mach.ChargeTransfer(machine.EvHtoD, 1)
 	}
-	in.Mach.LaunchKernel(kernel.Name, threads, totalOps, maxOps)
-	for range in.inspectorWrote {
+	in.Mach.LaunchKernel(kernel.Name, threads, res.totalOps, res.maxOps)
+	for i := 0; i < res.inspWrote; i++ {
 		in.Mach.ChargeTransfer(machine.EvDtoH, 1)
 	}
 	return nil
+}
+
+// gridResult is the deterministic merge of all workers' accounting for
+// one launch.
+type gridResult struct {
+	totalOps, maxOps int64
+	inspAcc          int64
+	inspTouched      int // distinct allocation units read or written
+	inspWrote        int // distinct allocation units written
+}
+
+type threadFault struct {
+	tid int64
+	err error
+}
+
+// numWorkers resolves the configured worker count.
+func (in *Interp) numWorkers() int {
+	if in.Workers > 0 {
+		return in.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// workerCtx returns the i-th pooled worker context, growing the pool on
+// demand; contexts persist across launches so their inline caches and
+// frame free lists stay warm.
+func (in *Interp) workerCtx(i int) *exec {
+	for len(in.workers) <= i {
+		in.workers = append(in.workers, &exec{in: in, worker: true, id: len(in.workers)})
+	}
+	return in.workers[i]
+}
+
+// compileReachable precompiles kernel and everything it can call, so
+// worker goroutines only ever read the compiled-function cache.
+func (in *Interp) compileReachable(f *ir.Func) {
+	seen := make(map[*ir.Func]bool)
+	var visit func(*ir.Func)
+	visit = func(g *ir.Func) {
+		if g == nil || seen[g] {
+			return
+		}
+		seen[g] = true
+		in.compile(g)
+		g.Instrs(func(instr *ir.Instr) {
+			if instr.Op == ir.OpCall || instr.Op == ir.OpLaunch {
+				visit(instr.Callee)
+			}
+		})
+	}
+	visit(f)
+}
+
+// threadSeed derives a per-thread RNG stream (splitmix64) so any
+// RNG-consuming kernel code is deterministic regardless of the schedule.
+// (The mini-C front end rejects rand in kernels; this covers hand-built
+// IR.)
+func threadSeed(seed uint64, tid int64) uint64 {
+	z := seed + uint64(tid+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// runGrid executes the grid×block thread space of one kernel launch.
+//
+// The thread space is split into contiguous chunks claimed from an
+// atomic counter by worker contexts (up to GOMAXPROCS of them, pooled on
+// the interpreter). During the launch the machine's segment tree is
+// read-only — kernel allocas come from per-worker scratch arenas — so
+// workers resolve memory without locks. After the barrier everything is
+// merged deterministically:
+//
+//   - op counts fold by sum/max, which are schedule-independent;
+//   - inspector touch-sets fold by union;
+//   - kernel output buffers replay in thread order;
+//   - if any threads faulted, the lowest thread id wins, exactly the
+//     fault sequential execution reports (workers skip threads above the
+//     current minimum faulting tid, so every lower thread still runs).
+func (in *Interp) runGrid(kernel *ir.Func, threads int64, args []uint64, inspect bool) (gridResult, error) {
+	in.compileReachable(kernel)
+	nw := in.numWorkers()
+	if int64(nw) > threads {
+		nw = int(threads)
+	}
+	chunk := threads / int64(nw*4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	nChunks := (threads + chunk - 1) / chunk
+	outs := make([]*bytes.Buffer, nChunks)
+
+	var next atomic.Int64
+	var minErr atomic.Int64
+	minErr.Store(threads) // sentinel: no fault
+	var faultMu sync.Mutex
+	var faults []threadFault
+	seed := in.root.rng
+	depth := in.root.depth
+
+	run := func(ex *exec) {
+		ex.beginLaunch(inspect, depth)
+		for {
+			ci := next.Add(1) - 1
+			if ci >= nChunks {
+				break
+			}
+			lo := ci * chunk
+			hi := lo + chunk
+			if hi > threads {
+				hi = threads
+			}
+			if lo > minErr.Load() {
+				break
+			}
+			ex.outSlot = &outs[ci]
+			ex.out = ex
+			for t := lo; t < hi; t++ {
+				if t > minErr.Load() {
+					break
+				}
+				ex.rng = threadSeed(seed, t)
+				if ex.race != nil {
+					ex.race.tid = t
+				}
+				var ops int64
+				ctx := &gpuCtx{tid: t, ntid: threads, ops: &ops, inspect: inspect}
+				if _, err := ex.call(kernel, args, ctx); err != nil {
+					faultMu.Lock()
+					faults = append(faults, threadFault{t, err})
+					faultMu.Unlock()
+					for {
+						cur := minErr.Load()
+						if t >= cur || minErr.CompareAndSwap(cur, t) {
+							break
+						}
+					}
+					break
+				}
+				ex.totalOps += ops
+				if ops > ex.maxOps {
+					ex.maxOps = ops
+				}
+			}
+		}
+		ex.endLaunch()
+	}
+
+	ws := make([]*exec, nw)
+	for i := range ws {
+		ws[i] = in.workerCtx(i)
+	}
+	if nw == 1 {
+		run(ws[0])
+	} else {
+		var wg sync.WaitGroup
+		for _, ex := range ws {
+			wg.Add(1)
+			go func(ex *exec) {
+				defer wg.Done()
+				run(ex)
+			}(ex)
+		}
+		wg.Wait()
+	}
+
+	// Replay buffered kernel output in thread order; on a fault, exactly
+	// the output threads 0..faultTid produced, as sequential execution
+	// would have printed.
+	errTid := minErr.Load()
+	for ci := int64(0); ci < nChunks && ci*chunk <= errTid; ci++ {
+		if outs[ci] != nil {
+			in.Out.Write(outs[ci].Bytes())
+		}
+	}
+	if errTid < threads {
+		for _, f := range faults {
+			if f.tid == errTid {
+				prefix := "kernel"
+				if inspect {
+					prefix = "inspector kernel"
+				}
+				return gridResult{}, fmt.Errorf("%s %s, thread %d: %w", prefix, kernel.Name, f.tid, f.err)
+			}
+		}
+		panic("interp: faulting thread vanished during merge")
+	}
+
+	var res gridResult
+	var raceLogs [][]writeIv
+	if inspect {
+		// Fold worker touch-sets by union: the merged set is the same
+		// for any chunk assignment.
+		touched := ws[0].insp.touched
+		wrote := ws[0].insp.wrote
+		for _, ex := range ws[1:] {
+			for b := range ex.insp.touched {
+				touched[b] = true
+			}
+			for b := range ex.insp.wrote {
+				wrote[b] = true
+			}
+		}
+		res.inspTouched = len(touched)
+		res.inspWrote = len(wrote)
+	}
+	for _, ex := range ws {
+		res.totalOps += ex.totalOps
+		if ex.maxOps > res.maxOps {
+			res.maxOps = ex.maxOps
+		}
+		if inspect {
+			res.inspAcc += ex.insp.acc
+		}
+		if ex.race != nil && len(ex.race.ivs) > 0 {
+			raceLogs = append(raceLogs, ex.race.ivs)
+		}
+	}
+	if in.RaceCheck && !inspect {
+		in.Races = append(in.Races, sweepRaces(kernel.Name, raceLogs)...)
+	}
+	return res, nil
 }

@@ -1,0 +1,122 @@
+package interp
+
+import "sort"
+
+// Write-set race detector.
+//
+// A DOALL kernel is only correct if its threads write disjoint bytes.
+// The parallel engine can check that property exactly: while a launch
+// runs, each worker records the store intervals of every thread it
+// executes (coalescing consecutive writes, so a thread streaming through
+// an array costs one interval). After the barrier the intervals from all
+// threads are sorted and swept; any byte written by two distinct thread
+// ids is a race. Detection is purely a function of the per-thread write
+// sets, so it works — and reports identical findings — for any worker
+// count, including Workers=1 where execution is physically sequential.
+
+// RaceFinding reports overlapping writes from two kernel threads.
+type RaceFinding struct {
+	Kernel     string
+	Addr       uint64 // first overlapping byte
+	Size       int64  // length of the overlap
+	TidA, TidB int64  // the two writing threads (TidA wrote first in the sweep)
+}
+
+// writeIv is one thread's coalesced store interval [base, end).
+type writeIv struct {
+	base, end uint64
+	tid       int64
+}
+
+// raceLog records one worker's store intervals for the current launch.
+type raceLog struct {
+	tid int64 // thread currently executing on this worker
+	ivs []writeIv
+}
+
+// record notes a size-byte store at addr by the current thread.
+// Consecutive and re-written addresses extend the previous interval, so
+// streaming and accumulating stores stay O(1) in memory.
+func (l *raceLog) record(addr uint64, size int64) {
+	end := addr + uint64(size)
+	if n := len(l.ivs); n > 0 {
+		last := &l.ivs[n-1]
+		if last.tid == l.tid && addr >= last.base && addr <= last.end {
+			if end > last.end {
+				last.end = end
+			}
+			return
+		}
+	}
+	l.ivs = append(l.ivs, writeIv{base: addr, end: end, tid: l.tid})
+}
+
+// maxRaceFindings caps findings per launch; one is enough to flag a
+// kernel, a few help diagnosis.
+const maxRaceFindings = 4
+
+// sweepRaces merges the workers' interval logs and reports overlaps
+// between distinct threads. Sorting makes the result independent of the
+// chunk schedule.
+func sweepRaces(kernel string, logs [][]writeIv) []RaceFinding {
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	all := make([]writeIv, 0, total)
+	for _, l := range logs {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].base != all[j].base {
+			return all[i].base < all[j].base
+		}
+		if all[i].end != all[j].end {
+			return all[i].end < all[j].end
+		}
+		return all[i].tid < all[j].tid
+	})
+
+	// Sweep with the two furthest-reaching open intervals from distinct
+	// threads: a new interval races iff it starts before one of them
+	// ends and belongs to a different thread.
+	var findings []RaceFinding
+	end1, tid1 := uint64(0), int64(-1) // furthest end seen
+	end2, tid2 := uint64(0), int64(-1) // furthest end from a thread != tid1
+	report := func(iv writeIv, end uint64, tid int64) {
+		overlap := end - iv.base
+		if iv.end-iv.base < overlap {
+			overlap = iv.end - iv.base
+		}
+		findings = append(findings, RaceFinding{
+			Kernel: kernel, Addr: iv.base, Size: int64(overlap), TidA: tid, TidB: iv.tid,
+		})
+	}
+	for _, iv := range all {
+		if len(findings) < maxRaceFindings {
+			if tid1 >= 0 && iv.base < end1 && iv.tid != tid1 {
+				report(iv, end1, tid1)
+			} else if tid2 >= 0 && iv.base < end2 && iv.tid != tid2 {
+				report(iv, end2, tid2)
+			}
+		}
+		if iv.tid == tid1 {
+			if iv.end > end1 {
+				end1 = iv.end
+			}
+		} else if iv.end > end1 {
+			end2, tid2 = end1, tid1
+			end1, tid1 = iv.end, iv.tid
+		} else if iv.tid == tid2 {
+			if iv.end > end2 {
+				end2 = iv.end
+			}
+		} else if iv.end > end2 {
+			end2, tid2 = iv.end, iv.tid
+		}
+	}
+	return findings
+}

@@ -335,6 +335,19 @@ func (m *Machine) FindSegment(addr uint64) *Segment {
 	return seg
 }
 
+// LookupSegment returns the segment containing addr without touching the
+// machine's internal access cache, so any number of goroutines may call
+// it concurrently as long as no segment is allocated or freed. The
+// parallel kernel-execution engine uses it while worker goroutines share
+// the segment tree read-only for the duration of a launch.
+func (m *Machine) LookupSegment(addr uint64) *Segment {
+	_, seg, ok := m.segs[SpaceOf(addr)].GreatestLTE(addr)
+	if !ok || addr >= seg.End() {
+		return nil
+	}
+	return seg
+}
+
 func (m *Machine) segmentFor(addr uint64, size int64) (*Segment, error) {
 	seg := m.FindSegment(addr)
 	if seg == nil {

@@ -18,6 +18,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 
 	"cgcm/internal/machine"
 	"cgcm/internal/rbtree"
@@ -146,7 +147,18 @@ func (r *Runtime) Malloc(size int64) uint64 {
 }
 
 // Calloc allocates a zeroed heap unit (machine memory is always zeroed).
-func (r *Runtime) Calloc(n, size int64) uint64 { return r.Malloc(n * size) }
+// The element-count multiplication is overflow-checked, matching libc:
+// calloc must fail rather than return an undersized unit when n*size
+// wraps int64.
+func (r *Runtime) Calloc(n, size int64) (uint64, error) {
+	if n < 0 || size < 0 {
+		return 0, &Error{Op: "calloc", Msg: "negative size"}
+	}
+	if size != 0 && n > math.MaxInt64/size {
+		return 0, &Error{Op: "calloc", Msg: "size overflow"}
+	}
+	return r.Malloc(n * size), nil
+}
 
 // Realloc resizes a heap unit, preserving contents up to the smaller size.
 func (r *Runtime) Realloc(ptr uint64, size int64) (uint64, error) {

@@ -252,10 +252,19 @@ func TestMapArrayRefcountBalance(t *testing.T) {
 
 func TestHeapWrappers(t *testing.T) {
 	rt, m := newRT()
-	p := rt.Calloc(4, 8)
+	p, err := rt.Calloc(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	v, _ := m.Load(p+24, 8)
 	if v != 0 {
 		t.Error("calloc not zeroed")
+	}
+	if _, err := rt.Calloc(1<<32, 1<<32); err == nil {
+		t.Error("calloc overflow not detected")
+	}
+	if _, err := rt.Calloc(-1, 8); err == nil {
+		t.Error("calloc negative count not detected")
 	}
 	m.Store(p, 8, 11)
 	q, err := rt.Realloc(p, 64)
