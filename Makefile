@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet fmtcheck test race bench ci
 
 all: build
 
@@ -13,6 +13,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fail if any file is not gofmt-clean.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -24,4 +29,4 @@ race:
 bench:
 	$(GO) test -bench 'BenchmarkEngine$$' -benchtime 3x ./internal/bench/
 
-ci: build vet race
+ci: build fmtcheck vet race

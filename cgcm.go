@@ -39,9 +39,12 @@
 package cgcm
 
 import (
+	"io"
+
 	"cgcm/internal/core"
 	"cgcm/internal/interp"
 	"cgcm/internal/machine"
+	"cgcm/internal/trace"
 )
 
 // Strategy selects parallelization and communication handling — the four
@@ -81,6 +84,61 @@ type CostModel = machine.CostModel
 // DefaultCostModel returns the calibrated model approximating the
 // paper's Core 2 Quad + GTX 480 platform at reproduction scale.
 func DefaultCostModel() CostModel { return machine.DefaultCostModel() }
+
+// Pass names an ablatable compilation pass for Options.Ablate.
+type Pass = core.Pass
+
+// Ablatable passes.
+const (
+	// PassDOALL is the parallelizer.
+	PassDOALL = core.PassDOALL
+	// PassGlueKernel is the glue-kernel enabling transformation (§5.3).
+	PassGlueKernel = core.PassGlueKernel
+	// PassAllocaPromo is alloca promotion (§5.2).
+	PassAllocaPromo = core.PassAllocaPromo
+	// PassMapPromo is map promotion (§5.1).
+	PassMapPromo = core.PassMapPromo
+)
+
+// PassSet is a set of passes to ablate; it implements flag.Value, so it
+// can back an -ablate CLI flag directly.
+type PassSet = core.PassSet
+
+// Tracer collects structured observability spans. Set one in
+// Options.Tracer to receive compile-phase spans and, after each Run, that
+// run's machine, runtime, and fault spans.
+type Tracer = trace.Tracer
+
+// NewTracer returns an empty Tracer ready to use as Options.Tracer.
+func NewTracer() *Tracer { return trace.New() }
+
+// Span is one structured timeline event from a traced run.
+type Span = trace.Span
+
+// PhaseSpan records one compile phase with host wall time and activity.
+type PhaseSpan = trace.PhaseSpan
+
+// Ledger is the per-allocation-unit communication ledger found in
+// Report.Comm: per-unit transfer counts and the cyclic/acyclic pattern
+// classification of §5.
+type Ledger = trace.Ledger
+
+// UnitStats is one allocation unit's row in the Ledger.
+type UnitStats = trace.UnitStats
+
+// Communication patterns.
+const (
+	// PatternNone means the unit never crossed the bus.
+	PatternNone = trace.PatternNone
+	// PatternAcyclic means transfers happen once, outside loops.
+	PatternAcyclic = trace.PatternAcyclic
+	// PatternCyclic means the unit ping-pongs between memories.
+	PatternCyclic = trace.PatternCyclic
+)
+
+// WriteChromeTrace serializes a Tracer's spans in Chrome trace-event
+// JSON, viewable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, t *Tracer) error { return trace.WriteChrome(w, t) }
 
 // Compile parses, checks, lowers, parallelizes, and transforms a mini-C
 // program according to opts.

@@ -11,8 +11,10 @@
 //	cgcmbench -table3      # just program characteristics
 //	cgcmbench -fig4        # just the speedups
 //	cgcmbench -program lu  # one program, all four systems
+//	cgcmbench -ledger      # per-program communication-ledger summary
 //	cgcmbench -json        # also write machine-readable BENCH_<n>.json
 //	cgcmbench -workers 8   # kernel-engine worker goroutines per launch
+//	cgcmbench -ablate mappromo  # skip named optimization passes
 package main
 
 import (
@@ -97,13 +99,15 @@ func main() {
 	t3 := flag.Bool("table3", false, "render Table 3 (program characteristics)")
 	f4 := flag.Bool("fig4", false, "render Figure 4 (whole-program speedups)")
 	one := flag.String("program", "", "run a single named program")
+	ledger := flag.Bool("ledger", false, "render the per-program communication-ledger summary")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	jsonOut := flag.Bool("json", false, "write measured rows to BENCH_<n>.json")
 	workers := flag.Int("workers", 0, "kernel-engine worker goroutines per launch (0 = GOMAXPROCS)")
+	flag.Var(&bench.Ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
 	flag.Parse()
 	bench.Workers = *workers
 
-	all := !*t1 && !*f2 && !*t3 && !*f4 && *one == ""
+	all := !*t1 && !*f2 && !*t3 && !*f4 && !*ledger && *one == ""
 
 	if *one != "" {
 		p, ok := bench.ByName(*one)
@@ -119,6 +123,13 @@ func main() {
 		bench.RenderFigure4(os.Stdout, []*bench.Row{row})
 		fmt.Println()
 		bench.RenderTable3(os.Stdout, []*bench.Row{row})
+		if *ledger {
+			fmt.Println()
+			bench.RenderLedger(os.Stdout, []*bench.Row{row})
+			fmt.Println()
+			fmt.Printf("%s, unoptimized CGCM:\n%s\n", row.Name, row.Unopt.Comm)
+			fmt.Printf("%s, optimized CGCM:\n%s", row.Name, row.Opt.Comm)
+		}
 		if *jsonOut {
 			path, err := writeJSON([]*bench.Row{row})
 			if err != nil {
@@ -147,7 +158,7 @@ func main() {
 		}
 		bench.RenderFigure2(os.Stdout, sch)
 	}
-	if all || *t3 || *f4 || *jsonOut {
+	if all || *t3 || *f4 || *ledger || *jsonOut {
 		var logw io.Writer = os.Stderr
 		if *quiet {
 			logw = io.Discard
@@ -163,6 +174,12 @@ func main() {
 		}
 		if all || *f4 {
 			bench.RenderFigure4(os.Stdout, rows)
+		}
+		if *ledger {
+			if all || *f4 {
+				fmt.Println()
+			}
+			bench.RenderLedger(os.Stdout, rows)
 		}
 		if *jsonOut {
 			path, err := writeJSON(rows)

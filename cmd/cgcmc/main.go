@@ -5,7 +5,9 @@
 //
 //	cgcmc file.c                 # final IR under -strategy
 //	cgcmc -passes file.c         # dump IR after every phase
+//	cgcmc -phases file.c         # compile-phase report (time, activity)
 //	cgcmc -strategy unopt file.c # sequential | inspector | unopt | opt
+//	cgcmc -ablate mappromo file.c # skip named optimization passes
 package main
 
 import (
@@ -20,9 +22,12 @@ import (
 func main() {
 	passes := flag.Bool("passes", false, "dump IR after every compilation phase")
 	strategy := flag.String("strategy", "opt", "sequential | inspector | unopt | opt")
+	phases := flag.Bool("phases", false, "report compile phases with wall time and activity")
+	var ablate core.PassSet
+	flag.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cgcmc [-passes] [-strategy s] file.c")
+		fmt.Fprintln(os.Stderr, "usage: cgcmc [-passes] [-phases] [-strategy s] [-ablate passes] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -30,7 +35,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cgcmc: %v\n", err)
 		os.Exit(1)
 	}
-	opts := core.Options{Strategy: parseStrategy(*strategy)}
+	opts := core.Options{Strategy: parseStrategy(*strategy), Ablate: ablate}
 	if *passes {
 		opts.DumpWriter = os.Stdout
 	}
@@ -41,6 +46,16 @@ func main() {
 	}
 	if !*passes {
 		io.WriteString(os.Stdout, prog.Module.String())
+	}
+	if *phases {
+		for _, ph := range prog.Phases() {
+			note := ph.Note
+			if note == "" {
+				note = "-"
+			}
+			fmt.Fprintf(os.Stderr, "%-12s %10.2fms %6d %s\n",
+				ph.Name, float64(ph.HostNS)/1e6, ph.Activity, note)
+		}
 	}
 }
 

@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	cgcmrun file.c                   # optimized CGCM
-//	cgcmrun -strategy seq file.c     # plain sequential CPU execution
-//	cgcmrun -compare file.c          # run all four systems, report table
-//	cgcmrun -trace file.c            # append an execution schedule
+//	cgcmrun file.c                    # optimized CGCM
+//	cgcmrun -strategy seq file.c      # plain sequential CPU execution
+//	cgcmrun -compare file.c           # run all four systems, report table
+//	cgcmrun -trace file.c             # append an execution schedule
+//	cgcmrun -trace-out t.json file.c  # write a Perfetto-viewable trace
+//	cgcmrun -ledger file.c            # per-allocation-unit communication
+//	cgcmrun -ablate mappromo file.c   # skip named optimization passes
 package main
 
 import (
@@ -16,15 +19,20 @@ import (
 	"os"
 
 	"cgcm/internal/core"
+	tracepkg "cgcm/internal/trace"
 )
 
 func main() {
 	strategy := flag.String("strategy", "opt", "sequential | inspector | unopt | opt")
 	compare := flag.Bool("compare", false, "run all four systems and compare")
 	trace := flag.Bool("trace", false, "print the machine event trace")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (open in ui.perfetto.dev)")
+	ledger := flag.Bool("ledger", false, "print the per-allocation-unit communication ledger")
+	var ablate core.PassSet
+	flag.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cgcmrun [-strategy s | -compare] [-trace] file.c")
+		fmt.Fprintln(os.Stderr, "usage: cgcmrun [-strategy s | -compare] [-trace] [-trace-out f] [-ledger] [-ablate passes] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -38,7 +46,7 @@ func main() {
 		fmt.Printf("%-20s %12s %10s %10s %8s %8s\n", "system", "sim time", "HtoD", "DtoH", "kernels", "speedup")
 		var base float64
 		for _, s := range []core.Strategy{core.Sequential, core.InspectorExecutor, core.CGCMUnoptimized, core.CGCMOptimized} {
-			rep, err := core.CompileAndRun(name, string(src), core.Options{Strategy: s})
+			rep, err := core.CompileAndRun(name, string(src), core.Options{Strategy: s, Ablate: ablate})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cgcmrun: %s: %v\n", s, err)
 				os.Exit(1)
@@ -53,15 +61,22 @@ func main() {
 		return
 	}
 
+	var tr *tracepkg.Tracer
+	if *traceOut != "" {
+		tr = tracepkg.New()
+	}
 	rep, err := core.CompileAndRun(name, string(src), core.Options{
 		Strategy: parseStrategy(*strategy),
 		Trace:    *trace,
+		Tracer:   tr,
+		Ablate:   ablate,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cgcmrun: %v\n", err)
 		if rep != nil && rep.Output != "" {
 			fmt.Fprintf(os.Stderr, "partial output:\n%s", rep.Output)
 		}
+		writeTrace(*traceOut, tr)
 		os.Exit(1)
 	}
 	fmt.Print(rep.Output)
@@ -76,6 +91,28 @@ func main() {
 				ev.Start*1e6, (ev.End-ev.Start)*1e6, ev.Kind, ev.Label)
 		}
 	}
+	if *ledger {
+		fmt.Fprint(os.Stderr, rep.Comm)
+	}
+	writeTrace(*traceOut, tr)
+}
+
+// writeTrace exports the collected spans as Chrome trace-event JSON.
+func writeTrace(path string, tr *tracepkg.Tracer) {
+	if path == "" || tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgcmrun: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := tracepkg.WriteChrome(f, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "cgcmrun: write trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "--- trace written to %s (open in ui.perfetto.dev)\n", path)
 }
 
 func parseStrategy(s string) core.Strategy {

@@ -14,6 +14,7 @@ import (
 	"cgcm/internal/core"
 	"cgcm/internal/ir"
 	"cgcm/internal/stats"
+	"cgcm/internal/trace"
 	"cgcm/internal/typeinfer"
 )
 
@@ -21,6 +22,10 @@ import (
 // measurement run (core.Options.Workers); 0 means GOMAXPROCS. Simulated
 // results are identical for every value — only host wall-clock changes.
 var Workers int
+
+// Ablate names optimization passes to skip in every measurement run
+// (core.Options.Ablate), for ablation studies from the command line.
+var Ablate core.PassSet
 
 // Row holds the measured results for one program across the compared
 // systems — everything Table 3 and Figure 4 need.
@@ -55,7 +60,7 @@ func RunProgram(p Program) (*Row, error) {
 	row := &Row{Program: p}
 	start := time.Now()
 	run := func(s core.Strategy) (*core.Report, error) {
-		rep, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: s, Workers: Workers})
+		rep, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: s, Workers: Workers, Ablate: Ablate})
 		if err != nil {
 			return nil, fmt.Errorf("%s [%s]: %w", p.Name, s, err)
 		}
@@ -394,6 +399,40 @@ func RenderTable3(w io.Writer, rows []*Row) {
 	fmt.Fprintln(w, strings.Repeat("-", 110))
 	fmt.Fprintf(w, "totals: CGCM handles %d kernels; IE/NR applicable to %d/%d (paper: 101 vs 80)\n",
 		totK, totIE, totNR)
+}
+
+// RenderLedger prints the communication-ledger summary: per program, how
+// many allocation units crossed the bus, how many of them were cyclic
+// under unoptimized CGCM versus optimized, the round trips each way, and
+// the copies the optimized runtime skipped. It is the per-unit view
+// behind Figure 2: optimization is visible as cyclic units becoming
+// acyclic and round trips going to zero.
+func RenderLedger(w io.Writer, rows []*Row) {
+	fmt.Fprintln(w, "Communication ledger: allocation-unit patterns, unoptimized vs optimized CGCM")
+	fmt.Fprintln(w, strings.Repeat("-", 96))
+	fmt.Fprintf(w, "%-16s %-9s %6s %14s %14s %14s %10s\n",
+		"program", "suite", "units", "cyclic un/opt", "trips un/opt", "copies un/opt", "opt skips")
+	var cycUn, cycOpt int
+	for _, r := range rows {
+		un, opt := r.Unopt.Comm, r.Opt.Comm
+		cycUn += un.Cyclic()
+		cycOpt += opt.Cyclic()
+		copies := func(l trace.Ledger) int64 {
+			var n int64
+			for i := range l.Units {
+				n += l.Units[i].HtoDCopies + l.Units[i].DtoHCopies
+			}
+			return n
+		}
+		fmt.Fprintf(w, "%-16s %-9s %6d %8d/%-5d %8d/%-5d %8d/%-5d %10d\n",
+			r.Name, r.Suite, len(un.Units),
+			un.Cyclic(), opt.Cyclic(),
+			un.RoundTrips(), opt.RoundTrips(),
+			copies(un), copies(opt),
+			opt.SkippedCopies())
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 96))
+	fmt.Fprintf(w, "totals: %d cyclic units unoptimized -> %d optimized\n", cycUn, cycOpt)
 }
 
 // SortBySuite orders rows in the paper's Table 3 order (already the

@@ -20,7 +20,7 @@ func TestAblationGlueKernels(t *testing.T) {
 		t.Fatal(err)
 	}
 	noGlue, err := core.CompileAndRun(p.Name, p.Source, core.Options{
-		Strategy: core.CGCMOptimized, DisableGlueKernels: true,
+		Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassGlueKernel: true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +54,7 @@ func TestAblationAllocaPromotion(t *testing.T) {
 		t.Fatal(err)
 	}
 	noAP, err := core.CompileAndRun(p.Name, p.Source, core.Options{
-		Strategy: core.CGCMOptimized, DisableAllocaPromotion: true,
+		Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassAllocaPromo: true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestAblationMapPromotion(t *testing.T) {
 		t.Fatal(err)
 	}
 	noMP, err := core.CompileAndRun(p.Name, p.Source, core.Options{
-		Strategy: core.CGCMOptimized, DisableMapPromotion: true,
+		Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassMapPromo: true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -91,6 +91,17 @@ func TestAblationMapPromotion(t *testing.T) {
 	unopt, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.CGCMUnoptimized})
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The deprecated bool must delegate to the same ablation.
+	viaBool, err := core.CompileAndRun(p.Name, p.Source, core.Options{
+		Strategy: core.CGCMOptimized, DisableMapPromotion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaBool.Stats != noMP.Stats {
+		t.Errorf("deprecated DisableMapPromotion diverged from Ablate: %+v vs %+v",
+			viaBool.Stats, noMP.Stats)
 	}
 	if full.Output != noMP.Output || full.Output != unopt.Output {
 		t.Fatal("outputs diverged")

@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/core"
+	"cgcm/internal/trace"
+)
+
+// TestConcurrentRunsIdentical: Run is read-only on the compiled Program,
+// so many goroutines running the same Program concurrently must produce
+// byte-identical Reports. Run under -race this also proves the absence
+// of data races on shared compile state.
+func TestConcurrentRunsIdentical(t *testing.T) {
+	p, ok := bench.ByName("jacobi-2d-imper")
+	if !ok {
+		t.Fatal("jacobi missing")
+	}
+	tr := trace.New()
+	prog, err := core.Compile(p.Name, p.Source, core.Options{Strategy: core.CGCMOptimized, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Kernels() == 0 || prog.LaunchSites() == 0 {
+		t.Fatalf("compile census empty: kernels=%d launchSites=%d", prog.Kernels(), prog.LaunchSites())
+	}
+
+	const n = 4
+	reps := make([]*core.Report, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := prog.Run()
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			reps[i] = rep
+		}(i)
+	}
+	wg.Wait()
+
+	base := reps[0]
+	if base == nil {
+		t.Fatal("first run failed")
+	}
+	for i := 1; i < n; i++ {
+		r := reps[i]
+		if r == nil {
+			continue
+		}
+		if r.Output != base.Output {
+			t.Errorf("run %d output diverged", i)
+		}
+		if r.Stats != base.Stats {
+			t.Errorf("run %d stats diverged: %+v vs %+v", i, r.Stats, base.Stats)
+		}
+		if r.RTStats != base.RTStats {
+			t.Errorf("run %d runtime stats diverged: %+v vs %+v", i, r.RTStats, base.RTStats)
+		}
+		if !reflect.DeepEqual(r.Comm, base.Comm) {
+			t.Errorf("run %d communication ledger diverged:\n%s\nvs\n%s", i, r.Comm, base.Comm)
+		}
+		if !reflect.DeepEqual(r.Spans, base.Spans) {
+			t.Errorf("run %d spans diverged (%d vs %d)", i, len(r.Spans), len(base.Spans))
+		}
+		if r.Promotions != base.Promotions || r.GlueKernels != base.GlueKernels ||
+			r.AllocaPromotions != base.AllocaPromotions {
+			t.Errorf("run %d pass counters diverged", i)
+		}
+	}
+	// The shared sink collected every run without interleaving: a whole
+	// multiple of one run's spans.
+	if got := len(tr.Spans()); got != n*len(base.Spans) {
+		t.Errorf("sink has %d spans, want %d runs x %d", got, n, len(base.Spans))
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+	"time"
 
 	"cgcm/internal/doall"
 	"cgcm/internal/interp"
@@ -23,6 +25,7 @@ import (
 	"cgcm/internal/passes/gluekernel"
 	"cgcm/internal/passes/mappromo"
 	runtimelib "cgcm/internal/runtime"
+	"cgcm/internal/trace"
 )
 
 // Strategy selects how a program is parallelized and how its CPU-GPU
@@ -59,26 +62,98 @@ func (s Strategy) String() string {
 	return "?"
 }
 
+// Pass names an ablatable compilation pass.
+type Pass string
+
+// Ablatable passes.
+const (
+	// PassDOALL is the parallelizer; ablate it for manually parallelized
+	// inputs that already contain launches.
+	PassDOALL Pass = "doall"
+	// PassGlueKernel is the glue-kernel enabling transformation (§5.3).
+	PassGlueKernel Pass = "gluekernel"
+	// PassAllocaPromo is alloca promotion (§5.2).
+	PassAllocaPromo Pass = "allocapromo"
+	// PassMapPromo is map promotion itself (§5.1).
+	PassMapPromo Pass = "mappromo"
+)
+
+// ablatablePasses lists the valid PassSet members.
+var ablatablePasses = []Pass{PassDOALL, PassGlueKernel, PassAllocaPromo, PassMapPromo}
+
+// PassSet is a set of passes to ablate. It implements flag.Value, so CLI
+// flags can say -ablate gluekernel,mappromo; repeated flags accumulate.
+type PassSet map[Pass]bool
+
+// Has reports membership (nil-safe).
+func (s PassSet) Has(p Pass) bool { return s[p] }
+
+// String renders the set as a sorted comma-separated list (flag.Value).
+func (s PassSet) String() string {
+	names := make([]string, 0, len(s))
+	for p, on := range s {
+		if on {
+			names = append(names, string(p))
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// Set parses a comma-separated pass list into the set (flag.Value).
+// Unknown pass names are an error; "none" clears the set.
+func (s *PassSet) Set(v string) error {
+	if *s == nil {
+		*s = make(PassSet)
+	}
+	for _, name := range strings.Split(v, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "none" {
+			clear(*s)
+			continue
+		}
+		ok := false
+		for _, p := range ablatablePasses {
+			if string(p) == name {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown pass %q (valid: %s)", name, passNames())
+		}
+		(*s)[Pass(name)] = true
+	}
+	return nil
+}
+
+func passNames() string {
+	names := make([]string, len(ablatablePasses))
+	for i, p := range ablatablePasses {
+		names[i] = string(p)
+	}
+	return strings.Join(names, ", ")
+}
+
 // Options configures a compilation.
 type Options struct {
 	Strategy Strategy
 	// Cost overrides the machine cost model; nil uses the default.
 	Cost *machine.CostModel
-	// Trace enables machine event tracing (Figure 2).
-	Trace bool
+	// Tracer, when non-nil, enables structured observability: it receives
+	// compile-phase spans from Compile and, from each Run, the machine,
+	// runtime, and fault spans of that run (merged post-run, so concurrent
+	// runs never interleave). Export with trace.WriteChrome.
+	Tracer *trace.Tracer
+	// Ablate names optimization passes to skip, for ablation studies.
+	Ablate PassSet
 	// DumpWriter, when set, receives IR dumps after each phase.
 	DumpWriter io.Writer
 	// Limits overrides interpreter limits.
 	Limits *interp.Limits
-	// DisableDOALL skips the parallelizer (for manually parallelized
-	// inputs that already contain launches).
-	DisableDOALL bool
-	// DisableGlueKernels/DisableAllocaPromotion allow ablation of the
-	// enabling transformations while keeping map promotion.
-	DisableGlueKernels     bool
-	DisableAllocaPromotion bool
-	// DisableMapPromotion ablates map promotion itself.
-	DisableMapPromotion bool
 	// Workers sets the number of host goroutines simulating GPU threads
 	// per kernel launch; 0 means GOMAXPROCS. Results are identical for
 	// every worker count.
@@ -86,7 +161,51 @@ type Options struct {
 	// RaceCheck enables the kernel write-set race detector; findings are
 	// collected in Report.Races.
 	RaceCheck bool
+
+	// Trace enables span collection even without a Tracer sink, filling
+	// Report.Spans and the legacy Report.Trace event slice.
+	//
+	// Deprecated: set Tracer instead.
+	Trace bool
+	// DisableDOALL skips the parallelizer.
+	//
+	// Deprecated: use Ablate with PassDOALL.
+	DisableDOALL bool
+	// DisableGlueKernels ablates the glue-kernel transformation.
+	//
+	// Deprecated: use Ablate with PassGlueKernel.
+	DisableGlueKernels bool
+	// DisableAllocaPromotion ablates alloca promotion.
+	//
+	// Deprecated: use Ablate with PassAllocaPromo.
+	DisableAllocaPromotion bool
+	// DisableMapPromotion ablates map promotion.
+	//
+	// Deprecated: use Ablate with PassMapPromo.
+	DisableMapPromotion bool
 }
+
+// ablated reports whether a pass is disabled, honoring both the Ablate
+// set and the deprecated per-pass bools.
+func (o *Options) ablated(p Pass) bool {
+	if o.Ablate.Has(p) {
+		return true
+	}
+	switch p {
+	case PassDOALL:
+		return o.DisableDOALL
+	case PassGlueKernel:
+		return o.DisableGlueKernels
+	case PassAllocaPromo:
+		return o.DisableAllocaPromotion
+	case PassMapPromo:
+		return o.DisableMapPromotion
+	}
+	return false
+}
+
+// tracing reports whether span collection is wanted.
+func (o *Options) tracing() bool { return o.Tracer != nil || o.Trace }
 
 // Report is the outcome of running a compiled program.
 type Report struct {
@@ -114,10 +233,24 @@ type Report struct {
 	// Races holds write-set race findings (when Options.RaceCheck).
 	Races []interp.RaceFinding
 
+	// Comm is the per-allocation-unit communication ledger (always
+	// populated): which units crossed the bus, how often, and whether
+	// each unit's pattern was cyclic or acyclic.
+	Comm trace.Ledger
+	// Phases records the compile phases with host wall time and activity.
+	Phases []trace.PhaseSpan
+	// Spans holds this run's structured timeline spans (when tracing).
+	Spans []trace.Span
+
+	// Trace holds the legacy flat machine events (when tracing).
+	//
+	// Deprecated: use Spans.
 	Trace []machine.Event
 }
 
-// Program is a compiled mini-C program ready to run.
+// Program is a compiled mini-C program ready to run. Run is read-only on
+// the Program, so one compiled Program may run concurrently on any
+// number of fresh simulated machines.
 type Program struct {
 	Module *ir.Module
 	Opts   Options
@@ -127,22 +260,61 @@ type Program struct {
 	promotions        int
 	glueKernels       int
 	allocaPromotions  int
+
+	kernels     int
+	launchSites int
+	phases      []trace.PhaseSpan
 }
 
+// Kernels reports the number of distinct GPU kernels in the compiled
+// module, counted once at the end of Compile.
+func (p *Program) Kernels() int { return p.kernels }
+
+// LaunchSites reports the number of launch instructions in the compiled
+// module, counted once at the end of Compile.
+func (p *Program) LaunchSites() int { return p.launchSites }
+
+// Phases returns the compile-phase spans recorded during Compile.
+func (p *Program) Phases() []trace.PhaseSpan { return p.phases }
+
 // Compile parses, checks, lowers, and transforms src according to opts.
+// All module mutation — including instruction renumbering and the
+// kernel/launch-site census — happens here, leaving Run side-effect-free.
 func Compile(name, src string, opts Options) (*Program, error) {
+	var phases []trace.PhaseSpan
+	begin := func(phase string) func(activity int, note string) {
+		start := time.Now()
+		return func(activity int, note string) {
+			phases = append(phases, trace.PhaseSpan{
+				Name:     phase,
+				HostNS:   time.Since(start).Nanoseconds(),
+				Activity: activity,
+				Note:     note,
+			})
+		}
+	}
+
+	end := begin("parse")
 	file, perrs := parser.Parse(name, src)
 	if len(perrs) > 0 {
 		return nil, joinErrors("parse", perrs)
 	}
+	end(len(file.Decls), "")
+
+	end = begin("sema")
 	info, serrs := sema.Check(file)
 	if len(serrs) > 0 {
 		return nil, joinErrors("check", serrs)
 	}
+	end(0, "")
+
+	end = begin("irbuild")
 	mod, err := irbuild.Build(info)
 	if err != nil {
 		return nil, err
 	}
+	end(len(mod.Funcs), "functions")
+
 	p := &Program{Module: mod, Opts: opts}
 	dump := func(phase string) {
 		if opts.DumpWriter != nil {
@@ -150,82 +322,120 @@ func Compile(name, src string, opts Options) (*Program, error) {
 		}
 	}
 	dump("irbuild")
+	finish := func() (*Program, error) {
+		mod.Renumber()
+		for _, f := range mod.Funcs {
+			if f.Kernel {
+				p.kernels++
+			}
+			f.Instrs(func(instr *ir.Instr) {
+				if instr.Op == ir.OpLaunch {
+					p.launchSites++
+				}
+			})
+		}
+		p.phases = phases
+		opts.Tracer.RecordPhases(phases...)
+		return p, nil
+	}
 
 	// Constant folding is semantics-preserving and runs under every
 	// strategy, so all four systems execute identical arithmetic; it
 	// also lets the parallelizer compute static trip counts from
 	// literal-expression bounds.
-	if _, err := constfold.Run(mod); err != nil {
+	end = begin("constfold")
+	cres, err := constfold.Run(mod)
+	if err != nil {
 		return nil, err
 	}
+	end(cres.Folded+cres.Simplified, "instructions folded")
 	dump("constfold")
 
 	if opts.Strategy == Sequential {
-		return p, nil
+		return finish()
 	}
-	if !opts.DisableDOALL {
+	if !opts.ablated(PassDOALL) {
+		end = begin("doall")
 		dres, err := doall.Run(mod)
 		if err != nil {
 			return nil, err
 		}
 		p.doallFound = dres.LoopsFound
 		p.doallParallelized = dres.LoopsParallelized
+		end(dres.LoopsParallelized, "loops parallelized")
 		dump("doall")
 	}
 	if opts.Strategy == InspectorExecutor {
 		// Inspector-executor manages communication at run time; no
 		// compile-time management is inserted.
-		return p, nil
+		return finish()
 	}
-	if _, err := commmgmt.Run(mod); err != nil {
+	end = begin("commmgmt")
+	mres, err := commmgmt.Run(mod)
+	if err != nil {
 		return nil, err
 	}
+	end(mres.MapsInserted, "maps inserted")
 	dump("commmgmt")
 
 	if opts.Strategy == CGCMOptimized {
 		// §5.4: "the glue kernel optimization runs before alloca
 		// promotion, and map promotion runs last."
-		if !opts.DisableGlueKernels {
+		if !opts.ablated(PassGlueKernel) {
+			end = begin("gluekernel")
 			gres, err := gluekernel.Run(mod)
 			if err != nil {
 				return nil, err
 			}
 			p.glueKernels = gres.Outlined
+			end(gres.Outlined, "kernels outlined")
 			dump("gluekernel")
 		}
-		if !opts.DisableAllocaPromotion {
+		if !opts.ablated(PassAllocaPromo) {
+			end = begin("allocapromo")
 			ares, err := allocapromo.Run(mod)
 			if err != nil {
 				return nil, err
 			}
 			p.allocaPromotions = ares.Promoted
+			end(ares.Promoted, "allocas promoted")
 			dump("allocapromo")
 		}
-		if !opts.DisableMapPromotion {
-			mres, err := mappromo.Run(mod)
+		if !opts.ablated(PassMapPromo) {
+			end = begin("mappromo")
+			pres, err := mappromo.Run(mod)
 			if err != nil {
 				return nil, err
 			}
-			p.promotions = mres.Promotions
+			p.promotions = pres.Promotions
+			end(pres.Promotions, "maps promoted")
 			dump("mappromo")
 		}
 	}
-	return p, nil
+	return finish()
 }
 
-// Run executes the compiled program on a fresh simulated machine.
+// Run executes the compiled program on a fresh simulated machine. It does
+// not mutate the Program, so concurrent Run calls on one Program are safe
+// and produce identical Reports.
 func (p *Program) Run() (*Report, error) {
 	cost := machine.DefaultCostModel()
 	if p.Opts.Cost != nil {
 		cost = *p.Opts.Cost
 	}
 	mach := machine.New(cost)
-	if p.Opts.Trace {
-		mach.EnableTrace()
+	// Trace into a private per-run tracer; it merges into the caller's
+	// sink after the run, so concurrent runs never interleave spans.
+	var runTr *trace.Tracer
+	if p.Opts.tracing() {
+		runTr = trace.New()
+		mach.SetTracer(runTr)
 	}
 	rt := runtimelib.New(mach)
+	rt.Tr = runTr
 	var out bytes.Buffer
 	in := interp.New(p.Module, mach, rt, &out)
+	in.Tr = runTr
 	if p.Opts.Strategy == InspectorExecutor {
 		in.Mode = interp.Inspector
 	}
@@ -236,32 +446,27 @@ func (p *Program) Run() (*Report, error) {
 	in.RaceCheck = p.Opts.RaceCheck
 	exit, err := in.Run()
 	rep := &Report{
-		Races: in.Races,
 		Strategy:               p.Opts.Strategy,
 		Output:                 out.String(),
 		Exit:                   exit,
 		Stats:                  mach.Stats(),
 		RTStats:                rt.Stats(),
+		Kernels:                p.kernels,
+		LaunchSites:            p.launchSites,
 		DOALLLoopsFound:        p.doallFound,
 		DOALLLoopsParallelized: p.doallParallelized,
 		Promotions:             p.promotions,
 		GlueKernels:            p.glueKernels,
 		AllocaPromotions:       p.allocaPromotions,
+		Races:                  in.Races,
+		Comm:                   rt.Ledger.Ledger(),
+		Phases:                 p.phases,
 	}
-	mach.FlushTrace()
-	rep.Trace = mach.Trace()
-	for _, f := range p.Module.Funcs {
-		if f.Kernel {
-			rep.Kernels++
-		}
-	}
-	p.Module.Renumber()
-	for _, f := range p.Module.Funcs {
-		f.Instrs(func(instr *ir.Instr) {
-			if instr.Op == ir.OpLaunch {
-				rep.LaunchSites++
-			}
-		})
+	if runTr != nil {
+		mach.FlushTrace()
+		rep.Spans = runTr.Spans()
+		rep.Trace = machine.EventsFromSpans(rep.Spans)
+		p.Opts.Tracer.Merge(runTr)
 	}
 	if err != nil {
 		return rep, err

@@ -1,0 +1,230 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cgcm/internal/core"
+	"cgcm/internal/trace"
+)
+
+// cyclicSrc is the Figure 2 shape: a timestep loop repeatedly launching a
+// kernel over one malloc'd vector. The init loop uses rand_int so only
+// the timestep loop parallelizes, keeping the communication pattern pure.
+const cyclicSrc = `
+int main() {
+	float *v = (float*)malloc(1024 * 8);
+	for (int i = 0; i < 1024; i++) v[i] = (float)rand_int(100);
+	for (int t = 0; t < 6; t++) {
+		for (int i = 0; i < 1024; i++) v[i] = v[i] * 1.01 + 0.5;
+	}
+	print_float(v[17]);
+	free(v);
+	return 0;
+}`
+
+// TestLedgerCyclicVsAcyclic is the paper's §5 claim made checkable per
+// allocation unit: unoptimized CGCM ping-pongs the vector every epoch
+// (cyclic); the communication optimizations hoist the transfers out of
+// the loop (acyclic).
+func TestLedgerCyclicVsAcyclic(t *testing.T) {
+	un, err := core.CompileAndRun("fig2.c", cyclicSrc, core.Options{Strategy: core.CGCMUnoptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := core.CompileAndRun("fig2.c", cyclicSrc, core.Options{Strategy: core.CGCMOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u := un.Comm.Unit("malloc")
+	if u == nil {
+		t.Fatalf("unoptimized ledger has no malloc unit:\n%s", un.Comm)
+	}
+	if u.Pattern != trace.PatternCyclic {
+		t.Errorf("unoptimized pattern = %s, want cyclic:\n%s", u.Pattern, un.Comm)
+	}
+	if u.RoundTrips == 0 {
+		t.Errorf("unoptimized round trips = 0, want > 0:\n%s", un.Comm)
+	}
+
+	o := op.Comm.Unit("malloc")
+	if o == nil {
+		t.Fatalf("optimized ledger has no malloc unit:\n%s", op.Comm)
+	}
+	if o.Pattern != trace.PatternAcyclic {
+		t.Errorf("optimized pattern = %s, want acyclic:\n%s", o.Pattern, op.Comm)
+	}
+	if o.RoundTrips != 0 {
+		t.Errorf("optimized round trips = %d, want 0", o.RoundTrips)
+	}
+	if o.HtoDCopies != 1 || o.DtoHCopies != 1 {
+		t.Errorf("optimized copies = %d/%d, want 1/1", o.HtoDCopies, o.DtoHCopies)
+	}
+	// The optimization must also show up as skipped redundant copies.
+	if o.ResidencySkips+o.EpochSkips == 0 {
+		t.Error("optimized run shows no skipped copies")
+	}
+	if un.Comm.Cyclic() == 0 || op.Comm.Cyclic() != 0 {
+		t.Errorf("ledger summary: unopt cyclic %d, opt cyclic %d", un.Comm.Cyclic(), op.Comm.Cyclic())
+	}
+}
+
+// TestTracerEndToEnd runs with a Tracer sink and checks the structured
+// spans: kernels on the GPU lane, unit-tagged transfers, runtime-call
+// instants, and a valid Perfetto export.
+func TestTracerEndToEnd(t *testing.T) {
+	tr := trace.New()
+	rep, err := core.CompileAndRun("fig2.c", cyclicSrc, core.Options{
+		Strategy: core.CGCMOptimized, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Spans) == 0 {
+		t.Fatal("no spans collected")
+	}
+	kinds := map[trace.Kind]int{}
+	var taggedXfer bool
+	for _, s := range rep.Spans {
+		kinds[s.Kind]++
+		if (s.Kind == trace.KindHtoD || s.Kind == trace.KindDtoH) && s.Unit == "malloc" {
+			taggedXfer = true
+		}
+		if s.End < s.Start {
+			t.Errorf("span ends before start: %+v", s)
+		}
+	}
+	if kinds[trace.KindKernel] == 0 || kinds[trace.KindHtoD] == 0 || kinds[trace.KindMap] == 0 {
+		t.Errorf("span kinds missing: %v", kinds)
+	}
+	if !taggedXfer {
+		t.Error("no transfer span tagged with its allocation unit")
+	}
+	// The sink received the merged run plus the compile phases.
+	if len(tr.Spans()) != len(rep.Spans) {
+		t.Errorf("sink has %d spans, report has %d", len(tr.Spans()), len(rep.Spans))
+	}
+	if len(tr.Phases()) == 0 {
+		t.Error("sink received no compile phases")
+	}
+	// Legacy flat events stay derivable for Figure 2.
+	if len(rep.Trace) == 0 {
+		t.Error("legacy Trace slice is empty under tracing")
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) < len(rep.Spans) {
+		t.Errorf("chrome export has %d events for %d spans", len(doc.TraceEvents), len(rep.Spans))
+	}
+}
+
+// TestReportPhases: every strategy records its compile phases with the
+// pass activity counters.
+func TestReportPhases(t *testing.T) {
+	rep, err := core.CompileAndRun("fig2.c", cyclicSrc, core.Options{Strategy: core.CGCMOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]trace.PhaseSpan{}
+	for _, ph := range rep.Phases {
+		got[ph.Name] = ph
+	}
+	for _, want := range []string{"parse", "sema", "irbuild", "constfold", "doall", "commmgmt", "gluekernel", "allocapromo", "mappromo"} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("phase %q missing (got %v)", want, rep.Phases)
+		}
+	}
+	if got["doall"].Activity == 0 {
+		t.Error("doall phase reports no parallelized loops")
+	}
+	if got["mappromo"].Activity != rep.Promotions {
+		t.Errorf("mappromo activity %d != Promotions %d", got["mappromo"].Activity, rep.Promotions)
+	}
+
+	seq, err := core.CompileAndRun("fig2.c", cyclicSrc, core.Options{Strategy: core.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range seq.Phases {
+		switch ph.Name {
+		case "doall", "commmgmt", "gluekernel", "allocapromo", "mappromo":
+			t.Errorf("sequential compile ran pass %q", ph.Name)
+		}
+	}
+}
+
+// TestPassSetFlagValue exercises the CLI-facing PassSet parser.
+func TestPassSetFlagValue(t *testing.T) {
+	var s core.PassSet
+	if err := s.Set("gluekernel,mappromo"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("allocapromo"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(core.PassGlueKernel) || !s.Has(core.PassMapPromo) || !s.Has(core.PassAllocaPromo) {
+		t.Errorf("set = %v", s)
+	}
+	if s.Has(core.PassDOALL) {
+		t.Error("doall should not be set")
+	}
+	if got := s.String(); got != "allocapromo,gluekernel,mappromo" {
+		t.Errorf("String() = %q", got)
+	}
+	if err := s.Set("bogus"); err == nil {
+		t.Error("unknown pass accepted")
+	}
+	if err := s.Set("none"); err != nil || s.String() != "" {
+		t.Errorf("none did not clear: %v %q", err, s.String())
+	}
+}
+
+// TestTracingDisabledIsFree: without a tracer, no spans or events are
+// collected, but the ledger and phases are still there.
+func TestTracingDisabledIsFree(t *testing.T) {
+	rep, err := core.CompileAndRun("fig2.c", cyclicSrc, core.Options{Strategy: core.CGCMUnoptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans != nil || rep.Trace != nil {
+		t.Error("spans collected without tracing")
+	}
+	if len(rep.Comm.Units) == 0 || len(rep.Phases) == 0 {
+		t.Error("ledger/phases missing when tracing is off")
+	}
+}
+
+// TestFaultSpan: a faulting program leaves a fault marker on the traced
+// timeline.
+func TestFaultSpan(t *testing.T) {
+	tr := trace.New()
+	src := `
+int main() {
+	int *p = (int*)0;
+	return p[4];
+}`
+	_, err := core.CompileAndRun("fault.c", src, core.Options{Strategy: core.Sequential, Tracer: tr})
+	if err == nil {
+		t.Fatal("program did not fault")
+	}
+	var found bool
+	for _, s := range tr.Spans() {
+		if s.Kind == trace.KindFault {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no fault span emitted")
+	}
+}

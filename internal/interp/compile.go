@@ -47,12 +47,13 @@ type compiledFunc struct {
 
 // compile builds (and caches) the operand descriptors for f. The cache is
 // valid because modules are never mutated after interpretation starts —
-// all passes run at compile time, before New.
+// all passes run and Renumber at compile time, before New. compile must
+// not mutate f either: one module may be interpreted by concurrent
+// interpreters, so register numbering is a precondition, not a fixup.
 func (in *Interp) compile(f *ir.Func) *compiledFunc {
 	if cf, ok := in.compiled[f]; ok {
 		return cf
 	}
-	f.Renumber()
 	cf := &compiledFunc{
 		fn:        f,
 		blockArgs: make([][][]operand, len(f.Blocks)),

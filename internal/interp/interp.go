@@ -32,6 +32,7 @@ import (
 	"cgcm/internal/ir"
 	"cgcm/internal/machine"
 	"cgcm/internal/runtime"
+	"cgcm/internal/trace"
 )
 
 // LaunchMode selects how kernel launches are executed.
@@ -75,6 +76,10 @@ type Interp struct {
 	Out  io.Writer
 	Mode LaunchMode
 	Lim  Limits
+
+	// Tr, when non-nil, receives a fault span when execution dies, so
+	// exported traces show where a run ended.
+	Tr *trace.Tracer
 
 	// Workers is the number of host goroutines used to execute the
 	// threads of each kernel launch; 0 means GOMAXPROCS. Output, machine
@@ -149,6 +154,7 @@ func (in *Interp) Run() (int64, error) {
 	in.depthLimit = in.maxDepth()
 	if f := in.Mod.Func("__cgcm_init"); f != nil {
 		if _, err := in.root.call(f, nil, nil); err != nil {
+			in.emitFault(err)
 			return 0, err
 		}
 	}
@@ -158,6 +164,7 @@ func (in *Interp) Run() (int64, error) {
 	}
 	ret, err := in.root.call(mainFn, nil, nil)
 	if err != nil {
+		in.emitFault(err)
 		return 0, err
 	}
 	in.root.flushOps()
@@ -166,6 +173,18 @@ func (in *Interp) Run() (int64, error) {
 		return in.exitCode, nil
 	}
 	return int64(ret), nil
+}
+
+// emitFault marks where execution died on the traced timeline.
+func (in *Interp) emitFault(err error) {
+	if in.Tr == nil || err == nil {
+		return
+	}
+	now := in.Mach.Now()
+	in.Tr.Emit(trace.Span{
+		Kind: trace.KindFault, Lane: trace.LaneCPU,
+		Name: err.Error(), Start: now, End: now,
+	})
 }
 
 // gpuCtx is per-thread kernel execution context.

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"cgcm/internal/rbtree"
+	"cgcm/internal/trace"
 )
 
 // Space identifies an address space.
@@ -191,11 +192,59 @@ func (k EventKind) String() string {
 }
 
 // Event is one span on a timeline lane.
+//
+// Deprecated: Event is the flat legacy view kept for the Figure 2
+// renderer and cgcmrun -trace; new code should consume trace.Span via a
+// trace.Tracer (SetTracer), which carries allocation-unit and epoch tags.
 type Event struct {
 	Kind       EventKind
 	Start, End float64
 	Label      string
 	Bytes      int64
+}
+
+// spanKind maps the legacy event kind to its structured kind and lane.
+func (k EventKind) spanKind() (trace.Kind, trace.Lane) {
+	switch k {
+	case EvKernel:
+		return trace.KindKernel, trace.LaneGPU
+	case EvHtoD:
+		return trace.KindHtoD, trace.LaneXfer
+	case EvDtoH:
+		return trace.KindDtoH, trace.LaneXfer
+	case EvStall:
+		return trace.KindStall, trace.LaneCPU
+	}
+	return trace.KindCPU, trace.LaneCPU
+}
+
+// EventsFromSpans converts machine-lane spans back to the legacy flat
+// event slice (compile-phase and runtime-call spans are dropped).
+func EventsFromSpans(spans []trace.Span) []Event {
+	var out []Event
+	for _, s := range spans {
+		var kind EventKind
+		switch s.Kind {
+		case trace.KindCPU:
+			kind = EvCPU
+		case trace.KindKernel:
+			kind = EvKernel
+		case trace.KindHtoD:
+			kind = EvHtoD
+		case trace.KindDtoH:
+			kind = EvDtoH
+		case trace.KindStall:
+			kind = EvStall
+		default:
+			continue
+		}
+		label := s.Name
+		if label == "" {
+			label = s.Unit
+		}
+		out = append(out, Event{Kind: kind, Start: s.Start, End: s.End, Label: label, Bytes: s.Bytes})
+	}
+	return out
 }
 
 // Stats aggregates the temporal counters the evaluation reports.
@@ -227,8 +276,8 @@ type Machine struct {
 
 	stats Stats
 
-	traceOn bool
-	trace   []Event
+	// tr, when non-nil, receives structured timeline spans.
+	tr *trace.Tracer
 
 	// pendingCPU accumulates CPU op time not yet flushed to the trace, so
 	// traces show contiguous CPU spans rather than one per instruction.
@@ -260,11 +309,25 @@ func New(cost CostModel) *Machine {
 	}
 }
 
-// EnableTrace switches on event tracing (Figure 2 rendering).
-func (m *Machine) EnableTrace() { m.traceOn = true }
+// SetTracer directs the machine's timeline spans into t (nil disables).
+func (m *Machine) SetTracer(t *trace.Tracer) { m.tr = t }
 
-// Trace returns the recorded events.
-func (m *Machine) Trace() []Event { return m.trace }
+// Tracer returns the machine's tracer, if any.
+func (m *Machine) Tracer() *trace.Tracer { return m.tr }
+
+// EnableTrace switches on event tracing into an internal tracer.
+//
+// Deprecated: pass a trace.Tracer via SetTracer instead.
+func (m *Machine) EnableTrace() {
+	if m.tr == nil {
+		m.tr = trace.New()
+	}
+}
+
+// Trace returns the recorded events as the legacy flat slice.
+//
+// Deprecated: read structured spans from the tracer instead.
+func (m *Machine) Trace() []Event { return EventsFromSpans(m.tr.Spans()) }
 
 // Stats returns a snapshot of the counters; Wall reflects a full sync.
 func (m *Machine) Stats() Stats {
@@ -420,16 +483,22 @@ func (m *Machine) WriteBytes(addr uint64, data []byte) error {
 	return nil
 }
 
-func (m *Machine) emit(ev Event) {
-	if m.traceOn {
-		m.trace = append(m.trace, ev)
+// emit records one timeline span; no-op unless a tracer is attached.
+func (m *Machine) emit(kind EventKind, start, end float64, name string, bytes int64, unit string) {
+	if m.tr == nil {
+		return
 	}
+	k, lane := kind.spanKind()
+	m.tr.Emit(trace.Span{
+		Kind: k, Lane: lane, Name: name,
+		Start: start, End: end, Bytes: bytes, Unit: unit,
+	})
 }
 
 func (m *Machine) flushCPUSpan() {
 	if m.pendingCPUOps > 0 {
-		m.emit(Event{Kind: EvCPU, Start: m.pendingCPUStart, End: m.cpuTime,
-			Label: fmt.Sprintf("%d ops", m.pendingCPUOps)})
+		m.emit(EvCPU, m.pendingCPUStart, m.cpuTime,
+			fmt.Sprintf("%d ops", m.pendingCPUOps), 0, "")
 		m.pendingCPUOps = 0
 	}
 }
@@ -457,8 +526,7 @@ func (m *Machine) InspectorOps(n int64) {
 	d := float64(n) * m.Cost.InspectorPerOp
 	m.cpuTime += d
 	m.stats.CPUTime += d
-	m.emit(Event{Kind: EvCPU, Start: m.cpuTime - d, End: m.cpuTime,
-		Label: fmt.Sprintf("inspect %d", n)})
+	m.emit(EvCPU, m.cpuTime-d, m.cpuTime, fmt.Sprintf("inspect %d", n), 0, "")
 }
 
 // LaunchKernel models an asynchronous kernel launch executing totalOps
@@ -484,11 +552,23 @@ func (m *Machine) LaunchKernel(name string, threads int64, totalOps, maxThreadOp
 	m.stats.GPUTime += dur
 	m.stats.NumKernels++
 	m.stats.GPUOps += totalOps
-	m.emit(Event{Kind: EvKernel, Start: start, End: m.gpuReady, Label: name})
+	m.emit(EvKernel, start, m.gpuReady, name, 0, "")
 	if m.Cost.SyncAfterLaunch {
 		m.stats.StallTime += m.gpuReady - m.cpuTime
 		m.cpuTime = m.gpuReady
 	}
+}
+
+// unitNameAt names the allocation unit containing the CPU-side address of
+// a transfer, for span tagging; empty when untraced or unknown.
+func (m *Machine) unitNameAt(addr uint64) string {
+	if m.tr == nil {
+		return ""
+	}
+	if seg := m.FindSegment(addr); seg != nil {
+		return seg.Name
+	}
+	return ""
 }
 
 // CopyHtoD models a host-to-device DMA of n bytes plus the functional byte
@@ -503,7 +583,7 @@ func (m *Machine) CopyHtoD(dst, src uint64, n int64) error {
 	if err := m.WriteBytes(dst, data); err != nil {
 		return err
 	}
-	m.xfer(EvHtoD, n)
+	m.xfer(EvHtoD, n, m.unitNameAt(src))
 	m.stats.BytesHtoD += n
 	m.stats.NumHtoD++
 	return nil
@@ -518,7 +598,7 @@ func (m *Machine) CopyDtoH(dst, src uint64, n int64) error {
 	if err := m.WriteBytes(dst, data); err != nil {
 		return err
 	}
-	m.xfer(EvDtoH, n)
+	m.xfer(EvDtoH, n, m.unitNameAt(dst))
 	m.stats.BytesDtoH += n
 	m.stats.NumDtoH++
 	return nil
@@ -529,7 +609,13 @@ func (m *Machine) CopyDtoH(dst, src uint64, n int64) error {
 // which the paper grants an oracle that transfers exactly the needed
 // bytes; the functional copy happens wholesale elsewhere).
 func (m *Machine) ChargeTransfer(kind EventKind, n int64) {
-	m.xfer(kind, n)
+	m.ChargeTransferUnit(kind, n, "")
+}
+
+// ChargeTransferUnit is ChargeTransfer with an allocation-unit tag for
+// the emitted trace span.
+func (m *Machine) ChargeTransferUnit(kind EventKind, n int64, unit string) {
+	m.xfer(kind, n, unit)
 	if kind == EvHtoD {
 		m.stats.BytesHtoD += n
 		m.stats.NumHtoD++
@@ -539,16 +625,16 @@ func (m *Machine) ChargeTransfer(kind EventKind, n int64) {
 	}
 }
 
-func (m *Machine) xfer(kind EventKind, n int64) {
+func (m *Machine) xfer(kind EventKind, n int64, unit string) {
 	m.flushCPUSpan()
 	// Transfers synchronize with the GPU: wait for kernels to drain.
 	if m.gpuReady > m.cpuTime {
-		m.emit(Event{Kind: EvStall, Start: m.cpuTime, End: m.gpuReady, Label: "sync"})
+		m.emit(EvStall, m.cpuTime, m.gpuReady, "sync", 0, "")
 		m.stats.StallTime += m.gpuReady - m.cpuTime
 		m.cpuTime = m.gpuReady
 	}
 	d := m.Cost.TransferLat + float64(n)*m.Cost.TransferPerB
-	m.emit(Event{Kind: kind, Start: m.cpuTime, End: m.cpuTime + d, Bytes: n})
+	m.emit(kind, m.cpuTime, m.cpuTime+d, "", n, unit)
 	m.cpuTime += d
 	m.gpuReady = m.cpuTime
 	m.stats.CommTime += d
@@ -563,7 +649,7 @@ func (m *Machine) ChargeAllocGPU() { m.cpuTime += m.Cost.AllocGPU }
 func (m *Machine) Sync() {
 	m.flushCPUSpan()
 	if m.gpuReady > m.cpuTime {
-		m.emit(Event{Kind: EvStall, Start: m.cpuTime, End: m.gpuReady, Label: "sync"})
+		m.emit(EvStall, m.cpuTime, m.gpuReady, "sync", 0, "")
 		m.stats.StallTime += m.gpuReady - m.cpuTime
 		m.cpuTime = m.gpuReady
 	}

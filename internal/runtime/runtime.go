@@ -22,6 +22,7 @@ import (
 
 	"cgcm/internal/machine"
 	"cgcm/internal/rbtree"
+	"cgcm/internal/trace"
 )
 
 // runtimeCallOps is the CPU op charge per runtime-library entry point
@@ -83,6 +84,14 @@ type Stats struct {
 type Runtime struct {
 	M *machine.Machine
 
+	// Tr, when non-nil, receives an instant span per map/unmap/release
+	// call, tagged with the allocation unit touched.
+	Tr *trace.Tracer
+	// Ledger folds per-allocation-unit communication activity; it is
+	// always on (the fold is a few map updates per runtime call) so every
+	// Report carries a communication ledger.
+	Ledger *trace.LedgerBuilder
+
 	allocs  rbtree.Tree[*AllocInfo]
 	shadows map[uint64]*shadowArray
 	epoch   uint64
@@ -91,7 +100,19 @@ type Runtime struct {
 
 // New creates a runtime for machine m.
 func New(m *machine.Machine) *Runtime {
-	return &Runtime{M: m, shadows: make(map[uint64]*shadowArray)}
+	return &Runtime{M: m, shadows: make(map[uint64]*shadowArray), Ledger: trace.NewLedgerBuilder()}
+}
+
+// span emits one instant runtime-call span on the runtime lane.
+func (r *Runtime) span(kind trace.Kind, info *AllocInfo, bytes int64) {
+	if r.Tr == nil {
+		return
+	}
+	now := r.M.Now()
+	r.Tr.Emit(trace.Span{
+		Kind: kind, Lane: trace.LaneRT, Name: kind.String() + " " + info.Name,
+		Start: now, End: now, Bytes: bytes, Unit: info.Name,
+	})
 }
 
 // Stats returns a snapshot of the runtime counters.
@@ -107,7 +128,10 @@ func (r *Runtime) Epoch() uint64 { return r.epoch }
 // KernelLaunched advances the global epoch; the interpreter calls it at
 // every kernel launch ("an epoch count which increases every time the
 // program launches a GPU function").
-func (r *Runtime) KernelLaunched() { r.epoch++ }
+func (r *Runtime) KernelLaunched() {
+	r.epoch++
+	r.Tr.AdvanceEpoch()
+}
 
 // DeclareGlobal registers a global variable's host allocation unit and
 // its preallocated device named region (§3.1: "the compiler inserts calls
@@ -230,7 +254,8 @@ func (r *Runtime) Map(ptr uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if info.RefCount == 0 {
+	copied := info.RefCount == 0
+	if copied {
 		if !info.IsGlobal {
 			info.DevPtr = r.M.Alloc(machine.GPU, info.Size, "dev:"+info.Name)
 			r.M.ChargeAllocGPU()
@@ -243,6 +268,12 @@ func (r *Runtime) Map(ptr uint64) (uint64, error) {
 		r.stats.HtoDCopies++
 	} else {
 		r.stats.ResidencySkips++
+	}
+	r.Ledger.RecordMap(info.Base, info.Name, info.Size, r.epoch, copied)
+	if copied {
+		r.span(trace.KindMap, info, info.Size)
+	} else {
+		r.span(trace.KindMap, info, 0)
 	}
 	info.RefCount++
 	return info.DevPtr + (ptr - info.Base), nil
@@ -257,7 +288,8 @@ func (r *Runtime) Unmap(ptr uint64) error {
 	if err != nil {
 		return err
 	}
-	if info.Epoch != r.epoch && !info.ReadOnly {
+	copied := info.Epoch != r.epoch && !info.ReadOnly
+	if copied {
 		if info.DevPtr == 0 {
 			return &Error{Op: "unmap", Ptr: ptr, Msg: "allocation unit has no GPU copy"}
 		}
@@ -268,6 +300,12 @@ func (r *Runtime) Unmap(ptr uint64) error {
 		info.Epoch = r.epoch
 	} else {
 		r.stats.EpochSkips++
+	}
+	r.Ledger.RecordUnmap(info.Base, info.Name, info.Size, r.epoch, copied)
+	if copied {
+		r.span(trace.KindUnmap, info, info.Size)
+	} else {
+		r.span(trace.KindUnmap, info, 0)
 	}
 	return nil
 }
@@ -284,6 +322,8 @@ func (r *Runtime) Release(ptr uint64) error {
 	if info.RefCount == 0 {
 		return &Error{Op: "release", Ptr: ptr, Msg: "unbalanced release (refcount already zero)"}
 	}
+	r.Ledger.RecordRelease(info.Base, info.Name, info.Size)
+	r.span(trace.KindRelease, info, 0)
 	info.RefCount--
 	if info.RefCount == 0 && !info.IsGlobal {
 		if err := r.M.Free(machine.GPU, info.DevPtr); err != nil {
@@ -352,8 +392,10 @@ func (r *Runtime) MapArray(ptr uint64) (uint64, error) {
 				return 0, err
 			}
 		}
-		r.M.ChargeTransfer(machine.EvHtoD, info.Size)
+		r.M.ChargeTransferUnit(machine.EvHtoD, info.Size, info.Name)
 		r.stats.HtoDCopies++
+		r.Ledger.RecordUpload(info.Base, info.Name, info.Size, r.epoch)
+		r.span(trace.KindMap, info, info.Size)
 		sh = &shadowArray{DevArr: devArr, Elems: elems}
 		r.shadows[info.Base] = sh
 	}

@@ -1,0 +1,120 @@
+// Chrome trace-event export: spans and compiler phases serialize to the
+// Trace Event Format consumed by Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Simulated lanes become threads of one "simulated
+// machine" process; compiler phases become a second process laid out
+// end to end in host time.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event process/thread ids for the exported lanes.
+const (
+	chromePidMachine  = 1
+	chromePidCompiler = 2
+)
+
+// chromeEvent is one entry of the Trace Event Format. Field order is
+// fixed by the struct, so output is deterministic for golden tests.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`    // instant-event scope
+	Args  map[string]any `json:"args,omitempty"` // bytes, unit, epoch, ...
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome serializes a tracer's spans and phases as Chrome
+// trace-event JSON.
+func WriteChrome(w io.Writer, t *Tracer) error {
+	return WriteChromeSpans(w, t.Spans(), t.Phases())
+}
+
+// WriteChromeSpans serializes the given spans and phases as Chrome
+// trace-event JSON. Span times (simulated seconds) and phase times (host
+// nanoseconds) both land in the format's microsecond unit.
+func WriteChromeSpans(w io.Writer, spans []Span, phases []PhaseSpan) error {
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	meta := func(pid int, name string) {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": name},
+		})
+	}
+	threadMeta := func(pid, tid int, name string) {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(chromePidMachine, "simulated machine")
+	for _, lane := range []Lane{LaneCPU, LaneGPU, LaneXfer, LaneRT} {
+		threadMeta(chromePidMachine, int(lane), lane.String())
+	}
+	if len(phases) > 0 {
+		meta(chromePidCompiler, "compiler")
+		threadMeta(chromePidCompiler, 0, "phases")
+	}
+
+	for _, s := range spans {
+		name := s.Name
+		if name == "" {
+			name = s.Kind.String()
+		}
+		args := map[string]any{"epoch": s.Epoch}
+		if s.Bytes != 0 {
+			args["bytes"] = s.Bytes
+		}
+		if s.Unit != "" {
+			args["unit"] = s.Unit
+		}
+		ev := chromeEvent{
+			Name: name, Cat: s.Kind.String(),
+			TS:  s.Start * 1e6,
+			Pid: chromePidMachine, Tid: int(s.Lane),
+			Args: args,
+		}
+		if s.End > s.Start {
+			ev.Phase = "X"
+			dur := (s.End - s.Start) * 1e6
+			ev.Dur = &dur
+		} else {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+
+	// Phases are sequential in host time; lay them out end to end.
+	var cursor float64
+	for _, p := range phases {
+		dur := float64(p.HostNS) / 1e3
+		args := map[string]any{"activity": p.Activity}
+		if p.Note != "" {
+			args["note"] = p.Note
+		}
+		d := dur
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: p.Name, Cat: "phase", Phase: "X",
+			TS: cursor, Dur: &d,
+			Pid: chromePidCompiler, Tid: 0,
+			Args: args,
+		})
+		cursor += dur
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&doc)
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// fixedSpans is a deterministic trace: simulated times only, no host
+// clocks, so the serialized JSON is byte-stable.
+func fixedSpans() ([]Span, []PhaseSpan) {
+	spans := []Span{
+		{Kind: KindCPU, Lane: LaneCPU, Name: "1000 ops", Start: 0, End: 10e-6},
+		{Kind: KindHtoD, Lane: LaneXfer, Start: 10e-6, End: 25e-6, Bytes: 8192, Unit: "malloc"},
+		{Kind: KindMap, Lane: LaneRT, Name: "map malloc", Start: 10e-6, End: 10e-6, Bytes: 8192, Unit: "malloc", Epoch: 0},
+		{Kind: KindKernel, Lane: LaneGPU, Name: "k0", Start: 25e-6, End: 40e-6, Epoch: 1},
+		{Kind: KindStall, Lane: LaneCPU, Name: "sync", Start: 25e-6, End: 40e-6, Epoch: 1},
+		{Kind: KindDtoH, Lane: LaneXfer, Start: 40e-6, End: 55e-6, Bytes: 8192, Unit: "malloc", Epoch: 1},
+		{Kind: KindFault, Lane: LaneCPU, Name: "memory fault at 0x10", Start: 55e-6, End: 55e-6, Epoch: 1},
+	}
+	phases := []PhaseSpan{
+		{Name: "parse", HostNS: 120_000, Activity: 3},
+		{Name: "doall", HostNS: 450_000, Activity: 2, Note: "loops parallelized"},
+	}
+	return spans, phases
+}
+
+// TestChromeGolden locks the exported Chrome trace-event JSON byte for
+// byte against testdata/chrome_trace.golden.json. Regenerate with:
+//
+//	go test ./internal/trace -run TestChromeGolden -update-golden
+func TestChromeGolden(t *testing.T) {
+	spans, phases := fixedSpans()
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, spans, phases); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome JSON drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeSchema validates the exported document against the Trace
+// Event Format requirements Perfetto relies on.
+func TestChromeSchema(t *testing.T) {
+	spans, phases := fixedSpans()
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, spans, phases); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.Unit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	phCounts := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		phCounts[ph]++
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event %d missing dur: %v", i, ev)
+			}
+		case "i":
+			if ev["s"] != "t" {
+				t.Errorf("instant event %d missing scope: %v", i, ev)
+			}
+		case "M":
+		default:
+			t.Errorf("event %d has unexpected phase %q", i, ph)
+		}
+	}
+	// Spans with extent export as "X", instants as "i", lane names as "M".
+	if phCounts["X"] < 5 || phCounts["i"] != 2 || phCounts["M"] == 0 {
+		t.Errorf("phase distribution = %v", phCounts)
+	}
+}
+
+func TestChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, New()); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Errorf("traceEvents must be an array even when empty: %v", doc)
+	}
+}

@@ -1,0 +1,286 @@
+// Communication ledger: a per-allocation-unit fold of the runtime
+// library's transfer activity.
+//
+// The paper's core claim (§5, Figure 2) is about communication *shape*:
+// unoptimized CGCM re-uploads and copies back every mapped allocation
+// unit around every kernel launch (a cyclic pattern whose round trips
+// serialize the CPU and GPU), while the communication optimizations hoist
+// the transfers out of loops (an acyclic pattern that overlaps CPU and
+// GPU work). Aggregate transfer counters cannot show *which* unit
+// ping-pongs; the ledger can, because the runtime records every
+// map/unmap/release per unit and the fold classifies each unit's pattern.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Pattern classifies one allocation unit's transfer shape.
+type Pattern int
+
+// Patterns.
+const (
+	// PatternNone: the unit never transferred.
+	PatternNone Pattern = iota
+	// PatternAcyclic: the unit crossed the bus in at most one burst each
+	// way (e.g. one upload before the kernels, one copy-back after).
+	PatternAcyclic
+	// PatternCyclic: the unit made round trips — it was re-uploaded after
+	// a copy-back, or transferred across three or more distinct kernel
+	// epochs — the shape that serializes CPU and GPU (Figure 2a).
+	PatternCyclic
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatternAcyclic:
+		return "acyclic"
+	case PatternCyclic:
+		return "cyclic"
+	}
+	return "none"
+}
+
+// UnitStats summarizes one allocation unit's communication over a run.
+type UnitStats struct {
+	Name string // diagnostic name ("malloc", global name, "alloca f")
+	Base uint64 // CPU base address (unique per unit within a run)
+	Size int64
+
+	Maps, Unmaps, Releases int64 // runtime-library calls naming this unit
+
+	HtoDCopies, DtoHCopies int64 // transfers actually performed
+	BytesHtoD, BytesDtoH   int64
+
+	// ResidencySkips counts maps that copied nothing because the unit was
+	// already resident; EpochSkips counts unmaps that copied nothing
+	// because the unit's epoch was current — the redundant communication
+	// CGCM's reference counts and epochs eliminate.
+	ResidencySkips, EpochSkips int64
+
+	// RoundTrips counts re-uploads: HtoD copies performed after the unit
+	// had already been copied back at least once.
+	RoundTrips int64
+
+	// TransferEpochs is the number of distinct kernel epochs in which the
+	// unit crossed the bus in either direction.
+	TransferEpochs int
+
+	FirstEpoch, LastEpoch uint64 // epochs of first and last copy
+
+	Pattern Pattern
+}
+
+// Ledger is the per-run communication summary: one row per allocation
+// unit the runtime library ever touched, in base-address order.
+type Ledger struct {
+	Units []UnitStats
+}
+
+// Cyclic counts units classified cyclic.
+func (l Ledger) Cyclic() int { return l.countPattern(PatternCyclic) }
+
+// Acyclic counts units classified acyclic.
+func (l Ledger) Acyclic() int { return l.countPattern(PatternAcyclic) }
+
+func (l Ledger) countPattern(p Pattern) int {
+	n := 0
+	for i := range l.Units {
+		if l.Units[i].Pattern == p {
+			n++
+		}
+	}
+	return n
+}
+
+// RoundTrips sums re-uploads across all units.
+func (l Ledger) RoundTrips() int64 {
+	var n int64
+	for i := range l.Units {
+		n += l.Units[i].RoundTrips
+	}
+	return n
+}
+
+// SkippedCopies sums the transfers avoided by residency reference counts
+// and the epoch check.
+func (l Ledger) SkippedCopies() int64 {
+	var n int64
+	for i := range l.Units {
+		n += l.Units[i].ResidencySkips + l.Units[i].EpochSkips
+	}
+	return n
+}
+
+// Unit returns the first unit with the given name, or nil.
+func (l Ledger) Unit(name string) *UnitStats {
+	for i := range l.Units {
+		if l.Units[i].Name == name {
+			return &l.Units[i]
+		}
+	}
+	return nil
+}
+
+// Render prints the ledger as an aligned table.
+func (l Ledger) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-24s %8s %6s %6s %10s %10s %6s %6s %7s  %s\n",
+		"allocation unit", "size", "maps", "unmaps", "HtoD", "DtoH", "skips", "trips", "epochs", "pattern")
+	fmt.Fprintln(w, strings.Repeat("-", 110))
+	for i := range l.Units {
+		u := &l.Units[i]
+		fmt.Fprintf(w, "%-24s %8d %6d %6d %4d/%-5s %4d/%-5s %6d %6d %7d  %s\n",
+			fmt.Sprintf("%s@%#x", u.Name, u.Base), u.Size, u.Maps, u.Unmaps,
+			u.HtoDCopies, fmtBytes(u.BytesHtoD), u.DtoHCopies, fmtBytes(u.BytesDtoH),
+			u.ResidencySkips+u.EpochSkips, u.RoundTrips, u.TransferEpochs, u.Pattern)
+	}
+}
+
+// String renders the ledger table.
+func (l Ledger) String() string {
+	var sb strings.Builder
+	l.Render(&sb)
+	return sb.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fM", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fK", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// LedgerBuilder accumulates runtime-library activity and folds it into a
+// Ledger. The runtime calls it from the single root execution context, so
+// it needs no locking; a fresh builder is created per Program.Run.
+type LedgerBuilder struct {
+	units map[uint64]*unitAcc
+	order []uint64
+}
+
+type unitAcc struct {
+	UnitStats
+	epochsSeen map[uint64]bool
+	sawDtoH    bool
+}
+
+// NewLedgerBuilder returns an empty builder.
+func NewLedgerBuilder() *LedgerBuilder {
+	return &LedgerBuilder{units: make(map[uint64]*unitAcc)}
+}
+
+func (b *LedgerBuilder) unit(base uint64, name string, size int64) *unitAcc {
+	u := b.units[base]
+	if u == nil {
+		u = &unitAcc{
+			UnitStats:  UnitStats{Name: name, Base: base, Size: size},
+			epochsSeen: make(map[uint64]bool),
+		}
+		b.units[base] = u
+		b.order = append(b.order, base)
+	}
+	return u
+}
+
+func (u *unitAcc) copied(epoch uint64, bytes int64, htod bool) {
+	if !u.epochsSeen[epoch] {
+		u.epochsSeen[epoch] = true
+		u.TransferEpochs++
+	}
+	if u.HtoDCopies+u.DtoHCopies == 0 {
+		u.FirstEpoch = epoch
+	}
+	u.LastEpoch = epoch
+	if htod {
+		if u.sawDtoH {
+			u.RoundTrips++
+		}
+		u.HtoDCopies++
+		u.BytesHtoD += bytes
+	} else {
+		u.sawDtoH = true
+		u.DtoHCopies++
+		u.BytesDtoH += bytes
+	}
+}
+
+// RecordMap records one map call; copied says whether an HtoD transfer
+// was performed (false: a residency skip).
+func (b *LedgerBuilder) RecordMap(base uint64, name string, size int64, epoch uint64, copied bool) {
+	if b == nil {
+		return
+	}
+	u := b.unit(base, name, size)
+	u.Maps++
+	if copied {
+		u.copied(epoch, size, true)
+	} else {
+		u.ResidencySkips++
+	}
+}
+
+// RecordUnmap records one unmap call; copied says whether a DtoH transfer
+// was performed (false: an epoch or read-only skip).
+func (b *LedgerBuilder) RecordUnmap(base uint64, name string, size int64, epoch uint64, copied bool) {
+	if b == nil {
+		return
+	}
+	u := b.unit(base, name, size)
+	u.Unmaps++
+	if copied {
+		u.copied(epoch, size, false)
+	} else {
+		u.EpochSkips++
+	}
+}
+
+// RecordRelease records one release call.
+func (b *LedgerBuilder) RecordRelease(base uint64, name string, size int64) {
+	if b == nil {
+		return
+	}
+	b.unit(base, name, size).Releases++
+}
+
+// RecordUpload records an HtoD transfer outside a map call (the shadow
+// pointer-array upload of mapArray).
+func (b *LedgerBuilder) RecordUpload(base uint64, name string, size int64, epoch uint64) {
+	if b == nil {
+		return
+	}
+	b.unit(base, name, size).copied(epoch, size, true)
+}
+
+// Ledger folds the accumulated activity, classifying each unit:
+//
+//   - none: no copies either direction;
+//   - cyclic: at least one round trip (an HtoD re-upload after a DtoH),
+//     or copies spread over three or more distinct kernel epochs;
+//   - acyclic: everything else (at most one burst each way).
+func (b *LedgerBuilder) Ledger() Ledger {
+	if b == nil {
+		return Ledger{}
+	}
+	var l Ledger
+	for _, base := range b.order {
+		u := b.units[base]
+		s := u.UnitStats
+		switch {
+		case s.HtoDCopies+s.DtoHCopies == 0:
+			s.Pattern = PatternNone
+		case s.RoundTrips > 0 || s.TransferEpochs >= 3:
+			s.Pattern = PatternCyclic
+		default:
+			s.Pattern = PatternAcyclic
+		}
+		l.Units = append(l.Units, s)
+	}
+	sort.SliceStable(l.Units, func(i, j int) bool { return l.Units[i].Base < l.Units[j].Base })
+	return l
+}

@@ -1,0 +1,216 @@
+// Package trace is the structured observability layer for the CGCM stack.
+//
+// It replaces the ad-hoc flat event slice with typed spans on named
+// timelines, so every layer of the system reports what it did in one
+// place:
+//
+//   - the compiler records a PhaseSpan per phase (parse, sema, irbuild,
+//     constfold, doall, commmgmt, gluekernel, allocapromo, mappromo) with
+//     host wall time and an activity count (loops parallelized, calls
+//     promoted, ...);
+//   - the simulated machine records CPU compute, kernel, transfer, and
+//     stall spans on the simulated CPU/GPU/transfer timelines;
+//   - the CGCM runtime library records map/unmap/release calls as instant
+//     spans tagged with the allocation unit they touched, and feeds the
+//     communication Ledger (ledger.go), which classifies each allocation
+//     unit's transfer pattern as cyclic or acyclic — the distinction the
+//     paper's Figure 2 and §5 are about.
+//
+// Spans export to Chrome trace-event JSON (chrome.go) viewable in
+// Perfetto or chrome://tracing.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Lane identifies a timeline in the trace display. Machine spans live on
+// the simulated CPU/GPU/transfer lanes; runtime-library calls get their
+// own lane so map/unmap chatter does not obscure the compute schedule.
+type Lane int
+
+// Lanes.
+const (
+	LaneCPU Lane = iota
+	LaneGPU
+	LaneXfer
+	LaneRT
+)
+
+func (l Lane) String() string {
+	switch l {
+	case LaneCPU:
+		return "CPU"
+	case LaneGPU:
+		return "GPU"
+	case LaneXfer:
+		return "Xfer"
+	case LaneRT:
+		return "CGCM runtime"
+	}
+	return "?"
+}
+
+// Kind classifies spans.
+type Kind int
+
+// Span kinds.
+const (
+	KindCPU     Kind = iota // CPU compute
+	KindKernel              // GPU kernel execution
+	KindHtoD                // host-to-device transfer
+	KindDtoH                // device-to-host transfer
+	KindStall               // CPU waiting on the GPU
+	KindMap                 // runtime map / mapArray call
+	KindUnmap               // runtime unmap / unmapArray call
+	KindRelease             // runtime release / releaseArray call
+	KindFault               // execution fault (instant)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCPU:
+		return "cpu"
+	case KindKernel:
+		return "kernel"
+	case KindHtoD:
+		return "HtoD"
+	case KindDtoH:
+		return "DtoH"
+	case KindStall:
+		return "stall"
+	case KindMap:
+		return "map"
+	case KindUnmap:
+		return "unmap"
+	case KindRelease:
+		return "release"
+	case KindFault:
+		return "fault"
+	}
+	return "?"
+}
+
+// Span is one interval (or instant, when Start == End) on a lane of the
+// simulated timeline. Times are simulated seconds.
+type Span struct {
+	Kind       Kind
+	Lane       Lane
+	Name       string  // kernel name, allocation-unit name, or label
+	Start, End float64 // simulated seconds
+	Bytes      int64   // transfer payload, when applicable
+	Unit       string  // allocation-unit name for transfers and runtime calls
+	Epoch      uint64  // kernel epoch at emission time
+}
+
+// PhaseSpan records one compiler phase: its host wall time and how many
+// things it transformed (meaning depends on the phase — loops
+// parallelized, kernels outlined, calls promoted, ...).
+type PhaseSpan struct {
+	Name     string
+	HostNS   int64 // host wall time, nanoseconds
+	Activity int
+	Note     string
+}
+
+// Tracer collects spans and phases. All methods are nil-safe so callers
+// can thread a tracer unconditionally and pay nothing when tracing is
+// off, and mutex-protected so concurrent runs may share a sink.
+type Tracer struct {
+	mu     sync.Mutex
+	spans  []Span
+	phases []PhaseSpan
+	epoch  uint64
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Emit appends a span, stamping it with the current kernel epoch.
+func (t *Tracer) Emit(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	s.Epoch = t.epoch
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// AdvanceEpoch bumps the epoch stamped onto subsequent spans; the CGCM
+// runtime calls it at every kernel launch.
+func (t *Tracer) AdvanceEpoch() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.epoch++
+	t.mu.Unlock()
+}
+
+// BeginPhase starts timing a compiler phase; the returned func records
+// the PhaseSpan with the given activity count and note.
+func (t *Tracer) BeginPhase(name string) func(activity int, note string) {
+	if t == nil {
+		return func(int, string) {}
+	}
+	start := time.Now()
+	return func(activity int, note string) {
+		t.RecordPhases(PhaseSpan{
+			Name:     name,
+			HostNS:   time.Since(start).Nanoseconds(),
+			Activity: activity,
+			Note:     note,
+		})
+	}
+}
+
+// RecordPhases appends already-measured phase spans.
+func (t *Tracer) RecordPhases(phases ...PhaseSpan) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.phases = append(t.phases, phases...)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the collected spans.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Phases returns a copy of the collected phase spans.
+func (t *Tracer) Phases() []PhaseSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseSpan, len(t.phases))
+	copy(out, t.phases)
+	return out
+}
+
+// Merge appends everything collected by other into t. Each Program.Run
+// traces into a private per-run tracer and merges it into the caller's
+// sink when it finishes, so concurrent runs never interleave spans.
+func (t *Tracer) Merge(other *Tracer) {
+	if t == nil || other == nil || t == other {
+		return
+	}
+	spans := other.Spans()
+	phases := other.Phases()
+	t.mu.Lock()
+	t.spans = append(t.spans, spans...)
+	t.phases = append(t.phases, phases...)
+	t.mu.Unlock()
+}
