@@ -1,10 +1,11 @@
-# Developer entry points. `make ci` is the gate: build, vet, and the full
+# Developer entry points. `make ci` is the gate: build, vet, the full
 # test suite under the Go race detector (the kernel-execution engine and
-# the bench harness are concurrent; -race keeps them honest).
+# the bench harness are concurrent; -race keeps them honest), and a
+# benchmark smoke run diffed against the committed baseline.
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test race bench ci
+.PHONY: all build vet fmtcheck test race bench benchsmoke baseline ci
 
 all: build
 
@@ -29,4 +30,14 @@ race:
 bench:
 	$(GO) test -bench 'BenchmarkEngine$$' -benchtime 3x ./internal/bench/
 
-ci: build fmtcheck vet race
+# Run the full suite and fail on any >25% simulated-wall regression
+# against the committed baseline. The simulation is deterministic, so a
+# no-op change diffs at exactly +0.00%.
+benchsmoke:
+	$(GO) run ./cmd/cgcmbench -q -compare BENCH_0.json -threshold 0.25
+
+# Re-freeze the committed baseline (after an intentional perf change).
+baseline:
+	$(GO) run ./cmd/cgcmbench -q -baseline BENCH_0.json
+
+ci: build fmtcheck vet race benchsmoke

@@ -44,6 +44,8 @@ import (
 	"cgcm/internal/core"
 	"cgcm/internal/interp"
 	"cgcm/internal/machine"
+	"cgcm/internal/metrics"
+	"cgcm/internal/prof"
 	"cgcm/internal/trace"
 )
 
@@ -139,6 +141,26 @@ const (
 // WriteChromeTrace serializes a Tracer's spans in Chrome trace-event
 // JSON, viewable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 func WriteChromeTrace(w io.Writer, t *Tracer) error { return trace.WriteChrome(w, t) }
+
+// Profile is the exact execution profile produced when Options.Profile
+// is set: per-source-line simulated GPU ops, per-launch-site kernel
+// walls, per-allocation-unit transfer bytes, and runtime-library time.
+// Render with its WriteFlat (top-N table) or WriteFolded (flamegraph
+// folded-stack) methods.
+type Profile = prof.Profile
+
+// MetricsRegistry is a registry of named counters, gauges, and
+// histograms; set one in Options.Metrics to collect machine, runtime,
+// and compiler instrumentation across runs.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a frozen, sorted, JSON-ready view of a registry,
+// found in Report.Metrics after each run.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetricsRegistry returns an empty registry ready to use as
+// Options.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
 
 // Compile parses, checks, lowers, parallelizes, and transforms a mini-C
 // program according to opts.

@@ -1,7 +1,9 @@
 // Command cgcmbench regenerates the paper's evaluation artifacts: the
 // applicability comparison (Table 1), the execution schedules (Figure 2),
 // the program-characteristics table (Table 3), and the whole-program
-// speedups (Figure 4).
+// speedups (Figure 4). It also maintains performance baselines: a run
+// can be frozen into a schema-versioned JSON document and later runs
+// diffed against it, failing on simulated-wall regressions.
 //
 // Usage:
 //
@@ -13,12 +15,15 @@
 //	cgcmbench -program lu  # one program, all four systems
 //	cgcmbench -ledger      # per-program communication-ledger summary
 //	cgcmbench -json        # also write machine-readable BENCH_<n>.json
+//	cgcmbench -baseline BENCH_0.json   # freeze this run as a baseline
+//	cgcmbench -compare BENCH_0.json    # diff against a baseline; exit 1 on regression
+//	cgcmbench -compare BENCH_0.json -threshold 0.10  # tighter gate (10%)
+//	cgcmbench -trace-out traces/       # Perfetto trace per program and system
 //	cgcmbench -workers 8   # kernel-engine worker goroutines per launch
 //	cgcmbench -ablate mappromo  # skip named optimization passes
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,69 +32,17 @@ import (
 	"cgcm/internal/bench"
 )
 
-// jsonRow is the machine-readable form of one measured program.
-type jsonRow struct {
-	Program string  `json:"program"`
-	Suite   string  `json:"suite"`
-	WallSeq float64 `json:"wall_seq"`
-	WallIE  float64 `json:"wall_inspector"`
-	WallUn  float64 `json:"wall_cgcm_unopt"`
-	WallOpt float64 `json:"wall_cgcm_opt"`
-
-	SpeedupIE    float64 `json:"speedup_inspector"`
-	SpeedupUnopt float64 `json:"speedup_cgcm_unopt"`
-	SpeedupOpt   float64 `json:"speedup_cgcm_opt"`
-
-	Limiting string `json:"limiting"`
-
-	// HostNS is real host time spent measuring this program (all four
-	// systems), in nanoseconds — the only host-dependent field.
-	HostNS int64 `json:"host_ns"`
-}
-
-// jsonReport is the top-level BENCH_<n>.json document.
-type jsonReport struct {
-	Workers      int       `json:"workers"` // 0 = GOMAXPROCS
-	Rows         []jsonRow `json:"rows"`
-	GeomeanIE    float64   `json:"geomean_inspector"`
-	GeomeanUnopt float64   `json:"geomean_cgcm_unopt"`
-	GeomeanOpt   float64   `json:"geomean_cgcm_opt"`
-	HostNS       int64     `json:"host_ns_total"`
-}
-
-// writeJSON writes rows to the first free BENCH_<n>.json and returns the
-// path.
+// writeJSON writes the baseline document for rows to the first free
+// BENCH_<n>.json and returns the path.
 func writeJSON(rows []*bench.Row) (string, error) {
-	rep := jsonReport{Workers: bench.Workers}
-	for _, r := range rows {
-		rep.Rows = append(rep.Rows, jsonRow{
-			Program: r.Name, Suite: r.Suite,
-			WallSeq: r.Seq.Stats.Wall, WallIE: r.IE.Stats.Wall,
-			WallUn: r.Unopt.Stats.Wall, WallOpt: r.Opt.Stats.Wall,
-			SpeedupIE: r.SpeedupIE, SpeedupUnopt: r.SpeedupUnopt, SpeedupOpt: r.SpeedupOpt,
-			Limiting: r.Limiting, HostNS: r.HostNS,
-		})
-		rep.HostNS += r.HostNS
-	}
-	rep.GeomeanIE, rep.GeomeanUnopt, rep.GeomeanOpt, _, _, _ = bench.Geomeans(rows)
-	data, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		return "", err
-	}
 	for n := 0; ; n++ {
 		path := fmt.Sprintf("BENCH_%d.json", n)
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
-		if os.IsExist(err) {
+		if _, err := os.Stat(path); err == nil {
 			continue
-		}
-		if err != nil {
+		} else if !os.IsNotExist(err) {
 			return "", err
 		}
-		_, werr := f.Write(append(data, '\n'))
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		return path, werr
+		return path, bench.NewBaseline(rows).WriteFile(path)
 	}
 }
 
@@ -102,12 +55,18 @@ func main() {
 	ledger := flag.Bool("ledger", false, "render the per-program communication-ledger summary")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	jsonOut := flag.Bool("json", false, "write measured rows to BENCH_<n>.json")
+	baselineOut := flag.String("baseline", "", "freeze this run as a baseline at the given path")
+	compareWith := flag.String("compare", "", "diff this run against the given baseline; exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.25, "relative simulated-wall regression that fails -compare (0.25 = 25%)")
+	traceDir := flag.String("trace-out", "", "write a Perfetto trace per program and system into this directory")
 	workers := flag.Int("workers", 0, "kernel-engine worker goroutines per launch (0 = GOMAXPROCS)")
 	flag.Var(&bench.Ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
 	flag.Parse()
 	bench.Workers = *workers
+	bench.TraceDir = *traceDir
 
-	all := !*t1 && !*f2 && !*t3 && !*f4 && !*ledger && *one == ""
+	all := !*t1 && !*f2 && !*t3 && !*f4 && !*ledger &&
+		*one == "" && *baselineOut == "" && *compareWith == ""
 
 	if *one != "" {
 		p, ok := bench.ByName(*one)
@@ -158,7 +117,7 @@ func main() {
 		}
 		bench.RenderFigure2(os.Stdout, sch)
 	}
-	if all || *t3 || *f4 || *ledger || *jsonOut {
+	if all || *t3 || *f4 || *ledger || *jsonOut || *baselineOut != "" || *compareWith != "" {
 		var logw io.Writer = os.Stderr
 		if *quiet {
 			logw = io.Discard
@@ -188,6 +147,25 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		if *baselineOut != "" {
+			if err := bench.NewBaseline(rows).WriteFile(*baselineOut); err != nil {
+				fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote baseline %s\n", *baselineOut)
+		}
+		if *compareWith != "" {
+			base, err := bench.ReadBaseline(*compareWith)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
+				os.Exit(1)
+			}
+			cmp := bench.Compare(base, rows, *threshold)
+			bench.RenderComparison(os.Stdout, cmp)
+			if cmp.Failed() {
+				os.Exit(1)
+			}
 		}
 	}
 }

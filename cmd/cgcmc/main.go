@@ -8,21 +8,25 @@
 //	cgcmc -phases file.c         # compile-phase report (time, activity)
 //	cgcmc -strategy unopt file.c # sequential | inspector | unopt | opt
 //	cgcmc -ablate mappromo file.c # skip named optimization passes
+//	cgcmc -metrics m.json file.c # compile.<phase>.* metrics as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"cgcm/internal/core"
+	"cgcm/internal/metrics"
 )
 
 func main() {
 	passes := flag.Bool("passes", false, "dump IR after every compilation phase")
 	strategy := flag.String("strategy", "opt", "sequential | inspector | unopt | opt")
 	phases := flag.Bool("phases", false, "report compile phases with wall time and activity")
+	metricsOut := flag.String("metrics", "", "write compile-phase metrics (compile.<phase>.host_ns/.activity) as JSON")
 	var ablate core.PassSet
 	flag.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
 	flag.Parse()
@@ -38,6 +42,9 @@ func main() {
 	opts := core.Options{Strategy: parseStrategy(*strategy), Ablate: ablate}
 	if *passes {
 		opts.DumpWriter = os.Stdout
+	}
+	if *metricsOut != "" {
+		opts.Metrics = metrics.New()
 	}
 	prog, err := core.Compile(flag.Arg(0), string(src), opts)
 	if err != nil {
@@ -56,6 +63,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%-12s %10.2fms %6d %s\n",
 				ph.Name, float64(ph.HostNS)/1e6, ph.Activity, note)
 		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cgcmc: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(opts.Metrics.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "cgcmc: write metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "--- metrics written to %s\n", *metricsOut)
 	}
 }
 

@@ -11,14 +11,19 @@
 //	cgcmrun -trace-out t.json file.c  # write a Perfetto-viewable trace
 //	cgcmrun -ledger file.c            # per-allocation-unit communication
 //	cgcmrun -ablate mappromo file.c   # skip named optimization passes
+//	cgcmrun -prof file.c              # exact profile: hot lines, sites, transfers
+//	cgcmrun -prof-folded p.folded file.c  # folded stacks for flamegraph tools
+//	cgcmrun -metrics m.json file.c    # machine/runtime/compiler metrics JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"cgcm/internal/core"
+	"cgcm/internal/metrics"
 	tracepkg "cgcm/internal/trace"
 )
 
@@ -28,6 +33,10 @@ func main() {
 	trace := flag.Bool("trace", false, "print the machine event trace")
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (open in ui.perfetto.dev)")
 	ledger := flag.Bool("ledger", false, "print the per-allocation-unit communication ledger")
+	profFlat := flag.Bool("prof", false, "print the exact execution profile (hot lines, launch sites, transfers)")
+	profTop := flag.Int("prof-top", 20, "number of hot lines shown by -prof")
+	profFolded := flag.String("prof-folded", "", "write folded stacks (kernel@site;line ops) for flamegraph tools")
+	metricsOut := flag.String("metrics", "", "write the metrics registry snapshot as JSON")
 	var ablate core.PassSet
 	flag.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
 	flag.Parse()
@@ -65,11 +74,17 @@ func main() {
 	if *traceOut != "" {
 		tr = tracepkg.New()
 	}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.New()
+	}
 	rep, err := core.CompileAndRun(name, string(src), core.Options{
 		Strategy: parseStrategy(*strategy),
 		Trace:    *trace,
 		Tracer:   tr,
 		Ablate:   ablate,
+		Profile:  *profFlat || *profFolded != "",
+		Metrics:  reg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cgcmrun: %v\n", err)
@@ -94,7 +109,40 @@ func main() {
 	if *ledger {
 		fmt.Fprint(os.Stderr, rep.Comm)
 	}
+	if *profFlat {
+		if err := rep.Profile.WriteFlat(os.Stderr, *profTop); err != nil {
+			fmt.Fprintf(os.Stderr, "cgcmrun: write profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *profFolded != "" {
+		writeFile(*profFolded, "folded stacks", func(f *os.File) error {
+			return rep.Profile.WriteFolded(f)
+		})
+	}
+	if *metricsOut != "" {
+		writeFile(*metricsOut, "metrics", func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", " ")
+			return enc.Encode(rep.Metrics)
+		})
+	}
 	writeTrace(*traceOut, tr)
+}
+
+// writeFile creates path and runs emit on it, reporting what was written.
+func writeFile(path, what string, emit func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgcmrun: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := emit(f); err != nil {
+		fmt.Fprintf(os.Stderr, "cgcmrun: write %s: %v\n", what, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "--- %s written to %s\n", what, path)
 }
 
 // writeTrace exports the collected spans as Chrome trace-event JSON.

@@ -8,7 +8,11 @@
 // it cannot prove facts.
 package analysis
 
-import "cgcm/internal/ir"
+import (
+	"sort"
+
+	"cgcm/internal/ir"
+)
 
 // Dominators computes the immediate dominator of every reachable block
 // using the Cooper-Harvey-Kennedy iterative algorithm.
@@ -209,14 +213,18 @@ func FindLoops(fn *ir.Func, dom *Dominators) *LoopForest {
 	for _, l := range forest.ByHeader {
 		loops = append(loops, l)
 	}
-	// Order outer (bigger) before inner for deterministic processing.
-	for i := 0; i < len(loops); i++ {
-		for j := i + 1; j < len(loops); j++ {
-			if len(loops[j].Blocks) > len(loops[i].Blocks) {
-				loops[i], loops[j] = loops[j], loops[i]
-			}
+	// Order outer (bigger) before inner, tie-broken by the header's CFG
+	// position. The tie-break matters: ByHeader is a map, and without it
+	// same-size sibling loops would surface in random order, making
+	// downstream consumers (DOALL's kernel numbering, and with it every
+	// trace, profile, and baseline keyed by kernel name) nondeterministic
+	// from compile to compile.
+	sort.Slice(loops, func(i, j int) bool {
+		if a, b := len(loops[i].Blocks), len(loops[j].Blocks); a != b {
+			return a > b
 		}
-	}
+		return dom.rpo[loops[i].Header] < dom.rpo[loops[j].Header]
+	})
 	for _, l := range loops {
 		var best *Loop
 		for _, m := range loops {

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cgcm/internal/core"
+	"cgcm/internal/machine"
+)
+
+// syntheticRow builds a measured row from bare wall times and transfer
+// totals — enough for the baseline/compare machinery, which reads only
+// Stats.
+func syntheticRow(name string, seq, ie, un, opt float64) *Row {
+	mk := func(wall float64) *core.Report {
+		return &core.Report{Stats: machine.Stats{
+			Wall: wall, BytesHtoD: 4096, NumHtoD: 4, BytesDtoH: 2048, NumDtoH: 2,
+		}}
+	}
+	return &Row{
+		Program:   Program{Name: name, Suite: "synthetic"},
+		Seq:       mk(seq),
+		IE:        mk(ie),
+		Unopt:     mk(un),
+		Opt:       mk(opt),
+		SpeedupIE: seq / ie, SpeedupUnopt: seq / un, SpeedupOpt: seq / opt,
+		Limiting: "gpu",
+		HostNS:   12345,
+	}
+}
+
+func syntheticRows() []*Row {
+	return []*Row{
+		syntheticRow("alpha", 1.0, 0.5, 0.8, 0.4),
+		syntheticRow("beta", 2.0, 1.0, 1.5, 0.9),
+		syntheticRow("gamma", 3.0, 1.5, 2.5, 1.2),
+	}
+}
+
+// TestBaselineRoundTrip freezes rows, reads them back, and checks the
+// document survives the trip bit-exactly.
+func TestBaselineRoundTrip(t *testing.T) {
+	rows := syntheticRows()
+	path := filepath.Join(t.TempDir(), "BENCH_0.json")
+	if err := NewBaseline(rows).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BaselineSchema {
+		t.Fatalf("schema = %d, want %d", got.Schema, BaselineSchema)
+	}
+	if len(got.Rows) != len(rows) {
+		t.Fatalf("rows = %d, want %d", len(got.Rows), len(rows))
+	}
+	for i, br := range got.Rows {
+		if br.Program != rows[i].Name || br.WallOpt != rows[i].Opt.Stats.Wall {
+			t.Errorf("row %d mismatch: %+v", i, br)
+		}
+		if br.XferBytesOpt != 4096+2048 || br.XferCopiesOpt != 4+2 {
+			t.Errorf("row %d transfer totals: %+v", i, br)
+		}
+	}
+}
+
+// TestBaselineSchemaRejected: a future schema must be refused, not
+// mis-diffed.
+func TestBaselineSchemaRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_0.json")
+	b := NewBaseline(syntheticRows())
+	b.Schema = BaselineSchema + 1
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema baseline accepted (err = %v)", err)
+	}
+}
+
+// TestCompareCleanRunPasses: diffing a run against the baseline frozen
+// from the same rows yields all-zero deltas and no failures.
+func TestCompareCleanRunPasses(t *testing.T) {
+	rows := syntheticRows()
+	cmp := Compare(NewBaseline(rows), rows, 0.25)
+	if cmp.Failed() {
+		t.Fatal("identical run failed the gate")
+	}
+	for _, d := range cmp.Rows {
+		if d.MaxWallDelta != 0 || d.XferBytesDelta != 0 {
+			t.Errorf("%s: nonzero delta on identical run: %+v", d.Program, d)
+		}
+	}
+	var out strings.Builder
+	RenderComparison(&out, cmp)
+	if !strings.Contains(out.String(), "all 3 programs within") {
+		t.Errorf("render did not report a clean pass:\n%s", out.String())
+	}
+}
+
+// TestCompareFlagsSlowdown injects an artificial 40% slowdown into one
+// program's optimized wall and checks the 25% gate catches exactly it.
+func TestCompareFlagsSlowdown(t *testing.T) {
+	base := NewBaseline(syntheticRows())
+	rows := syntheticRows()
+	rows[1].Opt.Stats.Wall *= 1.4
+	cmp := Compare(base, rows, 0.25)
+	if !cmp.Failed() {
+		t.Fatal("40% slowdown passed the 25% gate")
+	}
+	for _, d := range cmp.Rows {
+		switch d.Program {
+		case "beta":
+			if !d.Failed {
+				t.Error("beta not flagged")
+			}
+			if d.MaxWallDelta < 0.39 || d.MaxWallDelta > 0.41 {
+				t.Errorf("beta delta = %v, want ~0.40", d.MaxWallDelta)
+			}
+		default:
+			if d.Failed {
+				t.Errorf("%s flagged without a regression", d.Program)
+			}
+		}
+	}
+	// The same slowdown passes a looser gate.
+	if Compare(base, rows, 0.50).Failed() {
+		t.Error("40% slowdown failed a 50% gate")
+	}
+	var out strings.Builder
+	RenderComparison(&out, cmp)
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "1 of 3") {
+		t.Errorf("render did not surface the failure:\n%s", out.String())
+	}
+}
+
+// TestCompareMissingProgramFails: losing a benchmark is a coverage
+// regression and must fail regardless of threshold.
+func TestCompareMissingProgramFails(t *testing.T) {
+	base := NewBaseline(syntheticRows())
+	rows := syntheticRows()[:2] // gamma vanished
+	cmp := Compare(base, rows, 1e9)
+	if !cmp.Failed() {
+		t.Fatal("missing program passed the gate")
+	}
+	found := false
+	for _, d := range cmp.Rows {
+		if d.Program == "gamma" {
+			found = true
+			if !d.Missing || !d.Failed {
+				t.Errorf("gamma delta row: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no delta row for the missing program")
+	}
+}
+
+// TestCompareNewProgramInformational: a program added since the baseline
+// cannot regress; it is listed but never fails.
+func TestCompareNewProgramInformational(t *testing.T) {
+	base := NewBaseline(syntheticRows())
+	rows := append(syntheticRows(), syntheticRow("delta", 1, 1, 1, 1))
+	cmp := Compare(base, rows, 0.25)
+	if cmp.Failed() {
+		t.Fatal("new program failed the gate")
+	}
+	if len(cmp.New) != 1 || cmp.New[0] != "delta" {
+		t.Fatalf("New = %v, want [delta]", cmp.New)
+	}
+}

@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -26,6 +28,12 @@ var Workers int
 // Ablate names optimization passes to skip in every measurement run
 // (core.Options.Ablate), for ablation studies from the command line.
 var Ablate core.PassSet
+
+// TraceDir, when non-empty, makes every measurement run write a
+// Perfetto-viewable Chrome trace-event file per program and system into
+// the directory: <program>_<system>.json. Tracing perturbs only host
+// time, never simulated results.
+var TraceDir string
 
 // Row holds the measured results for one program across the compared
 // systems — everything Table 3 and Figure 4 need.
@@ -60,9 +68,20 @@ func RunProgram(p Program) (*Row, error) {
 	row := &Row{Program: p}
 	start := time.Now()
 	run := func(s core.Strategy) (*core.Report, error) {
-		rep, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: s, Workers: Workers, Ablate: Ablate})
+		opts := core.Options{Strategy: s, Workers: Workers, Ablate: Ablate}
+		var tr *trace.Tracer
+		if TraceDir != "" {
+			tr = trace.New()
+			opts.Tracer = tr
+		}
+		rep, err := core.CompileAndRun(p.Name, p.Source, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s [%s]: %w", p.Name, s, err)
+		}
+		if tr != nil {
+			if werr := writeProgramTrace(TraceDir, p.Name, s, tr); werr != nil {
+				return nil, fmt.Errorf("%s [%s]: %w", p.Name, s, werr)
+			}
 		}
 		return rep, nil
 	}
@@ -118,6 +137,21 @@ func RunProgram(p Program) (*Row, error) {
 	}
 	row.HostNS = time.Since(start).Nanoseconds()
 	return row, nil
+}
+
+// writeProgramTrace exports one measurement run's spans as Chrome
+// trace-event JSON under dir, creating the directory on first use.
+func writeProgramTrace(dir, program string, s core.Strategy, tr *trace.Tracer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s_%s.json", program, s))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteChrome(f, tr)
 }
 
 // applicabilityCounts compiles the program with DOALL only (no

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cgcm/internal/core"
+	"cgcm/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// ledgerRows builds fully deterministic rows with hand-written
+// communication ledgers: one program whose optimization breaks a cycle
+// and skips copies, one already acyclic.
+func ledgerRows() []*Row {
+	unoptLedger := trace.Ledger{Units: []trace.UnitStats{
+		{Name: "malloc.a", Size: 8192, Maps: 10, Unmaps: 10,
+			HtoDCopies: 10, DtoHCopies: 10, BytesHtoD: 81920, BytesDtoH: 81920,
+			RoundTrips: 9, Pattern: trace.PatternCyclic},
+		{Name: "malloc.b", Size: 4096, Maps: 10, Unmaps: 10,
+			HtoDCopies: 1, DtoHCopies: 1, BytesHtoD: 4096, BytesDtoH: 4096,
+			ResidencySkips: 9, Pattern: trace.PatternAcyclic},
+	}}
+	optLedger := trace.Ledger{Units: []trace.UnitStats{
+		{Name: "malloc.a", Size: 8192, Maps: 1, Unmaps: 1,
+			HtoDCopies: 1, DtoHCopies: 1, BytesHtoD: 8192, BytesDtoH: 8192,
+			EpochSkips: 9, Pattern: trace.PatternAcyclic},
+		{Name: "malloc.b", Size: 4096, Maps: 1, Unmaps: 1,
+			HtoDCopies: 1, DtoHCopies: 1, BytesHtoD: 4096, BytesDtoH: 4096,
+			ResidencySkips: 9, Pattern: trace.PatternAcyclic},
+	}}
+	quietLedger := trace.Ledger{Units: []trace.UnitStats{
+		{Name: "malloc", Size: 1024, Maps: 1, Unmaps: 1,
+			HtoDCopies: 1, DtoHCopies: 1, BytesHtoD: 1024, BytesDtoH: 1024,
+			Pattern: trace.PatternAcyclic},
+	}}
+	return []*Row{
+		{
+			Program: Program{Name: "cyclic-demo", Suite: "synthetic"},
+			Unopt:   &core.Report{Comm: unoptLedger},
+			Opt:     &core.Report{Comm: optLedger},
+		},
+		{
+			Program: Program{Name: "acyclic-demo", Suite: "synthetic"},
+			Unopt:   &core.Report{Comm: quietLedger},
+			Opt:     &core.Report{Comm: quietLedger},
+		},
+	}
+}
+
+// TestRenderLedgerGolden locks the ledger summary's exact layout against
+// testdata/ledger.golden.txt. Regenerate with:
+//
+//	go test ./internal/bench -run TestRenderLedgerGolden -update-golden
+func TestRenderLedgerGolden(t *testing.T) {
+	var buf strings.Builder
+	RenderLedger(&buf, ledgerRows())
+	golden := filepath.Join("testdata", "ledger.golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(buf.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("RenderLedger output changed.\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceDirWritesPerSystemTraces: with TraceDir set, one measurement
+// run writes a valid Chrome trace-event JSON file per strategy.
+func TestTraceDirWritesPerSystemTraces(t *testing.T) {
+	dir := t.TempDir()
+	TraceDir = dir
+	defer func() { TraceDir = "" }()
+
+	p, ok := ByName("atax")
+	if !ok {
+		t.Fatal("atax missing")
+	}
+	if _, err := RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{"sequential", "inspector-executor", "cgcm-unoptimized", "cgcm-optimized"} {
+		path := filepath.Join(dir, "atax_"+suffix+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing per-system trace: %v", err)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s is not valid trace JSON: %v", path, err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Errorf("%s has no trace events", path)
+		}
+	}
+}

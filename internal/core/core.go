@@ -17,6 +17,7 @@ import (
 	"cgcm/internal/ir"
 	"cgcm/internal/irbuild"
 	"cgcm/internal/machine"
+	"cgcm/internal/metrics"
 	"cgcm/internal/minic/parser"
 	"cgcm/internal/minic/sema"
 	"cgcm/internal/passes/allocapromo"
@@ -24,6 +25,7 @@ import (
 	"cgcm/internal/passes/constfold"
 	"cgcm/internal/passes/gluekernel"
 	"cgcm/internal/passes/mappromo"
+	"cgcm/internal/prof"
 	runtimelib "cgcm/internal/runtime"
 	"cgcm/internal/trace"
 )
@@ -161,6 +163,17 @@ type Options struct {
 	// RaceCheck enables the kernel write-set race detector; findings are
 	// collected in Report.Races.
 	RaceCheck bool
+	// Profile enables the exact source-level profiler: Report.Profile
+	// receives per-line simulated GPU op attribution, per-launch-site
+	// kernel walls, per-unit transfer bytes, and runtime-library time.
+	// Profiling implies span collection (launch-site walls come from
+	// kernel spans).
+	Profile bool
+	// Metrics, when non-nil, receives counter/gauge/histogram
+	// instrumentation from the machine, the runtime library, and the
+	// compiler (see DESIGN.md for the name catalogue). The registry may
+	// be shared across runs; counters and histograms accumulate.
+	Metrics *metrics.Registry
 
 	// Trace enables span collection even without a Tracer sink, filling
 	// Report.Spans and the legacy Report.Trace event slice.
@@ -205,7 +218,7 @@ func (o *Options) ablated(p Pass) bool {
 }
 
 // tracing reports whether span collection is wanted.
-func (o *Options) tracing() bool { return o.Tracer != nil || o.Trace }
+func (o *Options) tracing() bool { return o.Tracer != nil || o.Trace || o.Profile }
 
 // Report is the outcome of running a compiled program.
 type Report struct {
@@ -241,6 +254,11 @@ type Report struct {
 	Phases []trace.PhaseSpan
 	// Spans holds this run's structured timeline spans (when tracing).
 	Spans []trace.Span
+	// Profile is the exact execution profile (when Options.Profile).
+	Profile *prof.Profile
+	// Metrics is the frozen registry snapshot taken after this run (when
+	// Options.Metrics is set).
+	Metrics *metrics.Snapshot
 
 	// Trace holds the legacy flat machine events (when tracing).
 	//
@@ -255,6 +273,7 @@ type Program struct {
 	Module *ir.Module
 	Opts   Options
 
+	name              string
 	doallFound        int
 	doallParallelized int
 	promotions        int
@@ -315,7 +334,7 @@ func Compile(name, src string, opts Options) (*Program, error) {
 	}
 	end(len(mod.Funcs), "functions")
 
-	p := &Program{Module: mod, Opts: opts}
+	p := &Program{Module: mod, Opts: opts, name: name}
 	dump := func(phase string) {
 		if opts.DumpWriter != nil {
 			fmt.Fprintf(opts.DumpWriter, "=== after %s ===\n%s\n", phase, mod)
@@ -336,6 +355,14 @@ func Compile(name, src string, opts Options) (*Program, error) {
 		}
 		p.phases = phases
 		opts.Tracer.RecordPhases(phases...)
+		// Per-phase compile metrics: host wall time and activity count,
+		// named compile.<phase>.host_ns / compile.<phase>.activity.
+		// Gauges (not counters) so repeated compiles report the latest
+		// compile, matching what Phases shows.
+		for _, ph := range phases {
+			opts.Metrics.Gauge("compile." + ph.Name + ".host_ns").Set(float64(ph.HostNS))
+			opts.Metrics.Gauge("compile." + ph.Name + ".activity").Set(float64(ph.Activity))
+		}
 		return p, nil
 	}
 
@@ -431,11 +458,19 @@ func (p *Program) Run() (*Report, error) {
 		runTr = trace.New()
 		mach.SetTracer(runTr)
 	}
+	mach.SetMetrics(p.Opts.Metrics)
 	rt := runtimelib.New(mach)
 	rt.Tr = runTr
+	rt.SetMetrics(p.Opts.Metrics)
 	var out bytes.Buffer
 	in := interp.New(p.Module, mach, rt, &out)
 	in.Tr = runTr
+	var col *prof.Collector
+	if p.Opts.Profile {
+		col = prof.NewCollector(p.name)
+		rt.Prof = col
+		in.Prof = col
+	}
 	if p.Opts.Strategy == InspectorExecutor {
 		in.Mode = interp.Inspector
 	}
@@ -466,7 +501,23 @@ func (p *Program) Run() (*Report, error) {
 		mach.FlushTrace()
 		rep.Spans = runTr.Spans()
 		rep.Trace = machine.EventsFromSpans(rep.Spans)
+		if col != nil {
+			// Launch-site walls come from the kernel spans this run
+			// emitted; everything else was attributed during execution.
+			col.ConsumeSpans(rep.Spans)
+			rep.Profile = col.Profile()
+		}
 		p.Opts.Tracer.Merge(runTr)
+	}
+	if m := p.Opts.Metrics; m != nil {
+		st := rep.Stats
+		m.Gauge("machine.wall_seconds").Set(st.Wall)
+		m.Gauge("machine.cpu_ops").Set(float64(st.CPUOps))
+		m.Gauge("machine.gpu_ops").Set(float64(st.GPUOps))
+		m.Gauge("machine.stall_seconds").Set(st.StallTime)
+		m.Gauge("interp.steps").Set(float64(in.Steps()))
+		m.Gauge("runtime.live_units").Set(float64(rep.RTStats.LiveUnits))
+		rep.Metrics = m.Snapshot()
 	}
 	if err != nil {
 		return rep, err

@@ -125,7 +125,20 @@ func buildForwarding(f *ir.Func, l *analysis.Loop, dom *analysis.Dominators, pt 
 // with a launch.
 func outline(m *ir.Module, f *ir.Func, l *analysis.Loop, iv *ivInfo, exitTarget *ir.Block, inv *analysis.Invariance, kernelCount *int) {
 	pre := analysis.EnsurePreheader(f, l)
+	// The loop header's source line stands in for the whole launch site:
+	// the launch, its setup code, and the kernel's synthesized prologue all
+	// inherit it so the profiler can charge them to the original loop.
+	hline := int32(0)
+	for _, in := range l.Header.Instrs {
+		if in.Line != 0 {
+			hline = in.Line
+			break
+		}
+	}
 	insert := func(in *ir.Instr) *ir.Instr {
+		if in.Line == 0 {
+			in.Line = hline
+		}
 		pre.InsertBefore(in, pre.Terminator())
 		return in
 	}
@@ -305,6 +318,14 @@ func outline(m *ir.Module, f *ir.Func, l *analysis.Loop, iv *ivInfo, exitTarget 
 		Comment: "final induction value"})
 
 	pre.Terminator().Targets[0] = exitTarget
+
+	// Synthesized kernel instructions (entry guard, return block) have no
+	// line of their own; charge them to the loop header.
+	k.Instrs(func(in *ir.Instr) {
+		if in.Line == 0 {
+			in.Line = hline
+		}
+	})
 
 	// Remove the loop's blocks from f.
 	var kept []*ir.Block

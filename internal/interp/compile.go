@@ -43,6 +43,9 @@ type compiledFunc struct {
 	blockArgs [][][]operand
 	// segCaches holds one inline cache per instruction, same indexing.
 	segCaches [][]segCache
+	// lines holds each instruction's mini-C source line, same indexing;
+	// the exact profiler folds per-instruction op counts onto these.
+	lines [][]int32
 }
 
 // compile builds (and caches) the operand descriptors for f. The cache is
@@ -58,10 +61,13 @@ func (in *Interp) compile(f *ir.Func) *compiledFunc {
 		fn:        f,
 		blockArgs: make([][][]operand, len(f.Blocks)),
 		segCaches: make([][]segCache, len(f.Blocks)),
+		lines:     make([][]int32, len(f.Blocks)),
 	}
 	for _, b := range f.Blocks {
 		perInstr := make([][]operand, len(b.Instrs))
+		lns := make([]int32, len(b.Instrs))
 		for j, instr := range b.Instrs {
+			lns[j] = instr.Line
 			ops := make([]operand, len(instr.Args))
 			for i, a := range instr.Args {
 				switch v := a.(type) {
@@ -79,6 +85,7 @@ func (in *Interp) compile(f *ir.Func) *compiledFunc {
 		}
 		cf.blockArgs[b.Index] = perInstr
 		cf.segCaches[b.Index] = make([]segCache, len(b.Instrs))
+		cf.lines[b.Index] = lns
 	}
 	in.compiled[f] = cf
 	return cf

@@ -7,6 +7,7 @@ import (
 
 	"cgcm/internal/ir"
 	"cgcm/internal/machine"
+	"cgcm/internal/prof"
 )
 
 // Scratch address-space layout. Kernel allocas are thread-local by
@@ -58,6 +59,14 @@ type exec struct {
 	// memory through lock-free lookups and private caches.
 	worker bool
 	id     int // worker index, selects the scratch arena
+
+	// profCounts holds this context's per-instruction op counters when
+	// exact profiling is on, mirroring the caches layout. Counters are
+	// folded into the interpreter's collector (and zeroed) after every
+	// launch barrier, so they always belong to exactly one kernel. nil
+	// whenever Interp.Prof is nil — the hot path then only pays one
+	// nil check per counted site.
+	profCounts map[*compiledFunc][][]int64
 
 	// caches holds this worker's per-instruction inline caches, the
 	// concurrency-safe equivalent of compiledFunc.segCaches.
@@ -373,6 +382,46 @@ func (ex *exec) recordInspect(addr uint64, write bool) {
 	}
 }
 
+// profBlock returns this context's per-instruction op counters for one
+// block, allocating lazily (same shape as the worker inline caches).
+// Only called when profiling is enabled, so the disabled path never
+// touches it.
+func (ex *exec) profBlock(cf *compiledFunc, blkIndex int) []int64 {
+	if ex.profCounts == nil {
+		ex.profCounts = make(map[*compiledFunc][][]int64)
+	}
+	pc, ok := ex.profCounts[cf]
+	if !ok {
+		pc = make([][]int64, len(cf.blockArgs))
+		ex.profCounts[cf] = pc
+	}
+	if pc[blkIndex] == nil {
+		pc[blkIndex] = make([]int64, len(cf.blockArgs[blkIndex]))
+	}
+	return pc[blkIndex]
+}
+
+// foldProf credits every accumulated per-instruction op count to its
+// source line under (kernel, site) and zeroes the counters. Called on
+// the launch goroutine after the worker barrier, so no context is
+// concurrently counting.
+func (ex *exec) foldProf(col *prof.Collector, kernel string, site int) {
+	for cf, blocks := range ex.profCounts {
+		for bi, counts := range blocks {
+			if counts == nil {
+				continue
+			}
+			lines := cf.lines[bi]
+			for ii, n := range counts {
+				if n != 0 {
+					col.AddKernelOps(kernel, site, int(lines[ii]), n)
+					counts[ii] = 0
+				}
+			}
+		}
+	}
+}
+
 // blockCaches returns the per-instruction inline caches for blk. The
 // root context uses the compiledFunc's own storage (as the sequential
 // interpreter did); workers keep private copies so concurrent chunks
@@ -464,6 +513,12 @@ func (ex *exec) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint64,
 		wantSpace = machine.GPU
 	}
 	inspecting := gpu != nil && gpu.inspect
+	// profBlk, when non-nil, receives each instruction's op cost so the
+	// profiler can attribute exact GPU work to source lines.
+	var profBlk []int64
+	if gpu != nil && in.Prof != nil {
+		profBlk = ex.profBlock(fr.cf, blk.Index)
+	}
 	for ii, instr := range blk.Instrs {
 		ops := blockOps[ii]
 		if ex.budget--; ex.budget < 0 {
@@ -615,6 +670,9 @@ func (ex *exec) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint64,
 			cost = 0 // launch cost charged by the machine
 
 		case ir.OpRet:
+			if profBlk != nil {
+				profBlk[ii] += cost
+			}
 			ex.chargeWork(fr, cost)
 			if len(ops) > 0 {
 				return nil, ex.evalOp(fr, &ops[0]), true, nil
@@ -622,10 +680,16 @@ func (ex *exec) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint64,
 			return nil, 0, true, nil
 
 		case ir.OpBr:
+			if profBlk != nil {
+				profBlk[ii] += cost
+			}
 			ex.chargeWork(fr, cost)
 			return instr.Targets[0], 0, false, nil
 
 		case ir.OpCondBr:
+			if profBlk != nil {
+				profBlk[ii] += cost
+			}
 			ex.chargeWork(fr, cost)
 			if ex.evalOp(fr, &ops[0]) != 0 {
 				return instr.Targets[0], 0, false, nil
@@ -634,6 +698,9 @@ func (ex *exec) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint64,
 
 		default:
 			return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: "unknown opcode " + instr.Op.String()}
+		}
+		if profBlk != nil {
+			profBlk[ii] += cost
 		}
 		ex.chargeWork(fr, cost)
 	}

@@ -31,6 +31,7 @@ import (
 
 	"cgcm/internal/ir"
 	"cgcm/internal/machine"
+	"cgcm/internal/prof"
 	"cgcm/internal/runtime"
 	"cgcm/internal/trace"
 )
@@ -80,6 +81,13 @@ type Interp struct {
 	// Tr, when non-nil, receives a fault span when execution dies, so
 	// exported traces show where a run ended.
 	Tr *trace.Tracer
+
+	// Prof, when non-nil, receives exact execution attribution: every
+	// simulated GPU op is credited to the source line of the instruction
+	// that incurred it (folded after each launch), and every cgcm.*
+	// runtime call is timed on the simulated clock. When nil, the kernel
+	// hot path performs no profiling work and no allocations.
+	Prof *prof.Collector
 
 	// Workers is the number of host goroutines used to execute the
 	// threads of each kernel launch; 0 means GOMAXPROCS. Output, machine
@@ -146,6 +154,13 @@ func New(mod *ir.Module, mach *machine.Machine, rt *runtime.Runtime, out io.Writ
 
 // GlobalAddr returns the host address of a module global.
 func (in *Interp) GlobalAddr(g *ir.Global) uint64 { return in.globalAddr[g] }
+
+// Steps reports how many instruction steps have been drawn from the
+// shared step pool. Contexts batch their draws, so the value may
+// overcount live work by at most stepBatch per context mid-launch; after
+// Run it is exact up to the unused remainder of each context's final
+// batch.
+func (in *Interp) Steps() int64 { return in.stepsTaken.Load() }
 
 // Run executes __cgcm_init (if present) then main, and finally syncs the
 // machine. It returns main's exit value.

@@ -154,26 +154,65 @@ func (ex *exec) intrinsic(fr *frame, instr *ir.Instr, ops []operand) (uint64, in
 			return 0, 0, &Error{Fn: fr.fn.Name, Msg: "cgcm.map on GPU"}
 		}
 		ex.flushOps()
+		t0 := ex.profRTEnter(instr)
 		p, err := in.RT.Map(a(0))
+		ex.profRTExit(instr, t0)
 		return p, 0, ex.wrapErr(fr, err)
 	case "cgcm.unmap":
 		ex.flushOps()
-		return 0, 0, ex.wrapErr(fr, in.RT.Unmap(a(0)))
+		t0 := ex.profRTEnter(instr)
+		err := in.RT.Unmap(a(0))
+		ex.profRTExit(instr, t0)
+		return 0, 0, ex.wrapErr(fr, err)
 	case "cgcm.release":
 		ex.flushOps()
-		return 0, 0, ex.wrapErr(fr, in.RT.Release(a(0)))
+		t0 := ex.profRTEnter(instr)
+		err := in.RT.Release(a(0))
+		ex.profRTExit(instr, t0)
+		return 0, 0, ex.wrapErr(fr, err)
 	case "cgcm.mapArray":
 		ex.flushOps()
+		t0 := ex.profRTEnter(instr)
 		p, err := in.RT.MapArray(a(0))
+		ex.profRTExit(instr, t0)
 		return p, 0, ex.wrapErr(fr, err)
 	case "cgcm.unmapArray":
 		ex.flushOps()
-		return 0, 0, ex.wrapErr(fr, in.RT.UnmapArray(a(0)))
+		t0 := ex.profRTEnter(instr)
+		err := in.RT.UnmapArray(a(0))
+		ex.profRTExit(instr, t0)
+		return 0, 0, ex.wrapErr(fr, err)
 	case "cgcm.releaseArray":
 		ex.flushOps()
-		return 0, 0, ex.wrapErr(fr, in.RT.ReleaseArray(a(0)))
+		t0 := ex.profRTEnter(instr)
+		err := in.RT.ReleaseArray(a(0))
+		ex.profRTExit(instr, t0)
+		return 0, 0, ex.wrapErr(fr, err)
 	}
 	return 0, 0, &Error{Fn: fr.fn.Name, Msg: "unknown intrinsic " + instr.Name}
+}
+
+// profRTEnter prepares attribution for one cgcm.* runtime-library call:
+// it stamps the runtime's current source line (so transfer bytes land on
+// the call site) and samples the simulated clock. No-op when profiling
+// is off.
+func (ex *exec) profRTEnter(instr *ir.Instr) float64 {
+	in := ex.in
+	if in.Prof == nil {
+		return 0
+	}
+	in.RT.ProfLine = int(instr.Line)
+	return in.Mach.Now()
+}
+
+// profRTExit charges the simulated time the runtime call consumed to the
+// call's name and source line.
+func (ex *exec) profRTExit(instr *ir.Instr, t0 float64) {
+	in := ex.in
+	if in.Prof == nil {
+		return
+	}
+	in.Prof.AddRuntime(instr.Name, int(instr.Line), in.Mach.Now()-t0)
 }
 
 func (ex *exec) wrapErr(fr *frame, err error) error {

@@ -26,21 +26,21 @@ func (ex *exec) launch(fr *frame, instr *ir.Instr, ops []operand) error {
 	}
 	ex.flushOps()
 	if in.Mode == Inspector {
-		return in.launchInspector(instr.Callee, threads, args)
+		return in.launchInspector(instr.Callee, int(instr.Line), threads, args)
 	}
-	return in.launchManaged(instr.Callee, threads, args)
+	return in.launchManaged(instr.Callee, int(instr.Line), threads, args)
 }
 
 // launchManaged runs every thread against GPU memory and charges one
 // asynchronous kernel. The runtime epoch advances so subsequent unmaps
 // know GPU memory may have changed.
-func (in *Interp) launchManaged(kernel *ir.Func, threads int64, args []uint64) error {
+func (in *Interp) launchManaged(kernel *ir.Func, line int, threads int64, args []uint64) error {
 	in.RT.KernelLaunched()
-	res, err := in.runGrid(kernel, threads, args, false)
+	res, err := in.runGrid(kernel, line, threads, args, false)
 	if err != nil {
 		return err
 	}
-	in.Mach.LaunchKernel(kernel.Name, threads, res.totalOps, res.maxOps)
+	in.Mach.LaunchKernelAt(kernel.Name, line, threads, res.totalOps, res.maxOps)
 	return nil
 }
 
@@ -53,9 +53,9 @@ func (in *Interp) launchManaged(kernel *ir.Func, threads int64, args []uint64) e
 // touched allocation unit in each direction; execution then occupies the
 // GPU timeline. Functionally, threads run against host memory — the
 // oracle's transfers are assumed perfect.
-func (in *Interp) launchInspector(kernel *ir.Func, threads int64, args []uint64) error {
+func (in *Interp) launchInspector(kernel *ir.Func, line int, threads int64, args []uint64) error {
 	in.RT.KernelLaunched()
-	res, err := in.runGrid(kernel, threads, args, true)
+	res, err := in.runGrid(kernel, line, threads, args, true)
 	if err != nil {
 		return err
 	}
@@ -68,7 +68,7 @@ func (in *Interp) launchInspector(kernel *ir.Func, threads int64, args []uint64)
 	for i := 0; i < res.inspTouched; i++ {
 		in.Mach.ChargeTransfer(machine.EvHtoD, 1)
 	}
-	in.Mach.LaunchKernel(kernel.Name, threads, res.totalOps, res.maxOps)
+	in.Mach.LaunchKernelAt(kernel.Name, line, threads, res.totalOps, res.maxOps)
 	for i := 0; i < res.inspWrote; i++ {
 		in.Mach.ChargeTransfer(machine.EvDtoH, 1)
 	}
@@ -153,7 +153,7 @@ func threadSeed(seed uint64, tid int64) uint64 {
 //   - if any threads faulted, the lowest thread id wins, exactly the
 //     fault sequential execution reports (workers skip threads above the
 //     current minimum faulting tid, so every lower thread still runs).
-func (in *Interp) runGrid(kernel *ir.Func, threads int64, args []uint64, inspect bool) (gridResult, error) {
+func (in *Interp) runGrid(kernel *ir.Func, line int, threads int64, args []uint64, inspect bool) (gridResult, error) {
 	in.compileReachable(kernel)
 	nw := in.numWorkers()
 	if int64(nw) > threads {
@@ -238,6 +238,16 @@ func (in *Interp) runGrid(kernel *ir.Func, threads int64, args []uint64, inspect
 			}(ex)
 		}
 		wg.Wait()
+	}
+
+	// Fold exact per-line op attribution on the launch goroutine: the
+	// barrier above guarantees no context is still counting, and zeroing
+	// after the fold scopes every counter to exactly one launch. Folding
+	// happens even on a fault so partial work is still attributed.
+	if in.Prof != nil {
+		for _, ex := range ws {
+			ex.foldProf(in.Prof, kernel.Name, line)
+		}
 	}
 
 	// Replay buffered kernel output in thread order; on a fault, exactly

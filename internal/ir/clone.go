@@ -11,6 +11,7 @@ func CloneInstr(in *Instr, remap map[Value]Value) *Instr {
 		Callee:  in.Callee,
 		Name:    in.Name,
 		Comment: in.Comment,
+		Line:    in.Line,
 	}
 	c.Args = make([]Value, len(in.Args))
 	for i, a := range in.Args {

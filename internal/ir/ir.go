@@ -174,6 +174,13 @@ type Instr struct {
 
 	// Comment carries provenance for dumps (e.g. "hoisted by map promotion").
 	Comment string
+
+	// Line is the 1-based mini-C source line this instruction was lowered
+	// from, or 0 when unknown (synthesized glue). Passes that clone or move
+	// instructions preserve it; pass-inserted runtime calls inherit the line
+	// of the launch they manage, so the profiler can charge communication to
+	// a launch site.
+	Line int32
 }
 
 // IsFloat implements Value.

@@ -98,7 +98,11 @@ type builder struct {
 	initCur *ir.Block
 
 	strCount int
-	err      error
+	// line is the source line of the statement or expression being
+	// lowered; emit stamps it onto every instruction so the profiler can
+	// charge simulated cycles back to mini-C source lines.
+	line int32
+	err  error
 }
 
 func (b *builder) errorf(pos token.Pos, format string, args ...interface{}) {
@@ -107,9 +111,20 @@ func (b *builder) errorf(pos token.Pos, format string, args ...interface{}) {
 	}
 }
 
-// emit appends an instruction to the current block.
+// emit appends an instruction to the current block, stamping it with the
+// source line currently being lowered.
 func (b *builder) emit(in *ir.Instr) *ir.Instr {
+	if in.Line == 0 {
+		in.Line = b.line
+	}
 	return b.cur.Append(in)
+}
+
+// setLine records the source line of the node being lowered.
+func (b *builder) setLine(pos token.Pos) {
+	if pos.IsValid() {
+		b.line = int32(pos.Line)
+	}
 }
 
 func (b *builder) emitOp(op ir.Op, float bool, args ...ir.Value) *ir.Instr {
@@ -403,6 +418,7 @@ func (b *builder) stmt(s ast.Stmt) {
 	if b.err != nil {
 		return
 	}
+	b.setLine(s.Pos())
 	switch s := s.(type) {
 	case *ast.DeclStmt:
 		b.declStmt(s.Decl)
@@ -661,6 +677,7 @@ func (b *builder) expr(e ast.Expr) ir.Value {
 	if b.err != nil {
 		return ir.IntConst(0)
 	}
+	b.setLine(e.Pos())
 	switch e := e.(type) {
 	case *ast.IntLit:
 		return ir.IntConst(e.Value)

@@ -23,6 +23,7 @@ package machine
 import (
 	"fmt"
 
+	"cgcm/internal/metrics"
 	"cgcm/internal/rbtree"
 	"cgcm/internal/trace"
 )
@@ -293,6 +294,20 @@ type Machine struct {
 	// gen increments whenever a segment is freed, invalidating the
 	// interpreter's per-instruction inline caches.
 	gen uint64
+
+	// met holds pre-resolved metrics instruments; all nil (free no-ops)
+	// unless SetMetrics attached a registry.
+	met machMetrics
+}
+
+// machMetrics is the machine's pre-resolved instrument set. Handles are
+// resolved once in SetMetrics so per-event updates never touch the
+// registry map.
+type machMetrics struct {
+	kernelLaunches *metrics.Counter
+	kernelDur      *metrics.Histogram
+	htodBytes      *metrics.Histogram
+	dtohBytes      *metrics.Histogram
 }
 
 // Gen returns the segment-table generation; it changes whenever a
@@ -311,6 +326,30 @@ func New(cost CostModel) *Machine {
 
 // SetTracer directs the machine's timeline spans into t (nil disables).
 func (m *Machine) SetTracer(t *trace.Tracer) { m.tr = t }
+
+// SetMetrics resolves the machine's instruments against r (nil detaches:
+// every instrument handle becomes a nil no-op). Instrument names:
+//
+//	machine.kernel.launches         counter, kernel launches
+//	machine.kernel.duration_seconds histogram, per-kernel simulated duration
+//	machine.xfer.htod_bytes         histogram, per-transfer H2D payload
+//	machine.xfer.dtoh_bytes         histogram, per-transfer D2H payload
+func (m *Machine) SetMetrics(r *metrics.Registry) {
+	m.met = machMetrics{
+		kernelLaunches: r.Counter("machine.kernel.launches"),
+		kernelDur:      r.Histogram("machine.kernel.duration_seconds", KernelDurBuckets()),
+		htodBytes:      r.Histogram("machine.xfer.htod_bytes", TransferSizeBuckets()),
+		dtohBytes:      r.Histogram("machine.xfer.dtoh_bytes", TransferSizeBuckets()),
+	}
+}
+
+// TransferSizeBuckets returns the canonical transfer-size histogram
+// bounds: 64 B to ~1 GB, powers of 4.
+func TransferSizeBuckets() []float64 { return metrics.ExpBuckets(64, 4, 13) }
+
+// KernelDurBuckets returns the canonical kernel-duration histogram
+// bounds: 1 µs to ~16 s, powers of 4.
+func KernelDurBuckets() []float64 { return metrics.ExpBuckets(1e-6, 4, 13) }
 
 // Tracer returns the machine's tracer, if any.
 func (m *Machine) Tracer() *trace.Tracer { return m.tr }
@@ -534,6 +573,12 @@ func (m *Machine) InspectorOps(n int64) {
 // maxThreadOps. The CPU pays only the enqueue cost; the kernel occupies
 // the GPU timeline.
 func (m *Machine) LaunchKernel(name string, threads int64, totalOps, maxThreadOps int64) {
+	m.LaunchKernelAt(name, 0, threads, totalOps, maxThreadOps)
+}
+
+// LaunchKernelAt is LaunchKernel tagged with the launch site's source
+// line, which the emitted kernel span carries for the profiler.
+func (m *Machine) LaunchKernelAt(name string, line int, threads int64, totalOps, maxThreadOps int64) {
 	m.flushCPUSpan()
 	m.cpuTime += m.Cost.LaunchCPU
 	start := m.cpuTime
@@ -552,7 +597,14 @@ func (m *Machine) LaunchKernel(name string, threads int64, totalOps, maxThreadOp
 	m.stats.GPUTime += dur
 	m.stats.NumKernels++
 	m.stats.GPUOps += totalOps
-	m.emit(EvKernel, start, m.gpuReady, name, 0, "")
+	m.met.kernelLaunches.Inc()
+	m.met.kernelDur.Observe(dur)
+	if m.tr != nil {
+		m.tr.Emit(trace.Span{
+			Kind: trace.KindKernel, Lane: trace.LaneGPU, Name: name,
+			Start: start, End: m.gpuReady, Line: line,
+		})
+	}
 	if m.Cost.SyncAfterLaunch {
 		m.stats.StallTime += m.gpuReady - m.cpuTime
 		m.cpuTime = m.gpuReady
@@ -635,6 +687,11 @@ func (m *Machine) xfer(kind EventKind, n int64, unit string) {
 	}
 	d := m.Cost.TransferLat + float64(n)*m.Cost.TransferPerB
 	m.emit(kind, m.cpuTime, m.cpuTime+d, "", n, unit)
+	if kind == EvHtoD {
+		m.met.htodBytes.Observe(float64(n))
+	} else {
+		m.met.dtohBytes.Observe(float64(n))
+	}
 	m.cpuTime += d
 	m.gpuReady = m.cpuTime
 	m.stats.CommTime += d

@@ -146,7 +146,7 @@ func manage(launch *ir.Instr, cls *typeinfer.Classification, res *Result, pt *an
 			res.ArrayMaps++
 		}
 		mp := &ir.Instr{Op: ir.OpIntrinsic, Name: name, Args: []ir.Value{li.val},
-			Comment: "live-in for " + k.Name}
+			Comment: "live-in for " + k.Name, Line: launch.Line}
 		blk.InsertBefore(mp, launch)
 		if li.argIdx >= 0 {
 			launch.Args[li.argIdx] = mp
@@ -161,7 +161,7 @@ func manage(launch *ir.Instr, cls *typeinfer.Classification, res *Result, pt *an
 			name = "cgcm.unmapArray"
 		}
 		um := &ir.Instr{Op: ir.OpIntrinsic, Name: name, Args: []ir.Value{li.val},
-			Comment: "live-out for " + k.Name}
+			Comment: "live-out for " + k.Name, Line: launch.Line}
 		blk.InsertAfter(um, cursor)
 		cursor = um
 	}
@@ -171,7 +171,7 @@ func manage(launch *ir.Instr, cls *typeinfer.Classification, res *Result, pt *an
 			name = "cgcm.releaseArray"
 		}
 		rel := &ir.Instr{Op: ir.OpIntrinsic, Name: name, Args: []ir.Value{li.val},
-			Comment: "balance for " + k.Name}
+			Comment: "balance for " + k.Name, Line: launch.Line}
 		blk.InsertAfter(rel, cursor)
 		cursor = rel
 	}

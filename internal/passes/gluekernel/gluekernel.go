@@ -325,6 +325,20 @@ func outline(m *ir.Module, f *ir.Func, b *ir.Block, r *run, count *int) *ir.Inst
 		valueMap[in] = c
 	}
 	entry.Append(&ir.Instr{Op: ir.OpRet})
+	// The glued code's first source line stands in for the whole kernel's
+	// launch site.
+	gline := int32(0)
+	for _, in := range r.span {
+		if in.Line != 0 {
+			gline = in.Line
+			break
+		}
+	}
+	for _, in := range entry.Instrs {
+		if in.Line == 0 {
+			in.Line = gline
+		}
+	}
 	k.Renumber()
 
 	// Reposition hoisted slot loads ahead of the run, preserving order.
@@ -349,7 +363,7 @@ func outline(m *ir.Module, f *ir.Func, b *ir.Block, r *run, count *int) *ir.Inst
 	launchArgs := []ir.Value{ir.IntConst(1), ir.IntConst(1)}
 	launchArgs = append(launchArgs, liveIns...)
 	launch := &ir.Instr{Op: ir.OpLaunch, Callee: k, Args: launchArgs,
-		Comment: "glue kernel"}
+		Comment: "glue kernel", Line: gline}
 	b.InsertBefore(launch, anchor)
 	for _, in := range r.span {
 		if !r.hoisted[in] {

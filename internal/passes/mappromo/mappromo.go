@@ -102,6 +102,18 @@ type candidate struct {
 	releases []*ir.Instr
 }
 
+// line is the source line promoted calls inherit: the line of the first
+// original map call in the candidate, so the profiler keeps charging the
+// communication to the launch site it was inserted for.
+func (c *candidate) line() int32 {
+	for _, in := range c.maps {
+		if in.Line != 0 {
+			return in.Line
+		}
+	}
+	return 0
+}
+
 func (c *candidate) calls() map[*ir.Instr]bool {
 	s := make(map[*ir.Instr]bool)
 	for _, in := range c.maps {

@@ -81,11 +81,12 @@ func promoteLoops(m *ir.Module, f *ir.Func, pt *analysis.PointsTo, mr *analysis.
 // applyLoopPromotion performs Algorithm 4's rewrites for one candidate.
 func applyLoopPromotion(c *candidate, region analysis.Region, pre *ir.Block, exits []*ir.Block) {
 	// copy(above(region), candidate.map)
+	line := c.line()
 	remap := make(map[ir.Value]ir.Value)
 	ptrAbove := cloneChainInto(c.rep, region, pre, pre.Terminator(), remap)
 	pre.InsertBefore(&ir.Instr{
 		Op: ir.OpIntrinsic, Name: runtimeName("map", c.isArray),
-		Args: []ir.Value{ptrAbove}, Comment: "map promotion: hoisted map",
+		Args: []ir.Value{ptrAbove}, Comment: "map promotion: hoisted map", Line: line,
 	}, pre.Terminator())
 
 	// copy(below(region), candidate.unmap); copy(below, candidate.release)
@@ -93,12 +94,12 @@ func applyLoopPromotion(c *candidate, region analysis.Region, pre *ir.Block, exi
 		t := ex.Terminator()
 		um := &ir.Instr{
 			Op: ir.OpIntrinsic, Name: runtimeName("unmap", c.isArray),
-			Args: []ir.Value{ptrAbove}, Comment: "map promotion: sunk unmap",
+			Args: []ir.Value{ptrAbove}, Comment: "map promotion: sunk unmap", Line: line,
 		}
 		ex.InsertBefore(um, t)
 		rel := &ir.Instr{
 			Op: ir.OpIntrinsic, Name: runtimeName("release", c.isArray),
-			Args: []ir.Value{ptrAbove}, Comment: "map promotion: balancing release",
+			Args: []ir.Value{ptrAbove}, Comment: "map promotion: balancing release", Line: line,
 		}
 		ex.InsertBefore(rel, t)
 	}
@@ -201,19 +202,20 @@ func applyFuncPromotion(c *candidate, rep ir.Value, region analysis.Region, site
 			remap[p] = site.Instr.Args[i]
 		}
 	}
+	line := c.line()
 	ptr := cloneChainIntoWithParams(rep, region, blk, site.Instr, remap)
 	blk.InsertBefore(&ir.Instr{
 		Op: ir.OpIntrinsic, Name: runtimeName("map", c.isArray),
-		Args: []ir.Value{ptr}, Comment: "map promotion: hoisted to caller",
+		Args: []ir.Value{ptr}, Comment: "map promotion: hoisted to caller", Line: line,
 	}, site.Instr)
 	um := &ir.Instr{
 		Op: ir.OpIntrinsic, Name: runtimeName("unmap", c.isArray),
-		Args: []ir.Value{ptr}, Comment: "map promotion: sunk to caller",
+		Args: []ir.Value{ptr}, Comment: "map promotion: sunk to caller", Line: line,
 	}
 	blk.InsertAfter(um, site.Instr)
 	rel := &ir.Instr{
 		Op: ir.OpIntrinsic, Name: runtimeName("release", c.isArray),
-		Args: []ir.Value{ptr}, Comment: "map promotion: balancing release",
+		Args: []ir.Value{ptr}, Comment: "map promotion: balancing release", Line: line,
 	}
 	blk.InsertAfter(rel, um)
 }

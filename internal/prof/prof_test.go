@@ -1,0 +1,159 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cgcm/internal/trace"
+)
+
+func sample() *Collector {
+	c := NewCollector("hot.c")
+	c.AddKernelOps("main__doall1", 12, 14, 9000)
+	c.AddKernelOps("main__doall1", 12, 12, 500)
+	c.AddKernelOps("main__doall1", 12, 14, 500) // accumulates with first
+	c.AddKernelOps("main__doall2", 20, 21, 100)
+	c.AddTransfer("a", 12, true, 2048)
+	c.AddTransfer("a", 12, false, 2048)
+	c.AddTransfer("b", 20, true, 64)
+	c.AddRuntime("cgcm.map", 12, 0.001)
+	c.AddRuntime("cgcm.map", 12, 0.001)
+	c.AddRuntime("cgcm.unmap", 12, 0.002)
+	c.ConsumeSpans([]trace.Span{
+		{Kind: trace.KindKernel, Name: "main__doall1", Line: 12, Start: 1, End: 3},
+		{Kind: trace.KindKernel, Name: "main__doall1", Line: 12, Start: 5, End: 6},
+		{Kind: trace.KindKernel, Name: "main__doall2", Line: 20, Start: 7, End: 7.5},
+		{Kind: trace.KindHtoD, Name: "a", Start: 0, End: 1}, // ignored: not a kernel span
+	})
+	return c
+}
+
+func TestNilCollector(t *testing.T) {
+	var c *Collector
+	c.AddKernelOps("k", 1, 2, 3)
+	c.AddTransfer("u", 1, true, 4)
+	c.AddRuntime("cgcm.map", 1, 0.5)
+	c.ConsumeSpans([]trace.Span{{Kind: trace.KindKernel}})
+	if c.Profile() != nil {
+		t.Fatalf("nil collector must produce nil profile")
+	}
+	var p *Profile
+	if p.UnitTotals() != nil || p.RuntimeSeconds() != 0 {
+		t.Fatalf("nil profile accessors must be zero-valued")
+	}
+	var buf bytes.Buffer
+	if err := p.WriteFlat(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileAggregation(t *testing.T) {
+	p := sample().Profile()
+	if p.TotalGPUOps != 10100 {
+		t.Fatalf("total ops = %d, want 10100", p.TotalGPUOps)
+	}
+	// Lines sorted by descending ops; duplicates accumulated.
+	if p.Lines[0].Line != 14 || p.Lines[0].GPUOps != 9500 {
+		t.Fatalf("hottest line = %+v, want line 14 with 9500 ops", p.Lines[0])
+	}
+	if len(p.Lines) != 3 {
+		t.Fatalf("got %d line samples, want 3", len(p.Lines))
+	}
+	// Sites harvested from spans, with per-site op totals joined in.
+	if len(p.Sites) != 2 {
+		t.Fatalf("got %d sites, want 2", len(p.Sites))
+	}
+	s := p.Sites[0]
+	if s.Kernel != "main__doall1" || s.Launches != 2 || s.Wall != 3.0 || s.GPUOps != 10000 {
+		t.Fatalf("site[0] = %+v", s)
+	}
+	if p.KernelWall != 3.5 {
+		t.Fatalf("kernel wall = %v, want 3.5", p.KernelWall)
+	}
+	// Runtime totals.
+	if got := p.RuntimeSeconds(); got != 0.004 {
+		t.Fatalf("runtime seconds = %v, want 0.004", got)
+	}
+}
+
+func TestUnitTotals(t *testing.T) {
+	c := sample()
+	c.AddTransfer("a", 40, true, 1000) // same unit, different line
+	tot := c.Profile().UnitTotals()
+	a := tot["a"]
+	if a.HtoDBytes != 3048 || a.HtoDCount != 2 || a.DtoHBytes != 2048 || a.DtoHCount != 1 {
+		t.Fatalf("unit a totals = %+v", a)
+	}
+	if b := tot["b"]; b.HtoDBytes != 64 || b.DtoHBytes != 0 {
+		t.Fatalf("unit b totals = %+v", b)
+	}
+}
+
+func TestWriteFlat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Profile().WriteFlat(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"CGCM exact profile: hot.c",
+		"10100 simulated ops, 3 launches",
+		"Hot lines (top 2 of 3):",
+		"hot.c:14",
+		"94.1%", // 9500/10100
+		"main__doall1 (hot.c:12)",
+		"Launch sites:",
+		"Transfers:",
+		"Runtime calls:",
+		"cgcm.unmap",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("flat output missing %q:\n%s", want, out)
+		}
+	}
+	// Top-2 cut: line 21 (the coldest) must not appear in the hot-lines table.
+	if strings.Contains(out, "hot.c:21  ") {
+		t.Fatalf("topN cut did not apply:\n%s", out)
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Profile().WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d folded lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "main__doall1@hot.c:12;hot.c:14 9500" {
+		t.Fatalf("folded[0] = %q", lines[0])
+	}
+	// Every line must be "frames count" with frames ;-separated.
+	for _, l := range lines {
+		parts := strings.Split(l, " ")
+		if len(parts) != 2 || !strings.Contains(parts[0], ";") {
+			t.Fatalf("malformed folded line %q", l)
+		}
+	}
+}
+
+func TestProfileJSON(t *testing.T) {
+	p := sample().Profile()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Profile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalGPUOps != p.TotalGPUOps || len(back.Lines) != len(p.Lines) {
+		t.Fatalf("JSON round-trip mismatch")
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"math"
 
 	"cgcm/internal/machine"
+	"cgcm/internal/metrics"
+	"cgcm/internal/prof"
 	"cgcm/internal/rbtree"
 	"cgcm/internal/trace"
 )
@@ -92,10 +94,27 @@ type Runtime struct {
 	// Report carries a communication ledger.
 	Ledger *trace.LedgerBuilder
 
+	// Prof, when non-nil, receives one AddTransfer per copy the runtime
+	// performs, at exactly the points the Ledger is updated — which is
+	// what guarantees profile byte totals equal ledger totals. ProfLine is
+	// the source line of the cgcm.* call currently executing; the
+	// interpreter sets it before dispatching into the runtime.
+	Prof     *prof.Collector
+	ProfLine int
+
 	allocs  rbtree.Tree[*AllocInfo]
 	shadows map[uint64]*shadowArray
 	epoch   uint64
 	stats   Stats
+	met     rtMetrics
+}
+
+// rtMetrics is the runtime's pre-resolved instrument set; all nil (free
+// no-ops) unless SetMetrics attached a registry.
+type rtMetrics struct {
+	maps, unmaps, releases *metrics.Counter
+	htodCopies, dtohCopies *metrics.Counter
+	epochSkips, resSkips   *metrics.Counter
 }
 
 // New creates a runtime for machine m.
@@ -113,6 +132,27 @@ func (r *Runtime) span(kind trace.Kind, info *AllocInfo, bytes int64) {
 		Kind: kind, Lane: trace.LaneRT, Name: kind.String() + " " + info.Name,
 		Start: now, End: now, Bytes: bytes, Unit: info.Name,
 	})
+}
+
+// SetMetrics resolves the runtime's instruments against reg (nil
+// detaches). Instrument names:
+//
+//	runtime.map.calls / runtime.unmap.calls / runtime.release.calls
+//	runtime.htod.copies / runtime.dtoh.copies
+//	runtime.epoch.skips / runtime.residency.skips
+//
+// The array variants count into the same instruments via their per-element
+// Map/Unmap/Release calls.
+func (r *Runtime) SetMetrics(reg *metrics.Registry) {
+	r.met = rtMetrics{
+		maps:       reg.Counter("runtime.map.calls"),
+		unmaps:     reg.Counter("runtime.unmap.calls"),
+		releases:   reg.Counter("runtime.release.calls"),
+		htodCopies: reg.Counter("runtime.htod.copies"),
+		dtohCopies: reg.Counter("runtime.dtoh.copies"),
+		epochSkips: reg.Counter("runtime.epoch.skips"),
+		resSkips:   reg.Counter("runtime.residency.skips"),
+	}
 }
 
 // Stats returns a snapshot of the runtime counters.
@@ -250,6 +290,7 @@ func (r *Runtime) lookupOrErr(op string, ptr uint64) (*AllocInfo, error) {
 func (r *Runtime) Map(ptr uint64) (uint64, error) {
 	r.M.CPUOps(runtimeCallOps)
 	r.stats.Maps++
+	r.met.maps.Inc()
 	info, err := r.lookupOrErr("map", ptr)
 	if err != nil {
 		return 0, err
@@ -266,8 +307,11 @@ func (r *Runtime) Map(ptr uint64) (uint64, error) {
 			return 0, err
 		}
 		r.stats.HtoDCopies++
+		r.met.htodCopies.Inc()
+		r.Prof.AddTransfer(info.Name, r.ProfLine, true, info.Size)
 	} else {
 		r.stats.ResidencySkips++
+		r.met.resSkips.Inc()
 	}
 	r.Ledger.RecordMap(info.Base, info.Name, info.Size, r.epoch, copied)
 	if copied {
@@ -284,6 +328,7 @@ func (r *Runtime) Map(ptr uint64) (uint64, error) {
 func (r *Runtime) Unmap(ptr uint64) error {
 	r.M.CPUOps(runtimeCallOps)
 	r.stats.Unmaps++
+	r.met.unmaps.Inc()
 	info, err := r.lookupOrErr("unmap", ptr)
 	if err != nil {
 		return err
@@ -297,9 +342,12 @@ func (r *Runtime) Unmap(ptr uint64) error {
 			return err
 		}
 		r.stats.DtoHCopies++
+		r.met.dtohCopies.Inc()
+		r.Prof.AddTransfer(info.Name, r.ProfLine, false, info.Size)
 		info.Epoch = r.epoch
 	} else {
 		r.stats.EpochSkips++
+		r.met.epochSkips.Inc()
 	}
 	r.Ledger.RecordUnmap(info.Base, info.Name, info.Size, r.epoch, copied)
 	if copied {
@@ -315,6 +363,7 @@ func (r *Runtime) Unmap(ptr uint64) error {
 func (r *Runtime) Release(ptr uint64) error {
 	r.M.CPUOps(runtimeCallOps)
 	r.stats.Releases++
+	r.met.releases.Inc()
 	info, err := r.lookupOrErr("release", ptr)
 	if err != nil {
 		return err
@@ -394,6 +443,8 @@ func (r *Runtime) MapArray(ptr uint64) (uint64, error) {
 		}
 		r.M.ChargeTransferUnit(machine.EvHtoD, info.Size, info.Name)
 		r.stats.HtoDCopies++
+		r.met.htodCopies.Inc()
+		r.Prof.AddTransfer(info.Name, r.ProfLine, true, info.Size)
 		r.Ledger.RecordUpload(info.Base, info.Name, info.Size, r.epoch)
 		r.span(trace.KindMap, info, info.Size)
 		sh = &shadowArray{DevArr: devArr, Elems: elems}

@@ -79,6 +79,9 @@ func WriteChromeSpans(w io.Writer, spans []Span, phases []PhaseSpan) error {
 		if s.Unit != "" {
 			args["unit"] = s.Unit
 		}
+		if s.Line != 0 {
+			args["line"] = s.Line
+		}
 		ev := chromeEvent{
 			Name: name, Cat: s.Kind.String(),
 			TS:  s.Start * 1e6,

@@ -102,6 +102,7 @@ type Span struct {
 	Bytes      int64   // transfer payload, when applicable
 	Unit       string  // allocation-unit name for transfers and runtime calls
 	Epoch      uint64  // kernel epoch at emission time
+	Line       int     // launch-site source line for kernel spans, 0 if unknown
 }
 
 // PhaseSpan records one compiler phase: its host wall time and how many
