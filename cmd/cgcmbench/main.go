@@ -16,11 +16,17 @@
 //	cgcmbench -ledger      # per-program communication-ledger summary
 //	cgcmbench -json        # also write machine-readable BENCH_<n>.json
 //	cgcmbench -baseline BENCH_0.json   # freeze this run as a baseline
-//	cgcmbench -compare BENCH_0.json    # diff against a baseline; exit 1 on regression
+//	cgcmbench -compare BENCH_0.json    # diff against a baseline; exit 1 on
+//	                                   # regression (works with -program too:
+//	                                   # only that program's row is gated)
 //	cgcmbench -compare BENCH_0.json -threshold 0.10  # tighter gate (10%)
 //	cgcmbench -trace-out traces/       # Perfetto trace per program and system
 //	cgcmbench -workers 8   # kernel-engine worker goroutines per launch
 //	cgcmbench -ablate mappromo  # skip named optimization passes
+//	cgcmbench -program jacobi-2d -ablate-diff mappromo
+//	                       # explain, per allocation unit, what the named
+//	                       # passes buy: which units turn cyclic without
+//	                       # them, and which remark promoted each
 package main
 
 import (
@@ -30,7 +36,10 @@ import (
 	"os"
 
 	"cgcm/internal/bench"
+	"cgcm/internal/core"
 )
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
 // writeJSON writes the baseline document for rows to the first free
 // BENCH_<n>.json and returns the path.
@@ -46,24 +55,36 @@ func writeJSON(rows []*bench.Row) (string, error) {
 	}
 }
 
-func main() {
-	t1 := flag.Bool("table1", false, "render Table 1 (applicability comparison)")
-	f2 := flag.Bool("fig2", false, "render Figure 2 (execution schedules)")
-	t3 := flag.Bool("table3", false, "render Table 3 (program characteristics)")
-	f4 := flag.Bool("fig4", false, "render Figure 4 (whole-program speedups)")
-	one := flag.String("program", "", "run a single named program")
-	ledger := flag.Bool("ledger", false, "render the per-program communication-ledger summary")
-	quiet := flag.Bool("q", false, "suppress progress output")
-	jsonOut := flag.Bool("json", false, "write measured rows to BENCH_<n>.json")
-	baselineOut := flag.String("baseline", "", "freeze this run as a baseline at the given path")
-	compareWith := flag.String("compare", "", "diff this run against the given baseline; exit 1 on regression")
-	threshold := flag.Float64("threshold", 0.25, "relative simulated-wall regression that fails -compare (0.25 = 25%)")
-	traceDir := flag.String("trace-out", "", "write a Perfetto trace per program and system into this directory")
-	workers := flag.Int("workers", 0, "kernel-engine worker goroutines per launch (0 = GOMAXPROCS)")
-	flag.Var(&bench.Ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
-	flag.Parse()
+// run is the testable entry point: it parses args and writes to the given
+// streams, returning the process exit code (1 on a failed -compare gate).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cgcmbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	t1 := fs.Bool("table1", false, "render Table 1 (applicability comparison)")
+	f2 := fs.Bool("fig2", false, "render Figure 2 (execution schedules)")
+	t3 := fs.Bool("table3", false, "render Table 3 (program characteristics)")
+	f4 := fs.Bool("fig4", false, "render Figure 4 (whole-program speedups)")
+	one := fs.String("program", "", "run a single named program")
+	ledger := fs.Bool("ledger", false, "render the per-program communication-ledger summary")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	jsonOut := fs.Bool("json", false, "write measured rows to BENCH_<n>.json")
+	baselineOut := fs.String("baseline", "", "freeze this run as a baseline at the given path")
+	compareWith := fs.String("compare", "", "diff this run against the given baseline; exit 1 on regression")
+	threshold := fs.Float64("threshold", 0.25, "relative simulated-wall regression that fails -compare (0.25 = 25%)")
+	traceDir := fs.String("trace-out", "", "write a Perfetto trace per program and system into this directory")
+	workers := fs.Int("workers", 0, "kernel-engine worker goroutines per launch (0 = GOMAXPROCS)")
+	fs.Var(&bench.Ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
+	var ablateDiff core.PassSet
+	fs.Var(&ablateDiff, "ablate-diff", "explain per allocation unit what ablating these passes costs (vs the -ablate set)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	bench.Workers = *workers
 	bench.TraceDir = *traceDir
+
+	if ablateDiff != nil {
+		return runAblateDiff(stdout, stderr, *one, bench.Ablate, ablateDiff)
+	}
 
 	all := !*t1 && !*f2 && !*t3 && !*f4 && !*ledger &&
 		*one == "" && *baselineOut == "" && *compareWith == ""
@@ -71,101 +92,165 @@ func main() {
 	if *one != "" {
 		p, ok := bench.ByName(*one)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "cgcmbench: unknown program %q\n", *one)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cgcmbench: unknown program %q\n", *one)
+			return 1
 		}
 		row, err := bench.RunProgram(p)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cgcmbench: %v\n", err)
+			return 1
 		}
-		bench.RenderFigure4(os.Stdout, []*bench.Row{row})
-		fmt.Println()
-		bench.RenderTable3(os.Stdout, []*bench.Row{row})
+		bench.RenderFigure4(stdout, []*bench.Row{row})
+		fmt.Fprintln(stdout)
+		bench.RenderTable3(stdout, []*bench.Row{row})
 		if *ledger {
-			fmt.Println()
-			bench.RenderLedger(os.Stdout, []*bench.Row{row})
-			fmt.Println()
-			fmt.Printf("%s, unoptimized CGCM:\n%s\n", row.Name, row.Unopt.Comm)
-			fmt.Printf("%s, optimized CGCM:\n%s", row.Name, row.Opt.Comm)
+			fmt.Fprintln(stdout)
+			bench.RenderLedger(stdout, []*bench.Row{row})
+			fmt.Fprintln(stdout)
+			fmt.Fprintf(stdout, "%s, unoptimized CGCM:\n%s\n", row.Name, row.Unopt.Comm)
+			fmt.Fprintf(stdout, "%s, optimized CGCM:\n%s", row.Name, row.Opt.Comm)
 		}
 		if *jsonOut {
 			path, err := writeJSON([]*bench.Row{row})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "cgcmbench: %v\n", err)
+				return 1
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			fmt.Fprintf(stderr, "wrote %s\n", path)
 		}
-		return
+		if *baselineOut != "" {
+			if err := bench.NewBaseline([]*bench.Row{row}).WriteFile(*baselineOut); err != nil {
+				fmt.Fprintf(stderr, "cgcmbench: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "wrote baseline %s\n", *baselineOut)
+		}
+		if *compareWith != "" {
+			// Single-program gate: keep only this program's baseline row,
+			// so the rest of the suite is not reported missing.
+			return compareAgainst(stdout, stderr, *compareWith, []*bench.Row{row}, *threshold, row.Name)
+		}
+		return 0
 	}
 
 	if all || *t1 {
 		res, err := bench.RunTable1()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cgcmbench: table 1: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cgcmbench: table 1: %v\n", err)
+			return 1
 		}
-		bench.RenderTable1(os.Stdout, res)
-		fmt.Println()
+		bench.RenderTable1(stdout, res)
+		fmt.Fprintln(stdout)
 	}
 	if all || *f2 {
 		sch, err := bench.CollectSchedules()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cgcmbench: figure 2: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cgcmbench: figure 2: %v\n", err)
+			return 1
 		}
-		bench.RenderFigure2(os.Stdout, sch)
+		bench.RenderFigure2(stdout, sch)
 	}
 	if all || *t3 || *f4 || *ledger || *jsonOut || *baselineOut != "" || *compareWith != "" {
-		var logw io.Writer = os.Stderr
+		var logw io.Writer = stderr
 		if *quiet {
 			logw = io.Discard
 		}
 		rows, err := bench.RunAll(logw)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cgcmbench: %v\n", err)
+			return 1
 		}
 		if all || *t3 {
-			bench.RenderTable3(os.Stdout, rows)
-			fmt.Println()
+			bench.RenderTable3(stdout, rows)
+			fmt.Fprintln(stdout)
 		}
 		if all || *f4 {
-			bench.RenderFigure4(os.Stdout, rows)
+			bench.RenderFigure4(stdout, rows)
 		}
 		if *ledger {
 			if all || *f4 {
-				fmt.Println()
+				fmt.Fprintln(stdout)
 			}
-			bench.RenderLedger(os.Stdout, rows)
+			bench.RenderLedger(stdout, rows)
 		}
 		if *jsonOut {
 			path, err := writeJSON(rows)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "cgcmbench: %v\n", err)
+				return 1
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			fmt.Fprintf(stderr, "wrote %s\n", path)
 		}
 		if *baselineOut != "" {
 			if err := bench.NewBaseline(rows).WriteFile(*baselineOut); err != nil {
-				fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "cgcmbench: %v\n", err)
+				return 1
 			}
-			fmt.Fprintf(os.Stderr, "wrote baseline %s\n", *baselineOut)
+			fmt.Fprintf(stderr, "wrote baseline %s\n", *baselineOut)
 		}
 		if *compareWith != "" {
-			base, err := bench.ReadBaseline(*compareWith)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "cgcmbench: %v\n", err)
-				os.Exit(1)
-			}
-			cmp := bench.Compare(base, rows, *threshold)
-			bench.RenderComparison(os.Stdout, cmp)
-			if cmp.Failed() {
-				os.Exit(1)
-			}
+			return compareAgainst(stdout, stderr, *compareWith, rows, *threshold, "")
 		}
 	}
+	return 0
+}
+
+// compareAgainst diffs rows against the baseline at path and renders the
+// result, returning 1 when the gate fails. When onlyProgram is set, the
+// baseline is narrowed to that program's row first.
+func compareAgainst(stdout, stderr io.Writer, path string, rows []*bench.Row, threshold float64, onlyProgram string) int {
+	base, err := bench.ReadBaseline(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmbench: %v\n", err)
+		return 1
+	}
+	if onlyProgram != "" {
+		kept := base.Rows[:0]
+		for _, br := range base.Rows {
+			if br.Program == onlyProgram {
+				kept = append(kept, br)
+			}
+		}
+		base.Rows = kept
+	}
+	cmp := bench.Compare(base, rows, threshold)
+	bench.RenderComparison(stdout, cmp)
+	if cmp.Failed() {
+		return 1
+	}
+	return 0
+}
+
+// runAblateDiff explains what the diffed passes buy, per allocation
+// unit, for one named program or the whole suite.
+func runAblateDiff(stdout, stderr io.Writer, one string, base, extra core.PassSet) int {
+	// The diffed set ablates the -ablate set plus the -ablate-diff passes.
+	ablated := make(core.PassSet)
+	for p := range base {
+		ablated[p] = true
+	}
+	for p := range extra {
+		ablated[p] = true
+	}
+	progs := bench.All()
+	if one != "" {
+		p, ok := bench.ByName(one)
+		if !ok {
+			fmt.Fprintf(stderr, "cgcmbench: unknown program %q\n", one)
+			return 1
+		}
+		progs = []bench.Program{p}
+	}
+	for i, p := range progs {
+		d, err := bench.DiffAblation(p, base, ablated)
+		if err != nil {
+			fmt.Fprintf(stderr, "cgcmbench: %v\n", err)
+			return 1
+		}
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		bench.RenderAblationDiff(stdout, d)
+	}
+	return 0
 }

@@ -9,6 +9,11 @@
 //	cgcmc -strategy unopt file.c # sequential | inspector | unopt | opt
 //	cgcmc -ablate mappromo file.c # skip named optimization passes
 //	cgcmc -metrics m.json file.c # compile.<phase>.* metrics as JSON
+//	cgcmc -remarks file.c        # optimization remarks (what fired, what
+//	                             # was rejected and why), suppressing IR
+//	cgcmc -remarks -remarks-missed-only file.c   # rejections only
+//	cgcmc -remarks -remarks-pass mappromo file.c # one pass's remarks
+//	cgcmc -remarks-json r.json file.c            # remarks as JSON
 package main
 
 import (
@@ -18,41 +23,60 @@ import (
 	"io"
 	"os"
 
+	"cgcm/internal/cli"
 	"cgcm/internal/core"
 	"cgcm/internal/metrics"
 )
 
-func main() {
-	passes := flag.Bool("passes", false, "dump IR after every compilation phase")
-	strategy := flag.String("strategy", "opt", "sequential | inspector | unopt | opt")
-	phases := flag.Bool("phases", false, "report compile phases with wall time and activity")
-	metricsOut := flag.String("metrics", "", "write compile-phase metrics (compile.<phase>.host_ns/.activity) as JSON")
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable entry point: it parses args, compiles, and writes
+// to the given streams, returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cgcmc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	passes := fs.Bool("passes", false, "dump IR after every compilation phase")
+	strategy := fs.String("strategy", "opt", "sequential | inspector | unopt | opt")
+	phases := fs.Bool("phases", false, "report compile phases with wall time and activity")
+	metricsOut := fs.String("metrics", "", "write compile-phase metrics (compile.<phase>.host_ns/.activity) as JSON")
 	var ablate core.PassSet
-	flag.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cgcmc [-passes] [-phases] [-strategy s] [-ablate passes] file.c")
-		os.Exit(2)
+	fs.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
+	rflags := cli.AddRemarkFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: cgcmc [-passes] [-phases] [-strategy s] [-ablate passes] [-remarks] file.c")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cgcmc: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cgcmc: %v\n", err)
+		return 1
 	}
-	opts := core.Options{Strategy: parseStrategy(*strategy), Ablate: ablate}
+	st, ok := cli.ParseStrategy(*strategy)
+	if !ok {
+		fmt.Fprintf(stderr, "cgcmc: unknown strategy %q\n", *strategy)
+		return 2
+	}
+	opts := core.Options{Strategy: st, Ablate: ablate, Remarks: rflags.Wanted()}
 	if *passes {
-		opts.DumpWriter = os.Stdout
+		opts.DumpWriter = stdout
 	}
 	if *metricsOut != "" {
 		opts.Metrics = metrics.New()
 	}
-	prog, err := core.Compile(flag.Arg(0), string(src), opts)
+	prog, err := core.Compile(fs.Arg(0), string(src), opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cgcmc: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cgcmc: %v\n", err)
+		return 1
 	}
-	if !*passes {
-		io.WriteString(os.Stdout, prog.Module.String())
+	// -remarks replaces the IR listing on stdout (pipe either one).
+	if !*passes && !rflags.Show {
+		io.WriteString(stdout, prog.Module.String())
+	}
+	if code := rflags.Write("cgcmc", prog.Remarks(), stdout, stderr); code != 0 {
+		return code
 	}
 	if *phases {
 		for _, ph := range prog.Phases() {
@@ -60,39 +84,24 @@ func main() {
 			if note == "" {
 				note = "-"
 			}
-			fmt.Fprintf(os.Stderr, "%-12s %10.2fms %6d %s\n",
+			fmt.Fprintf(stderr, "%-12s %10.2fms %6d %s\n",
 				ph.Name, float64(ph.HostNS)/1e6, ph.Activity, note)
 		}
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cgcmc: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cgcmc: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", " ")
 		if err := enc.Encode(opts.Metrics.Snapshot()); err != nil {
-			fmt.Fprintf(os.Stderr, "cgcmc: write metrics: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "cgcmc: write metrics: %v\n", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "--- metrics written to %s\n", *metricsOut)
+		fmt.Fprintf(stderr, "--- metrics written to %s\n", *metricsOut)
 	}
-}
-
-func parseStrategy(s string) core.Strategy {
-	switch s {
-	case "sequential", "seq":
-		return core.Sequential
-	case "inspector", "ie":
-		return core.InspectorExecutor
-	case "unopt", "unoptimized":
-		return core.CGCMUnoptimized
-	case "opt", "optimized":
-		return core.CGCMOptimized
-	}
-	fmt.Fprintf(os.Stderr, "cgcmc: unknown strategy %q\n", s)
-	os.Exit(2)
 	return 0
 }

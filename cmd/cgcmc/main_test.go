@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cgcm/internal/remarks"
+)
+
+// demoSource is a small stencil: a parallelizable init loop, a timestep
+// loop whose maps promote, and two rejected loops (kernel-launching
+// outer loop, reduction) — so every remark kind appears.
+const demoSource = `int main() {
+	float *grid = (float*)malloc(32 * 8);
+	float *next = (float*)malloc(32 * 8);
+	for (int i = 0; i < 32; i++) grid[i] = 1.0 * i;
+	for (int t = 0; t < 6; t++) {
+		for (int i = 1; i < 31; i++) next[i] = 0.5 * (grid[i - 1] + grid[i + 1]);
+		for (int i = 1; i < 31; i++) grid[i] = next[i];
+	}
+	float total = 0.0;
+	for (int i = 0; i < 32; i++) total += grid[i];
+	print_float(total);
+	return 0;
+}`
+
+func writeDemo(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "demo.c")
+	if err := os.WriteFile(path, []byte(demoSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRemarksDeterministic(t *testing.T) {
+	path := writeDemo(t)
+	var outs []string
+	for i := 0; i < 3; i++ {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-remarks", path}, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+		}
+		outs = append(outs, stdout.String())
+	}
+	if outs[0] == "" {
+		t.Fatal("no remarks emitted")
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("run %d output differs:\n--- first:\n%s--- got:\n%s", i, outs[0], outs[i])
+		}
+	}
+}
+
+func TestRemarksJSONMissedHaveReasonAndLine(t *testing.T) {
+	path := writeDemo(t)
+	jsonPath := filepath.Join(t.TempDir(), "remarks.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-remarks-json", jsonPath, path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	f, err := os.Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rs, err := remarks.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no remarks in JSON export")
+	}
+	missed := 0
+	for _, r := range rs {
+		if r.Kind != remarks.Missed {
+			continue
+		}
+		missed++
+		if r.Reason == remarks.ReasonNone {
+			t.Errorf("missed remark without reason: %s", r)
+		}
+		if r.Line <= 0 {
+			t.Errorf("missed remark without source line: %s", r)
+		}
+	}
+	if missed == 0 {
+		t.Fatal("demo program produced no missed remarks")
+	}
+}
+
+func TestRemarksFilterFlags(t *testing.T) {
+	path := writeDemo(t)
+	lines := func(args ...string) []string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run(append(args, path), &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+		}
+		out := strings.TrimRight(stdout.String(), "\n")
+		if out == "" {
+			return nil
+		}
+		return strings.Split(out, "\n")
+	}
+	for _, ln := range lines("-remarks", "-remarks-missed-only") {
+		if !strings.Contains(ln, ": missed(") {
+			t.Errorf("-remarks-missed-only leaked: %s", ln)
+		}
+	}
+	for _, ln := range lines("-remarks", "-remarks-pass", "doall") {
+		if !strings.Contains(ln, "remark[doall]") {
+			t.Errorf("-remarks-pass doall leaked: %s", ln)
+		}
+	}
+	for _, ln := range lines("-remarks", "-remarks-kind", "applied") {
+		if !strings.Contains(ln, ": applied:") {
+			t.Errorf("-remarks-kind applied leaked: %s", ln)
+		}
+	}
+	got := lines("-remarks", "-remarks-unit", "heap@main:2")
+	if len(got) == 0 {
+		t.Error("-remarks-unit heap@main:2 matched nothing")
+	}
+	for _, ln := range got {
+		if !strings.Contains(ln, "heap@main:2") {
+			t.Errorf("-remarks-unit leaked: %s", ln)
+		}
+	}
+}
+
+func TestBadRemarkKindRejected(t *testing.T) {
+	path := writeDemo(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-remarks", "-remarks-kind", "bogus", path}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2; stderr:\n%s", code, stderr.String())
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -12,64 +12,89 @@
 //	cgcmrun -ledger file.c            # per-allocation-unit communication
 //	cgcmrun -ablate mappromo file.c   # skip named optimization passes
 //	cgcmrun -prof file.c              # exact profile: hot lines, sites, transfers
+//	cgcmrun -prof -prof-n 40 file.c   # show 40 hot lines (-prof-top works too)
 //	cgcmrun -prof-folded p.folded file.c  # folded stacks for flamegraph tools
 //	cgcmrun -metrics m.json file.c    # machine/runtime/compiler metrics JSON
+//	cgcmrun -remarks file.c           # compile remarks + runtime remarks for
+//	                                  # allocation units that stayed cyclic
+//	cgcmrun -remarks -remarks-missed-only file.c  # rejections + cyclic units
+//	cgcmrun -remarks-json r.json file.c           # remarks as JSON
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"cgcm/internal/cli"
 	"cgcm/internal/core"
 	"cgcm/internal/metrics"
 	tracepkg "cgcm/internal/trace"
 )
 
-func main() {
-	strategy := flag.String("strategy", "opt", "sequential | inspector | unopt | opt")
-	compare := flag.Bool("compare", false, "run all four systems and compare")
-	trace := flag.Bool("trace", false, "print the machine event trace")
-	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (open in ui.perfetto.dev)")
-	ledger := flag.Bool("ledger", false, "print the per-allocation-unit communication ledger")
-	profFlat := flag.Bool("prof", false, "print the exact execution profile (hot lines, launch sites, transfers)")
-	profTop := flag.Int("prof-top", 20, "number of hot lines shown by -prof")
-	profFolded := flag.String("prof-folded", "", "write folded stacks (kernel@site;line ops) for flamegraph tools")
-	metricsOut := flag.String("metrics", "", "write the metrics registry snapshot as JSON")
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable entry point: it parses args, compiles and executes,
+// and writes to the given streams, returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cgcmrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	strategy := fs.String("strategy", "opt", "sequential | inspector | unopt | opt")
+	compare := fs.Bool("compare", false, "run all four systems and compare")
+	trace := fs.Bool("trace", false, "print the machine event trace")
+	traceOut := fs.String("trace-out", "", "write Chrome trace-event JSON (open in ui.perfetto.dev)")
+	ledger := fs.Bool("ledger", false, "print the per-allocation-unit communication ledger")
+	profFlat := fs.Bool("prof", false, "print the exact execution profile (hot lines, launch sites, transfers)")
+	// -prof-n is the documented flag; -prof-top is kept as an alias for
+	// existing scripts. Both set the same variable; last one parsed wins.
+	profN := 20
+	fs.IntVar(&profN, "prof-n", 20, "number of hot lines shown by -prof")
+	fs.IntVar(&profN, "prof-top", 20, "alias for -prof-n")
+	profFolded := fs.String("prof-folded", "", "write folded stacks (kernel@site;line ops) for flamegraph tools")
+	metricsOut := fs.String("metrics", "", "write the metrics registry snapshot as JSON")
 	var ablate core.PassSet
-	flag.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cgcmrun [-strategy s | -compare] [-trace] [-trace-out f] [-ledger] [-ablate passes] file.c")
-		os.Exit(2)
+	fs.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
+	rflags := cli.AddRemarkFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: cgcmrun [-strategy s | -compare] [-trace] [-trace-out f] [-ledger] [-ablate passes] [-remarks] file.c")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cgcmrun: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cgcmrun: %v\n", err)
+		return 1
 	}
-	name := flag.Arg(0)
+	name := fs.Arg(0)
 
 	if *compare {
-		fmt.Printf("%-20s %12s %10s %10s %8s %8s\n", "system", "sim time", "HtoD", "DtoH", "kernels", "speedup")
+		fmt.Fprintf(stdout, "%-20s %12s %10s %10s %8s %8s\n", "system", "sim time", "HtoD", "DtoH", "kernels", "speedup")
 		var base float64
 		for _, s := range []core.Strategy{core.Sequential, core.InspectorExecutor, core.CGCMUnoptimized, core.CGCMOptimized} {
 			rep, err := core.CompileAndRun(name, string(src), core.Options{Strategy: s, Ablate: ablate})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cgcmrun: %s: %v\n", s, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "cgcmrun: %s: %v\n", s, err)
+				return 1
 			}
 			if s == core.Sequential {
 				base = rep.Stats.Wall
 			}
-			fmt.Printf("%-20s %10.1fus %10d %10d %8d %7.2fx\n",
+			fmt.Fprintf(stdout, "%-20s %10.1fus %10d %10d %8d %7.2fx\n",
 				s, rep.Stats.Wall*1e6, rep.Stats.NumHtoD, rep.Stats.NumDtoH,
 				rep.Stats.NumKernels, base/rep.Stats.Wall)
 		}
-		return
+		return 0
 	}
 
+	st, ok := cli.ParseStrategy(*strategy)
+	if !ok {
+		fmt.Fprintf(stderr, "cgcmrun: unknown strategy %q\n", *strategy)
+		return 2
+	}
 	var tr *tracepkg.Tracer
 	if *traceOut != "" {
 		tr = tracepkg.New()
@@ -79,102 +104,100 @@ func main() {
 		reg = metrics.New()
 	}
 	rep, err := core.CompileAndRun(name, string(src), core.Options{
-		Strategy: parseStrategy(*strategy),
+		Strategy: st,
 		Trace:    *trace,
 		Tracer:   tr,
 		Ablate:   ablate,
 		Profile:  *profFlat || *profFolded != "",
 		Metrics:  reg,
+		Remarks:  rflags.Wanted(),
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cgcmrun: %v\n", err)
+		fmt.Fprintf(stderr, "cgcmrun: %v\n", err)
 		if rep != nil && rep.Output != "" {
-			fmt.Fprintf(os.Stderr, "partial output:\n%s", rep.Output)
+			fmt.Fprintf(stderr, "partial output:\n%s", rep.Output)
 		}
-		writeTrace(*traceOut, tr)
-		os.Exit(1)
+		writeTrace(stderr, *traceOut, tr)
+		return 1
 	}
-	fmt.Print(rep.Output)
-	fmt.Fprintf(os.Stderr, "--- %s: sim %.1fus | HtoD %d (%.1fKB) | DtoH %d (%.1fKB) | kernels %d | promotions %d\n",
+	fmt.Fprint(stdout, rep.Output)
+	fmt.Fprintf(stderr, "--- %s: sim %.1fus | HtoD %d (%.1fKB) | DtoH %d (%.1fKB) | kernels %d | promotions %d\n",
 		rep.Strategy, rep.Stats.Wall*1e6,
 		rep.Stats.NumHtoD, float64(rep.Stats.BytesHtoD)/1024,
 		rep.Stats.NumDtoH, float64(rep.Stats.BytesDtoH)/1024,
 		rep.Stats.NumKernels, rep.Promotions)
 	if *trace {
 		for _, ev := range rep.Trace {
-			fmt.Fprintf(os.Stderr, "%10.2fus %8.2fus %-7s %s\n",
+			fmt.Fprintf(stderr, "%10.2fus %8.2fus %-7s %s\n",
 				ev.Start*1e6, (ev.End-ev.Start)*1e6, ev.Kind, ev.Label)
 		}
 	}
 	if *ledger {
-		fmt.Fprint(os.Stderr, rep.Comm)
+		fmt.Fprint(stderr, rep.Comm)
+	}
+	// Runtime remarks ride on Report.Remarks, so -remarks here also names
+	// the units the ledger saw stay cyclic, unlike cgcmc's compile-only
+	// view. They print to stderr, keeping stdout the program's own output.
+	if code := rflags.Write("cgcmrun", rep.Remarks, stderr, stderr); code != 0 {
+		return code
 	}
 	if *profFlat {
-		if err := rep.Profile.WriteFlat(os.Stderr, *profTop); err != nil {
-			fmt.Fprintf(os.Stderr, "cgcmrun: write profile: %v\n", err)
-			os.Exit(1)
+		if err := rep.Profile.WriteFlat(stderr, profN); err != nil {
+			fmt.Fprintf(stderr, "cgcmrun: write profile: %v\n", err)
+			return 1
 		}
 	}
 	if *profFolded != "" {
-		writeFile(*profFolded, "folded stacks", func(f *os.File) error {
+		if code := writeFile(stderr, *profFolded, "folded stacks", func(f *os.File) error {
 			return rep.Profile.WriteFolded(f)
-		})
+		}); code != 0 {
+			return code
+		}
 	}
 	if *metricsOut != "" {
-		writeFile(*metricsOut, "metrics", func(f *os.File) error {
+		if code := writeFile(stderr, *metricsOut, "metrics", func(f *os.File) error {
 			enc := json.NewEncoder(f)
 			enc.SetIndent("", " ")
 			return enc.Encode(rep.Metrics)
-		})
+		}); code != 0 {
+			return code
+		}
 	}
-	writeTrace(*traceOut, tr)
+	return writeTrace(stderr, *traceOut, tr)
 }
 
-// writeFile creates path and runs emit on it, reporting what was written.
-func writeFile(path, what string, emit func(*os.File) error) {
+// writeFile creates path and runs emit on it, reporting what was written;
+// it returns a process exit code.
+func writeFile(stderr io.Writer, path, what string, emit func(*os.File) error) int {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cgcmrun: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cgcmrun: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 	if err := emit(f); err != nil {
-		fmt.Fprintf(os.Stderr, "cgcmrun: write %s: %v\n", what, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cgcmrun: write %s: %v\n", what, err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "--- %s written to %s\n", what, path)
+	fmt.Fprintf(stderr, "--- %s written to %s\n", what, path)
+	return 0
 }
 
 // writeTrace exports the collected spans as Chrome trace-event JSON.
-func writeTrace(path string, tr *tracepkg.Tracer) {
+func writeTrace(stderr io.Writer, path string, tr *tracepkg.Tracer) int {
 	if path == "" || tr == nil {
-		return
+		return 0
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cgcmrun: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cgcmrun: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 	if err := tracepkg.WriteChrome(f, tr); err != nil {
-		fmt.Fprintf(os.Stderr, "cgcmrun: write trace: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cgcmrun: write trace: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "--- trace written to %s (open in ui.perfetto.dev)\n", path)
-}
-
-func parseStrategy(s string) core.Strategy {
-	switch s {
-	case "sequential", "seq":
-		return core.Sequential
-	case "inspector", "ie":
-		return core.InspectorExecutor
-	case "unopt", "unoptimized":
-		return core.CGCMUnoptimized
-	case "opt", "optimized":
-		return core.CGCMOptimized
-	}
-	fmt.Fprintf(os.Stderr, "cgcmrun: unknown strategy %q\n", s)
-	os.Exit(2)
+	fmt.Fprintf(stderr, "--- trace written to %s (open in ui.perfetto.dev)\n", path)
 	return 0
 }

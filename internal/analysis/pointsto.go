@@ -1,6 +1,12 @@
 package analysis
 
-import "cgcm/internal/ir"
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cgcm/internal/ir"
+)
 
 // Object is an abstract memory object: an allocation site. CGCM's
 // allocation units correspond one-to-one with these at run time.
@@ -28,8 +34,40 @@ func (o *Object) Name() string {
 	}
 }
 
+// SiteLine returns the source line of the allocation site, or 0 when
+// the site carries no position (globals, synthesized instructions).
+func (o *Object) SiteLine() int {
+	switch {
+	case o.Heap != nil:
+		return int(o.Heap.Line)
+	case o.Alloca != nil:
+		return int(o.Alloca.Line)
+	}
+	return 0
+}
+
+// Label returns Name plus the allocation-site line when known
+// ("heap@main:12"), anchoring diagnostics to source.
+func (o *Object) Label() string {
+	if l := o.SiteLine(); l > 0 {
+		return fmt.Sprintf("%s:%d", o.Name(), l)
+	}
+	return o.Name()
+}
+
 // ObjSet is a set of abstract objects.
 type ObjSet map[*Object]bool
+
+// Labels renders the set's object labels, sorted and comma-joined, for
+// diagnostics.
+func (s ObjSet) Labels() string {
+	ls := make([]string, 0, len(s))
+	for o := range s {
+		ls = append(ls, o.Label())
+	}
+	sort.Strings(ls)
+	return strings.Join(ls, ", ")
+}
 
 func (s ObjSet) add(o *Object) bool {
 	if s[o] {

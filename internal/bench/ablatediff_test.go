@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"cgcm/internal/core"
+	"cgcm/internal/remarks"
+	"cgcm/internal/trace"
+)
+
+// TestDiffAblationConsistentWithLedger checks the acceptance contract:
+// the diff's unit sets are exactly the ledger's. Every unit the diff
+// reports as promoted or still-cyclic corresponds to one cyclic unit in
+// the ablated run's ledger (runtime remarks are synthesized per cyclic
+// unit, so the counts must agree), and each promoted unit carries the
+// Applied remark of the pass that fixes it.
+func TestDiffAblationConsistentWithLedger(t *testing.T) {
+	p, ok := ByName("jacobi-2d-imper")
+	if !ok {
+		t.Fatal("jacobi-2d-imper missing from suite")
+	}
+	d, err := DiffAblation(p, nil, core.PassSet{core.PassMapPromo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Promoted) == 0 {
+		t.Fatal("ablating mappromo on a timestep stencil must leave promoted units")
+	}
+	runtimeRemarks := 0
+	for _, r := range d.AblatedRemarks {
+		if r.Kind == remarks.Runtime {
+			runtimeRemarks++
+		}
+	}
+	if got, want := runtimeRemarks, len(d.Promoted)+len(d.StillCyclic); got != want {
+		t.Errorf("ablated run has %d runtime remarks, diff names %d cyclic units", got, want)
+	}
+	for _, ud := range d.Promoted {
+		if ud.Ablated != trace.PatternCyclic {
+			t.Errorf("promoted unit %s not cyclic under the ablated set", ud.UnitKey)
+		}
+		if ud.Base == trace.PatternCyclic {
+			t.Errorf("promoted unit %s still cyclic under the base set", ud.UnitKey)
+		}
+		if ud.Explain == nil {
+			t.Errorf("promoted unit %s has no explaining remark", ud.UnitKey)
+			continue
+		}
+		if ud.Explain.Kind != remarks.Applied {
+			t.Errorf("promoted unit %s explained by %s remark, want applied", ud.UnitKey, ud.Explain.Kind)
+		}
+		if !remarks.MatchesUnit(ud.Explain.Unit, ud.Name, ud.Line) {
+			t.Errorf("promoted unit %s: explaining remark names %q", ud.UnitKey, ud.Explain.Unit)
+		}
+	}
+	for _, ud := range d.StillCyclic {
+		if ud.Base != trace.PatternCyclic || ud.Ablated != trace.PatternCyclic {
+			t.Errorf("still-cyclic unit %s has patterns %s/%s", ud.UnitKey, ud.Base, ud.Ablated)
+		}
+	}
+	if len(d.Regressed) != 0 {
+		t.Errorf("ablating a pass should not remove cyclic patterns, got %d regressed", len(d.Regressed))
+	}
+
+	var buf strings.Builder
+	RenderAblationDiff(&buf, d)
+	for _, ud := range d.Promoted {
+		if !strings.Contains(buf.String(), ud.UnitKey.String()) {
+			t.Errorf("rendered diff does not name promoted unit %s:\n%s", ud.UnitKey, buf.String())
+		}
+	}
+}
+
+// TestDiffAblationIdenticalSetsEmpty pins the no-op case: diffing a set
+// against itself reports no pattern changes and no promoted units.
+func TestDiffAblationIdenticalSetsEmpty(t *testing.T) {
+	p, ok := ByName("bicg")
+	if !ok {
+		t.Fatal("bicg missing from suite")
+	}
+	d, err := DiffAblation(p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Promoted) != 0 || len(d.Regressed) != 0 {
+		t.Fatalf("self-diff found changes: %d promoted, %d regressed", len(d.Promoted), len(d.Regressed))
+	}
+}

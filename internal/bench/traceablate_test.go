@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cgcm/internal/core"
+	"cgcm/internal/trace"
+)
+
+// TestChromeTraceSchemaUnderAblations exports a Perfetto trace under
+// every ablation set a CLI user can name — each single pass and all four
+// together — and validates the document shape: well-formed JSON, a
+// non-empty traceEvents array, and every event carrying the fields the
+// trace-event format requires (name, ph; ts for non-metadata phases).
+// Disabling passes must never produce schema-breaking spans.
+func TestChromeTraceSchemaUnderAblations(t *testing.T) {
+	p, ok := ByName("bicg")
+	if !ok {
+		t.Fatal("bicg missing from suite")
+	}
+	sets := []core.PassSet{
+		nil,
+		{core.PassDOALL: true},
+		{core.PassGlueKernel: true},
+		{core.PassAllocaPromo: true},
+		{core.PassMapPromo: true},
+		{core.PassDOALL: true, core.PassGlueKernel: true, core.PassAllocaPromo: true, core.PassMapPromo: true},
+	}
+	for _, set := range sets {
+		name := set.String()
+		if name == "" {
+			name = "none"
+		}
+		t.Run("ablate="+name, func(t *testing.T) {
+			tr := trace.New()
+			_, err := core.CompileAndRun(p.Name, p.Source, core.Options{
+				Strategy: core.CGCMOptimized,
+				Ablate:   set,
+				Tracer:   tr,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf strings.Builder
+			if err := trace.WriteChrome(&buf, tr); err != nil {
+				t.Fatal(err)
+			}
+			var doc struct {
+				DisplayTimeUnit string           `json:"displayTimeUnit"`
+				TraceEvents     []map[string]any `json:"traceEvents"`
+			}
+			if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+				t.Fatalf("trace not valid JSON: %v", err)
+			}
+			if len(doc.TraceEvents) == 0 {
+				t.Fatal("empty traceEvents")
+			}
+			complete := 0
+			for i, ev := range doc.TraceEvents {
+				ph, ok := ev["ph"].(string)
+				if !ok || ph == "" {
+					t.Fatalf("event %d has no phase: %v", i, ev)
+				}
+				if _, ok := ev["name"].(string); !ok {
+					t.Fatalf("event %d has no name: %v", i, ev)
+				}
+				if ph == "M" {
+					continue // metadata events carry no timestamp
+				}
+				ts, ok := ev["ts"].(float64)
+				if !ok || ts < 0 {
+					t.Fatalf("event %d has bad ts: %v", i, ev)
+				}
+				if ph == "X" {
+					complete++
+					if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+						t.Fatalf("event %d has bad dur: %v", i, ev)
+					}
+				}
+			}
+			if complete == 0 {
+				t.Fatal("no complete (X) spans in trace")
+			}
+		})
+	}
+}

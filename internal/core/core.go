@@ -26,6 +26,7 @@ import (
 	"cgcm/internal/passes/gluekernel"
 	"cgcm/internal/passes/mappromo"
 	"cgcm/internal/prof"
+	"cgcm/internal/remarks"
 	runtimelib "cgcm/internal/runtime"
 	"cgcm/internal/trace"
 )
@@ -174,6 +175,12 @@ type Options struct {
 	// compiler (see DESIGN.md for the name catalogue). The registry may
 	// be shared across runs; counters and histograms accumulate.
 	Metrics *metrics.Registry
+	// Remarks enables the optimization-remarks engine: every pass emits
+	// Applied/Missed/Analysis remarks during Compile (Program.Remarks),
+	// and each Run adds Runtime remarks for allocation units the
+	// communication ledger saw stay cyclic, cross-referencing the
+	// compile-time blocking reason (Report.Remarks).
+	Remarks bool
 
 	// Trace enables span collection even without a Tracer sink, filling
 	// Report.Spans and the legacy Report.Trace event slice.
@@ -256,6 +263,9 @@ type Report struct {
 	Spans []trace.Span
 	// Profile is the exact execution profile (when Options.Profile).
 	Profile *prof.Profile
+	// Remarks holds the compile-time optimization remarks plus this
+	// run's Runtime remarks, canonically sorted (when Options.Remarks).
+	Remarks []remarks.Remark
 	// Metrics is the frozen registry snapshot taken after this run (when
 	// Options.Metrics is set).
 	Metrics *metrics.Snapshot
@@ -283,6 +293,7 @@ type Program struct {
 	kernels     int
 	launchSites int
 	phases      []trace.PhaseSpan
+	remarks     []remarks.Remark
 }
 
 // Kernels reports the number of distinct GPU kernels in the compiled
@@ -295,6 +306,10 @@ func (p *Program) LaunchSites() int { return p.launchSites }
 
 // Phases returns the compile-phase spans recorded during Compile.
 func (p *Program) Phases() []trace.PhaseSpan { return p.phases }
+
+// Remarks returns the compile-time optimization remarks, canonically
+// sorted (empty unless Options.Remarks was set).
+func (p *Program) Remarks() []remarks.Remark { return p.remarks }
 
 // Compile parses, checks, lowers, and transforms src according to opts.
 // All module mutation — including instruction renumbering and the
@@ -335,6 +350,10 @@ func Compile(name, src string, opts Options) (*Program, error) {
 	end(len(mod.Funcs), "functions")
 
 	p := &Program{Module: mod, Opts: opts, name: name}
+	var rc *remarks.Collector
+	if opts.Remarks {
+		rc = remarks.NewCollector(name)
+	}
 	dump := func(phase string) {
 		if opts.DumpWriter != nil {
 			fmt.Fprintf(opts.DumpWriter, "=== after %s ===\n%s\n", phase, mod)
@@ -342,6 +361,7 @@ func Compile(name, src string, opts Options) (*Program, error) {
 	}
 	dump("irbuild")
 	finish := func() (*Program, error) {
+		p.remarks = rc.Remarks()
 		mod.Renumber()
 		for _, f := range mod.Funcs {
 			if f.Kernel {
@@ -383,7 +403,7 @@ func Compile(name, src string, opts Options) (*Program, error) {
 	}
 	if !opts.ablated(PassDOALL) {
 		end = begin("doall")
-		dres, err := doall.Run(mod)
+		dres, err := doall.Run(mod, rc)
 		if err != nil {
 			return nil, err
 		}
@@ -398,7 +418,7 @@ func Compile(name, src string, opts Options) (*Program, error) {
 		return finish()
 	}
 	end = begin("commmgmt")
-	mres, err := commmgmt.Run(mod)
+	mres, err := commmgmt.Run(mod, rc)
 	if err != nil {
 		return nil, err
 	}
@@ -410,7 +430,7 @@ func Compile(name, src string, opts Options) (*Program, error) {
 		// promotion, and map promotion runs last."
 		if !opts.ablated(PassGlueKernel) {
 			end = begin("gluekernel")
-			gres, err := gluekernel.Run(mod)
+			gres, err := gluekernel.Run(mod, rc)
 			if err != nil {
 				return nil, err
 			}
@@ -420,7 +440,7 @@ func Compile(name, src string, opts Options) (*Program, error) {
 		}
 		if !opts.ablated(PassAllocaPromo) {
 			end = begin("allocapromo")
-			ares, err := allocapromo.Run(mod)
+			ares, err := allocapromo.Run(mod, rc)
 			if err != nil {
 				return nil, err
 			}
@@ -430,7 +450,7 @@ func Compile(name, src string, opts Options) (*Program, error) {
 		}
 		if !opts.ablated(PassMapPromo) {
 			end = begin("mappromo")
-			pres, err := mappromo.Run(mod)
+			pres, err := mappromo.Run(mod, rc)
 			if err != nil {
 				return nil, err
 			}
@@ -509,6 +529,9 @@ func (p *Program) Run() (*Report, error) {
 		}
 		p.Opts.Tracer.Merge(runTr)
 	}
+	if p.Opts.Remarks {
+		rep.Remarks = withRuntimeRemarks(p.name, p.remarks, rep.Comm)
+	}
 	if m := p.Opts.Metrics; m != nil {
 		st := rep.Stats
 		m.Gauge("machine.wall_seconds").Set(st.Wall)
@@ -523,6 +546,89 @@ func (p *Program) Run() (*Report, error) {
 		return rep, err
 	}
 	return rep, nil
+}
+
+// withRuntimeRemarks appends execution-time findings to the compile-time
+// remarks: every allocation unit the ledger classified cyclic gets one
+// Runtime remark naming its round trips and transfer epochs. When a
+// compile-time Missed remark names the same unit (matched by allocation
+// site), the Runtime remark echoes its reason, closing the loop between
+// the observed ping-pong and why the optimizer could not remove it.
+func withRuntimeRemarks(file string, compile []remarks.Remark, ledger trace.Ledger) []remarks.Remark {
+	out := make([]remarks.Remark, len(compile))
+	copy(out, compile)
+	for i := range ledger.Units {
+		u := &ledger.Units[i]
+		if u.Pattern != trace.PatternCyclic {
+			continue
+		}
+		r := remarks.Remark{
+			Pass: "runtime",
+			Kind: remarks.Runtime,
+			File: file,
+			Line: u.Line,
+			Unit: unitLabel(u),
+			Message: fmt.Sprintf(
+				"allocation unit stayed cyclic: %d round trip(s) over %d transfer epoch(s), %d HtoD / %d DtoH copies",
+				u.RoundTrips, u.TransferEpochs, u.HtoDCopies, u.DtoHCopies),
+		}
+		if blocked := blockingRemark(compile, u); blocked != nil {
+			r.Reason = blocked.Reason
+			r.Message += fmt.Sprintf("; %s left it unpromoted (%s)", blocked.Pass, blocked.Reason)
+		} else if applied := appliedRemark(compile, u); applied != nil {
+			r.Message += fmt.Sprintf("; %s promoted this unit — the residual round trip is inherent to the program's CPU-GPU data flow", applied.Pass)
+		} else {
+			r.Message += "; no compile-time remark names this unit (optimization ablated, or the pattern is inherent to the program)"
+		}
+		out = append(out, r)
+	}
+	remarks.Sort(out)
+	return out
+}
+
+// blockingRemark finds the compile-time Missed remark whose unit label
+// names the ledger unit, preferring map promotion (the pass whose miss
+// directly leaves a unit cyclic) over earlier passes.
+func blockingRemark(compile []remarks.Remark, u *trace.UnitStats) *remarks.Remark {
+	var found *remarks.Remark
+	for i := range compile {
+		c := &compile[i]
+		if c.Kind != remarks.Missed || !remarks.MatchesUnit(c.Unit, u.Name, u.Line) {
+			continue
+		}
+		if c.Pass == "mappromo" {
+			return c
+		}
+		if found == nil {
+			found = c
+		}
+	}
+	return found
+}
+
+// appliedRemark finds a compile-time Applied promotion remark naming the
+// ledger unit — evidence a pass did fire, so a remaining round trip is
+// inherent data flow, not a missed optimization.
+func appliedRemark(compile []remarks.Remark, u *trace.UnitStats) *remarks.Remark {
+	for i := range compile {
+		c := &compile[i]
+		if c.Kind != remarks.Applied || c.Pass == "commmgmt" || c.Pass == "doall" {
+			continue
+		}
+		if remarks.MatchesUnit(c.Unit, u.Name, u.Line) {
+			return c
+		}
+	}
+	return nil
+}
+
+// unitLabel renders a ledger unit as a remark unit label, embedding the
+// allocation-site line when known so it cross-references compile labels.
+func unitLabel(u *trace.UnitStats) string {
+	if u.Line > 0 {
+		return fmt.Sprintf("%s:%d", u.Name, u.Line)
+	}
+	return u.Name
 }
 
 // CompileAndRun is the one-call convenience used by examples and tests.

@@ -1,0 +1,163 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/core"
+	"cgcm/internal/remarks"
+	"cgcm/internal/trace"
+)
+
+// TestEveryMissedRemarkHasReasonAndLine compiles the whole benchmark
+// suite with remarks on and pins the acceptance contract: a Missed
+// remark without a machine-readable reason or a source anchor is
+// useless to tooling.
+func TestEveryMissedRemarkHasReasonAndLine(t *testing.T) {
+	for _, p := range bench.All() {
+		prog, err := core.Compile(p.Name, p.Source, core.Options{
+			Strategy: core.CGCMOptimized,
+			Remarks:  true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for _, r := range prog.Remarks() {
+			if r.Kind != remarks.Missed {
+				continue
+			}
+			if r.Reason == remarks.ReasonNone {
+				t.Errorf("%s: missed remark without reason: %s", p.Name, r)
+			}
+			if r.Line <= 0 {
+				t.Errorf("%s: missed remark without source line: %s", p.Name, r)
+			}
+		}
+	}
+}
+
+// TestCyclicUnitsCoveredByRemarks asserts the tentpole's coverage
+// guarantee: every allocation unit the communication ledger classifies
+// cyclic is named by at least one remark — either a compile-time remark
+// whose unit label matches the allocation site, or the synthesized
+// Runtime remark. Checked across demo programs, both CGCM strategies,
+// and with map promotion ablated (the configuration that leaves the
+// most units cyclic).
+func TestCyclicUnitsCoveredByRemarks(t *testing.T) {
+	programs := []string{"bicg", "atax", "jacobi-2d-imper", "gemm", "hotspot", "kmeans"}
+	configs := []struct {
+		name     string
+		strategy core.Strategy
+		ablate   core.PassSet
+	}{
+		{"unopt", core.CGCMUnoptimized, nil},
+		{"opt", core.CGCMOptimized, nil},
+		{"opt-no-mappromo", core.CGCMOptimized, core.PassSet{core.PassMapPromo: true}},
+	}
+	for _, name := range programs {
+		p, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("program %s missing from suite", name)
+		}
+		for _, cfg := range configs {
+			rep, err := core.CompileAndRun(p.Name, p.Source, core.Options{
+				Strategy: cfg.strategy,
+				Ablate:   cfg.ablate,
+				Remarks:  true,
+			})
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", name, cfg.name, err)
+			}
+			for i := range rep.Comm.Units {
+				u := &rep.Comm.Units[i]
+				if u.Pattern != trace.PatternCyclic {
+					continue
+				}
+				if !unitCovered(rep.Remarks, u) {
+					t.Errorf("%s [%s]: cyclic unit %s (line %d) named by no remark",
+						name, cfg.name, u.Name, u.Line)
+				}
+			}
+		}
+	}
+}
+
+// unitCovered reports whether any remark names the ledger unit: a
+// runtime remark synthesized for it, or a compile-time remark whose
+// unit label matches its allocation site.
+func unitCovered(rs []remarks.Remark, u *trace.UnitStats) bool {
+	for _, r := range rs {
+		if r.Kind == remarks.Runtime && r.Line == u.Line && strings.HasPrefix(r.Unit, u.Name) {
+			return true
+		}
+		if remarks.MatchesUnit(r.Unit, u.Name, u.Line) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLedgerCarriesAllocationLines pins the runtime plumbing the
+// remarks cross-reference relies on: the interpreter stamps the
+// allocation instruction's source line into the ledger for heap units.
+func TestLedgerCarriesAllocationLines(t *testing.T) {
+	src := `int main() {
+	float *a = (float*)malloc(16 * 8);
+	float *b = (float*)malloc(16 * 8);
+	for (int i = 0; i < 16; i++) a[i] = 1.0 * i;
+	for (int i = 0; i < 16; i++) b[i] = a[i] + 1.0;
+	float s = 0.0;
+	for (int i = 0; i < 16; i++) s += b[i];
+	print_float(s);
+	return 0;
+}`
+	rep, err := core.CompileAndRun("lines.c", src, core.Options{
+		Strategy: core.CGCMUnoptimized,
+		Remarks:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{2: false, 3: false}
+	for i := range rep.Comm.Units {
+		u := &rep.Comm.Units[i]
+		if _, ok := want[u.Line]; ok {
+			want[u.Line] = true
+		}
+	}
+	for line, seen := range want {
+		if !seen {
+			t.Errorf("no ledger unit carries allocation line %d:\n%s", line, rep.Comm)
+		}
+	}
+}
+
+// TestReportRemarksDeterministic runs the same program twice and
+// requires identical remark streams — the property the byte-identical
+// CLI output test builds on, checked at the API layer.
+func TestReportRemarksDeterministic(t *testing.T) {
+	p, ok := bench.ByName("bicg")
+	if !ok {
+		t.Fatal("bicg missing from suite")
+	}
+	runOnce := func() []remarks.Remark {
+		rep, err := core.CompileAndRun(p.Name, p.Source, core.Options{
+			Strategy: core.CGCMOptimized,
+			Remarks:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Remarks
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("remark counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("remark %d differs:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+}

@@ -25,9 +25,11 @@ package doall
 
 import (
 	"fmt"
+	"strings"
 
 	"cgcm/internal/analysis"
 	"cgcm/internal/ir"
+	"cgcm/internal/remarks"
 )
 
 // BlockDim is the CUDA-style thread block size used for generated
@@ -47,7 +49,9 @@ type Result struct {
 }
 
 // Run parallelizes every DOALL loop in the module's CPU functions.
-func Run(m *ir.Module) (*Result, error) {
+// Pass activity is reported as optimization remarks through rc (which
+// may be nil).
+func Run(m *ir.Module, rc *remarks.Collector) (*Result, error) {
 	res := &Result{Kernels: make(map[*ir.Func]*ir.Func)}
 	kernelCount := 0
 	for _, f := range m.Funcs {
@@ -56,7 +60,7 @@ func Run(m *ir.Module) (*Result, error) {
 		}
 		// Iterate: each transformation invalidates the CFG analyses.
 		for {
-			changed, err := runOnce(m, f, res, &kernelCount)
+			changed, err := runOnce(m, f, res, &kernelCount, rc)
 			if err != nil {
 				return nil, err
 			}
@@ -72,8 +76,56 @@ func Run(m *ir.Module) (*Result, error) {
 	return res, nil
 }
 
+// loopLine is the source position charged to a loop's remarks: the first
+// stamped line in its header, else the first anywhere in the loop.
+func loopLine(l *analysis.Loop) int {
+	for _, in := range l.Header.Instrs {
+		if in.Line != 0 {
+			return int(in.Line)
+		}
+	}
+	line := 0
+	l.Instrs(func(in *ir.Instr) {
+		if line == 0 && in.Line != 0 {
+			line = int(in.Line)
+		}
+	})
+	return line
+}
+
+// classifyRejection maps a parallelize rejection string to the
+// machine-readable reason enum carried on Missed remarks.
+func classifyRejection(why string) remarks.Reason {
+	switch {
+	case strings.Contains(why, "not affine"):
+		return remarks.ReasonNotAffine
+	case strings.Contains(why, "loop-carried dependence"),
+		strings.Contains(why, "induction strides"),
+		strings.Contains(why, "inner index shapes"),
+		strings.Contains(why, "inner strides"):
+		return remarks.ReasonCrossIterationDep
+	case strings.Contains(why, "opaque pointer"):
+		return remarks.ReasonUnknownPointsTo
+	case strings.Contains(why, "differently-based accesses"):
+		return remarks.ReasonAliasing
+	case strings.Contains(why, "bound is not invariant"):
+		return remarks.ReasonLoopVariantBase
+	case strings.Contains(why, "live-outs"):
+		return remarks.ReasonLiveOut
+	case strings.Contains(why, "exit edges"),
+		strings.Contains(why, "exits from the body"):
+		return remarks.ReasonLoopShape
+	case strings.Contains(why, "loop body"):
+		return remarks.ReasonSideEffects
+	default:
+		// The remaining rejections all come from recognizeIV: the loop
+		// is not a recognizable counted for-loop.
+		return remarks.ReasonNotCounted
+	}
+}
+
 // runOnce tries to parallelize one loop in f, outermost first.
-func runOnce(m *ir.Module, f *ir.Func, res *Result, kernelCount *int) (bool, error) {
+func runOnce(m *ir.Module, f *ir.Func, res *Result, kernelCount *int, rc *remarks.Collector) (bool, error) {
 	f.Renumber()
 	dom := analysis.NewDominators(f)
 	forest := analysis.FindLoops(f, dom)
@@ -86,9 +138,21 @@ func runOnce(m *ir.Module, f *ir.Func, res *Result, kernelCount *int) (bool, err
 		res.LoopsFound++
 		if done, why := parallelize(m, f, l, dom, forest, pt, mr, kernelCount); done {
 			res.LoopsParallelized++
+			rc.Emit(remarks.Remark{
+				Pass: "doall", Kind: remarks.Applied,
+				Line: loopLine(l), Function: f.Name,
+				Message: fmt.Sprintf("loop parallelized into GPU kernel %s__doall%d, one thread per iteration",
+					f.Name, *kernelCount),
+			})
 			return true, nil
 		} else if why != "" {
 			res.Rejections = append(res.Rejections, fmt.Sprintf("%s/%s: %s", f.Name, l.Header.Name, why))
+			rc.Emit(remarks.Remark{
+				Pass: "doall", Kind: remarks.Missed,
+				Reason: classifyRejection(why),
+				Line:   loopLine(l), Function: f.Name,
+				Message: "loop not parallelized: " + why,
+			})
 		}
 		for _, c := range l.Children {
 			if ok, err := try(c); ok || err != nil {

@@ -27,7 +27,7 @@ func runDoall(t *testing.T, src string) (*ir.Module, *doall.Result) {
 	if err != nil {
 		t.Fatalf("irbuild: %v", err)
 	}
-	res, err := doall.Run(m)
+	res, err := doall.Run(m, nil)
 	if err != nil {
 		t.Fatalf("doall: %v", err)
 	}

@@ -547,6 +547,7 @@ func (ex *exec) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint64,
 				}
 			} else {
 				base = in.Mach.Alloc(machine.CPU, instr.Size, "alloca "+fr.fn.Name)
+				in.RT.SiteLine = int(instr.Line)
 				in.RT.DeclareAlloca(base, instr.Size, "alloca "+fr.fn.Name)
 				fr.allocas = append(fr.allocas, base)
 			}

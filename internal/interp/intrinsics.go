@@ -21,13 +21,16 @@ func (ex *exec) intrinsic(fr *frame, instr *ir.Instr, ops []operand) (uint64, in
 	// --- Heap (CPU only; sema enforces) ---
 	case "malloc":
 		ex.flushOps()
+		in.RT.SiteLine = int(instr.Line)
 		return in.RT.Malloc(int64(a(0))), 8, nil
 	case "calloc":
 		ex.flushOps()
+		in.RT.SiteLine = int(instr.Line)
 		p, err := in.RT.Calloc(int64(a(0)), int64(a(1)))
 		return p, 8, ex.wrapErr(fr, err)
 	case "realloc":
 		ex.flushOps()
+		in.RT.SiteLine = int(instr.Line)
 		p, err := in.RT.Realloc(a(0), int64(a(1)))
 		return p, 8, ex.wrapErr(fr, err)
 	case "free":

@@ -17,6 +17,7 @@ import (
 
 	"cgcm/internal/analysis"
 	"cgcm/internal/ir"
+	"cgcm/internal/remarks"
 )
 
 // Result reports pass activity.
@@ -27,12 +28,13 @@ type Result struct {
 
 const maxIterations = 8
 
-// Run promotes eligible allocas until convergence.
-func Run(m *ir.Module) (*Result, error) {
+// Run promotes eligible allocas until convergence. Pass activity is
+// reported as optimization remarks through rc (which may be nil).
+func Run(m *ir.Module, rc *remarks.Collector) (*Result, error) {
 	res := &Result{}
 	for res.Iterations < maxIterations {
 		res.Iterations++
-		if !runOnce(m, res) {
+		if !runOnce(m, res, rc) {
 			break
 		}
 	}
@@ -43,7 +45,32 @@ func Run(m *ir.Module) (*Result, error) {
 	return res, nil
 }
 
-func runOnce(m *ir.Module, res *Result) bool {
+// allocaLabel names an alloca unit the way the points-to analysis does
+// ("alloca@f:7"), so remarks about it cross-reference the ledger.
+func allocaLabel(f *ir.Func, a *ir.Instr) string {
+	if a.Line > 0 {
+		return fmt.Sprintf("alloca@%s:%d", f.Name, a.Line)
+	}
+	return "alloca@" + f.Name
+}
+
+// missAll reports every communication-participating alloca of f as a
+// missed promotion for one shared reason.
+func missAll(rc *remarks.Collector, f *ir.Func, reason remarks.Reason, msg string) {
+	if rc == nil {
+		return
+	}
+	for _, a := range promotable(f) {
+		rc.Emit(remarks.Remark{
+			Pass: "allocapromo", Kind: remarks.Missed,
+			Reason: reason,
+			Line:   int(a.Line), Function: f.Name, Unit: allocaLabel(f, a),
+			Message: msg,
+		})
+	}
+}
+
+func runOnce(m *ir.Module, res *Result, rc *remarks.Collector) bool {
 	cg := analysis.BuildCallGraph(m)
 	changed := false
 	for _, f := range m.Funcs {
@@ -51,7 +78,14 @@ func runOnce(m *ir.Module, res *Result) bool {
 			continue
 		}
 		sites := cg.Callers[f]
-		if len(sites) == 0 || cg.Recursive(f) {
+		if len(sites) == 0 {
+			missAll(rc, f, remarks.ReasonNoCallers,
+				"local cannot be preallocated higher: "+f.Name+" has no call sites")
+			continue
+		}
+		if cg.Recursive(f) {
+			missAll(rc, f, remarks.ReasonRecursive,
+				"local cannot be preallocated in callers: "+f.Name+" is recursive, so caller frames would be shared across activations")
 			continue
 		}
 		callerOK := true
@@ -61,9 +95,17 @@ func runOnce(m *ir.Module, res *Result) bool {
 			}
 		}
 		if !callerOK {
+			missAll(rc, f, remarks.ReasonKernelCaller,
+				"local cannot be preallocated in callers: "+f.Name+" is called from GPU code")
 			continue
 		}
 		for _, a := range promotable(f) {
+			rc.Emit(remarks.Remark{
+				Pass: "allocapromo", Kind: remarks.Applied,
+				Line: int(a.Line), Function: f.Name, Unit: allocaLabel(f, a),
+				Message: fmt.Sprintf("local preallocated in %d caller frame(s) and passed as a parameter, so map operations on it can climb the call graph",
+					len(sites)),
+			})
 			promote(f, a, sites)
 			res.Promoted++
 			changed = true

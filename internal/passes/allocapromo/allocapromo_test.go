@@ -25,7 +25,7 @@ func prepare(t *testing.T, src string) *ir.Module {
 	if err != nil {
 		t.Fatalf("irbuild: %v", err)
 	}
-	if _, err := commmgmt.Run(m); err != nil {
+	if _, err := commmgmt.Run(m, nil); err != nil {
 		t.Fatalf("commmgmt: %v", err)
 	}
 	return m
@@ -47,7 +47,7 @@ int main() {
 
 func TestPromotesCommunicatedBuffer(t *testing.T) {
 	m := prepare(t, helperWithBuffer)
-	res, err := allocapromo.Run(m)
+	res, err := allocapromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ int main() {
 	free(v);
 	return 0;
 }`)
-	res, err := allocapromo.Run(m)
+	res, err := allocapromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ int main() {
 	rec(2);
 	return 0;
 }`)
-	res, err := allocapromo.Run(m)
+	res, err := allocapromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ int main() {
 	free(v);
 	return 0;
 }`)
-	res, err := allocapromo.Run(m)
+	res, err := allocapromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

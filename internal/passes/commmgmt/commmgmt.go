@@ -20,6 +20,7 @@ import (
 
 	"cgcm/internal/analysis"
 	"cgcm/internal/ir"
+	"cgcm/internal/remarks"
 	"cgcm/internal/typeinfer"
 )
 
@@ -33,7 +34,9 @@ type Result struct {
 }
 
 // Run manages communication for every launch in the module's CPU code.
-func Run(m *ir.Module) (*Result, error) {
+// Pass activity is reported as optimization remarks through rc (which
+// may be nil).
+func Run(m *ir.Module, rc *remarks.Collector) (*Result, error) {
 	pt := analysis.BuildPointsTo(m)
 	res := &Result{Kernels: make(map[*ir.Func]*typeinfer.Classification)}
 
@@ -65,7 +68,7 @@ func Run(m *ir.Module) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := manage(launch, cls, res, pt); err != nil {
+			if err := manage(launch, cls, res, pt, rc); err != nil {
 				return nil, err
 			}
 		}
@@ -79,14 +82,14 @@ func Run(m *ir.Module) (*Result, error) {
 
 // ManageLaunch manages a single launch. The glue kernel pass uses it for
 // the launches it creates after the module-wide management pass has run.
-func ManageLaunch(m *ir.Module, launch *ir.Instr) error {
+func ManageLaunch(m *ir.Module, launch *ir.Instr, rc *remarks.Collector) error {
 	pt := analysis.BuildPointsTo(m)
 	cls, err := typeinfer.Infer(launch.Callee, pt)
 	if err != nil {
 		return err
 	}
 	res := &Result{Kernels: map[*ir.Func]*typeinfer.Classification{launch.Callee: cls}}
-	return manage(launch, cls, res, pt)
+	return manage(launch, cls, res, pt, rc)
 }
 
 // isDevicePointer reports whether a launch argument already names GPU
@@ -114,7 +117,7 @@ type livein struct {
 }
 
 // manage inserts runtime calls around one launch.
-func manage(launch *ir.Instr, cls *typeinfer.Classification, res *Result, pt *analysis.PointsTo) error {
+func manage(launch *ir.Instr, cls *typeinfer.Classification, res *Result, pt *analysis.PointsTo, rc *remarks.Collector) error {
 	res.Launches++
 	blk := launch.Block
 	k := launch.Callee
@@ -174,6 +177,43 @@ func manage(launch *ir.Instr, cls *typeinfer.Classification, res *Result, pt *an
 			Comment: "balance for " + k.Name, Line: launch.Line}
 		blk.InsertAfter(rel, cursor)
 		cursor = rel
+	}
+	if rc != nil {
+		// The allocation units now governed by this launch's runtime
+		// calls: every unit any managed live-in may point to, plus the
+		// element units behind pointer arrays.
+		units := make(analysis.ObjSet)
+		for _, li := range ins {
+			pts := pt.PTS(li.val)
+			for o := range pts {
+				units[o] = true
+			}
+			if li.depth == 2 {
+				for o := range pt.Contents(pts) {
+					units[o] = true
+				}
+			}
+		}
+		rc.Emit(remarks.Remark{
+			Pass: "commmgmt", Kind: remarks.Applied,
+			Line: int(launch.Line), Function: blk.Fn.Name, Unit: units.Labels(),
+			Message: fmt.Sprintf("inserted %d map/unmap/release triple(s) around launch of %s",
+				len(ins), k.Name),
+		})
+		nptr, nglob := 0, 0
+		for _, li := range ins {
+			if li.argIdx >= 0 {
+				nptr++
+			} else {
+				nglob++
+			}
+		}
+		rc.Emit(remarks.Remark{
+			Pass: "commmgmt", Kind: remarks.Analysis,
+			Line: int(launch.Line), Function: blk.Fn.Name,
+			Message: fmt.Sprintf("type inference found %d live-in pointer argument(s) and %d referenced global unit(s) for kernel %s",
+				nptr, nglob, k.Name),
+		})
 	}
 	return nil
 }

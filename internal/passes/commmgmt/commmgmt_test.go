@@ -62,7 +62,7 @@ int main() {
 	free(v);
 	return 0;
 }`)
-	res, err := commmgmt.Run(m)
+	res, err := commmgmt.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ int main() {
 	free(arr);
 	return 0;
 }`)
-	res, err := commmgmt.Run(m)
+	res, err := commmgmt.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ int main() {
 	k<<<1, 32>>>(32);
 	return 0;
 }`)
-	if _, err := commmgmt.Run(m); err != nil {
+	if _, err := commmgmt.Run(m, nil); err != nil {
 		t.Fatal(err)
 	}
 	blk, idx := launchContext(t, m)
@@ -165,7 +165,7 @@ int main() {
 	free(v);
 	return 0;
 }`)
-	res, err := commmgmt.Run(m)
+	res, err := commmgmt.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

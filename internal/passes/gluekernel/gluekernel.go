@@ -18,6 +18,7 @@ import (
 	"cgcm/internal/analysis"
 	"cgcm/internal/ir"
 	"cgcm/internal/passes/commmgmt"
+	"cgcm/internal/remarks"
 )
 
 // MaxRunLength bounds the size of an outlined region; bigger regions are
@@ -29,8 +30,9 @@ type Result struct {
 	Outlined int
 }
 
-// Run outlines glue regions across the module.
-func Run(m *ir.Module) (*Result, error) {
+// Run outlines glue regions across the module. Pass activity is
+// reported as optimization remarks through rc (which may be nil).
+func Run(m *ir.Module, rc *remarks.Collector) (*Result, error) {
 	res := &Result{}
 	count := 0
 	for _, f := range m.Funcs {
@@ -38,16 +40,22 @@ func Run(m *ir.Module) (*Result, error) {
 			continue
 		}
 		for {
-			launch, err := outlineOne(m, f, &count)
+			launch, err := outlineOne(m, f, &count, rc)
 			if err != nil {
 				return nil, err
 			}
 			if launch == nil {
 				break
 			}
-			if err := commmgmt.ManageLaunch(m, launch); err != nil {
+			if err := commmgmt.ManageLaunch(m, launch, rc); err != nil {
 				return nil, err
 			}
+			rc.Emit(remarks.Remark{
+				Pass: "gluekernel", Kind: remarks.Applied,
+				Line: int(launch.Line), Function: f.Name,
+				Message: fmt.Sprintf("CPU code between launches outlined into single-thread glue kernel %s",
+					launch.Callee.Name),
+			})
 			res.Outlined++
 		}
 	}
@@ -60,7 +68,7 @@ func Run(m *ir.Module) (*Result, error) {
 
 // outlineOne finds and outlines a single glue region in f, returning the
 // new launch (analyses are rebuilt between outlinings).
-func outlineOne(m *ir.Module, f *ir.Func, count *int) (*ir.Instr, error) {
+func outlineOne(m *ir.Module, f *ir.Func, count *int, rc *remarks.Collector) (*ir.Instr, error) {
 	f.Renumber()
 	dom := analysis.NewDominators(f)
 	forest := analysis.FindLoops(f, dom)
@@ -109,7 +117,7 @@ func outlineOne(m *ir.Module, f *ir.Func, count *int) (*ir.Instr, error) {
 			if !loop.Blocks[b] || inChild[b] {
 				continue
 			}
-			if run := findRun(b, pt, mapped, blocked); run != nil {
+			if run := findRun(b, pt, mapped, blocked, rc); run != nil {
 				launch := outline(m, f, b, run, count)
 				return launch, nil
 			}
@@ -143,9 +151,19 @@ type run struct {
 	moved   int // count of instructions that actually move
 }
 
+// spanLine is the first stamped source line in a run's span.
+func spanLine(span []*ir.Instr) int {
+	for _, in := range span {
+		if in.Line != 0 {
+			return int(in.Line)
+		}
+	}
+	return 0
+}
+
 // findRun locates a maximal outlineable instruction run in block b that
 // touches mapped units. It returns nil if none qualifies.
-func findRun(b *ir.Block, pt *analysis.PointsTo, mapped analysis.ObjSet, blocked map[ir.Value]bool) *run {
+func findRun(b *ir.Block, pt *analysis.PointsTo, mapped analysis.ObjSet, blocked map[ir.Value]bool, rc *remarks.Collector) *run {
 	var best *run
 	cur := &run{hoisted: make(map[*ir.Instr]bool)}
 	curTouches := false
@@ -154,6 +172,14 @@ func findRun(b *ir.Block, pt *analysis.PointsTo, mapped analysis.ObjSet, blocked
 		if curTouches && cur.moved >= 2 && cur.moved <= MaxRunLength &&
 			(best == nil || cur.moved > best.moved) {
 			best = cur
+		} else if curTouches && cur.moved > MaxRunLength {
+			rc.Emit(remarks.Remark{
+				Pass: "gluekernel", Kind: remarks.Missed,
+				Reason: remarks.ReasonRegionTooLarge,
+				Line:   spanLine(cur.span), Function: b.Fn.Name,
+				Message: fmt.Sprintf("CPU region of %d instruction(s) exceeds the glue limit of %d; large regions are presumed performance-relevant CPU code",
+					cur.moved, MaxRunLength),
+			})
 		}
 		cur = &run{hoisted: make(map[*ir.Instr]bool)}
 		curTouches = false
@@ -208,6 +234,12 @@ func findRun(b *ir.Block, pt *analysis.PointsTo, mapped analysis.ObjSet, blocked
 		}
 	})
 	if escape {
+		rc.Emit(remarks.Remark{
+			Pass: "gluekernel", Kind: remarks.Missed,
+			Reason: remarks.ReasonLiveOut,
+			Line:   spanLine(best.span), Function: b.Fn.Name,
+			Message: "glue region defines a register value used outside it, and glue kernels cannot return registers",
+		})
 		return nil
 	}
 	return best

@@ -25,7 +25,7 @@ func prepare(t *testing.T, src string) *ir.Module {
 	if err != nil {
 		t.Fatalf("irbuild: %v", err)
 	}
-	if _, err := commmgmt.Run(m); err != nil {
+	if _, err := commmgmt.Run(m, nil); err != nil {
 		t.Fatalf("commmgmt: %v", err)
 	}
 	return m
@@ -58,7 +58,7 @@ int main() {
 
 func TestOutlinesGlueRegion(t *testing.T) {
 	m := prepare(t, glueShape)
-	res, err := gluekernel.Run(m)
+	res, err := gluekernel.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ int main() {
 	free(buf);
 	return 0;
 }`)
-	res, err := gluekernel.Run(m)
+	res, err := gluekernel.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ int main() {
 	free(buf);
 	return 0;
 }`)
-	res, err := gluekernel.Run(m)
+	res, err := gluekernel.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ int main() {
 	free(buf);
 	return 0;
 }`)
-	res, err := gluekernel.Run(m)
+	res, err := gluekernel.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

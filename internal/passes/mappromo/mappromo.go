@@ -26,6 +26,7 @@ import (
 
 	"cgcm/internal/analysis"
 	"cgcm/internal/ir"
+	"cgcm/internal/remarks"
 )
 
 // Result reports pass activity.
@@ -41,18 +42,33 @@ type Result struct {
 
 const maxIterations = 12
 
-// Run iterates map promotion to convergence over the module.
-func Run(m *ir.Module) (*Result, error) {
+// Run iterates map promotion to convergence over the module. Pass
+// activity is reported as optimization remarks through rc (which may be
+// nil).
+func Run(m *ir.Module, rc *remarks.Collector) (*Result, error) {
 	res := &Result{}
 	done := make(map[string]bool) // idempotence: region+pointer keys already hoisted
+	// Rejections are deferred, keyed by the same region+pointer identity:
+	// a candidate blocked in one convergence round may be promoted in a
+	// later one (e.g. after another hoist removes the aliasing access),
+	// and only candidates that never succeed become Missed remarks.
+	var pending map[string]remarks.Remark
+	if rc != nil {
+		pending = make(map[string]remarks.Remark)
+	}
 	for res.Iterations < maxIterations {
 		res.Iterations++
-		changed, err := runOnce(m, res, done)
+		changed, err := runOnce(m, res, done, rc, pending)
 		if err != nil {
 			return nil, err
 		}
 		if !changed {
 			break
+		}
+	}
+	for id, r := range pending {
+		if !done[id] {
+			rc.Emit(r)
 		}
 	}
 	m.Renumber()
@@ -62,7 +78,20 @@ func Run(m *ir.Module) (*Result, error) {
 	return res, nil
 }
 
-func runOnce(m *ir.Module, res *Result, done map[string]bool) (bool, error) {
+// recordMiss stores the first rejection seen for a region+pointer key;
+// Run emits it only if no later round promotes the candidate.
+func recordMiss(pending map[string]remarks.Remark, id string, r remarks.Remark) {
+	if pending == nil {
+		return
+	}
+	if _, ok := pending[id]; !ok {
+		r.Pass = "mappromo"
+		r.Kind = remarks.Missed
+		pending[id] = r
+	}
+}
+
+func runOnce(m *ir.Module, res *Result, done map[string]bool, rc *remarks.Collector, pending map[string]remarks.Remark) (bool, error) {
 	pt := analysis.BuildPointsTo(m)
 	cg := analysis.BuildCallGraph(m)
 	mr := analysis.BuildModRef(m, pt, cg)
@@ -72,7 +101,7 @@ func runOnce(m *ir.Module, res *Result, done map[string]bool) (bool, error) {
 		if f.Kernel {
 			continue
 		}
-		c, err := promoteLoops(m, f, pt, mr, res, done)
+		c, err := promoteLoops(m, f, pt, mr, res, done, rc, pending)
 		if err != nil {
 			return false, err
 		}
@@ -82,7 +111,7 @@ func runOnce(m *ir.Module, res *Result, done map[string]bool) (bool, error) {
 		if f.Kernel {
 			continue
 		}
-		c, err := promoteFunction(m, f, pt, cg, mr, res, done)
+		c, err := promoteFunction(m, f, pt, cg, mr, res, done, rc, pending)
 		if err != nil {
 			return false, err
 		}

@@ -29,7 +29,7 @@ func prepare(t *testing.T, src string) *ir.Module {
 	if err != nil {
 		t.Fatalf("irbuild: %v", err)
 	}
-	if _, err := commmgmt.Run(m); err != nil {
+	if _, err := commmgmt.Run(m, nil); err != nil {
 		t.Fatalf("commmgmt: %v", err)
 	}
 	return m
@@ -67,7 +67,7 @@ func loopDepthOf(f *ir.Func, in *ir.Instr) int {
 
 func TestHoistsMapOutOfLoop(t *testing.T) {
 	m := prepare(t, hoistable)
-	res, err := mappromo.Run(m)
+	res, err := mappromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,12 +110,12 @@ func TestHoistsMapOutOfLoop(t *testing.T) {
 
 func TestIdempotent(t *testing.T) {
 	m := prepare(t, hoistable)
-	res1, err := mappromo.Run(m)
+	res1, err := mappromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	count1 := countRuntimeCalls(m)
-	res2, err := mappromo.Run(m)
+	res2, err := mappromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ int main() {
 	free(v);
 	return 0;
 }`)
-	res, err := mappromo.Run(m)
+	res, err := mappromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ int main() {
 	free(v);
 	return 0;
 }`)
-	if _, err := mappromo.Run(m); err != nil {
+	if _, err := mappromo.Run(m, nil); err != nil {
 		t.Fatal(err)
 	}
 	main := m.Func("main")
@@ -224,7 +224,7 @@ int main() {
 	free(v);
 	return 0;
 }`)
-	res, err := mappromo.Run(m)
+	res, err := mappromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ int main() {
 	free(v);
 	return 0;
 }`)
-	res, err := mappromo.Run(m)
+	res, err := mappromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ int main() {
 	free(v);
 	return 0;
 }`)
-	res, err := mappromo.Run(m)
+	res, err := mappromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +323,7 @@ int main() {
 
 func TestCommentsMarkProvenance(t *testing.T) {
 	m := prepare(t, hoistable)
-	if _, err := mappromo.Run(m); err != nil {
+	if _, err := mappromo.Run(m, nil); err != nil {
 		t.Fatal(err)
 	}
 	found := false
@@ -357,7 +357,7 @@ int main() {
 	free(big);
 	return 0;
 }`)
-	res, err := mappromo.Run(m)
+	res, err := mappromo.Run(m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,13 +1,16 @@
 package mappromo
 
 import (
+	"fmt"
+
 	"cgcm/internal/analysis"
 	"cgcm/internal/ir"
+	"cgcm/internal/remarks"
 )
 
 // promoteLoops performs one round of loop-region promotion in f,
 // innermost loops first so maps climb one level per convergence round.
-func promoteLoops(m *ir.Module, f *ir.Func, pt *analysis.PointsTo, mr *analysis.ModRef, res *Result, done map[string]bool) (bool, error) {
+func promoteLoops(m *ir.Module, f *ir.Func, pt *analysis.PointsTo, mr *analysis.ModRef, res *Result, done map[string]bool, rc *remarks.Collector, pending map[string]remarks.Remark) (bool, error) {
 	f.Renumber()
 	dom := analysis.NewDominators(f)
 	forest := analysis.FindLoops(f, dom)
@@ -31,7 +34,19 @@ func promoteLoops(m *ir.Module, f *ir.Func, pt *analysis.PointsTo, mr *analysis.
 		var hoist []*candidate
 		for _, c := range findCandidates(region, fwd) {
 			regionID := "loop:" + f.Name + "/" + loop.Header.Name + "|" + c.key
-			if done[regionID] || c.mixed || len(c.maps) == 0 {
+			if done[regionID] || len(c.maps) == 0 {
+				continue
+			}
+			miss := func(reason remarks.Reason, msg string) {
+				recordMiss(pending, regionID, remarks.Remark{
+					Reason: reason, Line: int(c.line()), Function: f.Name,
+					Unit:    unitSet(c, pt).Labels(),
+					Message: fmt.Sprintf("cannot hoist map out of loop %s: %s", loop.Header.Name, msg),
+				})
+			}
+			if c.mixed {
+				miss(remarks.ReasonMixedIndirection,
+					"pointer is mapped both as a scalar unit and as a pointer array in the region")
 				continue
 			}
 			// No interior device-to-host transfers left: this candidate
@@ -48,13 +63,27 @@ func promoteLoops(m *ir.Module, f *ir.Func, pt *analysis.PointsTo, mr *analysis.
 			// unit throughout the region. A varying pointer whose *base*
 			// is invariant still qualifies — peel the arithmetic.
 			rep = stripToUnitBase(rep, fwd, pt, inv)
-			if !inv.Invariant(rep) || !cloneableChain(rep, region) {
+			if !inv.Invariant(rep) {
+				miss(remarks.ReasonLoopVariantBase,
+					"pointer may name different allocation units across iterations")
+				continue
+			}
+			if !cloneableChain(rep, region) {
+				miss(remarks.ReasonEscaping,
+					"pointer computation cannot be recomputed outside the region")
 				continue
 			}
 			// modOrRef: no CPU access to the governed units inside the
 			// region (other than the candidate's own calls).
 			units := unitSet(c, pt)
-			if len(units) == 0 || eff.Touches(units) {
+			if len(units) == 0 {
+				miss(remarks.ReasonUnknownPointsTo,
+					"no allocation unit is known for the pointer")
+				continue
+			}
+			if eff.Touches(units) {
+				miss(remarks.ReasonAliasing,
+					"CPU code inside the loop may read or write the governed unit(s)")
 				continue
 			}
 			c.rep = rep
@@ -67,6 +96,13 @@ func promoteLoops(m *ir.Module, f *ir.Func, pt *analysis.PointsTo, mr *analysis.
 		pre := analysis.EnsurePreheader(f, loop)
 		exits := analysis.SplitExitEdges(f, loop)
 		for _, c := range hoist {
+			rc.Emit(remarks.Remark{
+				Pass: "mappromo", Kind: remarks.Applied,
+				Line: int(c.line()), Function: f.Name,
+				Unit: unitSet(c, pt).Labels(),
+				Message: fmt.Sprintf("map hoisted above loop %s; %d interior device-to-host transfer(s) deleted",
+					loop.Header.Name, len(c.unmaps)),
+			})
 			applyLoopPromotion(c, region, pre, exits)
 			res.Promotions++
 			res.LoopPromotions++
@@ -114,25 +150,63 @@ func applyLoopPromotion(c *candidate, region analysis.Region, pre *ir.Block, exi
 // ("for a function, the compiler finds all the function's parents in the
 // call graph and inserts the necessary calls before and after the call
 // instructions in the parent functions").
-func promoteFunction(m *ir.Module, f *ir.Func, pt *analysis.PointsTo, cg *analysis.CallGraph, mr *analysis.ModRef, res *Result, done map[string]bool) (bool, error) {
+func promoteFunction(m *ir.Module, f *ir.Func, pt *analysis.PointsTo, cg *analysis.CallGraph, mr *analysis.ModRef, res *Result, done map[string]bool, rc *remarks.Collector, pending map[string]remarks.Remark) (bool, error) {
 	if f.Name == "main" || f.Name == "__cgcm_init" {
 		return false, nil
 	}
 	sites := cg.Callers[f]
-	if len(sites) == 0 || cg.Recursive(f) {
+	if len(sites) == 0 {
 		return false, nil
 	}
-	for _, s := range sites {
-		if s.Caller.Kernel {
-			return false, nil
+	// Whole-function blockers: record them against every candidate the
+	// function region holds, so the rejection is explained per pointer.
+	blockReason := remarks.ReasonNone
+	blockMsg := ""
+	if cg.Recursive(f) {
+		blockReason = remarks.ReasonRecursive
+		blockMsg = f.Name + " is recursive, so hoisted calls in callers would not balance"
+	} else {
+		for _, s := range sites {
+			if s.Caller.Kernel {
+				blockReason = remarks.ReasonKernelCaller
+				blockMsg = f.Name + " is called from GPU code, which cannot issue runtime-library calls"
+				break
+			}
 		}
 	}
 	fwd := analysis.SpillForwarding(f)
 	region := analysis.Region{Fn: f}
+	if blockReason != remarks.ReasonNone {
+		if pending != nil {
+			for _, c := range findCandidates(region, fwd) {
+				if len(c.maps) == 0 || len(c.unmaps) == 0 {
+					continue
+				}
+				recordMiss(pending, "fn:"+f.Name+"|"+c.key, remarks.Remark{
+					Reason: blockReason, Line: int(c.line()), Function: f.Name,
+					Unit:    unitSet(c, pt).Labels(),
+					Message: "cannot hoist map into callers: " + blockMsg,
+				})
+			}
+		}
+		return false, nil
+	}
 	changed := false
 	for _, c := range findCandidates(region, fwd) {
 		regionID := "fn:" + f.Name + "|" + c.key
-		if done[regionID] || c.mixed || len(c.maps) == 0 || len(c.unmaps) == 0 {
+		if done[regionID] || len(c.maps) == 0 || len(c.unmaps) == 0 {
+			continue
+		}
+		miss := func(reason remarks.Reason, msg string) {
+			recordMiss(pending, regionID, remarks.Remark{
+				Reason: reason, Line: int(c.line()), Function: f.Name,
+				Unit:    unitSet(c, pt).Labels(),
+				Message: "cannot hoist map into callers of " + f.Name + ": " + msg,
+			})
+		}
+		if c.mixed {
+			miss(remarks.ReasonMixedIndirection,
+				"pointer is mapped both as a scalar unit and as a pointer array in the function")
 			continue
 		}
 		exclude := c.calls()
@@ -140,18 +214,41 @@ func promoteFunction(m *ir.Module, f *ir.Func, pt *analysis.PointsTo, cg *analys
 		inv := mr.NewInvariance(region, eff)
 		rep := resolve(c.rep, fwd)
 		rep = stripToUnitBase(rep, fwd, pt, inv)
-		if !inv.Invariant(rep) || !cloneableChain(rep, region) {
+		if !inv.Invariant(rep) {
+			miss(remarks.ReasonLoopVariantBase,
+				"pointer may name different allocation units across the function body")
+			continue
+		}
+		if !cloneableChain(rep, region) {
+			miss(remarks.ReasonEscaping,
+				"pointer computation cannot be recomputed outside the function")
 			continue
 		}
 		// The pointer must be recomputable by callers: its chain may only
 		// bottom out in f's parameters, globals, and constants.
 		if !callerComputable(rep, f) {
+			miss(remarks.ReasonEscaping,
+				"pointer depends on function-local state call sites cannot recompute")
 			continue
 		}
 		units := unitSet(c, pt)
-		if len(units) == 0 || eff.Touches(units) {
+		if len(units) == 0 {
+			miss(remarks.ReasonUnknownPointsTo,
+				"no allocation unit is known for the pointer")
 			continue
 		}
+		if eff.Touches(units) {
+			miss(remarks.ReasonAliasing,
+				"CPU code in the function may read or write the governed unit(s)")
+			continue
+		}
+		rc.Emit(remarks.Remark{
+			Pass: "mappromo", Kind: remarks.Applied,
+			Line: int(c.line()), Function: f.Name,
+			Unit: unitSet(c, pt).Labels(),
+			Message: fmt.Sprintf("map/unmap hoisted out of %s into its %d call site(s)",
+				f.Name, len(sites)),
+		})
 		for _, site := range sites {
 			applyFuncPromotion(c, rep, region, site)
 		}

@@ -102,6 +102,12 @@ type Runtime struct {
 	Prof     *prof.Collector
 	ProfLine int
 
+	// SiteLine is the source line of the allocation-producing instruction
+	// currently executing (malloc/calloc/realloc call or alloca); the
+	// interpreter sets it so the ledger can stamp each unit with its
+	// allocation site for source-level diagnostics.
+	SiteLine int
+
 	allocs  rbtree.Tree[*AllocInfo]
 	shadows map[uint64]*shadowArray
 	epoch   uint64
@@ -187,6 +193,7 @@ func (r *Runtime) DeclareGlobal(name string, base uint64, size int64, readOnly b
 // The registration expires when the frame pops (RemoveAlloca).
 func (r *Runtime) DeclareAlloca(base uint64, size int64, name string) {
 	r.allocs.Put(base, &AllocInfo{Base: base, Size: size, Name: name})
+	r.Ledger.NoteLine(base, r.SiteLine)
 }
 
 // RemoveAlloca expires a stack registration. Any GPU residual is freed.
@@ -207,6 +214,7 @@ func (r *Runtime) RemoveAlloca(base uint64) {
 func (r *Runtime) Malloc(size int64) uint64 {
 	base := r.M.Alloc(machine.CPU, size, "malloc")
 	r.allocs.Put(base, &AllocInfo{Base: base, Size: size, Name: "malloc"})
+	r.Ledger.NoteLine(base, r.SiteLine)
 	return base
 }
 

@@ -49,6 +49,10 @@ type UnitStats struct {
 	Name string // diagnostic name ("malloc", global name, "alloca f")
 	Base uint64 // CPU base address (unique per unit within a run)
 	Size int64
+	// Line is the source line of the unit's allocation site (0 when
+	// unknown, e.g. globals); it lets runtime diagnostics cross-reference
+	// compile-time remarks about the same unit.
+	Line int
 
 	Maps, Unmaps, Releases int64 // runtime-library calls naming this unit
 
@@ -162,6 +166,9 @@ func fmtBytes(n int64) string {
 type LedgerBuilder struct {
 	units map[uint64]*unitAcc
 	order []uint64
+	// lines holds allocation-site source lines, noted by the runtime at
+	// allocation time; units that never communicate cost one map entry.
+	lines map[uint64]int
 }
 
 type unitAcc struct {
@@ -172,7 +179,16 @@ type unitAcc struct {
 
 // NewLedgerBuilder returns an empty builder.
 func NewLedgerBuilder() *LedgerBuilder {
-	return &LedgerBuilder{units: make(map[uint64]*unitAcc)}
+	return &LedgerBuilder{units: make(map[uint64]*unitAcc), lines: make(map[uint64]int)}
+}
+
+// NoteLine records the allocation-site source line of the unit at base;
+// the fold stamps it onto the unit's UnitStats.
+func (b *LedgerBuilder) NoteLine(base uint64, line int) {
+	if b == nil || line <= 0 {
+		return
+	}
+	b.lines[base] = line
 }
 
 func (b *LedgerBuilder) unit(base uint64, name string, size int64) *unitAcc {
@@ -271,6 +287,7 @@ func (b *LedgerBuilder) Ledger() Ledger {
 	for _, base := range b.order {
 		u := b.units[base]
 		s := u.UnitStats
+		s.Line = b.lines[base]
 		switch {
 		case s.HtoDCopies+s.DtoHCopies == 0:
 			s.Pattern = PatternNone
