@@ -1,11 +1,13 @@
 # Developer entry points. `make ci` is the gate: build, vet, the full
 # test suite under the Go race detector (the kernel-execution engine and
-# the bench harness are concurrent; -race keeps them honest), and a
-# benchmark smoke run diffed against the committed baseline.
+# the bench harness are concurrent; -race keeps them honest), a
+# benchmark smoke run diffed against the committed baseline, a short
+# fuzz pass over the front end, and the fault-model output invariant
+# checked across the benchmark suite.
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test race bench benchsmoke baseline ci
+.PHONY: all build vet fmtcheck test race bench benchsmoke baseline fuzzsmoke resilience ci
 
 all: build
 
@@ -40,4 +42,16 @@ benchsmoke:
 baseline:
 	$(GO) run ./cmd/cgcmbench -q -baseline BENCH_0.json
 
-ci: build fmtcheck vet race benchsmoke
+# Short native-fuzz pass over the mini-C front end and the full compile
+# pipeline: seeds always run; a few seconds of mutation catches easy
+# panics without slowing the gate much.
+fuzzsmoke:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime 10s ./internal/minic/parser/
+	$(GO) test -run=NONE -fuzz=FuzzCompile -fuzztime 10s ./internal/core/
+
+# Fault-model invariant across the whole suite: transient faults plus a
+# finite device must leave every program's output bit-identical.
+resilience:
+	$(GO) run ./cmd/cgcmbench -q -faults 'seed=7,htod=0.2,dtoh=0.2,alloc=0.1' -gpu-mem 262144
+
+ci: build fmtcheck vet race benchsmoke fuzzsmoke resilience

@@ -42,6 +42,7 @@ import (
 	"io"
 
 	"cgcm/internal/core"
+	"cgcm/internal/faultinject"
 	"cgcm/internal/interp"
 	"cgcm/internal/machine"
 	"cgcm/internal/metrics"
@@ -161,6 +162,21 @@ type MetricsSnapshot = metrics.Snapshot
 // NewMetricsRegistry returns an empty registry ready to use as
 // Options.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// FaultSpec is a deterministic device fault-injection schedule for
+// Options.FaultSpec: seeded probabilities and exact call indices for
+// alloc/transfer/launch faults. Parse one with ParseFaultSpec.
+type FaultSpec = faultinject.Spec
+
+// DeviceError is the typed device fault the machine raises and the
+// runtime absorbs; it matches errors.Is/errors.As against the
+// faultinject sentinels.
+type DeviceError = faultinject.DeviceError
+
+// ParseFaultSpec parses a fault-injection spec like
+// "seed=7,htod=0.5,alloc@3,fail=launch@2,max=10" (see the faultinject
+// package for the grammar).
+func ParseFaultSpec(text string) (*FaultSpec, error) { return faultinject.ParseSpec(text) }
 
 // Compile parses, checks, lowers, parallelizes, and transforms a mini-C
 // program according to opts.

@@ -27,6 +27,10 @@
 //	                       # explain, per allocation unit, what the named
 //	                       # passes buy: which units turn cyclic without
 //	                       # them, and which remark promoted each
+//	cgcmbench -faults htod=0.3,seed=7    # resilience mode: rerun the suite
+//	                       # under injected device faults and verify output
+//	                       # is bit-identical to the fault-free run
+//	cgcmbench -gpu-mem 65536             # same, under a finite device
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 
 	"cgcm/internal/bench"
 	"cgcm/internal/core"
+	"cgcm/internal/faultinject"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -76,6 +81,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Var(&bench.Ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
 	var ablateDiff core.PassSet
 	fs.Var(&ablateDiff, "ablate-diff", "explain per allocation unit what ablating these passes costs (vs the -ablate set)")
+	faults := fs.String("faults", "", "resilience mode: device fault-injection spec (e.g. seed=7,htod=0.5)")
+	gpuMem := fs.Int64("gpu-mem", 0, "resilience mode: device memory capacity in bytes (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -84,6 +91,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if ablateDiff != nil {
 		return runAblateDiff(stdout, stderr, *one, bench.Ablate, ablateDiff)
+	}
+
+	if *faults != "" || *gpuMem > 0 {
+		return runResilience(stdout, stderr, *one, *faults, *gpuMem, *quiet)
 	}
 
 	all := !*t1 && !*f2 && !*t3 && !*f4 && !*ledger &&
@@ -216,6 +227,46 @@ func compareAgainst(stdout, stderr io.Writer, path string, rows []*bench.Row, th
 	cmp := bench.Compare(base, rows, threshold)
 	bench.RenderComparison(stdout, cmp)
 	if cmp.Failed() {
+		return 1
+	}
+	return 0
+}
+
+// runResilience runs the suite (or one program) twice — fault-free and
+// under the given fault spec / memory cap — and verifies the fault
+// model's headline invariant: bit-identical output. Exit 1 on any
+// mismatch, so CI can gate on it.
+func runResilience(stdout, stderr io.Writer, one, faults string, gpuMem int64, quiet bool) int {
+	var spec *faultinject.Spec
+	if faults != "" {
+		s, err := faultinject.ParseSpec(faults)
+		if err != nil {
+			fmt.Fprintf(stderr, "cgcmbench: -faults: %v\n", err)
+			return 2
+		}
+		spec = s
+	}
+	progs := bench.All()
+	if one != "" {
+		p, ok := bench.ByName(one)
+		if !ok {
+			fmt.Fprintf(stderr, "cgcmbench: unknown program %q\n", one)
+			return 1
+		}
+		progs = []bench.Program{p}
+	}
+	var logw io.Writer = stderr
+	if quiet {
+		logw = io.Discard
+	}
+	rows, err := bench.RunResilienceAll(progs, spec, gpuMem, logw)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmbench: %v\n", err)
+		return 1
+	}
+	bench.RenderResilience(stdout, rows, spec, gpuMem)
+	if bench.AnyMismatch(rows) {
+		fmt.Fprintln(stderr, "cgcmbench: resilience invariant violated: faulted output differs from fault-free output")
 		return 1
 	}
 	return 0

@@ -19,6 +19,8 @@
 //	                                  # allocation units that stayed cyclic
 //	cgcmrun -remarks -remarks-missed-only file.c  # rejections + cyclic units
 //	cgcmrun -remarks-json r.json file.c           # remarks as JSON
+//	cgcmrun -gpu-mem 4096 file.c      # finite device memory (evict under pressure)
+//	cgcmrun -faults htod=0.5,seed=3 file.c  # inject deterministic device faults
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 
 	"cgcm/internal/cli"
 	"cgcm/internal/core"
+	"cgcm/internal/faultinject"
 	"cgcm/internal/metrics"
 	tracepkg "cgcm/internal/trace"
 )
@@ -56,9 +59,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsOut := fs.String("metrics", "", "write the metrics registry snapshot as JSON")
 	var ablate core.PassSet
 	fs.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
+	gpuMem := fs.Int64("gpu-mem", 0, "device memory capacity in bytes (0 = unlimited); the runtime evicts under pressure")
+	faults := fs.String("faults", "", "device fault-injection spec, e.g. seed=7,htod=0.5,alloc@3,fail=launch@2")
 	rflags := cli.AddRemarkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var faultSpec *faultinject.Spec
+	if *faults != "" {
+		s, perr := faultinject.ParseSpec(*faults)
+		if perr != nil {
+			fmt.Fprintf(stderr, "cgcmrun: -faults: %v\n", perr)
+			return 2
+		}
+		faultSpec = s
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: cgcmrun [-strategy s | -compare] [-trace] [-trace-out f] [-ledger] [-ablate passes] [-remarks] file.c")
@@ -104,13 +118,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reg = metrics.New()
 	}
 	rep, err := core.CompileAndRun(name, string(src), core.Options{
-		Strategy: st,
-		Trace:    *trace,
-		Tracer:   tr,
-		Ablate:   ablate,
-		Profile:  *profFlat || *profFolded != "",
-		Metrics:  reg,
-		Remarks:  rflags.Wanted(),
+		Strategy:    st,
+		Trace:       *trace,
+		Tracer:      tr,
+		Ablate:      ablate,
+		Profile:     *profFlat || *profFolded != "",
+		Metrics:     reg,
+		Remarks:     rflags.Wanted(),
+		GPUMemBytes: *gpuMem,
+		FaultSpec:   faultSpec,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "cgcmrun: %v\n", err)
@@ -126,6 +142,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Stats.NumHtoD, float64(rep.Stats.BytesHtoD)/1024,
 		rep.Stats.NumDtoH, float64(rep.Stats.BytesDtoH)/1024,
 		rep.Stats.NumKernels, rep.Promotions)
+	if *gpuMem > 0 || faultSpec != nil {
+		mode := "gpu"
+		if rep.RTStats.Degraded {
+			mode = "cpu-fallback"
+		}
+		fmt.Fprintf(stderr, "--- resilience: %s | faults injected %d | evictions %d (%.1fKB) | retries %d | rescues %d | fallback kernels %d\n",
+			mode, rep.Stats.InjectedFaults,
+			rep.RTStats.Evictions, float64(rep.RTStats.EvictionBytes)/1024,
+			rep.RTStats.Retries, rep.RTStats.RescueCopies, rep.Stats.FallbackKernels)
+	}
 	if *trace {
 		for _, ev := range rep.Trace {
 			fmt.Fprintf(stderr, "%10.2fus %8.2fus %-7s %s\n",

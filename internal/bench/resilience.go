@@ -1,0 +1,155 @@
+// Resilience mode: validate the fault-injected device model across the
+// benchmark suite. Each program runs twice under the optimized strategy —
+// once fault-free, once with the given fault spec and/or device-memory
+// cap — and the harness checks the headline invariant of the fault model:
+// program output (and exit code) is bit-identical no matter what the
+// device does, because the runtime's evict/retry/degrade ladder absorbs
+// every fault. The report shows what the resilience machinery did and
+// what it cost in simulated wall time.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"cgcm/internal/core"
+	"cgcm/internal/faultinject"
+)
+
+// ResilienceRow is one program's fault-free vs faulted comparison.
+type ResilienceRow struct {
+	Name string
+
+	// Identical reports the invariant: faulted output == fault-free output.
+	Identical bool
+	// Mismatch describes the first difference when !Identical.
+	Mismatch string
+
+	// Degraded reports whether the faulted run finished in CPU fallback.
+	Degraded bool
+
+	InjectedFaults  int64
+	Evictions       int64
+	EvictionBytes   int64
+	Retries         int64
+	RescueCopies    int64
+	FallbackKernels int64
+	GPUMemPeak      int64
+
+	// WallBase/WallFault are the simulated walls of the two runs; the
+	// ratio is the price of surviving the faults.
+	WallBase, WallFault float64
+}
+
+// RunResilience measures one program under the fault plan.
+func RunResilience(p Program, spec *faultinject.Spec, gpuMem int64) (*ResilienceRow, error) {
+	opts := core.Options{Strategy: core.CGCMOptimized, Workers: Workers, Ablate: Ablate}
+	base, err := core.CompileAndRun(p.Name, p.Source, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s (fault-free): %w", p.Name, err)
+	}
+	opts.FaultSpec = spec
+	opts.GPUMemBytes = gpuMem
+	faulted, err := core.CompileAndRun(p.Name, p.Source, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s (faulted): %w", p.Name, err)
+	}
+	row := &ResilienceRow{
+		Name:            p.Name,
+		Identical:       faulted.Output == base.Output && faulted.Exit == base.Exit,
+		Degraded:        faulted.RTStats.Degraded,
+		InjectedFaults:  faulted.Stats.InjectedFaults,
+		Evictions:       faulted.RTStats.Evictions,
+		EvictionBytes:   faulted.RTStats.EvictionBytes,
+		Retries:         faulted.RTStats.Retries,
+		RescueCopies:    faulted.RTStats.RescueCopies,
+		FallbackKernels: faulted.RTStats.FallbackKernels,
+		WallBase:        base.Stats.Wall,
+		WallFault:       faulted.Stats.Wall,
+	}
+	if !row.Identical {
+		if faulted.Exit != base.Exit {
+			row.Mismatch = fmt.Sprintf("exit %d != %d", faulted.Exit, base.Exit)
+		} else {
+			row.Mismatch = firstDiff(base.Output, faulted.Output)
+		}
+	}
+	return row, nil
+}
+
+// RunResilienceAll measures every program, logging progress to logw.
+func RunResilienceAll(progs []Program, spec *faultinject.Spec, gpuMem int64, logw io.Writer) ([]*ResilienceRow, error) {
+	rows := make([]*ResilienceRow, 0, len(progs))
+	for _, p := range progs {
+		fmt.Fprintf(logw, "resilience %-16s ...", p.Name)
+		row, err := RunResilience(p, spec, gpuMem)
+		if err != nil {
+			fmt.Fprintln(logw, " error")
+			return nil, err
+		}
+		verdict := "identical"
+		if !row.Identical {
+			verdict = "MISMATCH"
+		}
+		fmt.Fprintf(logw, " %s\n", verdict)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AnyMismatch reports whether any row violated the output invariant.
+func AnyMismatch(rows []*ResilienceRow) bool {
+	for _, r := range rows {
+		if !r.Identical {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderResilience renders the comparison table.
+func RenderResilience(w io.Writer, rows []*ResilienceRow, spec *faultinject.Spec, gpuMem int64) {
+	fmt.Fprintln(w, "Resilience: faulted run vs fault-free run (optimized CGCM)")
+	switch {
+	case spec != nil && gpuMem > 0:
+		fmt.Fprintf(w, "fault spec %q, device memory %d bytes\n", spec, gpuMem)
+	case spec != nil:
+		fmt.Fprintf(w, "fault spec %q, unlimited device memory\n", spec)
+	default:
+		fmt.Fprintf(w, "no injected faults, device memory %d bytes\n", gpuMem)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-16s %-9s %7s %7s %7s %7s %9s %8s  %s\n",
+		"program", "output", "faults", "evicts", "retries", "rescues", "fallbacks", "slowdown", "mode")
+	for _, r := range rows {
+		verdict := "identical"
+		if !r.Identical {
+			verdict = "MISMATCH"
+		}
+		mode := "gpu"
+		if r.Degraded {
+			mode = "cpu-fallback"
+		}
+		slow := r.WallFault / r.WallBase
+		fmt.Fprintf(w, "%-16s %-9s %7d %7d %7d %7d %9d %7.2fx  %s\n",
+			r.Name, verdict, r.InjectedFaults, r.Evictions, r.Retries,
+			r.RescueCopies, r.FallbackKernels, slow, mode)
+		if r.Mismatch != "" {
+			fmt.Fprintf(w, "    first difference: %s\n", r.Mismatch)
+		}
+	}
+}
+
+// firstDiff locates the first byte where two outputs diverge.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("byte %d: %q != %q", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("length %d != %d", len(b), len(a))
+}

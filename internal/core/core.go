@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cgcm/internal/doall"
+	"cgcm/internal/faultinject"
 	"cgcm/internal/interp"
 	"cgcm/internal/ir"
 	"cgcm/internal/irbuild"
@@ -181,6 +182,18 @@ type Options struct {
 	// communication ledger saw stay cyclic, cross-referencing the
 	// compile-time blocking reason (Report.Remarks).
 	Remarks bool
+	// GPUMemBytes caps the simulated device memory (0 = unlimited). A
+	// finite device makes Map fallible: the runtime evicts
+	// least-recently-released units under pressure and degrades to CPU
+	// fallback when the working set truly does not fit. Output stays
+	// bit-identical to the unlimited-memory run.
+	GPUMemBytes int64
+	// FaultSpec, when non-nil, attaches a deterministic device
+	// fault-injection plan to each Run (parse one with
+	// faultinject.ParseSpec). Injected faults are absorbed by the
+	// runtime's retry/evict/degrade ladder; program output stays
+	// bit-identical to the fault-free run.
+	FaultSpec *faultinject.Spec
 
 	// Trace enables span collection even without a Tracer sink, filling
 	// Report.Spans and the legacy Report.Trace event slice.
@@ -314,7 +327,8 @@ func (p *Program) Remarks() []remarks.Remark { return p.remarks }
 // Compile parses, checks, lowers, and transforms src according to opts.
 // All module mutation — including instruction renumbering and the
 // kernel/launch-site census — happens here, leaving Run side-effect-free.
-func Compile(name, src string, opts Options) (*Program, error) {
+func Compile(name, src string, opts Options) (prog *Program, err error) {
+	defer recoverInternal("compile", &err)
 	var phases []trace.PhaseSpan
 	begin := func(phase string) func(activity int, note string) {
 		start := time.Now()
@@ -465,7 +479,8 @@ func Compile(name, src string, opts Options) (*Program, error) {
 // Run executes the compiled program on a fresh simulated machine. It does
 // not mutate the Program, so concurrent Run calls on one Program are safe
 // and produce identical Reports.
-func (p *Program) Run() (*Report, error) {
+func (p *Program) Run() (rep *Report, err error) {
+	defer recoverInternal("run", &err)
 	cost := machine.DefaultCostModel()
 	if p.Opts.Cost != nil {
 		cost = *p.Opts.Cost
@@ -482,8 +497,23 @@ func (p *Program) Run() (*Report, error) {
 	rt := runtimelib.New(mach)
 	rt.Tr = runTr
 	rt.SetMetrics(p.Opts.Metrics)
+	// Fault model: a finite or fault-injected device flips the runtime
+	// into resilient mode before module load, so even the device regions
+	// of globals go through the evict/retry/degrade ladder.
+	if p.Opts.GPUMemBytes > 0 {
+		mach.SetGPUCapacity(p.Opts.GPUMemBytes)
+	}
+	if p.Opts.FaultSpec != nil && !p.Opts.FaultSpec.Empty() {
+		mach.SetFaultPlan(p.Opts.FaultSpec.NewPlan())
+	}
+	if p.Opts.GPUMemBytes > 0 || mach.FaultPlan() != nil {
+		rt.EnableResilience(runtimelib.DefaultResilience())
+	}
 	var out bytes.Buffer
-	in := interp.New(p.Module, mach, rt, &out)
+	in, err := interp.New(p.Module, mach, rt, &out)
+	if err != nil {
+		return nil, err
+	}
 	in.Tr = runTr
 	var col *prof.Collector
 	if p.Opts.Profile {
@@ -500,7 +530,7 @@ func (p *Program) Run() (*Report, error) {
 	in.Workers = p.Opts.Workers
 	in.RaceCheck = p.Opts.RaceCheck
 	exit, err := in.Run()
-	rep := &Report{
+	rep = &Report{
 		Strategy:               p.Opts.Strategy,
 		Output:                 out.String(),
 		Exit:                   exit,
@@ -530,7 +560,7 @@ func (p *Program) Run() (*Report, error) {
 		p.Opts.Tracer.Merge(runTr)
 	}
 	if p.Opts.Remarks {
-		rep.Remarks = withRuntimeRemarks(p.name, p.remarks, rep.Comm)
+		rep.Remarks = withRuntimeRemarks(p.name, p.remarks, rep.Comm, rep.RTStats, rt.DegradeReason())
 	}
 	if m := p.Opts.Metrics; m != nil {
 		st := rep.Stats
@@ -540,6 +570,7 @@ func (p *Program) Run() (*Report, error) {
 		m.Gauge("machine.stall_seconds").Set(st.StallTime)
 		m.Gauge("interp.steps").Set(float64(in.Steps()))
 		m.Gauge("runtime.live_units").Set(float64(rep.RTStats.LiveUnits))
+		m.Gauge("machine.gpu_mem_peak_bytes").Set(float64(mach.GPUMemPeak()))
 		rep.Metrics = m.Snapshot()
 	}
 	if err != nil {
@@ -554,9 +585,34 @@ func (p *Program) Run() (*Report, error) {
 // compile-time Missed remark names the same unit (matched by allocation
 // site), the Runtime remark echoes its reason, closing the loop between
 // the observed ping-pong and why the optimizer could not remove it.
-func withRuntimeRemarks(file string, compile []remarks.Remark, ledger trace.Ledger) []remarks.Remark {
+func withRuntimeRemarks(file string, compile []remarks.Remark, ledger trace.Ledger, rts runtimelib.Stats, degradeReason string) []remarks.Remark {
 	out := make([]remarks.Remark, len(compile))
 	copy(out, compile)
+	// Fault-model findings: one remark per unit the runtime evicted under
+	// device-memory pressure, and one remark when the device failed and
+	// the run finished in CPU-fallback mode.
+	for i := range ledger.Units {
+		u := &ledger.Units[i]
+		if u.Evictions == 0 {
+			continue
+		}
+		out = append(out, remarks.Remark{
+			Pass: "runtime", Kind: remarks.Runtime, Reason: remarks.ReasonDeviceOOM,
+			File: file, Line: u.Line, Unit: unitLabel(u),
+			Message: fmt.Sprintf(
+				"allocation unit evicted from device memory %d time(s) under memory pressure; each re-map re-uploads %d bytes",
+				u.Evictions, u.Size),
+		})
+	}
+	if rts.Degraded {
+		out = append(out, remarks.Remark{
+			Pass: "runtime", Kind: remarks.Runtime, Reason: remarks.ReasonDeviceFailure,
+			File: file,
+			Message: fmt.Sprintf(
+				"device failed (%s); %d kernel(s) ran on the CPU in fallback mode with identical output",
+				degradeReason, rts.FallbackKernels),
+		})
+	}
 	for i := range ledger.Units {
 		u := &ledger.Units[i]
 		if u.Pattern != trace.PatternCyclic {
@@ -638,6 +694,20 @@ func CompileAndRun(name, src string, opts Options) (*Report, error) {
 		return nil, err
 	}
 	return p.Run()
+}
+
+// recoverInternal converts a typed ir.InternalError panic (a compiler
+// bug, not a user-program error) into an ordinary returned error, so no
+// panic escapes Compile or Program.Run. Other panic values propagate:
+// masking unknown panics would hide real crashes.
+func recoverInternal(phase string, err *error) {
+	if p := recover(); p != nil {
+		ie, ok := p.(*ir.InternalError)
+		if !ok {
+			panic(p)
+		}
+		*err = fmt.Errorf("%s: internal compiler error: %w", phase, ie)
+	}
 }
 
 func joinErrors(phase string, errs []error) error {

@@ -1,0 +1,379 @@
+// Package faultinject provides a deterministic, seeded fault plan for the
+// simulated CPU-GPU machine. A Spec describes which device verbs (Alloc,
+// HtoD, DtoH, Launch) fail, at which per-verb call indices or with what
+// probability, and whether failures are transient (a retry may succeed) or
+// persistent (every later call fails too). A Plan is the per-run mutable
+// cursor over a Spec: it counts calls per verb and answers "does this call
+// fault?" purely from (seed, verb, call index), so the same Spec produces
+// the same fault schedule on every run regardless of wall-clock time,
+// scheduling, or worker count.
+//
+// Faults surface as *DeviceError, a typed error carrying the verb, the
+// allocation-unit name involved, the call index, and transience, and
+// matching the package sentinels through errors.Is.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Verb identifies the device operation a fault attaches to.
+type Verb int
+
+const (
+	// VerbAlloc is device-memory allocation (cuMemAlloc).
+	VerbAlloc Verb = iota
+	// VerbHtoD is a host-to-device transfer.
+	VerbHtoD
+	// VerbDtoH is a device-to-host transfer.
+	VerbDtoH
+	// VerbLaunch is a kernel launch.
+	VerbLaunch
+	numVerbs
+)
+
+func (v Verb) String() string {
+	switch v {
+	case VerbAlloc:
+		return "alloc"
+	case VerbHtoD:
+		return "htod"
+	case VerbDtoH:
+		return "dtoh"
+	case VerbLaunch:
+		return "launch"
+	}
+	return fmt.Sprintf("verb(%d)", int(v))
+}
+
+// parseVerb resolves a spec-grammar verb name.
+func parseVerb(s string) (Verb, bool) {
+	switch s {
+	case "alloc":
+		return VerbAlloc, true
+	case "htod":
+		return VerbHtoD, true
+	case "dtoh":
+		return VerbDtoH, true
+	case "launch":
+		return VerbLaunch, true
+	}
+	return 0, false
+}
+
+// Sentinel targets for errors.Is. A *DeviceError matches the sentinel for
+// its verb class, so callers can write errors.Is(err, faultinject.ErrOOM)
+// without caring whether the OOM was injected or a genuine capacity limit.
+var (
+	// ErrOOM matches device-memory allocation failures.
+	ErrOOM = errors.New("device out of memory")
+	// ErrTransfer matches failed HtoD/DtoH transfers.
+	ErrTransfer = errors.New("device transfer failed")
+	// ErrLaunch matches failed kernel launches.
+	ErrLaunch = errors.New("kernel launch failed")
+)
+
+// DeviceError is the typed error for every simulated device failure,
+// whether injected by a Plan or produced organically (e.g. a finite-
+// capacity device running out of memory). It supports errors.As directly
+// and errors.Is against the package sentinels.
+type DeviceError struct {
+	Verb      Verb   // which device operation failed
+	Unit      string // allocation-unit name involved, when known
+	Call      int64  // per-verb call index at which the fault fired
+	Transient bool   // true: a retry of the same operation may succeed
+	Injected  bool   // true: produced by a fault Plan, not a real limit
+	Msg       string // human-readable detail
+}
+
+func (e *DeviceError) Error() string {
+	kind := "persistent"
+	if e.Transient {
+		kind = "transient"
+	}
+	src := "device"
+	if e.Injected {
+		src = "injected"
+	}
+	s := fmt.Sprintf("%s %s %s fault at call #%d", src, kind, e.Verb, e.Call)
+	if e.Unit != "" {
+		s += " (unit " + e.Unit + ")"
+	}
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	return s
+}
+
+// Is matches the sentinel for the error's verb class.
+func (e *DeviceError) Is(target error) bool {
+	switch target {
+	case ErrOOM:
+		return e.Verb == VerbAlloc
+	case ErrTransfer:
+		return e.Verb == VerbHtoD || e.Verb == VerbDtoH
+	case ErrLaunch:
+		return e.Verb == VerbLaunch
+	}
+	return false
+}
+
+// Spec is an immutable fault-injection configuration. The zero value
+// injects nothing. Specs are shared between runs; all per-run state lives
+// in the Plan.
+type Spec struct {
+	// Seed keys the probability hash; two Specs differing only in Seed
+	// produce different (but individually deterministic) fault schedules.
+	Seed uint64
+	// Prob is the per-verb probability in [0,1] that any given call
+	// faults transiently.
+	Prob [4]float64
+	// At lists per-verb exact call indices (0-based) that fault
+	// transiently, independent of probability.
+	At [4][]int64
+	// FailFrom marks, per verb, the call index from which every call
+	// fails persistently; -1 (or any negative) disables.
+	FailFrom [4]int64
+	// Unit restricts probability and At faults to calls whose unit name
+	// contains this substring ("" = all units). FailFrom is not filtered:
+	// a persistently failed engine fails for every unit.
+	Unit string
+	// MaxFaults caps the total number of injected faults (0 = unlimited),
+	// a safety valve for high-probability specs.
+	MaxFaults int64
+}
+
+// NewSpec returns a Spec with no faults configured (FailFrom disabled).
+func NewSpec() *Spec {
+	s := &Spec{}
+	for v := range s.FailFrom {
+		s.FailFrom[v] = -1
+	}
+	return s
+}
+
+// ParseSpec parses the -faults command-line grammar: comma-separated
+// clauses, each one of
+//
+//	seed=N          probability-hash seed
+//	VERB=P          fault each VERB call transiently with probability P
+//	VERB@I[+J...]   fault exactly the I-th (0-based) VERB calls
+//	fail=VERB@I     every VERB call from index I on fails persistently
+//	unit=NAME       restrict probability/index faults to units containing NAME
+//	max=N           cap total injected faults at N
+//
+// where VERB is one of alloc, htod, dtoh, launch. Example:
+//
+//	-faults 'seed=7,htod=0.5,dtoh=0.5,alloc@2,fail=launch@9'
+func ParseSpec(text string) (*Spec, error) {
+	s := NewSpec()
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	for _, clause := range strings.Split(text, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if verb, idx, ok := strings.Cut(clause, "@"); ok && !strings.Contains(clause, "=") {
+			v, okv := parseVerb(verb)
+			if !okv {
+				return nil, fmt.Errorf("faultinject: unknown verb %q in clause %q", verb, clause)
+			}
+			for _, part := range strings.Split(idx, "+") {
+				n, err := strconv.ParseInt(part, 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("faultinject: bad call index %q in clause %q", part, clause)
+				}
+				s.At[v] = append(s.At[v], n)
+			}
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: clause %q is not key=value or verb@index", clause)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad seed %q", val)
+			}
+			s.Seed = n
+		case "unit":
+			s.Unit = val
+		case "max":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultinject: bad max %q", val)
+			}
+			s.MaxFaults = n
+		case "fail":
+			verb, idx, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: fail clause needs verb@index, got %q", val)
+			}
+			v, okv := parseVerb(verb)
+			if !okv {
+				return nil, fmt.Errorf("faultinject: unknown verb %q in fail clause", verb)
+			}
+			n, err := strconv.ParseInt(idx, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultinject: bad fail index %q", idx)
+			}
+			s.FailFrom[v] = n
+		default:
+			v, okv := parseVerb(key)
+			if !okv {
+				return nil, fmt.Errorf("faultinject: unknown clause key %q", key)
+			}
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("faultinject: probability %q for %s must be in [0,1]", val, key)
+			}
+			s.Prob[v] = p
+		}
+	}
+	return s, nil
+}
+
+// String renders the Spec back in ParseSpec's grammar (canonical clause
+// order; round-trips through ParseSpec).
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	for v := Verb(0); v < numVerbs; v++ {
+		if s.Prob[v] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", v, s.Prob[v]))
+		}
+	}
+	for v := Verb(0); v < numVerbs; v++ {
+		if len(s.At[v]) > 0 {
+			idx := append([]int64(nil), s.At[v]...)
+			sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+			str := make([]string, len(idx))
+			for i, n := range idx {
+				str[i] = strconv.FormatInt(n, 10)
+			}
+			parts = append(parts, fmt.Sprintf("%s@%s", v, strings.Join(str, "+")))
+		}
+	}
+	for v := Verb(0); v < numVerbs; v++ {
+		if s.FailFrom[v] >= 0 {
+			parts = append(parts, fmt.Sprintf("fail=%s@%d", v, s.FailFrom[v]))
+		}
+	}
+	if s.Unit != "" {
+		parts = append(parts, "unit="+s.Unit)
+	}
+	if s.MaxFaults > 0 {
+		parts = append(parts, fmt.Sprintf("max=%d", s.MaxFaults))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Empty reports whether the Spec injects nothing.
+func (s *Spec) Empty() bool {
+	if s == nil {
+		return true
+	}
+	for v := Verb(0); v < numVerbs; v++ {
+		if s.Prob[v] > 0 || len(s.At[v]) > 0 || s.FailFrom[v] >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewPlan returns a fresh per-run cursor over the Spec. A Plan must only
+// be used from the goroutine driving the machine (device calls are
+// root-goroutine-only), which is what makes its decisions independent of
+// the kernel engine's worker count.
+func (s *Spec) NewPlan() *Plan {
+	if s == nil {
+		return nil
+	}
+	return &Plan{spec: s}
+}
+
+// Plan is the mutable per-run state: per-verb call counters and the total
+// number of faults injected so far. The zero Plan (and a nil Plan)
+// injects nothing.
+type Plan struct {
+	spec     *Spec
+	calls    [4]int64
+	injected int64
+}
+
+// Decide consumes the verb's next call index and reports whether that
+// call faults. persistent means retries cannot succeed (the FailFrom
+// regime). The decision is a pure function of (spec, verb, call index),
+// so replaying the same call sequence replays the same faults.
+func (p *Plan) Decide(v Verb, unit string) (fault bool, call int64, persistent bool) {
+	if p == nil || p.spec == nil {
+		return false, 0, false
+	}
+	call = p.calls[v]
+	p.calls[v]++
+	s := p.spec
+	if s.FailFrom[v] >= 0 && call >= s.FailFrom[v] {
+		// Persistent failure ignores the unit filter and the fault cap:
+		// a dead engine stays dead.
+		p.injected++
+		return true, call, true
+	}
+	if s.MaxFaults > 0 && p.injected >= s.MaxFaults {
+		return false, call, false
+	}
+	if s.Unit != "" && !strings.Contains(unit, s.Unit) {
+		return false, call, false
+	}
+	for _, at := range s.At[v] {
+		if at == call {
+			p.injected++
+			return true, call, false
+		}
+	}
+	if s.Prob[v] > 0 && hashFloat(s.Seed, v, call) < s.Prob[v] {
+		p.injected++
+		return true, call, false
+	}
+	return false, call, false
+}
+
+// Calls reports how many times the verb has been decided so far.
+func (p *Plan) Calls(v Verb) int64 {
+	if p == nil {
+		return 0
+	}
+	return p.calls[v]
+}
+
+// Injected reports the total number of faults the plan has fired.
+func (p *Plan) Injected() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.injected
+}
+
+// hashFloat maps (seed, verb, call) to a uniform float64 in [0,1) with a
+// splitmix64 finalizer — cheap, stateless, and stable across platforms.
+func hashFloat(seed uint64, v Verb, call int64) float64 {
+	x := seed ^ (uint64(v)+1)*0x9e3779b97f4a7c15 ^ uint64(call)*0xbf58476d1ce4e5b9
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,183 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"seed=7",
+		"htod=0.5",
+		"seed=3,htod=0.5,dtoh=0.25",
+		"alloc@2",
+		"alloc@2+5+9",
+		"fail=launch@9",
+		"seed=7,htod=0.5,dtoh=0.5,alloc@2,fail=launch@9",
+		"unit=malloc",
+		"max=12",
+		"seed=1,alloc=1,htod=1,dtoh=1,launch=1,fail=alloc@0,fail=htod@0,fail=dtoh@0,fail=launch@0,unit=a,max=3",
+	}
+	for _, in := range cases {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		out := s.String()
+		s2, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("ParseSpec(String()=%q): %v", out, err)
+		}
+		if got := s2.String(); got != out {
+			t.Errorf("round trip %q: %q != %q", in, got, out)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"bogus=0.5",
+		"htod=1.5",
+		"htod=x",
+		"seed=-1",
+		"alloc@-3",
+		"alloc@x",
+		"fail=launch",
+		"fail=bogus@3",
+		"justaword",
+		"max=-1",
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", in)
+		}
+	}
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	spec, err := ParseSpec("seed=42,htod=0.5,alloc@1,fail=launch@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type dec struct {
+		fault, persistent bool
+		call              int64
+	}
+	runOnce := func() []dec {
+		p := spec.NewPlan()
+		var out []dec
+		for i := 0; i < 50; i++ {
+			f, c, hard := p.Decide(VerbHtoD, "u")
+			out = append(out, dec{f, hard, c})
+			f, c, hard = p.Decide(VerbAlloc, "u")
+			out = append(out, dec{f, hard, c})
+			f, c, hard = p.Decide(VerbLaunch, "u")
+			out = append(out, dec{f, hard, c})
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical plans: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// alloc@1 fires exactly at call 1; fail=launch@2 fires from call 2 on.
+	p := spec.NewPlan()
+	for i := int64(0); i < 5; i++ {
+		f, c, hard := p.Decide(VerbAlloc, "u")
+		if want := i == 1; f != want || c != i || hard {
+			t.Errorf("alloc call %d: fault=%v hard=%v call=%d", i, f, hard, c)
+		}
+	}
+	p = spec.NewPlan()
+	for i := int64(0); i < 5; i++ {
+		f, _, hard := p.Decide(VerbLaunch, "u")
+		if want := i >= 2; f != want || hard != want {
+			t.Errorf("launch call %d: fault=%v hard=%v", i, f, hard)
+		}
+	}
+}
+
+func TestProbabilityRoughlyCalibrated(t *testing.T) {
+	spec, _ := ParseSpec("seed=9,htod=0.5")
+	p := spec.NewPlan()
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if f, _, _ := p.Decide(VerbHtoD, "u"); f {
+			hits++
+		}
+	}
+	if hits < n*4/10 || hits > n*6/10 {
+		t.Errorf("p=0.5 fired %d/%d times", hits, n)
+	}
+}
+
+func TestUnitFilterAndMax(t *testing.T) {
+	spec, _ := ParseSpec("htod=1,unit=weights")
+	p := spec.NewPlan()
+	if f, _, _ := p.Decide(VerbHtoD, "bias"); f {
+		t.Error("unit filter: fault fired for non-matching unit")
+	}
+	if f, _, _ := p.Decide(VerbHtoD, "dev:weights"); !f {
+		t.Error("unit filter: fault did not fire for matching unit")
+	}
+	spec, _ = ParseSpec("htod=1,max=2")
+	p = spec.NewPlan()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if f, _, _ := p.Decide(VerbHtoD, "u"); f {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("max=2: %d faults fired", fired)
+	}
+	if p.Injected() != 2 {
+		t.Errorf("Injected() = %d, want 2", p.Injected())
+	}
+}
+
+func TestDeviceErrorIsAs(t *testing.T) {
+	cases := []struct {
+		verb Verb
+		want error
+	}{
+		{VerbAlloc, ErrOOM},
+		{VerbHtoD, ErrTransfer},
+		{VerbDtoH, ErrTransfer},
+		{VerbLaunch, ErrLaunch},
+	}
+	for _, c := range cases {
+		var err error = fmt.Errorf("wrapped: %w",
+			&DeviceError{Verb: c.verb, Unit: "u", Call: 3, Transient: true, Injected: true})
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: errors.Is(%v) = false", c.verb, c.want)
+		}
+		for _, other := range []error{ErrOOM, ErrTransfer, ErrLaunch} {
+			if other != c.want && errors.Is(err, other) {
+				t.Errorf("%s: errors.Is matched wrong sentinel %v", c.verb, other)
+			}
+		}
+		var de *DeviceError
+		if !errors.As(err, &de) || de.Call != 3 || de.Unit != "u" {
+			t.Errorf("%s: errors.As failed or lost fields: %+v", c.verb, de)
+		}
+	}
+}
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if f, _, _ := p.Decide(VerbAlloc, "u"); f {
+		t.Error("nil plan decided to fault")
+	}
+	if p.Injected() != 0 || p.Calls(VerbAlloc) != 0 {
+		t.Error("nil plan has nonzero counters")
+	}
+	var s *Spec
+	if !s.Empty() || s.NewPlan() != nil || s.String() != "" {
+		t.Error("nil spec misbehaves")
+	}
+}

@@ -104,9 +104,11 @@ func (ex *exec) Write(p []byte) (int, error) {
 	return (*ex.outSlot).Write(p)
 }
 
-// beginLaunch prepares a worker context for one kernel launch.
-func (ex *exec) beginLaunch(inspect bool, depth int) {
-	if inspect {
+// beginLaunch prepares a worker context for one kernel launch. hostMem
+// places scratch in CPU space (inspector and CPU-fallback launches);
+// inspect additionally turns on touch-set recording.
+func (ex *exec) beginLaunch(hostMem, inspect bool, depth int) {
+	if hostMem {
 		ex.scratchBase = machine.GPUBase - uint64(ex.id+1)*scratchStride
 	} else {
 		ex.scratchBase = gpuScratchBase + uint64(ex.id)*scratchStride
@@ -329,7 +331,7 @@ func (ex *exec) evalOp(fr *frame, op *operand) uint64 {
 	case opReg:
 		return fr.regs[op.reg]
 	default:
-		if fr.gpu != nil && !fr.gpu.inspect {
+		if fr.gpu != nil && !fr.gpu.hostMem {
 			return ex.in.devAddr[op.g]
 		}
 		return ex.in.globalAddr[op.g]
@@ -340,7 +342,7 @@ func (ex *exec) evalOp(fr *frame, op *operand) uint64 {
 // address space.
 func (ex *exec) checkSpace(fr *frame, addr uint64, write bool) error {
 	space := machine.SpaceOf(addr)
-	if fr.gpu != nil && !fr.gpu.inspect {
+	if fr.gpu != nil && !fr.gpu.hostMem {
 		if space != machine.GPU {
 			what := "read"
 			if write {
@@ -507,7 +509,7 @@ func (ex *exec) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint64,
 	gpu := fr.gpu
 	blockOps := fr.cf.blockArgs[blk.Index]
 	blockSC := ex.blockCaches(fr.cf, blk.Index)
-	onGPU := gpu != nil && !gpu.inspect
+	onGPU := gpu != nil && !gpu.hostMem
 	wantSpace := machine.CPU
 	if onGPU {
 		wantSpace = machine.GPU
@@ -537,7 +539,7 @@ func (ex *exec) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint64,
 			if gpu != nil {
 				space := machine.GPU
 				name := "kalloca " + fr.fn.Name
-				if gpu.inspect {
+				if gpu.hostMem {
 					space = machine.CPU
 				}
 				var aerr error

@@ -31,7 +31,10 @@ func runErr(t *testing.T, src string, lim *interp.Limits) error {
 	m := machine.New(machine.DefaultCostModel())
 	rt := runtimelib.New(m)
 	var out bytes.Buffer
-	in := interp.New(mod, m, rt, &out)
+	in, nerr := interp.New(mod, m, rt, &out)
+	if nerr != nil {
+		t.Fatalf("interp.New: %v", nerr)
+	}
 	if lim != nil {
 		in.Lim = *lim
 	}

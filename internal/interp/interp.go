@@ -128,7 +128,11 @@ type Interp struct {
 
 // New prepares an interpreter for the module: it loads globals into both
 // memory spaces, registers them with the runtime, and seeds the RNG.
-func New(mod *ir.Module, mach *machine.Machine, rt *runtime.Runtime, out io.Writer) *Interp {
+// Module load is fallible: a bad global initializer is a typed error, and
+// under fault injection the device regions for globals may fail to
+// allocate — the runtime then degrades to CPU fallback before main runs,
+// which is still a successful load.
+func New(mod *ir.Module, mach *machine.Machine, rt *runtime.Runtime, out io.Writer) (*Interp, error) {
 	in := &Interp{
 		Mod: mod, Mach: mach, RT: rt, Out: out,
 		Lim:        DefaultLimits,
@@ -141,15 +145,15 @@ func New(mod *ir.Module, mach *machine.Machine, rt *runtime.Runtime, out io.Writ
 		base := mach.Alloc(machine.CPU, g.Size, "global "+g.Name)
 		if g.Init != nil {
 			if err := mach.WriteBytes(base, g.Init); err != nil {
-				panic("interp: global init: " + err.Error())
+				return nil, &Error{Fn: "module load", Msg: "global " + g.Name + " init: " + err.Error()}
 			}
 		}
 		in.globalAddr[g] = base
-		dev := mach.Alloc(machine.GPU, g.Size, "devglobal "+g.Name)
+		dev := rt.AllocDeviceGlobal(base, g.Size, g.Name)
 		in.devAddr[g] = dev
 		rt.DeclareGlobal(g.Name, base, g.Size, g.ReadOnly, dev)
 	}
-	return in
+	return in, nil
 }
 
 // GlobalAddr returns the host address of a module global.
@@ -206,8 +210,12 @@ func (in *Interp) emitFault(err error) {
 type gpuCtx struct {
 	tid, ntid int64
 	ops       *int64
-	// inspect is set in Inspector mode: memory goes to CPU space and
-	// touched allocation units are recorded.
+	// hostMem makes the thread resolve memory against CPU space: set for
+	// inspector launches (the oracle's transfers are assumed perfect) and
+	// for CPU-fallback launches after device degradation.
+	hostMem bool
+	// inspect is set in Inspector mode: touched allocation units are
+	// recorded. inspect implies hostMem.
 	inspect bool
 }
 

@@ -33,14 +33,50 @@ func (ex *exec) launch(fr *frame, instr *ir.Instr, ops []operand) error {
 
 // launchManaged runs every thread against GPU memory and charges one
 // asynchronous kernel. The runtime epoch advances so subsequent unmaps
-// know GPU memory may have changed.
+// know GPU memory may have changed. Under a fault plan the launch driver
+// call itself can fail: transient faults retry inside PreLaunch, and a
+// persistent failure degrades the device, after which this launch (and
+// every later one) executes on the CPU instead.
 func (in *Interp) launchManaged(kernel *ir.Func, line int, threads int64, args []uint64) error {
+	if err := in.RT.PreLaunch(kernel.Name); err != nil {
+		return err
+	}
+	if in.RT.Degraded() {
+		return in.launchFallback(kernel, line, threads, args)
+	}
 	in.RT.KernelLaunched()
-	res, err := in.runGrid(kernel, line, threads, args, false)
+	res, err := in.runGrid(kernel, line, threads, args, false, false)
 	if err != nil {
 		return err
 	}
 	in.Mach.LaunchKernelAt(kernel.Name, line, threads, res.totalOps, res.maxOps)
+	return nil
+}
+
+// launchFallback executes a kernel on the CPU after device degradation.
+// The runtime's map surface has become an identity layer, so kernel
+// arguments are CPU pointers — except device addresses handed out before
+// the device died, which translate back to their CPU allocation units.
+// Threads run functionally against host memory and the machine charges
+// sequential CPU execution, so the program's output is bit-identical to
+// a fault-free run; only the schedule differs.
+func (in *Interp) launchFallback(kernel *ir.Func, line int, threads int64, args []uint64) error {
+	in.RT.KernelLaunched()
+	targs := make([]uint64, len(args))
+	for i, a := range args {
+		if machine.SpaceOf(a) == machine.GPU {
+			if cpu, ok := in.RT.TranslateDev(a); ok {
+				a = cpu
+			}
+		}
+		targs[i] = a
+	}
+	res, err := in.runGrid(kernel, line, threads, targs, true, false)
+	if err != nil {
+		return err
+	}
+	in.Mach.RunKernelOnCPUAt(kernel.Name, line, res.totalOps)
+	in.RT.NoteFallbackKernel()
 	return nil
 }
 
@@ -55,7 +91,7 @@ func (in *Interp) launchManaged(kernel *ir.Func, line int, threads int64, args [
 // oracle's transfers are assumed perfect.
 func (in *Interp) launchInspector(kernel *ir.Func, line int, threads int64, args []uint64) error {
 	in.RT.KernelLaunched()
-	res, err := in.runGrid(kernel, line, threads, args, true)
+	res, err := in.runGrid(kernel, line, threads, args, true, true)
 	if err != nil {
 		return err
 	}
@@ -127,6 +163,20 @@ func (in *Interp) compileReachable(f *ir.Func) {
 	visit(f)
 }
 
+// callRecover runs one kernel thread, converting any panic in
+// interpreter internals into a typed execution error. Worker goroutines
+// must never let a panic escape: it would kill the process instead of
+// surfacing through the launch's deterministic fault merge.
+func (ex *exec) callRecover(f *ir.Func, args []uint64, ctx *gpuCtx) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &Error{Fn: f.Name, Msg: fmt.Sprintf("internal: panic in kernel thread %d: %v", ctx.tid, p)}
+		}
+	}()
+	_, err = ex.call(f, args, ctx)
+	return
+}
+
 // threadSeed derives a per-thread RNG stream (splitmix64) so any
 // RNG-consuming kernel code is deterministic regardless of the schedule.
 // (The mini-C front end rejects rand in kernels; this covers hand-built
@@ -153,7 +203,7 @@ func threadSeed(seed uint64, tid int64) uint64 {
 //   - if any threads faulted, the lowest thread id wins, exactly the
 //     fault sequential execution reports (workers skip threads above the
 //     current minimum faulting tid, so every lower thread still runs).
-func (in *Interp) runGrid(kernel *ir.Func, line int, threads int64, args []uint64, inspect bool) (gridResult, error) {
+func (in *Interp) runGrid(kernel *ir.Func, line int, threads int64, args []uint64, hostMem, inspect bool) (gridResult, error) {
 	in.compileReachable(kernel)
 	nw := in.numWorkers()
 	if int64(nw) > threads {
@@ -175,7 +225,7 @@ func (in *Interp) runGrid(kernel *ir.Func, line int, threads int64, args []uint6
 	depth := in.root.depth
 
 	run := func(ex *exec) {
-		ex.beginLaunch(inspect, depth)
+		ex.beginLaunch(hostMem, inspect, depth)
 		for {
 			ci := next.Add(1) - 1
 			if ci >= nChunks {
@@ -200,8 +250,8 @@ func (in *Interp) runGrid(kernel *ir.Func, line int, threads int64, args []uint6
 					ex.race.tid = t
 				}
 				var ops int64
-				ctx := &gpuCtx{tid: t, ntid: threads, ops: &ops, inspect: inspect}
-				if _, err := ex.call(kernel, args, ctx); err != nil {
+				ctx := &gpuCtx{tid: t, ntid: threads, ops: &ops, hostMem: hostMem, inspect: inspect}
+				if err := ex.callRecover(kernel, args, ctx); err != nil {
 					faultMu.Lock()
 					faults = append(faults, threadFault{t, err})
 					faultMu.Unlock()
@@ -269,7 +319,7 @@ func (in *Interp) runGrid(kernel *ir.Func, line int, threads int64, args []uint6
 				return gridResult{}, fmt.Errorf("%s %s, thread %d: %w", prefix, kernel.Name, f.tid, f.err)
 			}
 		}
-		panic("interp: faulting thread vanished during merge")
+		return gridResult{}, &Error{Fn: kernel.Name, Msg: "internal: faulting thread vanished during merge"}
 	}
 
 	var res gridResult

@@ -51,7 +51,10 @@ func runKernelProgram(t *testing.T, col *prof.Collector) (*Interp, *machine.Mach
 	m := machine.New(machine.DefaultCostModel())
 	rt := runtimelib.New(m)
 	var out bytes.Buffer
-	in := New(mod, m, rt, &out)
+	in, nerr := New(mod, m, rt, &out)
+	if nerr != nil {
+		t.Fatalf("New: %v", nerr)
+	}
 	in.Prof = col
 	if _, err := in.Run(); err != nil {
 		t.Fatalf("run: %v", err)

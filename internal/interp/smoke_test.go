@@ -32,7 +32,10 @@ func run(t *testing.T, src string) string {
 	m := machine.New(machine.DefaultCostModel())
 	rt := runtimelib.New(m)
 	var out bytes.Buffer
-	in := interp.New(mod, m, rt, &out)
+	in, err := interp.New(mod, m, rt, &out)
+	if err != nil {
+		t.Fatalf("interp.New: %v", err)
+	}
 	if _, err := in.Run(); err != nil {
 		t.Fatalf("run: %v\noutput so far:\n%s", err, out.String())
 	}

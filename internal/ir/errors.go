@@ -1,0 +1,14 @@
+package ir
+
+// InternalError is the panic value thrown by IR-manipulation helpers when
+// a compiler pass violates a structural invariant (e.g. removing an
+// instruction from a block it is not in). It is a bug in a pass, not in
+// the user's program, so the helpers panic rather than thread error
+// returns through every mutation — but the panic value is typed so the
+// driver can recover it into an ordinary error instead of crashing the
+// process.
+type InternalError struct {
+	Msg string
+}
+
+func (e *InternalError) Error() string { return e.Msg }

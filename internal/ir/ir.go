@@ -273,7 +273,7 @@ func (b *Block) indexOf(in *Instr) int {
 			return i
 		}
 	}
-	panic(fmt.Sprintf("ir: instruction %s not in block %s", in.Op, b.Name))
+	panic(&InternalError{Msg: fmt.Sprintf("ir: instruction %s not in block %s", in.Op, b.Name)})
 }
 
 // Func is a function: parameters plus a block list; Blocks[0] is the entry.

@@ -1,0 +1,195 @@
+// Device fault model: finite GPU memory and injected failures.
+//
+// The real CGCM runtime ran against a CUDA driver where cuMemAlloc can
+// return OOM and transfers can fail. This file makes the simulated device
+// fallible in the same ways, deterministically: a configurable memory
+// capacity turns AllocDevice into a partial function, and an attached
+// faultinject.Plan injects typed faults on allocation, transfers, and
+// kernel launches. All fault decisions happen on the goroutine driving
+// the machine (device calls are root-goroutine-only), so a fault schedule
+// is a pure function of the call sequence — independent of the kernel
+// engine's worker count.
+package machine
+
+import (
+	"fmt"
+
+	"cgcm/internal/faultinject"
+	"cgcm/internal/trace"
+)
+
+// rescueSlowdown is the cost multiplier of the slow reliable transfer
+// channel used by RescueCopyDtoH (think: staged cuMemcpy through pinned
+// bounce buffers with per-chunk acknowledgment).
+const rescueSlowdown = 8.0
+
+// SetGPUCapacity limits device memory to bytes (0 = unlimited). Only
+// AllocDevice enforces the limit; plain Alloc stays infallible so code
+// that predates the fault model keeps working.
+func (m *Machine) SetGPUCapacity(bytes int64) { m.capacity = bytes }
+
+// SetFaultPlan attaches a fault-injection plan (nil detaches).
+func (m *Machine) SetFaultPlan(p *faultinject.Plan) { m.plan = p }
+
+// FaultPlan returns the attached plan, if any.
+func (m *Machine) FaultPlan() *faultinject.Plan { return m.plan }
+
+// GPUMemCapacity returns the configured device-memory limit (0 = unlimited).
+func (m *Machine) GPUMemCapacity() int64 { return m.capacity }
+
+// GPUMemUsed returns the current aligned GPU-space segment bytes.
+func (m *Machine) GPUMemUsed() int64 { return m.gpuUsed }
+
+// GPUMemPeak returns the high-water mark of GPUMemUsed.
+func (m *Machine) GPUMemPeak() int64 { return m.gpuPeak }
+
+// faultUnitAt names the allocation unit containing addr for fault
+// tagging; unlike unitNameAt it does not require a tracer.
+func (m *Machine) faultUnitAt(addr uint64) string {
+	if seg := m.FindSegment(addr); seg != nil {
+		return seg.Name
+	}
+	return ""
+}
+
+// DecideFault consults the fault plan for one call of verb and returns
+// the injected *DeviceError, or nil when the call proceeds. A fired
+// fault charges the CPU timeline for the failed driver call (a failed
+// DMA still pays its latency; a failed launch still pays the enqueue
+// cost) and emits an instant fault span.
+func (m *Machine) DecideFault(v faultinject.Verb, unit string) *faultinject.DeviceError {
+	fault, call, persistent := m.plan.Decide(v, unit)
+	if !fault {
+		return nil
+	}
+	m.flushCPUSpan()
+	var cost float64
+	switch v {
+	case faultinject.VerbAlloc:
+		cost = m.Cost.AllocGPU
+	case faultinject.VerbHtoD, faultinject.VerbDtoH:
+		cost = m.Cost.TransferLat
+	case faultinject.VerbLaunch:
+		cost = m.Cost.LaunchCPU
+	}
+	start := m.cpuTime
+	m.cpuTime += cost
+	m.stats.InjectedFaults++
+	m.met.faultsInjected.Inc()
+	de := &faultinject.DeviceError{
+		Verb: v, Unit: unit, Call: call,
+		Transient: !persistent, Injected: true,
+		Msg: "injected by fault plan",
+	}
+	if m.tr != nil {
+		m.tr.Emit(trace.Span{
+			Kind: trace.KindFault, Lane: trace.LaneRT,
+			Name:  fmt.Sprintf("%s fault #%d", v, call),
+			Start: start, End: m.cpuTime, Unit: unit,
+		})
+	}
+	return de
+}
+
+// AllocDevice is the fallible device allocator: it consults the fault
+// plan, enforces the capacity limit, and otherwise allocates a GPU-space
+// segment. Unlike Alloc it does not charge cuMemAlloc time — callers
+// charge ChargeAllocGPU on success, matching the runtime's existing
+// accounting.
+func (m *Machine) AllocDevice(size int64, name string) (uint64, error) {
+	if size <= 0 {
+		size = 1
+	}
+	if m.plan != nil {
+		if de := m.DecideFault(faultinject.VerbAlloc, name); de != nil {
+			return 0, de
+		}
+	}
+	if need := int64(align(uint64(size))); m.capacity > 0 && m.gpuUsed+need > m.capacity {
+		return 0, &faultinject.DeviceError{
+			Verb: faultinject.VerbAlloc, Unit: name,
+			Msg: fmt.Sprintf("device memory exhausted: %d bytes used of %d, need %d",
+				m.gpuUsed, m.capacity, need),
+		}
+	}
+	return m.Alloc(GPU, size, name), nil
+}
+
+// Penalty advances the CPU timeline by d seconds of non-compute overhead
+// (retry backoff). The time counts toward Wall and PenaltyTime but not
+// CPUTime, so compute accounting stays honest.
+func (m *Machine) Penalty(d float64) {
+	if d <= 0 {
+		return
+	}
+	m.flushCPUSpan()
+	start := m.cpuTime
+	m.cpuTime += d
+	m.stats.PenaltyTime += d
+	if m.tr != nil {
+		m.tr.Emit(trace.Span{
+			Kind: trace.KindStall, Lane: trace.LaneCPU,
+			Name: "retry backoff", Start: start, End: m.cpuTime,
+		})
+	}
+}
+
+// RescueCopyDtoH copies n device bytes to the host over the driver's
+// slow reliable channel. It never consults the fault plan and always
+// succeeds (given valid addresses), at rescueSlowdown times the normal
+// transfer cost — the escape hatch that lets the runtime flush dirty
+// data off a dying device, making CPU-fallback degradation lossless.
+func (m *Machine) RescueCopyDtoH(dst, src uint64, n int64) error {
+	data, err := m.ReadBytes(src, n)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteBytes(dst, data); err != nil {
+		return err
+	}
+	m.flushCPUSpan()
+	if m.gpuReady > m.cpuTime {
+		m.emit(EvStall, m.cpuTime, m.gpuReady, "sync", 0, "")
+		m.stats.StallTime += m.gpuReady - m.cpuTime
+		m.cpuTime = m.gpuReady
+	}
+	d := (m.Cost.TransferLat + float64(n)*m.Cost.TransferPerB) * rescueSlowdown
+	unit := m.faultUnitAt(dst)
+	if m.tr != nil {
+		m.tr.Emit(trace.Span{
+			Kind: trace.KindDtoH, Lane: trace.LaneXfer, Name: "rescue",
+			Start: m.cpuTime, End: m.cpuTime + d, Bytes: n, Unit: unit,
+		})
+	}
+	m.met.dtohBytes.Observe(float64(n))
+	m.cpuTime += d
+	m.gpuReady = m.cpuTime
+	m.stats.CommTime += d
+	m.stats.PenaltyTime += d * (1 - 1/rescueSlowdown)
+	m.stats.BytesDtoH += n
+	m.stats.NumDtoH++
+	m.stats.RescueCopies++
+	return nil
+}
+
+// RunKernelOnCPUAt charges a degraded (CPU-fallback) kernel execution:
+// totalOps scalar operations run sequentially on the host, with no
+// launch overhead and no GPU involvement. The span is emitted as
+// KindFallback so degraded schedules are visually distinct.
+func (m *Machine) RunKernelOnCPUAt(name string, line int, totalOps int64) {
+	m.flushCPUSpan()
+	d := float64(totalOps) * m.Cost.CPUOp
+	start := m.cpuTime
+	m.cpuTime += d
+	m.stats.CPUTime += d
+	m.stats.CPUOps += totalOps
+	m.stats.FallbackKernels++
+	m.stats.FallbackOps += totalOps
+	m.met.fallbackKernels.Inc()
+	if m.tr != nil {
+		m.tr.Emit(trace.Span{
+			Kind: trace.KindFallback, Lane: trace.LaneCPU, Name: name,
+			Start: start, End: m.cpuTime, Line: line,
+		})
+	}
+}

@@ -23,6 +23,7 @@ package machine
 import (
 	"fmt"
 
+	"cgcm/internal/faultinject"
 	"cgcm/internal/metrics"
 	"cgcm/internal/rbtree"
 	"cgcm/internal/trace"
@@ -262,6 +263,13 @@ type Stats struct {
 	NumKernels int64
 	CPUOps     int64
 	GPUOps     int64
+
+	// Resilience counters (zero on a fault-free, infinite-memory run).
+	InjectedFaults  int64   // faults fired by the fault plan
+	PenaltyTime     float64 // retry-backoff and rescue-overhead time
+	RescueCopies    int64   // DtoH copies over the slow reliable channel
+	FallbackKernels int64   // kernels executed on the CPU after degradation
+	FallbackOps     int64   // scalar ops those kernels executed
 }
 
 // Machine is one simulated host+device pair.
@@ -298,16 +306,26 @@ type Machine struct {
 	// met holds pre-resolved metrics instruments; all nil (free no-ops)
 	// unless SetMetrics attached a registry.
 	met machMetrics
+
+	// Device model (faults.go): capacity is the GPU memory limit in bytes
+	// (0 = unlimited), gpuUsed/gpuPeak track aligned GPU-space segment
+	// bytes, and plan injects deterministic faults when non-nil.
+	capacity int64
+	gpuUsed  int64
+	gpuPeak  int64
+	plan     *faultinject.Plan
 }
 
 // machMetrics is the machine's pre-resolved instrument set. Handles are
 // resolved once in SetMetrics so per-event updates never touch the
 // registry map.
 type machMetrics struct {
-	kernelLaunches *metrics.Counter
-	kernelDur      *metrics.Histogram
-	htodBytes      *metrics.Histogram
-	dtohBytes      *metrics.Histogram
+	kernelLaunches  *metrics.Counter
+	kernelDur       *metrics.Histogram
+	htodBytes       *metrics.Histogram
+	dtohBytes       *metrics.Histogram
+	faultsInjected  *metrics.Counter
+	fallbackKernels *metrics.Counter
 }
 
 // Gen returns the segment-table generation; it changes whenever a
@@ -334,12 +352,16 @@ func (m *Machine) SetTracer(t *trace.Tracer) { m.tr = t }
 //	machine.kernel.duration_seconds histogram, per-kernel simulated duration
 //	machine.xfer.htod_bytes         histogram, per-transfer H2D payload
 //	machine.xfer.dtoh_bytes         histogram, per-transfer D2H payload
+//	machine.faults.injected         counter, faults fired by the fault plan
+//	machine.fallback.kernels        counter, kernels run on the CPU after degradation
 func (m *Machine) SetMetrics(r *metrics.Registry) {
 	m.met = machMetrics{
-		kernelLaunches: r.Counter("machine.kernel.launches"),
-		kernelDur:      r.Histogram("machine.kernel.duration_seconds", KernelDurBuckets()),
-		htodBytes:      r.Histogram("machine.xfer.htod_bytes", TransferSizeBuckets()),
-		dtohBytes:      r.Histogram("machine.xfer.dtoh_bytes", TransferSizeBuckets()),
+		kernelLaunches:  r.Counter("machine.kernel.launches"),
+		kernelDur:       r.Histogram("machine.kernel.duration_seconds", KernelDurBuckets()),
+		htodBytes:       r.Histogram("machine.xfer.htod_bytes", TransferSizeBuckets()),
+		dtohBytes:       r.Histogram("machine.xfer.dtoh_bytes", TransferSizeBuckets()),
+		faultsInjected:  r.Counter("machine.faults.injected"),
+		fallbackKernels: r.Counter("machine.fallback.kernels"),
 	}
 }
 
@@ -397,6 +419,10 @@ func (m *Machine) Alloc(space Space, size int64, name string) uint64 {
 	} else {
 		base = m.nextGPU
 		m.nextGPU = align(m.nextGPU + uint64(size))
+		m.gpuUsed += int64(align(uint64(size)))
+		if m.gpuUsed > m.gpuPeak {
+			m.gpuPeak = m.gpuUsed
+		}
 	}
 	seg := &Segment{Base: base, Data: make([]byte, size), Space: space, Name: name}
 	m.segs[space].Put(base, seg)
@@ -406,8 +432,12 @@ func (m *Machine) Alloc(space Space, size int64, name string) uint64 {
 // Free removes the segment at base. It is an error to free a non-base
 // address or an unmapped address, matching C.
 func (m *Machine) Free(space Space, base uint64) error {
-	if _, ok := m.segs[space].Get(base); !ok {
+	seg, ok := m.segs[space].Get(base)
+	if !ok {
 		return &Fault{Addr: base, Msg: fmt.Sprintf("free of non-allocated %s address", space)}
+	}
+	if space == GPU {
+		m.gpuUsed -= int64(align(uint64(len(seg.Data))))
 	}
 	m.segs[space].Delete(base)
 	for i, c := range &m.cache[space] {
@@ -628,6 +658,11 @@ func (m *Machine) unitNameAt(addr uint64) string {
 // in-flight kernels (the device serializes its DMA engine with compute,
 // like cudaMemcpy on the default stream).
 func (m *Machine) CopyHtoD(dst, src uint64, n int64) error {
+	if m.plan != nil {
+		if de := m.DecideFault(faultinject.VerbHtoD, m.faultUnitAt(src)); de != nil {
+			return de
+		}
+	}
 	data, err := m.ReadBytes(src, n)
 	if err != nil {
 		return err
@@ -643,6 +678,11 @@ func (m *Machine) CopyHtoD(dst, src uint64, n int64) error {
 
 // CopyDtoH models a device-to-host DMA of n bytes plus the byte copy.
 func (m *Machine) CopyDtoH(dst, src uint64, n int64) error {
+	if m.plan != nil {
+		if de := m.DecideFault(faultinject.VerbDtoH, m.faultUnitAt(dst)); de != nil {
+			return de
+		}
+	}
 	data, err := m.ReadBytes(src, n)
 	if err != nil {
 		return err

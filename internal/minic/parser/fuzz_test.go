@@ -1,0 +1,60 @@
+package parser_test
+
+import (
+	"testing"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/minic/parser"
+	"cgcm/internal/minic/sema"
+)
+
+// FuzzParse feeds arbitrary bytes to the mini-C parser. The contract
+// under fuzz: Parse never panics and never hangs — malformed input
+// must surface as the []error return, not as a crash. When a file does
+// parse, the type checker must hold the same contract.
+//
+// The seed corpus is the real benchmark suite (every PolyBench, Rodinia
+// and Others source the harness runs) plus a handful of shapes chosen
+// to reach tricky productions: kernel launches, struct declarations,
+// casts, and unterminated tokens.
+func FuzzParse(f *testing.F) {
+	for _, p := range bench.All() {
+		f.Add(p.Source)
+	}
+	seeds := []string{
+		"",
+		"int main() { return 0; }",
+		"__global__ void k(float *a, int n) { int i = tid(); if (i < n) a[i] = a[i] * 2.0; }\nint main() { float *a = (float*)malloc(8); k<<<1,1>>>(a, 1); return 0; }",
+		"struct P { float x; float y; };\nint main() { struct P p; p.x = 1.0; return 0; }",
+		"int main() { for (int i = 0; i < 10; i++) { } return 0; }",
+		"int main() { int a[4]; a[0] = 1; return a[0]; }",
+		"float f(float x) { return x * 0.5; }\nint main() { print_float(f(2.0)); return 0; }",
+		// Deliberately broken shapes: the parser must reject, not crash.
+		"int main() { ",
+		"__global__ void k(",
+		"int main() { k<<<1>>>(); }",
+		"struct",
+		"int main() { \"unterminated",
+		"/* unterminated comment",
+		"int main() { int x = 1 +; }",
+		"0",
+		"((((((((((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, errs := parser.Parse("fuzz.c", src)
+		if file == nil {
+			if len(errs) == 0 {
+				t.Fatal("nil AST with no errors")
+			}
+			return
+		}
+		if len(errs) > 0 {
+			return // parsed with recoverable errors; AST may be partial
+		}
+		// Well-formed parse: the checker gets the same no-panic contract.
+		sema.Check(file)
+	})
+}

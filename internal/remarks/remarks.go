@@ -149,6 +149,12 @@ const (
 	// ReasonControlDependent: the region reads or writes the slots the
 	// loop's own control depends on (induction variable, bounds).
 	ReasonControlDependent
+	// ReasonDeviceOOM: the finite device memory could not hold the unit;
+	// the runtime evicted it (or another unit) under pressure.
+	ReasonDeviceOOM
+	// ReasonDeviceFailure: a device fault (injected or organic) could not
+	// be retried away; the run degraded to CPU fallback.
+	ReasonDeviceFailure
 )
 
 func (r Reason) String() string {
@@ -187,6 +193,10 @@ func (r Reason) String() string {
 		return "region-too-large"
 	case ReasonControlDependent:
 		return "control-dependent"
+	case ReasonDeviceOOM:
+		return "device-oom"
+	case ReasonDeviceFailure:
+		return "device-failure"
 	}
 	return "?"
 }
@@ -200,7 +210,7 @@ func (r *Reason) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
 	}
-	for v := ReasonNone; v <= ReasonControlDependent; v++ {
+	for v := ReasonNone; v <= ReasonDeviceFailure; v++ {
 		if v.String() == s {
 			*r = v
 			return nil

@@ -1,0 +1,164 @@
+package runtime
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestErrorTaxonomy pins the typed-error contract of the runtime API:
+// every misuse returns an *Error wrapping the documented sentinel, so
+// callers can dispatch with errors.Is instead of string matching.
+func TestErrorTaxonomy(t *testing.T) {
+	tests := []struct {
+		name string
+		call func(rt *Runtime) error
+		want error
+	}{
+		{
+			name: "free of never-allocated pointer",
+			call: func(rt *Runtime) error { return rt.Free(0xdead0) },
+			want: ErrUnknownPointer,
+		},
+		{
+			name: "double free",
+			call: func(rt *Runtime) error {
+				p := rt.Malloc(64)
+				if err := rt.Free(p); err != nil {
+					return err
+				}
+				return rt.Free(p)
+			},
+			want: ErrDoubleFree,
+		},
+		{
+			name: "free of a global",
+			call: func(rt *Runtime) error {
+				base := rt.M.Alloc(0, 64, "g") // machine.CPU
+				rt.DeclareGlobal("g", base, 64, false, 0)
+				return rt.Free(base)
+			},
+			want: ErrNotHeapUnit,
+		},
+		{
+			name: "realloc of interior pointer",
+			call: func(rt *Runtime) error {
+				p := rt.Malloc(64)
+				_, err := rt.Realloc(p+8, 128)
+				return err
+			},
+			want: ErrNotHeapUnit,
+		},
+		{
+			name: "map of untracked pointer",
+			call: func(rt *Runtime) error {
+				_, err := rt.Map(0xdead0)
+				return err
+			},
+			want: ErrUnknownPointer,
+		},
+		{
+			// Unmap with a matching epoch is a legal skip; the error fires
+			// when a copy-back is due but the unit has no device copy.
+			name: "unmap needing copy-back without device copy",
+			call: func(rt *Runtime) error {
+				p := rt.Malloc(64)
+				rt.KernelLaunched()
+				return rt.Unmap(p)
+			},
+			want: ErrNotMapped,
+		},
+		{
+			name: "release without map",
+			call: func(rt *Runtime) error {
+				p := rt.Malloc(64)
+				return rt.Release(p)
+			},
+			want: ErrUnbalancedRelease,
+		},
+		{
+			name: "release past zero",
+			call: func(rt *Runtime) error {
+				p := rt.Malloc(64)
+				if _, err := rt.Map(p); err != nil {
+					return err
+				}
+				if err := rt.Release(p); err != nil {
+					return err
+				}
+				return rt.Release(p)
+			},
+			want: ErrUnbalancedRelease,
+		},
+		{
+			name: "unmapArray without map",
+			call: func(rt *Runtime) error {
+				p := rt.Malloc(64)
+				return rt.UnmapArray(p)
+			},
+			want: ErrNotMapped,
+		},
+		{
+			name: "releaseArray without map",
+			call: func(rt *Runtime) error {
+				p := rt.Malloc(64)
+				return rt.ReleaseArray(p)
+			},
+			want: ErrUnbalancedRelease,
+		},
+		{
+			name: "calloc negative count",
+			call: func(rt *Runtime) error {
+				_, err := rt.Calloc(-1, 8)
+				return err
+			},
+			want: ErrBadSize,
+		},
+		{
+			name: "calloc overflow",
+			call: func(rt *Runtime) error {
+				_, err := rt.Calloc(math.MaxInt64/2, 4)
+				return err
+			},
+			want: ErrBadSize,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, _ := newRT()
+			err := tc.call(rt)
+			if err == nil {
+				t.Fatalf("misuse succeeded, want %v", tc.want)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("errors.Is(%v, %v) = false", err, tc.want)
+			}
+			var re *Error
+			if !errors.As(err, &re) {
+				t.Fatalf("error is not a *runtime.Error: %T", err)
+			}
+			if re.Op == "" {
+				t.Error("runtime.Error carries no operation name")
+			}
+		})
+	}
+}
+
+// TestErrorSentinelsAreDistinct guards against two sentinels aliasing:
+// each misuse must match exactly its own class.
+func TestErrorSentinelsAreDistinct(t *testing.T) {
+	rt, _ := newRT()
+	p := rt.Malloc(64)
+	if err := rt.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	err := rt.Free(p)
+	for _, wrong := range []error{ErrUnknownPointer, ErrNotHeapUnit, ErrUnbalancedRelease, ErrNotMapped, ErrBadSize} {
+		if errors.Is(err, wrong) {
+			t.Errorf("double free matches %v", wrong)
+		}
+	}
+	if !errors.Is(err, ErrDoubleFree) {
+		t.Errorf("double free does not match ErrDoubleFree: %v", err)
+	}
+}

@@ -17,6 +17,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -47,6 +48,11 @@ type AllocInfo struct {
 	// DeviceGlobal is the preallocated named region for globals
 	// (cuModuleGetGlobal's result).
 	DeviceGlobal uint64
+
+	// Dirty marks a resident unit the GPU may have written since its
+	// last host flush. Maintained only in resilient mode, where evicting
+	// a dirty unit must copy it back first.
+	Dirty bool
 }
 
 // shadowArray tracks the GPU-side pointer array created by MapArray for a
@@ -59,17 +65,42 @@ type shadowArray struct {
 	Elems []uint64
 }
 
+// Sentinel error classes for runtime-library misuse. Every *Error wraps
+// one of these (or nothing), so callers can classify failures with
+// errors.Is without parsing messages.
+var (
+	// ErrUnknownPointer: the pointer is not inside any tracked
+	// allocation unit.
+	ErrUnknownPointer = errors.New("unknown pointer")
+	// ErrDoubleFree: the pointer names a heap unit that was already freed.
+	ErrDoubleFree = errors.New("double free")
+	// ErrNotHeapUnit: free/realloc of something that is not a heap
+	// allocation unit base (e.g. a global).
+	ErrNotHeapUnit = errors.New("not a heap allocation unit")
+	// ErrUnbalancedRelease: release/releaseArray without a matching map.
+	ErrUnbalancedRelease = errors.New("unbalanced release")
+	// ErrNotMapped: unmap/unmapArray of a unit with no device copy.
+	ErrNotMapped = errors.New("not mapped")
+	// ErrBadSize: a size that is negative or overflows.
+	ErrBadSize = errors.New("bad allocation size")
+)
+
 // Error is a runtime-library error (unknown pointer, unbalanced release,
-// and similar misuse).
+// and similar misuse). Err, when set, is the sentinel class the error
+// belongs to, matchable with errors.Is.
 type Error struct {
 	Op  string
 	Ptr uint64
 	Msg string
+	Err error // sentinel class (ErrUnknownPointer, ...), or nil
 }
 
 func (e *Error) Error() string {
 	return fmt.Sprintf("cgcm runtime: %s(%#x): %s", e.Op, e.Ptr, e.Msg)
 }
+
+// Unwrap exposes the sentinel class to errors.Is.
+func (e *Error) Unwrap() error { return e.Err }
 
 // Stats counts runtime-library activity.
 type Stats struct {
@@ -80,6 +111,15 @@ type Stats struct {
 	EpochSkips             int64 // unmaps avoided by the epoch check
 	ResidencySkips         int64 // maps avoided by refcount residency
 	LiveUnits              int   // currently tracked allocation units
+
+	// Resilience counters (zero on a fault-free, infinite-memory run).
+	Evictions       int64 // device copies dropped under memory pressure
+	EvictionBytes   int64 // bytes those units spanned
+	Retries         int64 // transient-fault retries (with backoff)
+	RescueCopies    int64 // DtoH flushes over the slow reliable channel
+	FallbackMaps    int64 // map calls absorbed as identity after degradation
+	FallbackKernels int64 // kernels executed on the CPU after degradation
+	Degraded        bool  // the device failed and the run fell back to the CPU
 }
 
 // Runtime is one CGCM runtime instance bound to a machine.
@@ -113,6 +153,18 @@ type Runtime struct {
 	epoch   uint64
 	stats   Stats
 	met     rtMetrics
+
+	// Resilience state (resilience.go). resilient gates every behavioral
+	// difference from the classic infallible-device runtime, so default
+	// runs are bit-for-bit unchanged.
+	resilient     bool
+	res           Resilience
+	degraded      bool
+	degradeReason string
+	degradeEpoch  uint64
+	lru           []uint64 // eviction candidates, least recently released first
+	devRanges     []devRange
+	freed         map[uint64]bool // heap bases freed, for double-free detection
 }
 
 // rtMetrics is the runtime's pre-resolved instrument set; all nil (free
@@ -121,11 +173,18 @@ type rtMetrics struct {
 	maps, unmaps, releases *metrics.Counter
 	htodCopies, dtohCopies *metrics.Counter
 	epochSkips, resSkips   *metrics.Counter
+	evictions, retries     *metrics.Counter
+	rescues                *metrics.Counter
+	degraded               *metrics.Gauge
 }
 
 // New creates a runtime for machine m.
 func New(m *machine.Machine) *Runtime {
-	return &Runtime{M: m, shadows: make(map[uint64]*shadowArray), Ledger: trace.NewLedgerBuilder()}
+	return &Runtime{
+		M: m, shadows: make(map[uint64]*shadowArray),
+		Ledger: trace.NewLedgerBuilder(),
+		freed:  make(map[uint64]bool),
+	}
 }
 
 // span emits one instant runtime-call span on the runtime lane.
@@ -146,6 +205,8 @@ func (r *Runtime) span(kind trace.Kind, info *AllocInfo, bytes int64) {
 //	runtime.map.calls / runtime.unmap.calls / runtime.release.calls
 //	runtime.htod.copies / runtime.dtoh.copies
 //	runtime.epoch.skips / runtime.residency.skips
+//	runtime.evictions / runtime.retries / runtime.rescue.copies
+//	runtime.degraded (gauge, 1 after CPU-fallback degradation)
 //
 // The array variants count into the same instruments via their per-element
 // Map/Unmap/Release calls.
@@ -158,6 +219,10 @@ func (r *Runtime) SetMetrics(reg *metrics.Registry) {
 		dtohCopies: reg.Counter("runtime.dtoh.copies"),
 		epochSkips: reg.Counter("runtime.epoch.skips"),
 		resSkips:   reg.Counter("runtime.residency.skips"),
+		evictions:  reg.Counter("runtime.evictions"),
+		retries:    reg.Counter("runtime.retries"),
+		rescues:    reg.Counter("runtime.rescue.copies"),
+		degraded:   reg.Gauge("runtime.degraded"),
 	}
 }
 
@@ -177,6 +242,16 @@ func (r *Runtime) Epoch() uint64 { return r.epoch }
 func (r *Runtime) KernelLaunched() {
 	r.epoch++
 	r.Tr.AdvanceEpoch()
+	if r.resilient && !r.degraded {
+		// The kernel may have written any writable resident unit: mark
+		// them dirty so a later eviction flushes them host-side first.
+		r.allocs.Ascend(func(_ uint64, info *AllocInfo) bool {
+			if info.RefCount > 0 && info.DevPtr != 0 && !info.ReadOnly {
+				info.Dirty = true
+			}
+			return true
+		})
+	}
 }
 
 // DeclareGlobal registers a global variable's host allocation unit and
@@ -196,14 +271,14 @@ func (r *Runtime) DeclareAlloca(base uint64, size int64, name string) {
 	r.Ledger.NoteLine(base, r.SiteLine)
 }
 
-// RemoveAlloca expires a stack registration. Any GPU residual is freed.
+// RemoveAlloca expires a stack registration. Any GPU residual is freed
+// (a mapped unit leaving scope is defensive; a cached resilient-mode
+// copy is normal).
 func (r *Runtime) RemoveAlloca(base uint64) {
 	if info, ok := r.allocs.Get(base); ok {
-		if info.RefCount > 0 && !info.IsGlobal && info.DevPtr != 0 {
-			// The unit leaves scope while mapped: release the GPU copy to
-			// avoid leaking device memory. Well-formed compiler output
-			// balances map/release before scope exit, so this is defensive.
+		if !info.IsGlobal && info.DevPtr != 0 {
 			_ = r.M.Free(machine.GPU, info.DevPtr)
+			r.lruRemove(base)
 		}
 		r.allocs.Delete(base)
 	}
@@ -224,10 +299,10 @@ func (r *Runtime) Malloc(size int64) uint64 {
 // wraps int64.
 func (r *Runtime) Calloc(n, size int64) (uint64, error) {
 	if n < 0 || size < 0 {
-		return 0, &Error{Op: "calloc", Msg: "negative size"}
+		return 0, &Error{Op: "calloc", Msg: "negative size", Err: ErrBadSize}
 	}
 	if size != 0 && n > math.MaxInt64/size {
-		return 0, &Error{Op: "calloc", Msg: "size overflow"}
+		return 0, &Error{Op: "calloc", Msg: "size overflow", Err: ErrBadSize}
 	}
 	return r.Malloc(n * size), nil
 }
@@ -239,7 +314,7 @@ func (r *Runtime) Realloc(ptr uint64, size int64) (uint64, error) {
 	}
 	info, ok := r.allocs.Get(ptr)
 	if !ok || info.IsGlobal {
-		return 0, &Error{Op: "realloc", Ptr: ptr, Msg: "not a heap allocation unit base"}
+		return 0, &Error{Op: "realloc", Ptr: ptr, Msg: "not a heap allocation unit base", Err: ErrNotHeapUnit}
 	}
 	nbase := r.Malloc(size)
 	n := info.Size
@@ -263,15 +338,22 @@ func (r *Runtime) Realloc(ptr uint64, size int64) (uint64, error) {
 func (r *Runtime) Free(ptr uint64) error {
 	info, ok := r.allocs.Get(ptr)
 	if !ok {
-		return &Error{Op: "free", Ptr: ptr, Msg: "not an allocation unit base"}
+		if r.freed[ptr] {
+			return &Error{Op: "free", Ptr: ptr, Msg: "double free of heap allocation unit", Err: ErrDoubleFree}
+		}
+		return &Error{Op: "free", Ptr: ptr, Msg: "not an allocation unit base", Err: ErrUnknownPointer}
 	}
 	if info.IsGlobal {
-		return &Error{Op: "free", Ptr: ptr, Msg: "cannot free a global"}
+		return &Error{Op: "free", Ptr: ptr, Msg: "cannot free a global", Err: ErrNotHeapUnit}
 	}
-	if info.DevPtr != 0 && info.RefCount > 0 {
+	if info.DevPtr != 0 {
+		// Mapped (defensive) or cached for reuse (resilient mode): the
+		// device copy dies with the unit.
 		_ = r.M.Free(machine.GPU, info.DevPtr)
+		r.lruRemove(ptr)
 	}
 	r.allocs.Delete(ptr)
+	r.freed[ptr] = true
 	return r.M.Free(machine.CPU, ptr)
 }
 
@@ -287,7 +369,7 @@ func (r *Runtime) Lookup(ptr uint64) *AllocInfo {
 func (r *Runtime) lookupOrErr(op string, ptr uint64) (*AllocInfo, error) {
 	info := r.Lookup(ptr)
 	if info == nil {
-		return nil, &Error{Op: op, Ptr: ptr, Msg: "pointer is not inside any tracked allocation unit"}
+		return nil, &Error{Op: op, Ptr: ptr, Msg: "pointer is not inside any tracked allocation unit", Err: ErrUnknownPointer}
 	}
 	return info, nil
 }
@@ -299,6 +381,12 @@ func (r *Runtime) Map(ptr uint64) (uint64, error) {
 	r.M.CPUOps(runtimeCallOps)
 	r.stats.Maps++
 	r.met.maps.Inc()
+	if r.degraded {
+		// CPU-fallback mode: kernels run against CPU memory, so the
+		// "GPU pointer" for ptr is ptr itself.
+		r.stats.FallbackMaps++
+		return ptr, nil
+	}
 	info, err := r.lookupOrErr("map", ptr)
 	if err != nil {
 		return 0, err
@@ -306,14 +394,26 @@ func (r *Runtime) Map(ptr uint64) (uint64, error) {
 	copied := info.RefCount == 0
 	if copied {
 		if !info.IsGlobal {
-			info.DevPtr = r.M.Alloc(machine.GPU, info.Size, "dev:"+info.Name)
-			r.M.ChargeAllocGPU()
+			if info.DevPtr == 0 {
+				dev, aerr := r.allocDevice(info.Size, "dev:"+info.Name)
+				if aerr != nil {
+					return r.degradeMap(ptr, "device allocation for "+info.Name, aerr)
+				}
+				info.DevPtr = dev
+				r.M.ChargeAllocGPU()
+			} else {
+				// Resilient mode cached the device copy at release time:
+				// reuse the allocation, but re-upload below — the CPU may
+				// have written the unit since.
+				r.lruRemove(info.Base)
+			}
 		} else {
 			info.DevPtr = info.DeviceGlobal // cuModuleGetGlobal
 		}
-		if err := r.M.CopyHtoD(info.DevPtr, info.Base, info.Size); err != nil {
-			return 0, err
+		if cerr := r.copyHtoDRetry(info.DevPtr, info.Base, info.Size); cerr != nil {
+			return r.degradeMap(ptr, "upload of "+info.Name, cerr)
 		}
+		info.Dirty = false
 		r.stats.HtoDCopies++
 		r.met.htodCopies.Inc()
 		r.Prof.AddTransfer(info.Name, r.ProfLine, true, info.Size)
@@ -337,6 +437,11 @@ func (r *Runtime) Unmap(ptr uint64) error {
 	r.M.CPUOps(runtimeCallOps)
 	r.stats.Unmaps++
 	r.met.unmaps.Inc()
+	if r.degraded {
+		// CPU-fallback mode: kernels write CPU memory directly, so there
+		// is nothing to copy back.
+		return nil
+	}
 	info, err := r.lookupOrErr("unmap", ptr)
 	if err != nil {
 		return err
@@ -344,11 +449,14 @@ func (r *Runtime) Unmap(ptr uint64) error {
 	copied := info.Epoch != r.epoch && !info.ReadOnly
 	if copied {
 		if info.DevPtr == 0 {
-			return &Error{Op: "unmap", Ptr: ptr, Msg: "allocation unit has no GPU copy"}
+			return &Error{Op: "unmap", Ptr: ptr, Msg: "allocation unit has no GPU copy", Err: ErrNotMapped}
 		}
-		if err := r.M.CopyDtoH(info.Base, info.DevPtr, info.Size); err != nil {
+		// The copy-back must land: retry transient faults, then fall
+		// back to the machine's slow reliable rescue channel.
+		if err := r.flushDtoH(info.Base, info.DevPtr, info.Size); err != nil {
 			return err
 		}
+		info.Dirty = false
 		r.stats.DtoHCopies++
 		r.met.dtohCopies.Inc()
 		r.Prof.AddTransfer(info.Name, r.ProfLine, false, info.Size)
@@ -372,21 +480,30 @@ func (r *Runtime) Release(ptr uint64) error {
 	r.M.CPUOps(runtimeCallOps)
 	r.stats.Releases++
 	r.met.releases.Inc()
+	if r.degraded {
+		return nil
+	}
 	info, err := r.lookupOrErr("release", ptr)
 	if err != nil {
 		return err
 	}
 	if info.RefCount == 0 {
-		return &Error{Op: "release", Ptr: ptr, Msg: "unbalanced release (refcount already zero)"}
+		return &Error{Op: "release", Ptr: ptr, Msg: "unbalanced release (refcount already zero)", Err: ErrUnbalancedRelease}
 	}
 	r.Ledger.RecordRelease(info.Base, info.Name, info.Size)
 	r.span(trace.KindRelease, info, 0)
 	info.RefCount--
 	if info.RefCount == 0 && !info.IsGlobal {
-		if err := r.M.Free(machine.GPU, info.DevPtr); err != nil {
-			return err
+		if r.resilient {
+			// Keep the device copy cached: the next map reuses the
+			// allocation, and memory pressure can evict it (LRU).
+			r.lru = append(r.lru, info.Base)
+		} else {
+			if err := r.M.Free(machine.GPU, info.DevPtr); err != nil {
+				return err
+			}
+			info.DevPtr = 0
 		}
-		info.DevPtr = 0
 	}
 	return nil
 }
@@ -397,6 +514,12 @@ func (r *Runtime) Release(ptr uint64) error {
 func (r *Runtime) MapArray(ptr uint64) (uint64, error) {
 	r.M.CPUOps(runtimeCallOps)
 	r.stats.MapArrays++
+	if r.degraded {
+		// CPU-fallback mode: the CPU array already holds CPU element
+		// pointers, which is exactly what fallback kernels need.
+		r.stats.FallbackMaps++
+		return ptr, nil
+	}
 	info, err := r.lookupOrErr("mapArray", ptr)
 	if err != nil {
 		return 0, err
@@ -410,6 +533,10 @@ func (r *Runtime) MapArray(ptr uint64) (uint64, error) {
 			if _, err := r.Map(p); err != nil {
 				return 0, err
 			}
+		}
+		if r.degraded {
+			r.stats.FallbackMaps++
+			return ptr, nil
 		}
 		sh.RefCount++
 		return sh.DevArr + (ptr - info.Base), nil
@@ -431,6 +558,12 @@ func (r *Runtime) MapArray(ptr uint64) (uint64, error) {
 				return 0, &Error{Op: "mapArray", Ptr: ptr,
 					Msg: fmt.Sprintf("element %d: %v", i, err)}
 			}
+			if r.degraded {
+				// An element map degraded the device; the whole array
+				// falls back to its CPU form.
+				r.stats.FallbackMaps++
+				return ptr, nil
+			}
 			devElems[i] = d
 			elems = append(elems, p)
 		}
@@ -441,7 +574,10 @@ func (r *Runtime) MapArray(ptr uint64) (uint64, error) {
 			// device element pointers.
 			devArr = info.DeviceGlobal
 		} else {
-			devArr = r.M.Alloc(machine.GPU, info.Size, "devarray:"+info.Name)
+			devArr, err = r.allocDevice(info.Size, "devarray:"+info.Name)
+			if err != nil {
+				return r.degradeMap(ptr, "device allocation for array "+info.Name, err)
+			}
 			r.M.ChargeAllocGPU()
 		}
 		for i, d := range devElems {
@@ -469,13 +605,16 @@ func (r *Runtime) MapArray(ptr uint64) (uint64, error) {
 func (r *Runtime) UnmapArray(ptr uint64) error {
 	r.M.CPUOps(runtimeCallOps)
 	r.stats.UnmapArrays++
+	if r.degraded {
+		return nil
+	}
 	info, err := r.lookupOrErr("unmapArray", ptr)
 	if err != nil {
 		return err
 	}
 	sh := r.shadows[info.Base]
 	if sh == nil || sh.RefCount == 0 {
-		return &Error{Op: "unmapArray", Ptr: ptr, Msg: "array is not mapped"}
+		return &Error{Op: "unmapArray", Ptr: ptr, Msg: "array is not mapped", Err: ErrNotMapped}
 	}
 	for _, p := range sh.Elems {
 		if err := r.Unmap(p); err != nil {
@@ -490,13 +629,16 @@ func (r *Runtime) UnmapArray(ptr uint64) error {
 func (r *Runtime) ReleaseArray(ptr uint64) error {
 	r.M.CPUOps(runtimeCallOps)
 	r.stats.ReleaseArrays++
+	if r.degraded {
+		return nil
+	}
 	info, err := r.lookupOrErr("releaseArray", ptr)
 	if err != nil {
 		return err
 	}
 	sh := r.shadows[info.Base]
 	if sh == nil || sh.RefCount == 0 {
-		return &Error{Op: "releaseArray", Ptr: ptr, Msg: "unbalanced releaseArray"}
+		return &Error{Op: "releaseArray", Ptr: ptr, Msg: "unbalanced releaseArray", Err: ErrUnbalancedRelease}
 	}
 	for _, p := range sh.Elems {
 		if err := r.Release(p); err != nil {

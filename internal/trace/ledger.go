@@ -73,6 +73,11 @@ type UnitStats struct {
 	// unit crossed the bus in either direction.
 	TransferEpochs int
 
+	// Evictions counts device-memory evictions of this unit under memory
+	// pressure (the device copy was dropped, possibly after a dirty
+	// flush; the next map re-allocates and re-uploads).
+	Evictions int64
+
 	FirstEpoch, LastEpoch uint64 // epochs of first and last copy
 
 	Pattern Pattern
@@ -262,6 +267,14 @@ func (b *LedgerBuilder) RecordRelease(base uint64, name string, size int64) {
 		return
 	}
 	b.unit(base, name, size).Releases++
+}
+
+// RecordEvict records a device-memory eviction of the unit.
+func (b *LedgerBuilder) RecordEvict(base uint64, name string, size int64) {
+	if b == nil {
+		return
+	}
+	b.unit(base, name, size).Evictions++
 }
 
 // RecordUpload records an HtoD transfer outside a map call (the shadow

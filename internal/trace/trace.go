@@ -57,15 +57,17 @@ type Kind int
 
 // Span kinds.
 const (
-	KindCPU     Kind = iota // CPU compute
-	KindKernel              // GPU kernel execution
-	KindHtoD                // host-to-device transfer
-	KindDtoH                // device-to-host transfer
-	KindStall               // CPU waiting on the GPU
-	KindMap                 // runtime map / mapArray call
-	KindUnmap               // runtime unmap / unmapArray call
-	KindRelease             // runtime release / releaseArray call
-	KindFault               // execution fault (instant)
+	KindCPU      Kind = iota // CPU compute
+	KindKernel               // GPU kernel execution
+	KindHtoD                 // host-to-device transfer
+	KindDtoH                 // device-to-host transfer
+	KindStall                // CPU waiting on the GPU
+	KindMap                  // runtime map / mapArray call
+	KindUnmap                // runtime unmap / unmapArray call
+	KindRelease              // runtime release / releaseArray call
+	KindFault                // execution fault or injected device fault (instant)
+	KindEvict                // runtime evicted a device-resident unit under memory pressure
+	KindFallback             // kernel executed on the CPU after device degradation
 )
 
 func (k Kind) String() string {
@@ -88,6 +90,10 @@ func (k Kind) String() string {
 		return "release"
 	case KindFault:
 		return "fault"
+	case KindEvict:
+		return "evict"
+	case KindFallback:
+		return "fallback"
 	}
 	return "?"
 }
