@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test race bench benchsmoke baseline fuzzsmoke resilience ci
+.PHONY: all build vet fmtcheck test race bench benchsmoke baseline baseline-async overlap fuzzsmoke resilience ci
 
 all: build
 
@@ -42,6 +42,17 @@ benchsmoke:
 baseline:
 	$(GO) run ./cmd/cgcmbench -q -baseline BENCH_0.json
 
+# Communication-overlap gate: every Comm.-limited program must improve
+# under -async with bit-identical output and nonzero overlapped bytes,
+# and the async walls must match the committed BENCH_1.json baseline.
+overlap:
+	$(GO) run ./cmd/cgcmbench -overlap-gate -q
+	$(GO) run ./cmd/cgcmbench -q -async -compare BENCH_1.json -threshold 0.25
+
+# Re-freeze the async baseline (after an intentional perf change).
+baseline-async:
+	$(GO) run ./cmd/cgcmbench -q -async -baseline BENCH_1.json
+
 # Short native-fuzz pass over the mini-C front end and the full compile
 # pipeline: seeds always run; a few seconds of mutation catches easy
 # panics without slowing the gate much.
@@ -54,4 +65,4 @@ fuzzsmoke:
 resilience:
 	$(GO) run ./cmd/cgcmbench -q -faults 'seed=7,htod=0.2,dtoh=0.2,alloc=0.1' -gpu-mem 262144
 
-ci: build fmtcheck vet race benchsmoke fuzzsmoke resilience
+ci: build fmtcheck vet race benchsmoke overlap fuzzsmoke resilience

@@ -149,7 +149,7 @@ func runOne(b *testing.B, name string, opts core.Options) *core.Report {
 func BenchmarkAblationOptimGlueKernels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		full := runOne(b, "srad", core.Options{Strategy: core.CGCMOptimized})
-		off := runOne(b, "srad", core.Options{Strategy: core.CGCMOptimized, DisableGlueKernels: true})
+		off := runOne(b, "srad", core.Options{Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassGlueKernel: true}})
 		b.ReportMetric(off.Stats.Wall/full.Stats.Wall, "glue-speedup-x")
 		b.ReportMetric(float64(full.Stats.NumDtoH), "with-glue-DtoH")
 		b.ReportMetric(float64(off.Stats.NumDtoH), "without-glue-DtoH")
@@ -161,7 +161,7 @@ func BenchmarkAblationOptimGlueKernels(b *testing.B) {
 func BenchmarkAblationOptimAllocaPromotion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		full := runOne(b, "cfd", core.Options{Strategy: core.CGCMOptimized})
-		off := runOne(b, "cfd", core.Options{Strategy: core.CGCMOptimized, DisableAllocaPromotion: true})
+		off := runOne(b, "cfd", core.Options{Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassAllocaPromo: true}})
 		b.ReportMetric(off.Stats.Wall/full.Stats.Wall, "allocapromo-speedup-x")
 		b.ReportMetric(float64(full.Stats.NumHtoD), "with-ap-HtoD")
 		b.ReportMetric(float64(off.Stats.NumHtoD), "without-ap-HtoD")
@@ -173,7 +173,7 @@ func BenchmarkAblationOptimAllocaPromotion(b *testing.B) {
 func BenchmarkAblationOptimMapPromotion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		full := runOne(b, "jacobi-2d-imper", core.Options{Strategy: core.CGCMOptimized})
-		off := runOne(b, "jacobi-2d-imper", core.Options{Strategy: core.CGCMOptimized, DisableMapPromotion: true})
+		off := runOne(b, "jacobi-2d-imper", core.Options{Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassMapPromo: true}})
 		b.ReportMetric(off.Stats.Wall/full.Stats.Wall, "mappromo-speedup-x")
 	}
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestHelpGolden pins the -help output, and with it the shared
+// execution flag set: the same -trace*/-prof*/-metrics/-gpu-mem/
+// -faults/-async flags must stay registered with identical help text
+// across cgcmrun, cgcmc, and cgcmbench. Regenerate with
+// UPDATE_GOLDEN=1 go test ./cmd/...
+func TestHelpGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-help"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-help exit = %d, want 2", code)
+	}
+	golden := filepath.Join("testdata", "help.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stderr.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if stderr.String() != string(want) {
+		t.Errorf("-help output changed:\n--- want:\n%s--- got:\n%s", want, stderr.String())
+	}
+}

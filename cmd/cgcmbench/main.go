@@ -31,6 +31,14 @@
 //	                       # under injected device faults and verify output
 //	                       # is bit-identical to the fault-free run
 //	cgcmbench -gpu-mem 65536             # same, under a finite device
+//	cgcmbench -async       # measure with communication overlap enabled
+//	cgcmbench -overlap-gate  # CI gate: -async must beat sync wall and
+//	                       # report overlapped bytes on Comm.-limited programs
+//
+// The execution flags (-trace*, -prof*, -metrics, -gpu-mem, -faults,
+// -async) are one shared set, registered identically by cgcmrun, cgcmc,
+// and cgcmbench; cgcmbench interprets -trace-out as a directory and
+// ignores the per-run print flags (-trace, -prof*, -metrics).
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"os"
 
 	"cgcm/internal/bench"
+	"cgcm/internal/cli"
 	"cgcm/internal/core"
 	"cgcm/internal/faultinject"
 )
@@ -76,25 +85,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baselineOut := fs.String("baseline", "", "freeze this run as a baseline at the given path")
 	compareWith := fs.String("compare", "", "diff this run against the given baseline; exit 1 on regression")
 	threshold := fs.Float64("threshold", 0.25, "relative simulated-wall regression that fails -compare (0.25 = 25%)")
-	traceDir := fs.String("trace-out", "", "write a Perfetto trace per program and system into this directory")
 	workers := fs.Int("workers", 0, "kernel-engine worker goroutines per launch (0 = GOMAXPROCS)")
-	fs.Var(&bench.Ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
+	fs.Var(&bench.Ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo, overlap)")
 	var ablateDiff core.PassSet
 	fs.Var(&ablateDiff, "ablate-diff", "explain per allocation unit what ablating these passes costs (vs the -ablate set)")
-	faults := fs.String("faults", "", "resilience mode: device fault-injection spec (e.g. seed=7,htod=0.5)")
-	gpuMem := fs.Int64("gpu-mem", 0, "resilience mode: device memory capacity in bytes (0 = unlimited)")
+	overlapGate := fs.Bool("overlap-gate", false, "verify the overlap win: -async must improve wall and overlap bytes on the Comm.-limited programs")
+	runf := cli.AddRunFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	bench.Workers = *workers
-	bench.TraceDir = *traceDir
+	bench.TraceDir = runf.TraceOut
+	bench.Async = runf.Async
+
+	if *overlapGate {
+		return runOverlapGate(stdout, stderr, *quiet)
+	}
 
 	if ablateDiff != nil {
 		return runAblateDiff(stdout, stderr, *one, bench.Ablate, ablateDiff)
 	}
 
-	if *faults != "" || *gpuMem > 0 {
-		return runResilience(stdout, stderr, *one, *faults, *gpuMem, *quiet)
+	if runf.Faults != "" || runf.GPUMem > 0 {
+		return runResilience(stdout, stderr, *one, runf.Faults, runf.GPUMem, *quiet)
 	}
 
 	all := !*t1 && !*f2 && !*t3 && !*f4 && !*ledger &&
@@ -227,6 +240,28 @@ func compareAgainst(stdout, stderr io.Writer, path string, rows []*bench.Row, th
 	cmp := bench.Compare(base, rows, threshold)
 	bench.RenderComparison(stdout, cmp)
 	if cmp.Failed() {
+		return 1
+	}
+	return 0
+}
+
+// runOverlapGate measures the Comm.-limited programs with synchronous
+// and overlapped transfers and gates on the overlap win: identical
+// output, nonzero overlapped bytes, and an improved simulated wall on
+// every program. Exit 1 on any miss, so CI can gate on it.
+func runOverlapGate(stdout, stderr io.Writer, quiet bool) int {
+	var logw io.Writer = stderr
+	if quiet {
+		logw = io.Discard
+	}
+	rows, err := bench.RunOverlapGate(logw)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmbench: %v\n", err)
+		return 1
+	}
+	bench.RenderOverlap(stdout, rows)
+	if !bench.OverlapGatePassed(rows) {
+		fmt.Fprintln(stderr, "cgcmbench: overlap gate failed: -async must keep output identical, overlap bytes, and improve the wall on every Comm.-limited program")
 		return 1
 	}
 	return 0

@@ -14,6 +14,14 @@
 //	cgcmc -remarks -remarks-missed-only file.c   # rejections only
 //	cgcmc -remarks -remarks-pass mappromo file.c # one pass's remarks
 //	cgcmc -remarks-json r.json file.c            # remarks as JSON
+//	cgcmc -async file.c          # compile with the overlap pass: map/unmap
+//	                             # sites move to their stream variants
+//
+// The execution flags (-trace*, -prof*, -metrics, -gpu-mem, -faults,
+// -async) are one shared set, registered identically by cgcmrun, cgcmc,
+// and cgcmbench. cgcmc never executes the program, so of these only
+// -async (runs the overlap pass) and -metrics (compile-phase counters)
+// change its output; the run-only flags parse and are ignored.
 package main
 
 import (
@@ -38,9 +46,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	passes := fs.Bool("passes", false, "dump IR after every compilation phase")
 	strategy := fs.String("strategy", "opt", "sequential | inspector | unopt | opt")
 	phases := fs.Bool("phases", false, "report compile phases with wall time and activity")
-	metricsOut := fs.String("metrics", "", "write compile-phase metrics (compile.<phase>.host_ns/.activity) as JSON")
 	var ablate core.PassSet
-	fs.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
+	fs.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo, overlap)")
+	runf := cli.AddRunFlags(fs)
 	rflags := cli.AddRemarkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,11 +67,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cgcmc: unknown strategy %q\n", *strategy)
 		return 2
 	}
-	opts := core.Options{Strategy: st, Ablate: ablate, Remarks: rflags.Wanted()}
+	opts := core.Options{Strategy: st, Ablate: ablate, Remarks: rflags.Wanted(), Async: runf.Async}
 	if *passes {
 		opts.DumpWriter = stdout
 	}
-	if *metricsOut != "" {
+	if runf.MetricsOut != "" {
 		opts.Metrics = metrics.New()
 	}
 	prog, err := core.Compile(fs.Arg(0), string(src), opts)
@@ -88,8 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				ph.Name, float64(ph.HostNS)/1e6, ph.Activity, note)
 		}
 	}
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
+	if runf.MetricsOut != "" {
+		f, err := os.Create(runf.MetricsOut)
 		if err != nil {
 			fmt.Fprintf(stderr, "cgcmc: %v\n", err)
 			return 1
@@ -101,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "cgcmc: write metrics: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(stderr, "--- metrics written to %s\n", *metricsOut)
+		fmt.Fprintf(stderr, "--- metrics written to %s\n", runf.MetricsOut)
 	}
 	return 0
 }

@@ -21,6 +21,12 @@
 //	cgcmrun -remarks-json r.json file.c           # remarks as JSON
 //	cgcmrun -gpu-mem 4096 file.c      # finite device memory (evict under pressure)
 //	cgcmrun -faults htod=0.5,seed=3 file.c  # inject deterministic device faults
+//	cgcmrun -async file.c             # overlap communication with compute
+//	                                  # (streams, prefetch, overlapped flushes)
+//
+// The execution flags (-trace*, -prof*, -metrics, -gpu-mem, -faults,
+// -async) are one shared set, registered identically by cgcmrun, cgcmc,
+// and cgcmbench.
 package main
 
 import (
@@ -32,7 +38,6 @@ import (
 
 	"cgcm/internal/cli"
 	"cgcm/internal/core"
-	"cgcm/internal/faultinject"
 	"cgcm/internal/metrics"
 	tracepkg "cgcm/internal/trace"
 )
@@ -46,36 +51,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	strategy := fs.String("strategy", "opt", "sequential | inspector | unopt | opt")
 	compare := fs.Bool("compare", false, "run all four systems and compare")
-	trace := fs.Bool("trace", false, "print the machine event trace")
-	traceOut := fs.String("trace-out", "", "write Chrome trace-event JSON (open in ui.perfetto.dev)")
 	ledger := fs.Bool("ledger", false, "print the per-allocation-unit communication ledger")
-	profFlat := fs.Bool("prof", false, "print the exact execution profile (hot lines, launch sites, transfers)")
-	// -prof-n is the documented flag; -prof-top is kept as an alias for
-	// existing scripts. Both set the same variable; last one parsed wins.
-	profN := 20
-	fs.IntVar(&profN, "prof-n", 20, "number of hot lines shown by -prof")
-	fs.IntVar(&profN, "prof-top", 20, "alias for -prof-n")
-	profFolded := fs.String("prof-folded", "", "write folded stacks (kernel@site;line ops) for flamegraph tools")
-	metricsOut := fs.String("metrics", "", "write the metrics registry snapshot as JSON")
 	var ablate core.PassSet
-	fs.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo)")
-	gpuMem := fs.Int64("gpu-mem", 0, "device memory capacity in bytes (0 = unlimited); the runtime evicts under pressure")
-	faults := fs.String("faults", "", "device fault-injection spec, e.g. seed=7,htod=0.5,alloc@3,fail=launch@2")
+	fs.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo, overlap)")
+	runf := cli.AddRunFlags(fs)
 	rflags := cli.AddRemarkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	var faultSpec *faultinject.Spec
-	if *faults != "" {
-		s, perr := faultinject.ParseSpec(*faults)
-		if perr != nil {
-			fmt.Fprintf(stderr, "cgcmrun: -faults: %v\n", perr)
-			return 2
-		}
-		faultSpec = s
+	faultSpec, perr := runf.FaultSpec()
+	if perr != nil {
+		fmt.Fprintf(stderr, "cgcmrun: -faults: %v\n", perr)
+		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: cgcmrun [-strategy s | -compare] [-trace] [-trace-out f] [-ledger] [-ablate passes] [-remarks] file.c")
+		fmt.Fprintln(stderr, "usage: cgcmrun [-strategy s | -compare] [-trace] [-trace-out f] [-ledger] [-ablate passes] [-remarks] [-async] file.c")
 		return 2
 	}
 	src, err := os.ReadFile(fs.Arg(0))
@@ -110,30 +100,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	var tr *tracepkg.Tracer
-	if *traceOut != "" {
+	if runf.Tracing() {
 		tr = tracepkg.New()
 	}
 	var reg *metrics.Registry
-	if *metricsOut != "" {
+	if runf.MetricsOut != "" {
 		reg = metrics.New()
 	}
 	rep, err := core.CompileAndRun(name, string(src), core.Options{
 		Strategy:    st,
-		Trace:       *trace,
 		Tracer:      tr,
 		Ablate:      ablate,
-		Profile:     *profFlat || *profFolded != "",
+		Profile:     runf.Profiling(),
 		Metrics:     reg,
 		Remarks:     rflags.Wanted(),
-		GPUMemBytes: *gpuMem,
+		GPUMemBytes: runf.GPUMem,
 		FaultSpec:   faultSpec,
+		Async:       runf.Async,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "cgcmrun: %v\n", err)
 		if rep != nil && rep.Output != "" {
 			fmt.Fprintf(stderr, "partial output:\n%s", rep.Output)
 		}
-		writeTrace(stderr, *traceOut, tr)
+		writeTrace(stderr, runf.TraceOut, tr)
 		return 1
 	}
 	fmt.Fprint(stdout, rep.Output)
@@ -142,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Stats.NumHtoD, float64(rep.Stats.BytesHtoD)/1024,
 		rep.Stats.NumDtoH, float64(rep.Stats.BytesDtoH)/1024,
 		rep.Stats.NumKernels, rep.Promotions)
-	if *gpuMem > 0 || faultSpec != nil {
+	if runf.GPUMem > 0 || faultSpec != nil {
 		mode := "gpu"
 		if rep.RTStats.Degraded {
 			mode = "cpu-fallback"
@@ -152,10 +142,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rep.RTStats.Evictions, float64(rep.RTStats.EvictionBytes)/1024,
 			rep.RTStats.Retries, rep.RTStats.RescueCopies, rep.Stats.FallbackKernels)
 	}
-	if *trace {
-		for _, ev := range rep.Trace {
+	if runf.Trace && tr != nil {
+		for _, sp := range tr.Spans() {
 			fmt.Fprintf(stderr, "%10.2fus %8.2fus %-7s %s\n",
-				ev.Start*1e6, (ev.End-ev.Start)*1e6, ev.Kind, ev.Label)
+				sp.Start*1e6, (sp.End-sp.Start)*1e6, sp.Kind, sp.Name)
 		}
 	}
 	if *ledger {
@@ -167,21 +157,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if code := rflags.Write("cgcmrun", rep.Remarks, stderr, stderr); code != 0 {
 		return code
 	}
-	if *profFlat {
-		if err := rep.Profile.WriteFlat(stderr, profN); err != nil {
+	if runf.Prof {
+		if err := rep.Profile.WriteFlat(stderr, runf.ProfN); err != nil {
 			fmt.Fprintf(stderr, "cgcmrun: write profile: %v\n", err)
 			return 1
 		}
 	}
-	if *profFolded != "" {
-		if code := writeFile(stderr, *profFolded, "folded stacks", func(f *os.File) error {
+	if runf.ProfFolded != "" {
+		if code := writeFile(stderr, runf.ProfFolded, "folded stacks", func(f *os.File) error {
 			return rep.Profile.WriteFolded(f)
 		}); code != 0 {
 			return code
 		}
 	}
-	if *metricsOut != "" {
-		if code := writeFile(stderr, *metricsOut, "metrics", func(f *os.File) error {
+	if runf.MetricsOut != "" {
+		if code := writeFile(stderr, runf.MetricsOut, "metrics", func(f *os.File) error {
 			enc := json.NewEncoder(f)
 			enc.SetIndent("", " ")
 			return enc.Encode(rep.Metrics)
@@ -189,7 +179,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return code
 		}
 	}
-	return writeTrace(stderr, *traceOut, tr)
+	return writeTrace(stderr, runf.TraceOut, tr)
 }
 
 // writeFile creates path and runs emit on it, reporting what was written;

@@ -56,13 +56,13 @@ int main() {
 func main() {
 	fmt.Println("== manually parallelized matrix pipeline, automatic communication ==")
 	un, err := core.CompileAndRun("pipeline.c", pipeline, core.Options{
-		Strategy: core.CGCMUnoptimized, DisableDOALL: true,
+		Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true},
 	})
 	if err != nil {
 		log.Fatalf("unoptimized: %v", err)
 	}
 	op, err := core.CompileAndRun("pipeline.c", pipeline, core.Options{
-		Strategy: core.CGCMOptimized, DisableDOALL: true,
+		Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassDOALL: true},
 	})
 	if err != nil {
 		log.Fatalf("optimized: %v", err)

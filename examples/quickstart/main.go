@@ -44,7 +44,7 @@ func main() {
 
 	// Unoptimized: map/unmap/release around every launch (Listing 3).
 	unopt, err := core.CompileAndRun("listing2.c", listing2, core.Options{
-		Strategy: core.CGCMUnoptimized, DisableDOALL: true,
+		Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true},
 	})
 	if err != nil {
 		log.Fatalf("unoptimized: %v", err)
@@ -53,7 +53,7 @@ func main() {
 	// Optimized: map promotion hoists the mapping out of the loop
 	// (Listing 4) — the string array crosses the bus once, not 8 times.
 	opt, err := core.CompileAndRun("listing2.c", listing2, core.Options{
-		Strategy: core.CGCMOptimized, DisableDOALL: true,
+		Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassDOALL: true},
 	})
 	if err != nil {
 		log.Fatalf("optimized: %v", err)

@@ -182,13 +182,13 @@ func RunTable1() ([]Table1Result, error) {
 		// Reference semantics: the idealized inspector-executor runs the
 		// kernels against host memory, which is exactly "what the program
 		// means" independent of communication management.
-		seq, err := core.CompileAndRun(fp.Feature, fp.Source, core.Options{Strategy: core.InspectorExecutor, DisableDOALL: true})
+		seq, err := core.CompileAndRun(fp.Feature, fp.Source, core.Options{Strategy: core.InspectorExecutor, Ablate: core.PassSet{core.PassDOALL: true}})
 		if err != nil {
 			return nil, fmt.Errorf("%s reference: %w", fp.Feature, err)
 		}
 		res := Table1Result{Feature: fp.Feature, Passed: true}
 		for _, s := range []core.Strategy{core.CGCMUnoptimized, core.CGCMOptimized} {
-			rep, err := core.CompileAndRun(fp.Feature, fp.Source, core.Options{Strategy: s, DisableDOALL: true})
+			rep, err := core.CompileAndRun(fp.Feature, fp.Source, core.Options{Strategy: s, Ablate: core.PassSet{core.PassDOALL: true}})
 			if err != nil {
 				res.Passed = false
 				res.Detail = err.Error()

@@ -36,7 +36,7 @@ int main() {
 // variant should be at least ~2x faster.
 func benchmarkEngine(b *testing.B, workers int) {
 	p, err := core.Compile("heavy.c", heavySrc, core.Options{
-		Strategy: core.CGCMOptimized, DisableDOALL: true, Workers: workers,
+		Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassDOALL: true}, Workers: workers,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -35,6 +35,12 @@ var Ablate core.PassSet
 // time, never simulated results.
 var TraceDir string
 
+// Async enables communication overlap (core.Options.Async) in every
+// measurement run: transfers move to streams, maps prefetch, flushes
+// overlap host work. Program output is identical either way — only
+// simulated walls and the overlapped-bytes ledger column change.
+var Async bool
+
 // Row holds the measured results for one program across the compared
 // systems — everything Table 3 and Figure 4 need.
 type Row struct {
@@ -68,7 +74,7 @@ func RunProgram(p Program) (*Row, error) {
 	row := &Row{Program: p}
 	start := time.Now()
 	run := func(s core.Strategy) (*core.Report, error) {
-		opts := core.Options{Strategy: s, Workers: Workers, Ablate: Ablate}
+		opts := core.Options{Strategy: s, Workers: Workers, Ablate: Ablate, Async: Async}
 		var tr *trace.Tracer
 		if TraceDir != "" {
 			tr = trace.New()

@@ -47,7 +47,7 @@ func TestFigure2ScheduleShapes(t *testing.T) {
 	}
 	// Events must exist on all three lanes of each schedule.
 	for _, s := range schedules {
-		if len(s.Events) == 0 {
+		if len(s.Spans) == 0 {
 			t.Errorf("%s: empty trace", s.Name)
 		}
 	}

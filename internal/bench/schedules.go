@@ -5,7 +5,7 @@ import (
 	"io"
 
 	"cgcm/internal/core"
-	"cgcm/internal/machine"
+	"cgcm/internal/trace"
 )
 
 // scheduleProgram is the synthetic workload behind Figure 2: a loop that
@@ -28,9 +28,9 @@ int main() {
 
 // Schedule is one rendered execution schedule.
 type Schedule struct {
-	Name   string
-	Events []machine.Event
-	Wall   float64
+	Name  string
+	Spans []trace.Span
+	Wall  float64
 }
 
 // CollectSchedules runs the Figure 2 workload under the three
@@ -47,12 +47,12 @@ func CollectSchedules() ([]Schedule, error) {
 	var out []Schedule
 	for _, cfg := range configs {
 		rep, err := core.CompileAndRun("fig2.c", scheduleProgram, core.Options{
-			Strategy: cfg.s, Trace: true,
+			Strategy: cfg.s, Tracer: trace.New(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("figure 2 %s: %w", cfg.name, err)
 		}
-		out = append(out, Schedule{Name: cfg.name, Events: rep.Trace, Wall: rep.Stats.Wall})
+		out = append(out, Schedule{Name: cfg.name, Spans: rep.Spans, Wall: rep.Stats.Wall})
 	}
 	return out, nil
 }
@@ -73,9 +73,9 @@ func RenderFigure2(w io.Writer, schedules []Schedule) {
 			"Xfer": bytes(cols),
 			"GPU ": bytes(cols),
 		}
-		mark := func(lane string, ev machine.Event, ch byte) {
-			lo := int(ev.Start / sch.Wall * float64(cols))
-			hi := int(ev.End / sch.Wall * float64(cols))
+		mark := func(lane string, s trace.Span, ch byte) {
+			lo := int(s.Start / sch.Wall * float64(cols))
+			hi := int(s.End / sch.Wall * float64(cols))
 			if hi <= lo {
 				hi = lo + 1
 			}
@@ -83,18 +83,18 @@ func RenderFigure2(w io.Writer, schedules []Schedule) {
 				lanes[lane][i] = ch
 			}
 		}
-		for _, ev := range sch.Events {
-			switch ev.Kind {
-			case machine.EvCPU:
-				mark("CPU ", ev, 'C')
-			case machine.EvStall:
-				mark("CPU ", ev, 's')
-			case machine.EvHtoD:
-				mark("Xfer", ev, 'H')
-			case machine.EvDtoH:
-				mark("Xfer", ev, 'D')
-			case machine.EvKernel:
-				mark("GPU ", ev, 'K')
+		for _, s := range sch.Spans {
+			switch s.Kind {
+			case trace.KindCPU:
+				mark("CPU ", s, 'C')
+			case trace.KindStall:
+				mark("CPU ", s, 's')
+			case trace.KindHtoD:
+				mark("Xfer", s, 'H')
+			case trace.KindDtoH:
+				mark("Xfer", s, 'D')
+			case trace.KindKernel:
+				mark("GPU ", s, 'K')
 			}
 		}
 		fmt.Fprintf(w, "\n%s  (wall %.1f us)\n", sch.Name, sch.Wall*1e6)

@@ -1,0 +1,60 @@
+package cli
+
+import (
+	"flag"
+
+	"cgcm/internal/faultinject"
+)
+
+// RunFlags is the shared execution-surface flag bundle: tracing,
+// profiling, metrics export, device configuration, fault injection, and
+// the -async overlap switch. All three commands (cgcmrun, cgcmc,
+// cgcmbench) register it identically — same names, same help text — so
+// flags move between command lines without respelling. Flags that do
+// not apply to a command parse and are ignored there (cgcmc never
+// executes, so the run-only flags are inert; each command's doc comment
+// says which).
+type RunFlags struct {
+	Trace      bool
+	TraceOut   string
+	Prof       bool
+	ProfN      int
+	ProfFolded string
+	MetricsOut string
+	GPUMem     int64
+	Faults     string
+	Async      bool
+}
+
+// AddRunFlags registers the shared execution flags on fs.
+func AddRunFlags(fs *flag.FlagSet) *RunFlags {
+	rf := &RunFlags{}
+	fs.BoolVar(&rf.Trace, "trace", false, "print the machine span trace after the run")
+	fs.StringVar(&rf.TraceOut, "trace-out", "", "write Chrome trace-event JSON for ui.perfetto.dev (cgcmbench: a directory, one trace per program and system)")
+	fs.BoolVar(&rf.Prof, "prof", false, "print the exact execution profile (hot lines, launch sites, transfers)")
+	// -prof-n is the documented flag; -prof-top is kept as an alias for
+	// existing scripts. Both set the same variable; last one parsed wins.
+	rf.ProfN = 20
+	fs.IntVar(&rf.ProfN, "prof-n", 20, "number of hot lines shown by -prof")
+	fs.IntVar(&rf.ProfN, "prof-top", 20, "alias for -prof-n")
+	fs.StringVar(&rf.ProfFolded, "prof-folded", "", "write folded stacks (kernel@site;line ops) for flamegraph tools")
+	fs.StringVar(&rf.MetricsOut, "metrics", "", "write the metrics registry snapshot as JSON")
+	fs.Int64Var(&rf.GPUMem, "gpu-mem", 0, "device memory capacity in bytes (0 = unlimited); the runtime evicts under pressure")
+	fs.StringVar(&rf.Faults, "faults", "", "device fault-injection spec, e.g. seed=7,htod=0.5,alloc@3,fail=launch@2")
+	fs.BoolVar(&rf.Async, "async", false, "overlap communication with compute: stream transfers, prefetched maps, overlapped flushes")
+	return rf
+}
+
+// Tracing reports whether a tracer sink must be attached to the run.
+func (rf *RunFlags) Tracing() bool { return rf.Trace || rf.TraceOut != "" }
+
+// Profiling reports whether the exact profiler must be enabled.
+func (rf *RunFlags) Profiling() bool { return rf.Prof || rf.ProfFolded != "" }
+
+// FaultSpec parses -faults; a nil spec means no injection.
+func (rf *RunFlags) FaultSpec() (*faultinject.Spec, error) {
+	if rf.Faults == "" {
+		return nil, nil
+	}
+	return faultinject.ParseSpec(rf.Faults)
+}

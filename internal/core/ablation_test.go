@@ -92,17 +92,6 @@ func TestAblationMapPromotion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The deprecated bool must delegate to the same ablation.
-	viaBool, err := core.CompileAndRun(p.Name, p.Source, core.Options{
-		Strategy: core.CGCMOptimized, DisableMapPromotion: true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if viaBool.Stats != noMP.Stats {
-		t.Errorf("deprecated DisableMapPromotion diverged from Ablate: %+v vs %+v",
-			viaBool.Stats, noMP.Stats)
-	}
 	if full.Output != noMP.Output || full.Output != unopt.Output {
 		t.Fatal("outputs diverged")
 	}

@@ -9,97 +9,72 @@ import (
 	"cgcm/internal/trace"
 )
 
-// TestDeprecatedTraceAlias: the legacy Options.Trace bool must produce
-// the same Report.Spans and legacy Report.Trace events as attaching a
-// Tracer sink — the old switch delegates to the same span collection.
-func TestDeprecatedTraceAlias(t *testing.T) {
+// TestTracerSpans: attaching a Tracer sink must populate both the sink
+// and Report.Spans with the same span slice — Spans is the report-side
+// view of the attached tracer, not a second collection.
+func TestTracerSpans(t *testing.T) {
 	p, ok := bench.ByName("gemm")
 	if !ok {
 		t.Fatal("gemm missing")
 	}
-	viaBool, err := core.CompileAndRun(p.Name, p.Source, core.Options{
-		Strategy: core.CGCMOptimized, Trace: true,
+	tr := trace.New()
+	rep, err := core.CompileAndRun(p.Name, p.Source, core.Options{
+		Strategy: core.CGCMOptimized, Tracer: tr,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaTracer, err := core.CompileAndRun(p.Name, p.Source, core.Options{
-		Strategy: core.CGCMOptimized, Tracer: trace.New(),
-	})
+	if len(rep.Spans) == 0 {
+		t.Fatal("Tracer collected no spans")
+	}
+	if !reflect.DeepEqual(rep.Spans, tr.Spans()) {
+		t.Fatalf("Report.Spans diverged from the attached tracer: %d vs %d spans",
+			len(rep.Spans), len(tr.Spans()))
+	}
+	// Without a sink, no spans are collected and the report stays empty.
+	bare, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.CGCMOptimized})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(viaBool.Spans) == 0 {
-		t.Fatal("Options.Trace collected no spans")
-	}
-	if !reflect.DeepEqual(viaBool.Spans, viaTracer.Spans) {
-		t.Fatalf("deprecated Trace diverged from Tracer: %d vs %d spans",
-			len(viaBool.Spans), len(viaTracer.Spans))
-	}
-	if !reflect.DeepEqual(viaBool.Trace, viaTracer.Trace) {
-		t.Fatalf("legacy event slices diverged: %d vs %d events",
-			len(viaBool.Trace), len(viaTracer.Trace))
+	if len(bare.Spans) != 0 {
+		t.Fatalf("spans collected without a tracer: %d", len(bare.Spans))
 	}
 }
 
-// TestDeprecatedDisableAliases: every Disable* bool must behave exactly
-// like the Ablate entry it deprecates — identical stats, output, and
-// pass-firing counts, on a program where the pass matters.
-func TestDeprecatedDisableAliases(t *testing.T) {
+// TestAblateDisablesPasses: every named entry in a PassSet must actually
+// suppress its pass — observable as changed stats versus the fully
+// optimized run — on a program where the pass matters.
+func TestAblateDisablesPasses(t *testing.T) {
 	cases := []struct {
-		name    string
 		program string
-		boolOpt func(*core.Options)
 		pass    core.Pass
 	}{
-		{"DisableDOALL", "gemm",
-			func(o *core.Options) { o.DisableDOALL = true }, core.PassDOALL},
-		{"DisableGlueKernels", "srad",
-			func(o *core.Options) { o.DisableGlueKernels = true }, core.PassGlueKernel},
-		{"DisableAllocaPromotion", "cfd",
-			func(o *core.Options) { o.DisableAllocaPromotion = true }, core.PassAllocaPromo},
-		{"DisableMapPromotion", "jacobi-2d-imper",
-			func(o *core.Options) { o.DisableMapPromotion = true }, core.PassMapPromo},
+		{"gemm", core.PassDOALL},
+		{"srad", core.PassGlueKernel},
+		{"cfd", core.PassAllocaPromo},
+		{"jacobi-2d-imper", core.PassMapPromo},
 	}
 	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
+		t.Run(string(tc.pass), func(t *testing.T) {
 			p, ok := bench.ByName(tc.program)
 			if !ok {
 				t.Fatalf("%s missing", tc.program)
 			}
-			optsBool := core.Options{Strategy: core.CGCMOptimized}
-			tc.boolOpt(&optsBool)
-			viaBool, err := core.CompileAndRun(p.Name, p.Source, optsBool)
+			full, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.CGCMOptimized})
 			if err != nil {
 				t.Fatal(err)
 			}
-			viaAblate, err := core.CompileAndRun(p.Name, p.Source, core.Options{
+			ablated, err := core.CompileAndRun(p.Name, p.Source, core.Options{
 				Strategy: core.CGCMOptimized, Ablate: core.PassSet{tc.pass: true},
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if viaBool.Stats != viaAblate.Stats {
-				t.Errorf("stats diverged:\nbool:   %+v\nablate: %+v", viaBool.Stats, viaAblate.Stats)
+			if full.Output != ablated.Output {
+				t.Error("ablation changed program output")
 			}
-			if viaBool.Output != viaAblate.Output {
-				t.Error("outputs diverged")
-			}
-			if viaBool.Promotions != viaAblate.Promotions ||
-				viaBool.GlueKernels != viaAblate.GlueKernels ||
-				viaBool.AllocaPromotions != viaAblate.AllocaPromotions {
-				t.Errorf("pass counts diverged: bool {%d %d %d}, ablate {%d %d %d}",
-					viaBool.Promotions, viaBool.GlueKernels, viaBool.AllocaPromotions,
-					viaAblate.Promotions, viaAblate.GlueKernels, viaAblate.AllocaPromotions)
-			}
-			// The ablation must actually change behavior relative to the
-			// fully optimized run, or this test proves nothing.
-			full, err := core.CompileAndRun(p.Name, p.Source, core.Options{Strategy: core.CGCMOptimized})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if full.Stats == viaBool.Stats {
-				t.Errorf("%s had no observable effect on %s", tc.name, tc.program)
+			if full.Stats == ablated.Stats {
+				t.Errorf("ablating %s had no observable effect on %s", tc.pass, tc.program)
 			}
 		})
 	}

@@ -26,6 +26,7 @@ import (
 	"cgcm/internal/passes/constfold"
 	"cgcm/internal/passes/gluekernel"
 	"cgcm/internal/passes/mappromo"
+	"cgcm/internal/passes/overlap"
 	"cgcm/internal/prof"
 	"cgcm/internal/remarks"
 	runtimelib "cgcm/internal/runtime"
@@ -80,10 +81,15 @@ const (
 	PassAllocaPromo Pass = "allocapromo"
 	// PassMapPromo is map promotion itself (§5.1).
 	PassMapPromo Pass = "mappromo"
+	// PassOverlap is the communication-overlap pass: it rewrites map/unmap
+	// call sites to their asynchronous stream variants where the host
+	// provably does not touch the unit before the next synchronization
+	// point. Scheduled only when Options.Async is set.
+	PassOverlap Pass = "overlap"
 )
 
 // ablatablePasses lists the valid PassSet members.
-var ablatablePasses = []Pass{PassDOALL, PassGlueKernel, PassAllocaPromo, PassMapPromo}
+var ablatablePasses = []Pass{PassDOALL, PassGlueKernel, PassAllocaPromo, PassMapPromo, PassOverlap}
 
 // PassSet is a set of passes to ablate. It implements flag.Value, so CLI
 // flags can say -ablate gluekernel,mappromo; repeated flags accumulate.
@@ -194,51 +200,19 @@ type Options struct {
 	// runtime's retry/evict/degrade ladder; program output stays
 	// bit-identical to the fault-free run.
 	FaultSpec *faultinject.Spec
-
-	// Trace enables span collection even without a Tracer sink, filling
-	// Report.Spans and the legacy Report.Trace event slice.
-	//
-	// Deprecated: set Tracer instead.
-	Trace bool
-	// DisableDOALL skips the parallelizer.
-	//
-	// Deprecated: use Ablate with PassDOALL.
-	DisableDOALL bool
-	// DisableGlueKernels ablates the glue-kernel transformation.
-	//
-	// Deprecated: use Ablate with PassGlueKernel.
-	DisableGlueKernels bool
-	// DisableAllocaPromotion ablates alloca promotion.
-	//
-	// Deprecated: use Ablate with PassAllocaPromo.
-	DisableAllocaPromotion bool
-	// DisableMapPromotion ablates map promotion.
-	//
-	// Deprecated: use Ablate with PassMapPromo.
-	DisableMapPromotion bool
+	// Async enables overlapped communication: the overlap pass rewrites
+	// provably safe map/unmap sites to asynchronous stream copies, and each
+	// Run arms the runtime's upload/flush streams. Program output, the
+	// ledger's copy counts, and remarks are identical with Async on or off
+	// (only wall time and the ledger's overlapped-bytes column change).
+	Async bool
 }
 
-// ablated reports whether a pass is disabled, honoring both the Ablate
-// set and the deprecated per-pass bools.
-func (o *Options) ablated(p Pass) bool {
-	if o.Ablate.Has(p) {
-		return true
-	}
-	switch p {
-	case PassDOALL:
-		return o.DisableDOALL
-	case PassGlueKernel:
-		return o.DisableGlueKernels
-	case PassAllocaPromo:
-		return o.DisableAllocaPromotion
-	case PassMapPromo:
-		return o.DisableMapPromotion
-	}
-	return false
-}
+// ablated reports whether a pass is disabled.
+func (o *Options) ablated(p Pass) bool { return o.Ablate.Has(p) }
 
 // tracing reports whether span collection is wanted.
-func (o *Options) tracing() bool { return o.Tracer != nil || o.Trace || o.Profile }
+func (o *Options) tracing() bool { return o.Tracer != nil || o.Profile }
 
 // Report is the outcome of running a compiled program.
 type Report struct {
@@ -262,6 +236,9 @@ type Report struct {
 	GlueKernels int
 	// AllocaPromotions reports alloca promotion activity.
 	AllocaPromotions int
+	// OverlapSites reports map/unmap sites the overlap pass moved to
+	// asynchronous stream copies (0 unless Options.Async).
+	OverlapSites int
 
 	// Races holds write-set race findings (when Options.RaceCheck).
 	Races []interp.RaceFinding
@@ -282,11 +259,6 @@ type Report struct {
 	// Metrics is the frozen registry snapshot taken after this run (when
 	// Options.Metrics is set).
 	Metrics *metrics.Snapshot
-
-	// Trace holds the legacy flat machine events (when tracing).
-	//
-	// Deprecated: use Spans.
-	Trace []machine.Event
 }
 
 // Program is a compiled mini-C program ready to run. Run is read-only on
@@ -302,6 +274,7 @@ type Program struct {
 	promotions        int
 	glueKernels       int
 	allocaPromotions  int
+	overlapSites      int
 
 	kernels     int
 	launchSites int
@@ -473,6 +446,20 @@ func Compile(name, src string, opts Options) (prog *Program, err error) {
 			dump("mappromo")
 		}
 	}
+	// The overlap pass runs last (after map promotion has settled where
+	// the runtime calls live) and only when the caller asked for
+	// asynchronous communication; it renames provably safe map/unmap
+	// sites to their stream variants.
+	if opts.Async && !opts.ablated(PassOverlap) {
+		end = begin("overlap")
+		ores, err := overlap.Run(mod, rc)
+		if err != nil {
+			return nil, err
+		}
+		p.overlapSites = ores.Rewritten()
+		end(ores.Rewritten(), "sites moved to streams")
+		dump("overlap")
+	}
 	return finish()
 }
 
@@ -509,6 +496,12 @@ func (p *Program) Run() (rep *Report, err error) {
 	if p.Opts.GPUMemBytes > 0 || mach.FaultPlan() != nil {
 		rt.EnableResilience(runtimelib.DefaultResilience())
 	}
+	if p.Opts.Async {
+		// Arm the upload/flush streams and route per-copy overlap credit
+		// into the communication ledger's overlapped-bytes column.
+		rt.EnableAsync()
+		mach.SetOverlapSink(rt.Ledger.RecordOverlap)
+	}
 	var out bytes.Buffer
 	in, err := interp.New(p.Module, mach, rt, &out)
 	if err != nil {
@@ -543,6 +536,7 @@ func (p *Program) Run() (rep *Report, err error) {
 		Promotions:             p.promotions,
 		GlueKernels:            p.glueKernels,
 		AllocaPromotions:       p.allocaPromotions,
+		OverlapSites:           p.overlapSites,
 		Races:                  in.Races,
 		Comm:                   rt.Ledger.Ledger(),
 		Phases:                 p.phases,
@@ -550,7 +544,6 @@ func (p *Program) Run() (rep *Report, err error) {
 	if runTr != nil {
 		mach.FlushTrace()
 		rep.Spans = runTr.Spans()
-		rep.Trace = machine.EventsFromSpans(rep.Spans)
 		if col != nil {
 			// Launch-site walls come from the kernel spans this run
 			// emitted; everything else was attributed during execution.
@@ -649,6 +642,12 @@ func blockingRemark(compile []remarks.Remark, u *trace.UnitStats) *remarks.Remar
 	var found *remarks.Remark
 	for i := range compile {
 		c := &compile[i]
+		// Overlap remarks describe transfer timing, not promotion; they
+		// must not change the cyclic-unit diagnosis (it is identical with
+		// -async on or off).
+		if c.Pass == "overlap" {
+			continue
+		}
 		if c.Kind != remarks.Missed || !remarks.MatchesUnit(c.Unit, u.Name, u.Line) {
 			continue
 		}
@@ -668,7 +667,7 @@ func blockingRemark(compile []remarks.Remark, u *trace.UnitStats) *remarks.Remar
 func appliedRemark(compile []remarks.Remark, u *trace.UnitStats) *remarks.Remark {
 	for i := range compile {
 		c := &compile[i]
-		if c.Kind != remarks.Applied || c.Pass == "commmgmt" || c.Pass == "doall" {
+		if c.Kind != remarks.Applied || c.Pass == "commmgmt" || c.Pass == "doall" || c.Pass == "overlap" {
 			continue
 		}
 		if remarks.MatchesUnit(c.Unit, u.Name, u.Line) {

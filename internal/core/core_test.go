@@ -179,7 +179,7 @@ func TestManualParallelizationManaged(t *testing.T) {
 	// communication (the paper's "manual parallelization, automatic
 	// communication" quadrant). The verification loops remain on the CPU.
 	for _, s := range []core.Strategy{core.CGCMUnoptimized, core.CGCMOptimized} {
-		rep := compileRun(t, "manual.c", manualKernel, core.Options{Strategy: s, DisableDOALL: true})
+		rep := compileRun(t, "manual.c", manualKernel, core.Options{Strategy: s, Ablate: core.PassSet{core.PassDOALL: true}})
 		if !strings.Contains(rep.Output, "0.24") { // 32640*1.5^5/1e5 = 2.478...
 			t.Logf("output: %q", rep.Output)
 		}
@@ -187,8 +187,8 @@ func TestManualParallelizationManaged(t *testing.T) {
 			t.Errorf("%s: expected 5 kernel executions, got %d", s, rep.Stats.NumKernels)
 		}
 	}
-	un := compileRun(t, "manual.c", manualKernel, core.Options{Strategy: core.CGCMUnoptimized, DisableDOALL: true})
-	op := compileRun(t, "manual.c", manualKernel, core.Options{Strategy: core.CGCMOptimized, DisableDOALL: true})
+	un := compileRun(t, "manual.c", manualKernel, core.Options{Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true}})
+	op := compileRun(t, "manual.c", manualKernel, core.Options{Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassDOALL: true}})
 	if un.Output != op.Output {
 		t.Errorf("manual kernel outputs diverge: %q vs %q", un.Output, op.Output)
 	}
@@ -215,7 +215,7 @@ int main() {
 }`
 
 func TestStringArrayMapArray(t *testing.T) {
-	rep := compileRun(t, "strings.c", stringArray, core.Options{Strategy: core.CGCMUnoptimized, DisableDOALL: true})
+	rep := compileRun(t, "strings.c", stringArray, core.Options{Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true}})
 	want := "15\n9\n15\n"
 	if rep.Output != want {
 		t.Errorf("got %q want %q", rep.Output, want)

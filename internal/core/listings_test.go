@@ -80,7 +80,7 @@ func runtimeCallsInLoop(t *testing.T, p *core.Program) (inside, outside map[stri
 // after, all INSIDE the loop (the cyclic pattern).
 func TestListing3Shape(t *testing.T) {
 	p, err := core.Compile("listing2.c", paperListing2, core.Options{
-		Strategy: core.CGCMUnoptimized, DisableDOALL: true,
+		Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestListing3Shape(t *testing.T) {
 // mapArray remains for pointer translation.
 func TestListing4Shape(t *testing.T) {
 	p, err := core.Compile("listing2.c", paperListing2, core.Options{
-		Strategy: core.CGCMOptimized, DisableDOALL: true,
+		Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassDOALL: true},
 	})
 	if err != nil {
 		t.Fatal(err)

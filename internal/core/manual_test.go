@@ -58,13 +58,13 @@ func TestManualCommunicationQuadrant(t *testing.T) {
 	// Manual program runs correctly even with CGCM management enabled:
 	// the device pointers must be recognized and skipped.
 	manual, err := core.CompileAndRun("listing1.c", listing1, core.Options{
-		Strategy: core.CGCMUnoptimized, DisableDOALL: true,
+		Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true},
 	})
 	if err != nil {
 		t.Fatalf("manual: %v", err)
 	}
 	auto, err := core.CompileAndRun("listing2.c", listing2equiv, core.Options{
-		Strategy: core.CGCMOptimized, DisableDOALL: true,
+		Strategy: core.CGCMOptimized, Ablate: core.PassSet{core.PassDOALL: true},
 	})
 	if err != nil {
 		t.Fatalf("automatic: %v", err)
@@ -114,7 +114,7 @@ int main() {
 	return 0;
 }`
 	rep, err := core.CompileAndRun("mix.c", src, core.Options{
-		Strategy: core.CGCMUnoptimized, DisableDOALL: true,
+		Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true},
 	})
 	if err != nil {
 		t.Fatal(err)

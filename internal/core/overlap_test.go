@@ -1,0 +1,262 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/core"
+	"cgcm/internal/faultinject"
+	"cgcm/internal/remarks"
+	"cgcm/internal/trace"
+)
+
+// overlapPrograms are the programs the overlap determinism suite sweeps:
+// the Comm.-limited programs the optimization targets, plus a
+// GPU-limited one (gemm) and a promoted stencil (jacobi) to cover runs
+// where overlap has little to do.
+var overlapPrograms = append(append([]string{}, bench.CommLimited...), "gemm", "jacobi-2d-imper")
+
+// stripOverlap removes the overlap ledger column (the one field allowed
+// to differ between a synchronous and an overlapped run).
+func stripOverlap(l trace.Ledger) trace.Ledger {
+	units := make([]trace.UnitStats, len(l.Units))
+	copy(units, l.Units)
+	for i := range units {
+		units[i].OverlappedBytes = 0
+	}
+	l.Units = units
+	return l
+}
+
+// nonOverlapRemarks filters out the overlap pass's own remarks; every
+// other remark must be unaffected by -async.
+func nonOverlapRemarks(rs []remarks.Remark) []remarks.Remark {
+	out := []remarks.Remark{}
+	for _, r := range rs {
+		if r.Pass != "overlap" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// checkAsyncInvariant runs one program with the given options
+// synchronously and with overlap, and enforces the tentpole invariant:
+// bit-identical output, identical transfer counts and bytes, an
+// identical ledger modulo the overlapped-bytes column, identical
+// non-overlap remarks, and identical runtime stats.
+func checkAsyncInvariant(t *testing.T, name, source string, opts core.Options) (syncRep, asyncRep *core.Report) {
+	t.Helper()
+	opts.Remarks = true
+	opts.Async = false
+	syncRep, err := core.CompileAndRun(name, source, opts)
+	if err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	opts.Async = true
+	asyncRep, err = core.CompileAndRun(name, source, opts)
+	if err != nil {
+		t.Fatalf("async: %v", err)
+	}
+	if syncRep.Output != asyncRep.Output {
+		t.Errorf("output differs with -async")
+	}
+	if syncRep.Exit != asyncRep.Exit {
+		t.Errorf("exit codes differ: %d vs %d", syncRep.Exit, asyncRep.Exit)
+	}
+	s, a := syncRep.Stats, asyncRep.Stats
+	if s.NumHtoD != a.NumHtoD || s.NumDtoH != a.NumDtoH ||
+		s.BytesHtoD != a.BytesHtoD || s.BytesDtoH != a.BytesDtoH {
+		t.Errorf("transfer counts differ: sync %d/%d (%d/%d B), async %d/%d (%d/%d B)",
+			s.NumHtoD, s.NumDtoH, s.BytesHtoD, s.BytesDtoH,
+			a.NumHtoD, a.NumDtoH, a.BytesHtoD, a.BytesDtoH)
+	}
+	if s.NumKernels != a.NumKernels || s.FallbackKernels != a.FallbackKernels {
+		t.Errorf("kernel counts differ: %d/%d vs %d/%d",
+			s.NumKernels, s.FallbackKernels, a.NumKernels, a.FallbackKernels)
+	}
+	if s.InjectedFaults != a.InjectedFaults {
+		t.Errorf("injected faults differ: %d vs %d", s.InjectedFaults, a.InjectedFaults)
+	}
+	if syncRep.RTStats != asyncRep.RTStats {
+		t.Errorf("runtime stats differ:\nsync:  %+v\nasync: %+v", syncRep.RTStats, asyncRep.RTStats)
+	}
+	if !reflect.DeepEqual(stripOverlap(syncRep.Comm), stripOverlap(asyncRep.Comm)) {
+		t.Errorf("ledger differs beyond overlapped bytes:\nsync:\n%s\nasync:\n%s",
+			syncRep.Comm, asyncRep.Comm)
+	}
+	if !reflect.DeepEqual(nonOverlapRemarks(syncRep.Remarks), nonOverlapRemarks(asyncRep.Remarks)) {
+		t.Errorf("non-overlap remarks differ with -async")
+	}
+	return syncRep, asyncRep
+}
+
+// hostConsumesFlush: the host reads the kernel's result immediately
+// after the launch, in the same basic block as the generated unmap — the
+// flush cannot overlap anything, so the overlap pass must leave it
+// synchronous and say why.
+const hostConsumesFlush = `
+float a[64];
+__global__ void scale(float *p, int n) {
+	int i = tid();
+	if (i < n) p[i] = p[i] * 2.0;
+}
+int main() {
+	for (int i = 0; i < 64; i++) a[i] = (float)i;
+	scale<<<1, 64>>>(a, 64);
+	print_float(a[1]);
+	return 0;
+}`
+
+// indirectArrayOverlap: a doubly-indirect pointer array needs
+// mapArray/unmapArray, which the overlap pass refuses to stream.
+const indirectArrayOverlap = `
+char *lines[3] = {"alpha", "be", "gamma!"};
+int lens[3];
+__global__ void measure(char **arr, int *out, int n) {
+	int i = tid();
+	if (i < n) {
+		char *s = arr[i];
+		int len = 0;
+		while (s[len]) len = len + 1;
+		out[i] = len;
+	}
+}
+int main() {
+	measure<<<1, 3>>>(lines, lens, 3);
+	for (int i = 0; i < 3; i++) print_int(lens[i]);
+	return 0;
+}`
+
+// TestOverlapMissedReasons pins the pass's refusal paths: a flush the
+// host consumes in-block stays synchronous with ReasonHostAccess, and
+// doubly-indirect array sites stay synchronous with ReasonIndirectArray.
+// Both programs still satisfy the async invariant.
+func TestOverlapMissedReasons(t *testing.T) {
+	countMissed := func(rs []remarks.Remark, reason remarks.Reason) int {
+		n := 0
+		for _, r := range rs {
+			if r.Pass == "overlap" && r.Kind == remarks.Missed && r.Reason == reason {
+				n++
+			}
+		}
+		return n
+	}
+	t.Run("host-access", func(t *testing.T) {
+		_, asyncRep := checkAsyncInvariant(t, "hostread.c", hostConsumesFlush, core.Options{
+			Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true},
+		})
+		if got := countMissed(asyncRep.Remarks, remarks.ReasonHostAccess); got == 0 {
+			t.Error("no Missed(host-access) remark for a flush the host consumes in-block")
+		}
+	})
+	t.Run("indirect-array", func(t *testing.T) {
+		_, asyncRep := checkAsyncInvariant(t, "strings.c", indirectArrayOverlap, core.Options{
+			Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true},
+		})
+		if got := countMissed(asyncRep.Remarks, remarks.ReasonIndirectArray); got == 0 {
+			t.Error("no Missed(indirect-array) remark for mapArray/unmapArray sites")
+		}
+	})
+}
+
+// TestOverlapDeterminism: -async must not change anything observable
+// except wall time and the overlapped-bytes column, at any worker count.
+func TestOverlapDeterminism(t *testing.T) {
+	for _, name := range overlapPrograms {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, ok := bench.ByName(name)
+			if !ok {
+				t.Fatalf("%s missing from suite", name)
+			}
+			for _, workers := range []int{1, 4} {
+				checkAsyncInvariant(t, p.Name, p.Source, core.Options{
+					Strategy: core.CGCMOptimized, Workers: workers,
+				})
+			}
+		})
+	}
+}
+
+// TestOverlapWins: the optimization must actually pay on the
+// Comm.-limited programs — shorter simulated wall, nonzero overlapped
+// bytes in the ledger, and rewritten sites reported.
+func TestOverlapWins(t *testing.T) {
+	for _, name := range bench.CommLimited {
+		p, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing from suite", name)
+		}
+		syncRep, asyncRep := checkAsyncInvariant(t, p.Name, p.Source, core.Options{Strategy: core.CGCMOptimized})
+		if asyncRep.Stats.Wall >= syncRep.Stats.Wall {
+			t.Errorf("%s: async wall %.1fus did not beat sync %.1fus",
+				name, asyncRep.Stats.Wall*1e6, syncRep.Stats.Wall*1e6)
+		}
+		if asyncRep.Comm.OverlappedBytes() == 0 {
+			t.Errorf("%s: ledger reports no overlapped bytes", name)
+		}
+		if asyncRep.Stats.OverlappedBytes != asyncRep.Comm.OverlappedBytes() {
+			t.Errorf("%s: machine overlapped bytes %d != ledger %d",
+				name, asyncRep.Stats.OverlappedBytes, asyncRep.Comm.OverlappedBytes())
+		}
+		if asyncRep.OverlapSites == 0 {
+			t.Errorf("%s: overlap pass rewrote no sites", name)
+		}
+		if syncRep.Stats.OverlappedBytes != 0 {
+			t.Errorf("%s: synchronous run reports overlapped bytes", name)
+		}
+		var overlapRemarks int
+		for _, r := range asyncRep.Remarks {
+			if r.Pass == "overlap" {
+				overlapRemarks++
+			}
+		}
+		if overlapRemarks == 0 {
+			t.Errorf("%s: no overlap remarks emitted", name)
+		}
+	}
+}
+
+// TestOverlapUnderFaults sweeps the PR 5 fault matrix over the async
+// path: transfer faults land on in-flight stream copies, allocation
+// faults force eviction/degradation mid-prefetch — and the run must
+// still match the synchronous run bit for bit, with the same fault,
+// retry, rescue, and fallback counts.
+func TestOverlapUnderFaults(t *testing.T) {
+	specs := []string{
+		"seed=7,htod=0.5",
+		"seed=3,dtoh=0.5",
+		"seed=11,htod=0.3,dtoh=0.3",
+		"alloc@2",
+		"fail=htod@4",
+		"fail=dtoh@2",
+		"seed=5,htod=0.2,dtoh=0.2,alloc@3",
+	}
+	// Finite-memory configs: 0 = unlimited; the small cap forces
+	// eviction and, with faults, the full escalation ladder.
+	mems := []int64{0, 96 * 1024}
+	for _, name := range []string{"atax", "bicg"} {
+		p, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing from suite", name)
+		}
+		for _, spec := range specs {
+			for _, mem := range mems {
+				fs, err := faultinject.ParseSpec(spec)
+				if err != nil {
+					t.Fatalf("spec %q: %v", spec, err)
+				}
+				t.Run(name+"/"+spec, func(t *testing.T) {
+					checkAsyncInvariant(t, p.Name, p.Source, core.Options{
+						Strategy:    core.CGCMOptimized,
+						FaultSpec:   fs,
+						GPUMemBytes: mem,
+					})
+				})
+			}
+		}
+	}
+}

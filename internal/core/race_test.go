@@ -51,7 +51,7 @@ int main() {
 // on N workers would be a *real* data race on the simulated memory.
 func TestRaceDetectorPositive(t *testing.T) {
 	rep, err := core.CompileAndRun("racy.c", racySrc, core.Options{
-		Strategy: core.CGCMUnoptimized, DisableDOALL: true,
+		Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true},
 		Workers: 1, RaceCheck: true,
 	})
 	if err != nil {
@@ -77,7 +77,7 @@ func TestRaceDetectorPositive(t *testing.T) {
 func TestRaceDetectorNegative(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		rep, err := core.CompileAndRun("fine.c", disjointSrc, core.Options{
-			Strategy: core.CGCMUnoptimized, DisableDOALL: true,
+			Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true},
 			Workers: workers, RaceCheck: true,
 		})
 		if err != nil {
@@ -92,7 +92,7 @@ func TestRaceDetectorNegative(t *testing.T) {
 // TestRaceDetectorOffByDefault: no findings are collected unless asked.
 func TestRaceDetectorOffByDefault(t *testing.T) {
 	rep, err := core.CompileAndRun("racy.c", racySrc, core.Options{
-		Strategy: core.CGCMUnoptimized, DisableDOALL: true, Workers: 1,
+		Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true}, Workers: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestParallelFaultDeterminism(t *testing.T) {
 	var msgs []string
 	for _, workers := range []int{1, 4} {
 		_, err := core.CompileAndRun("fault.c", faultSrc, core.Options{
-			Strategy: core.CGCMUnoptimized, DisableDOALL: true, Workers: workers,
+			Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true}, Workers: workers,
 		})
 		if err == nil {
 			t.Fatalf("workers=%d: out-of-bounds kernel did not fault", workers)

@@ -85,7 +85,7 @@ int main() {
 
 func TestStructKernelManaged(t *testing.T) {
 	rep := compileRun(t, "aosmanual.c", aosManual, core.Options{
-		Strategy: core.CGCMUnoptimized, DisableDOALL: true,
+		Strategy: core.CGCMUnoptimized, Ablate: core.PassSet{core.PassDOALL: true},
 	})
 	// sum of (i+10) - i/2 for i in 0..31 = 320 + sum(i/2) = 320 + 0.5*496 = 568
 	if rep.Output != "568\n" {

@@ -109,11 +109,6 @@ func TestTracerEndToEnd(t *testing.T) {
 	if len(tr.Phases()) == 0 {
 		t.Error("sink received no compile phases")
 	}
-	// Legacy flat events stay derivable for Figure 2.
-	if len(rep.Trace) == 0 {
-		t.Error("legacy Trace slice is empty under tracing")
-	}
-
 	var buf bytes.Buffer
 	if err := trace.WriteChrome(&buf, tr); err != nil {
 		t.Fatal(err)
@@ -197,7 +192,7 @@ func TestTracingDisabledIsFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Spans != nil || rep.Trace != nil {
+	if rep.Spans != nil {
 		t.Error("spans collected without tracing")
 	}
 	if len(rep.Comm.Units) == 0 || len(rep.Phases) == 0 {

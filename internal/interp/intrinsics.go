@@ -161,10 +161,25 @@ func (ex *exec) intrinsic(fr *frame, instr *ir.Instr, ops []operand) (uint64, in
 		p, err := in.RT.Map(a(0))
 		ex.profRTExit(instr, t0)
 		return p, 0, ex.wrapErr(fr, err)
+	case "cgcm.mapAsync":
+		if onGPU {
+			return 0, 0, &Error{Fn: fr.fn.Name, Msg: "cgcm.mapAsync on GPU"}
+		}
+		ex.flushOps()
+		t0 := ex.profRTEnter(instr)
+		p, err := in.RT.MapAsync(a(0))
+		ex.profRTExit(instr, t0)
+		return p, 0, ex.wrapErr(fr, err)
 	case "cgcm.unmap":
 		ex.flushOps()
 		t0 := ex.profRTEnter(instr)
 		err := in.RT.Unmap(a(0))
+		ex.profRTExit(instr, t0)
+		return 0, 0, ex.wrapErr(fr, err)
+	case "cgcm.unmapAsync":
+		ex.flushOps()
+		t0 := ex.profRTEnter(instr)
+		err := in.RT.UnmapAsync(a(0))
 		ex.profRTExit(instr, t0)
 		return 0, 0, ex.wrapErr(fr, err)
 	case "cgcm.release":

@@ -9,6 +9,7 @@ import (
 
 	"cgcm/internal/ir"
 	"cgcm/internal/machine"
+	"cgcm/internal/trace"
 )
 
 // launch executes an OpLaunch instruction according to the launch mode.
@@ -49,7 +50,7 @@ func (in *Interp) launchManaged(kernel *ir.Func, line int, threads int64, args [
 	if err != nil {
 		return err
 	}
-	in.Mach.LaunchKernelAt(kernel.Name, line, threads, res.totalOps, res.maxOps)
+	in.Mach.LaunchKernelAt(kernel.Name, line, threads, res.totalOps, res.maxOps, in.RT.TakeLaunchWaits()...)
 	return nil
 }
 
@@ -102,11 +103,11 @@ func (in *Interp) launchInspector(kernel *ir.Func, line int, threads int64, args
 	// written unit out. Each transfer pays full latency — this is what
 	// keeps the pattern cyclic.
 	for i := 0; i < res.inspTouched; i++ {
-		in.Mach.ChargeTransfer(machine.EvHtoD, 1)
+		in.Mach.ChargeTransfer(trace.KindHtoD, 1)
 	}
 	in.Mach.LaunchKernelAt(kernel.Name, line, threads, res.totalOps, res.maxOps)
 	for i := 0; i < res.inspWrote; i++ {
-		in.Mach.ChargeTransfer(machine.EvDtoH, 1)
+		in.Mach.ChargeTransfer(trace.KindDtoH, 1)
 	}
 	return nil
 }

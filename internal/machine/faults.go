@@ -149,7 +149,7 @@ func (m *Machine) RescueCopyDtoH(dst, src uint64, n int64) error {
 	}
 	m.flushCPUSpan()
 	if m.gpuReady > m.cpuTime {
-		m.emit(EvStall, m.cpuTime, m.gpuReady, "sync", 0, "")
+		m.emit(trace.KindStall, m.cpuTime, m.gpuReady, "sync", 0, "")
 		m.stats.StallTime += m.gpuReady - m.cpuTime
 		m.cpuTime = m.gpuReady
 	}

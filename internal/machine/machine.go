@@ -22,6 +22,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 
 	"cgcm/internal/faultinject"
 	"cgcm/internal/metrics"
@@ -165,88 +166,17 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// EventKind classifies trace events for schedule rendering (Figure 2).
-type EventKind int
-
-// Event kinds.
-const (
-	EvCPU EventKind = iota
-	EvKernel
-	EvHtoD
-	EvDtoH
-	EvStall // CPU waiting on the GPU
-)
-
-func (k EventKind) String() string {
+// spanLane maps a machine span kind to its display lane; the synchronous
+// verbs emit on these fixed lanes, while stream copies emit on their
+// stream's own lane (see stream.go).
+func spanLane(k trace.Kind) trace.Lane {
 	switch k {
-	case EvCPU:
-		return "cpu"
-	case EvKernel:
-		return "kernel"
-	case EvHtoD:
-		return "HtoD"
-	case EvDtoH:
-		return "DtoH"
-	case EvStall:
-		return "stall"
+	case trace.KindKernel:
+		return trace.LaneGPU
+	case trace.KindHtoD, trace.KindDtoH:
+		return trace.LaneXfer
 	}
-	return "?"
-}
-
-// Event is one span on a timeline lane.
-//
-// Deprecated: Event is the flat legacy view kept for the Figure 2
-// renderer and cgcmrun -trace; new code should consume trace.Span via a
-// trace.Tracer (SetTracer), which carries allocation-unit and epoch tags.
-type Event struct {
-	Kind       EventKind
-	Start, End float64
-	Label      string
-	Bytes      int64
-}
-
-// spanKind maps the legacy event kind to its structured kind and lane.
-func (k EventKind) spanKind() (trace.Kind, trace.Lane) {
-	switch k {
-	case EvKernel:
-		return trace.KindKernel, trace.LaneGPU
-	case EvHtoD:
-		return trace.KindHtoD, trace.LaneXfer
-	case EvDtoH:
-		return trace.KindDtoH, trace.LaneXfer
-	case EvStall:
-		return trace.KindStall, trace.LaneCPU
-	}
-	return trace.KindCPU, trace.LaneCPU
-}
-
-// EventsFromSpans converts machine-lane spans back to the legacy flat
-// event slice (compile-phase and runtime-call spans are dropped).
-func EventsFromSpans(spans []trace.Span) []Event {
-	var out []Event
-	for _, s := range spans {
-		var kind EventKind
-		switch s.Kind {
-		case trace.KindCPU:
-			kind = EvCPU
-		case trace.KindKernel:
-			kind = EvKernel
-		case trace.KindHtoD:
-			kind = EvHtoD
-		case trace.KindDtoH:
-			kind = EvDtoH
-		case trace.KindStall:
-			kind = EvStall
-		default:
-			continue
-		}
-		label := s.Name
-		if label == "" {
-			label = s.Unit
-		}
-		out = append(out, Event{Kind: kind, Start: s.Start, End: s.End, Label: label, Bytes: s.Bytes})
-	}
-	return out
+	return trace.LaneCPU
 }
 
 // Stats aggregates the temporal counters the evaluation reports.
@@ -263,6 +193,11 @@ type Stats struct {
 	NumKernels int64
 	CPUOps     int64
 	GPUOps     int64
+
+	// OverlappedBytes counts transferred bytes whose DMA time ran
+	// concurrently with CPU or GPU work (asynchronous stream copies);
+	// always 0 on a synchronous run.
+	OverlappedBytes int64
 
 	// Resilience counters (zero on a fault-free, infinite-memory run).
 	InjectedFaults  int64   // faults fired by the fault plan
@@ -314,6 +249,14 @@ type Machine struct {
 	gpuUsed  int64
 	gpuPeak  int64
 	plan     *faultinject.Plan
+
+	// Stream state (stream.go): created streams, in-flight async copies
+	// awaiting temporal resolution, the flow-id allocator linking issue
+	// instants to copy spans, and the overlap sink feeding the ledger.
+	streams     []*Stream
+	pending     []asyncOp
+	nextFlow    uint64
+	overlapSink func(hostBase uint64, overlapped int64)
 }
 
 // machMetrics is the machine's pre-resolved instrument set. Handles are
@@ -326,6 +269,8 @@ type machMetrics struct {
 	dtohBytes       *metrics.Histogram
 	faultsInjected  *metrics.Counter
 	fallbackKernels *metrics.Counter
+	overlappedBytes *metrics.Counter
+	streamDepth     *metrics.Histogram
 }
 
 // Gen returns the segment-table generation; it changes whenever a
@@ -354,6 +299,8 @@ func (m *Machine) SetTracer(t *trace.Tracer) { m.tr = t }
 //	machine.xfer.dtoh_bytes         histogram, per-transfer D2H payload
 //	machine.faults.injected         counter, faults fired by the fault plan
 //	machine.fallback.kernels        counter, kernels run on the CPU after degradation
+//	machine.xfer.overlapped_bytes   counter, transfer bytes overlapped with compute
+//	machine.stream.depth            histogram, in-flight async copies at each issue
 func (m *Machine) SetMetrics(r *metrics.Registry) {
 	m.met = machMetrics{
 		kernelLaunches:  r.Counter("machine.kernel.launches"),
@@ -362,6 +309,8 @@ func (m *Machine) SetMetrics(r *metrics.Registry) {
 		dtohBytes:       r.Histogram("machine.xfer.dtoh_bytes", TransferSizeBuckets()),
 		faultsInjected:  r.Counter("machine.faults.injected"),
 		fallbackKernels: r.Counter("machine.fallback.kernels"),
+		overlappedBytes: r.Counter("machine.xfer.overlapped_bytes"),
+		streamDepth:     r.Histogram("machine.stream.depth", StreamDepthBuckets()),
 	}
 }
 
@@ -373,29 +322,25 @@ func TransferSizeBuckets() []float64 { return metrics.ExpBuckets(64, 4, 13) }
 // bounds: 1 µs to ~16 s, powers of 4.
 func KernelDurBuckets() []float64 { return metrics.ExpBuckets(1e-6, 4, 13) }
 
+// StreamDepthBuckets returns the canonical stream-depth histogram bounds:
+// 1 to 128 in-flight copies, powers of 2.
+func StreamDepthBuckets() []float64 { return metrics.ExpBuckets(1, 2, 8) }
+
 // Tracer returns the machine's tracer, if any.
 func (m *Machine) Tracer() *trace.Tracer { return m.tr }
 
-// EnableTrace switches on event tracing into an internal tracer.
-//
-// Deprecated: pass a trace.Tracer via SetTracer instead.
-func (m *Machine) EnableTrace() {
-	if m.tr == nil {
-		m.tr = trace.New()
-	}
-}
-
-// Trace returns the recorded events as the legacy flat slice.
-//
-// Deprecated: read structured spans from the tracer instead.
-func (m *Machine) Trace() []Event { return EventsFromSpans(m.tr.Spans()) }
-
-// Stats returns a snapshot of the counters; Wall reflects a full sync.
+// Stats returns a snapshot of the counters; Wall reflects a full sync,
+// including any still-pending stream copies.
 func (m *Machine) Stats() Stats {
 	s := m.stats
 	s.Wall = m.cpuTime
 	if m.gpuReady > s.Wall {
 		s.Wall = m.gpuReady
+	}
+	for _, op := range m.pending {
+		if op.end > s.Wall {
+			s.Wall = op.end
+		}
 	}
 	return s
 }
@@ -430,11 +375,16 @@ func (m *Machine) Alloc(space Space, size int64, name string) uint64 {
 }
 
 // Free removes the segment at base. It is an error to free a non-base
-// address or an unmapped address, matching C.
+// address or an unmapped address, matching C. A free waits for any
+// in-flight stream copy over the segment's range first, so memory is
+// never reclaimed under an active DMA.
 func (m *Machine) Free(space Space, base uint64) error {
 	seg, ok := m.segs[space].Get(base)
 	if !ok {
 		return &Fault{Addr: base, Msg: fmt.Sprintf("free of non-allocated %s address", space)}
+	}
+	if len(m.pending) > 0 {
+		m.waitRange(space, base, int64(len(seg.Data)))
 	}
 	if space == GPU {
 		m.gpuUsed -= int64(align(uint64(len(seg.Data))))
@@ -553,20 +503,19 @@ func (m *Machine) WriteBytes(addr uint64, data []byte) error {
 }
 
 // emit records one timeline span; no-op unless a tracer is attached.
-func (m *Machine) emit(kind EventKind, start, end float64, name string, bytes int64, unit string) {
+func (m *Machine) emit(kind trace.Kind, start, end float64, name string, bytes int64, unit string) {
 	if m.tr == nil {
 		return
 	}
-	k, lane := kind.spanKind()
 	m.tr.Emit(trace.Span{
-		Kind: k, Lane: lane, Name: name,
+		Kind: kind, Lane: spanLane(kind), Name: name,
 		Start: start, End: end, Bytes: bytes, Unit: unit,
 	})
 }
 
 func (m *Machine) flushCPUSpan() {
 	if m.pendingCPUOps > 0 {
-		m.emit(EvCPU, m.pendingCPUStart, m.cpuTime,
+		m.emit(trace.KindCPU, m.pendingCPUStart, m.cpuTime,
 			fmt.Sprintf("%d ops", m.pendingCPUOps), 0, "")
 		m.pendingCPUOps = 0
 	}
@@ -595,7 +544,7 @@ func (m *Machine) InspectorOps(n int64) {
 	d := float64(n) * m.Cost.InspectorPerOp
 	m.cpuTime += d
 	m.stats.CPUTime += d
-	m.emit(EvCPU, m.cpuTime-d, m.cpuTime, fmt.Sprintf("inspect %d", n), 0, "")
+	m.emit(trace.KindCPU, m.cpuTime-d, m.cpuTime, fmt.Sprintf("inspect %d", n), 0, "")
 }
 
 // LaunchKernel models an asynchronous kernel launch executing totalOps
@@ -607,13 +556,28 @@ func (m *Machine) LaunchKernel(name string, threads int64, totalOps, maxThreadOp
 }
 
 // LaunchKernelAt is LaunchKernel tagged with the launch site's source
-// line, which the emitted kernel span carries for the profiler.
-func (m *Machine) LaunchKernelAt(name string, line int, threads int64, totalOps, maxThreadOps int64) {
+// line, which the emitted kernel span carries for the profiler. The
+// kernel additionally starts no earlier than any wait event (the runtime
+// passes the completion events of the async uploads the kernel's live-ins
+// depend on); waits delay the GPU, never the CPU.
+func (m *Machine) LaunchKernelAt(name string, line int, threads int64, totalOps, maxThreadOps int64, waits ...Event) {
 	m.flushCPUSpan()
 	m.cpuTime += m.Cost.LaunchCPU
 	start := m.cpuTime
 	if m.gpuReady > start {
 		start = m.gpuReady
+	}
+	if len(waits) > 0 {
+		// base is the start the kernel would have had without the async
+		// copies: copy time before base overlapped work that was happening
+		// anyway; copy time after base delayed this kernel.
+		base := start
+		for _, e := range waits {
+			if e.t > start {
+				start = e.t
+			}
+		}
+		m.resolvePending(start, base)
 	}
 	// Kernel duration: fixed overhead plus the larger of the aggregate
 	// throughput bound and the critical-path (longest thread) bound.
@@ -670,7 +634,7 @@ func (m *Machine) CopyHtoD(dst, src uint64, n int64) error {
 	if err := m.WriteBytes(dst, data); err != nil {
 		return err
 	}
-	m.xfer(EvHtoD, n, m.unitNameAt(src))
+	m.xfer(trace.KindHtoD, n, m.unitNameAt(src))
 	m.stats.BytesHtoD += n
 	m.stats.NumHtoD++
 	return nil
@@ -690,25 +654,26 @@ func (m *Machine) CopyDtoH(dst, src uint64, n int64) error {
 	if err := m.WriteBytes(dst, data); err != nil {
 		return err
 	}
-	m.xfer(EvDtoH, n, m.unitNameAt(dst))
+	m.xfer(trace.KindDtoH, n, m.unitNameAt(dst))
 	m.stats.BytesDtoH += n
 	m.stats.NumDtoH++
 	return nil
 }
 
 // ChargeTransfer charges transfer time for n bytes in the given direction
-// without moving any bytes (used by the idealized inspector-executor,
-// which the paper grants an oracle that transfers exactly the needed
-// bytes; the functional copy happens wholesale elsewhere).
-func (m *Machine) ChargeTransfer(kind EventKind, n int64) {
+// (trace.KindHtoD or trace.KindDtoH) without moving any bytes (used by
+// the idealized inspector-executor, which the paper grants an oracle that
+// transfers exactly the needed bytes; the functional copy happens
+// wholesale elsewhere).
+func (m *Machine) ChargeTransfer(kind trace.Kind, n int64) {
 	m.ChargeTransferUnit(kind, n, "")
 }
 
 // ChargeTransferUnit is ChargeTransfer with an allocation-unit tag for
 // the emitted trace span.
-func (m *Machine) ChargeTransferUnit(kind EventKind, n int64, unit string) {
+func (m *Machine) ChargeTransferUnit(kind trace.Kind, n int64, unit string) {
 	m.xfer(kind, n, unit)
-	if kind == EvHtoD {
+	if kind == trace.KindHtoD {
 		m.stats.BytesHtoD += n
 		m.stats.NumHtoD++
 	} else {
@@ -717,17 +682,18 @@ func (m *Machine) ChargeTransferUnit(kind EventKind, n int64, unit string) {
 	}
 }
 
-func (m *Machine) xfer(kind EventKind, n int64, unit string) {
+// xfer charges one synchronous transfer: a sync-on-default-stream copy.
+// It is exactly CopyHtoDAsync/CopyDtoHAsync on an implicit default stream
+// followed immediately by WaitEvent — the CPU stalls until in-flight
+// kernels drain, pays the DMA inline, and resynchronizes the GPU — kept
+// as straight-line code so the synchronous cost model is unchanged.
+func (m *Machine) xfer(kind trace.Kind, n int64, unit string) {
 	m.flushCPUSpan()
 	// Transfers synchronize with the GPU: wait for kernels to drain.
-	if m.gpuReady > m.cpuTime {
-		m.emit(EvStall, m.cpuTime, m.gpuReady, "sync", 0, "")
-		m.stats.StallTime += m.gpuReady - m.cpuTime
-		m.cpuTime = m.gpuReady
-	}
+	m.stallTo(m.gpuReady)
 	d := m.Cost.TransferLat + float64(n)*m.Cost.TransferPerB
 	m.emit(kind, m.cpuTime, m.cpuTime+d, "", n, unit)
-	if kind == EvHtoD {
+	if kind == trace.KindHtoD {
 		m.met.htodBytes.Observe(float64(n))
 	} else {
 		m.met.dtohBytes.Observe(float64(n))
@@ -745,11 +711,14 @@ func (m *Machine) ChargeAllocGPU() { m.cpuTime += m.Cost.AllocGPU }
 // Sync blocks the CPU until the GPU is idle.
 func (m *Machine) Sync() {
 	m.flushCPUSpan()
-	if m.gpuReady > m.cpuTime {
-		m.emit(EvStall, m.cpuTime, m.gpuReady, "sync", 0, "")
-		m.stats.StallTime += m.gpuReady - m.cpuTime
-		m.cpuTime = m.gpuReady
+	target := m.gpuReady
+	for _, op := range m.pending {
+		if op.end > target {
+			target = op.end
+		}
 	}
+	m.resolvePending(math.Inf(1), m.cpuTime)
+	m.stallTo(target)
 }
 
 // FlushTrace closes any open CPU span (call before reading Trace).

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"cgcm/internal/trace"
 )
 
 func newM() *Machine { return New(DefaultCostModel()) }
@@ -131,7 +133,7 @@ func TestTimingCyclicVsOverlap(t *testing.T) {
 	// sequence runs concurrently with the GPU (acyclic overlap).
 	cyclic := newM()
 	cyclic.LaunchKernel("k", 128, 1_000_000, 10_000)
-	cyclic.ChargeTransfer(EvDtoH, 8)
+	cyclic.ChargeTransfer(trace.KindDtoH, 8)
 	cyc := cyclic.Stats().Wall
 
 	overlap := newM()
@@ -178,19 +180,20 @@ func TestKernelCriticalPath(t *testing.T) {
 
 func TestTrace(t *testing.T) {
 	m := newM()
-	m.EnableTrace()
+	tr := trace.New()
+	m.SetTracer(tr)
 	m.CPUOps(1000)
 	m.LaunchKernel("k", 16, 1600, 100)
-	m.ChargeTransfer(EvDtoH, 64)
+	m.ChargeTransfer(trace.KindDtoH, 64)
 	m.FlushTrace()
-	kinds := map[EventKind]int{}
-	for _, ev := range m.Trace() {
-		kinds[ev.Kind]++
-		if ev.End < ev.Start {
-			t.Errorf("event %v ends before start", ev)
+	kinds := map[trace.Kind]int{}
+	for _, s := range tr.Spans() {
+		kinds[s.Kind]++
+		if s.End < s.Start {
+			t.Errorf("span %v ends before start", s)
 		}
 	}
-	if kinds[EvCPU] == 0 || kinds[EvKernel] == 0 || kinds[EvDtoH] == 0 {
+	if kinds[trace.KindCPU] == 0 || kinds[trace.KindKernel] == 0 || kinds[trace.KindDtoH] == 0 {
 		t.Errorf("trace missing kinds: %v", kinds)
 	}
 }
@@ -225,7 +228,7 @@ func TestQuickWallMonotonic(t *testing.T) {
 			case 1:
 				m.LaunchKernel("k", int64(op)+1, int64(op)*10, int64(op))
 			case 2:
-				m.ChargeTransfer(EvHtoD, int64(op))
+				m.ChargeTransfer(trace.KindHtoD, int64(op))
 			case 3:
 				m.Sync()
 			}

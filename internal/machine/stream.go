@@ -1,0 +1,343 @@
+// Streams and events: asynchronous copy engines for the simulated device.
+//
+// A Stream is an ordered queue of DMA copies with its own occupancy: each
+// copy starts no earlier than the stream's previous copy finished, so one
+// stream models one copy engine. An Event marks the completion of an
+// asynchronous operation on the simulated clock; passing events as wait
+// dependencies orders operations across streams (and against the GPU
+// compute timeline via GPUReadyEvent), exactly like cuEventRecord /
+// cuStreamWaitEvent.
+//
+// The async verbs split the machine's two concerns differently than the
+// synchronous ones:
+//
+//   - Functionally they are eager: the bytes move at issue time, on the
+//     root goroutine, in program order. Program output is therefore
+//     structurally bit-identical with overlap on or off, at any worker
+//     count, under any fault schedule — the PR 1/5 invariant.
+//   - Temporally they are deferred: the copy occupies [start, end) on the
+//     stream's lane, where start honors the CPU clock, the stream's
+//     occupancy, the explicit waits, and (for DtoH) the GPU timeline.
+//     The CPU does not stall at issue. Pending copies resolve at the
+//     next synchronization point — a kernel launch that waits on them, a
+//     host access to a flushing unit, a free of an involved range, or
+//     Sync — and the portion of each copy's duration that elapsed before
+//     the synchronization observer is credited as overlapped
+//     communication (Stats.OverlappedBytes, the ledger's overlap column,
+//     and the machine.xfer.overlapped_bytes counter).
+//
+// Fault injection fires at issue time in the same verb order as the
+// synchronous path, so a fault schedule hits the identical call sequence
+// whether overlap is on or off.
+package machine
+
+import (
+	"math"
+
+	"cgcm/internal/faultinject"
+	"cgcm/internal/trace"
+)
+
+// Stream is one ordered asynchronous copy queue (one simulated DMA
+// engine). Create streams with Machine.NewStream; the zero value is not
+// usable.
+type Stream struct {
+	name  string
+	lane  trace.Lane
+	ready float64 // completion time of the stream's last issued copy
+}
+
+// Name returns the stream's diagnostic name.
+func (s *Stream) Name() string { return s.name }
+
+// Event marks the completion of an asynchronous operation on the
+// simulated clock. The zero Event is "already complete" and waits for
+// nothing.
+type Event struct {
+	t    float64
+	flow uint64
+}
+
+// Time returns the simulated completion time the event represents.
+func (e Event) Time() float64 { return e.t }
+
+// asyncOp is one in-flight stream copy awaiting temporal resolution.
+type asyncOp struct {
+	kind       trace.Kind // KindHtoD or KindDtoH
+	bytes      int64
+	start, end float64
+	hostBase   uint64 // CPU-side range the copy reads (HtoD) or writes (DtoH)
+	hostEnd    uint64
+	devBase    uint64 // GPU-side range
+	devEnd     uint64
+}
+
+// NewStream creates a stream. Each stream gets its own trace lane
+// (trace.LaneStreamBase + index) so its copies render on a dedicated
+// timeline in the Perfetto export.
+func (m *Machine) NewStream(name string) *Stream {
+	s := &Stream{name: name, lane: trace.LaneStreamBase + trace.Lane(len(m.streams))}
+	m.streams = append(m.streams, s)
+	return s
+}
+
+// SetOverlapSink directs per-copy overlap credits (CPU base address of
+// the copied host range, overlapped bytes) to fn; core.Run wires it to
+// the communication ledger. nil detaches.
+func (m *Machine) SetOverlapSink(fn func(hostBase uint64, overlapped int64)) {
+	m.overlapSink = fn
+}
+
+// GPUReadyEvent returns an event that completes when every kernel
+// launched so far has finished — the handle an async copy passes as a
+// wait when it must not race the compute timeline.
+func (m *Machine) GPUReadyEvent() Event { return Event{t: m.gpuReady} }
+
+// CopyHtoDAsync issues an asynchronous host-to-device copy on stream s.
+// The bytes move immediately (so program semantics match the synchronous
+// verb exactly); the DMA occupies the stream's lane starting after the
+// stream's previous copy and every wait event. It does not wait for
+// in-flight kernels: the runtime only uploads to freshly allocated or
+// explicitly event-ordered device memory.
+func (m *Machine) CopyHtoDAsync(s *Stream, dst, src uint64, n int64, waits ...Event) (Event, error) {
+	if m.plan != nil {
+		if de := m.DecideFault(faultinject.VerbHtoD, m.faultUnitAt(src)); de != nil {
+			return Event{}, de
+		}
+	}
+	data, err := m.ReadBytes(src, n)
+	if err != nil {
+		return Event{}, err
+	}
+	if err := m.WriteBytes(dst, data); err != nil {
+		return Event{}, err
+	}
+	ev := m.issueCopy(s, trace.KindHtoD, dst, src, n, waits)
+	m.stats.BytesHtoD += n
+	m.stats.NumHtoD++
+	return ev, nil
+}
+
+// CopyDtoHAsync issues an asynchronous device-to-host copy on stream s.
+// It implicitly waits for in-flight kernels (the device data must be
+// final) in addition to the stream's occupancy and the explicit waits.
+// The host bytes are updated immediately, so a later host read is always
+// correct; the machine only charges the wait when the host actually
+// touches the flushing unit before the DMA completes (WaitHostUnit).
+func (m *Machine) CopyDtoHAsync(s *Stream, dst, src uint64, n int64, waits ...Event) (Event, error) {
+	if m.plan != nil {
+		if de := m.DecideFault(faultinject.VerbDtoH, m.faultUnitAt(dst)); de != nil {
+			return Event{}, de
+		}
+	}
+	data, err := m.ReadBytes(src, n)
+	if err != nil {
+		return Event{}, err
+	}
+	if err := m.WriteBytes(dst, data); err != nil {
+		return Event{}, err
+	}
+	ev := m.issueCopy(s, trace.KindDtoH, dst, src, n, waits)
+	m.stats.BytesDtoH += n
+	m.stats.NumDtoH++
+	return ev, nil
+}
+
+// issueCopy charges one asynchronous DMA: spans (issue instant on the CPU
+// lane, copy interval on the stream lane, linked by a flow id), byte
+// histograms, CommTime, stream occupancy, and the pending-op record that
+// later resolves into overlap credit.
+func (m *Machine) issueCopy(s *Stream, kind trace.Kind, dst, src uint64, n int64, waits []Event) Event {
+	m.flushCPUSpan()
+	start := m.cpuTime
+	if s.ready > start {
+		start = s.ready
+	}
+	if kind == trace.KindDtoH && m.gpuReady > start {
+		start = m.gpuReady
+	}
+	for _, e := range waits {
+		if e.t > start {
+			start = e.t
+		}
+	}
+	d := m.Cost.TransferLat + float64(n)*m.Cost.TransferPerB
+	end := start + d
+	hostBase, devBase := src, dst
+	if kind == trace.KindDtoH {
+		hostBase, devBase = dst, src
+	}
+	m.nextFlow++
+	flow := m.nextFlow
+	if m.tr != nil {
+		unit := m.unitNameAt(hostBase)
+		m.tr.Emit(trace.Span{
+			Kind: trace.KindIssue, Lane: trace.LaneCPU,
+			Name:  "issue " + kind.String() + " " + s.name,
+			Start: m.cpuTime, End: m.cpuTime, Bytes: n, Unit: unit, Flow: flow,
+		})
+		m.tr.Emit(trace.Span{
+			Kind: kind, Lane: s.lane, Name: s.name,
+			Start: start, End: end, Bytes: n, Unit: unit, Flow: flow,
+		})
+	}
+	if kind == trace.KindHtoD {
+		m.met.htodBytes.Observe(float64(n))
+	} else {
+		m.met.dtohBytes.Observe(float64(n))
+		// A pending host-bound flush: invalidate the interpreter's inline
+		// caches so the next host access to any unit re-resolves through
+		// the machine and charges WaitHostUnit if it touches this one.
+		m.gen++
+	}
+	m.stats.CommTime += d
+	s.ready = end
+	m.pending = append(m.pending, asyncOp{
+		kind: kind, bytes: n, start: start, end: end,
+		hostBase: hostBase, hostEnd: hostBase + uint64(n),
+		devBase: devBase, devEnd: devBase + uint64(n),
+	})
+	m.met.streamDepth.Observe(float64(len(m.pending)))
+	return Event{t: end, flow: flow}
+}
+
+// retire credits the portion of one finished copy that ran before the
+// observer time tObs as overlapped communication.
+func (m *Machine) retire(op asyncOp, tObs float64) {
+	d := op.end - op.start
+	ov := tObs - op.start
+	if ov > d {
+		ov = d
+	}
+	if d <= 0 || ov <= 0 {
+		return
+	}
+	ob := int64(float64(op.bytes) * ov / d)
+	if ob <= 0 {
+		return
+	}
+	m.stats.OverlappedBytes += ob
+	m.met.overlappedBytes.Add(ob)
+	if m.overlapSink != nil {
+		m.overlapSink(op.hostBase, ob)
+	}
+}
+
+// resolvePending retires every pending copy that completes by lim,
+// observing overlap relative to tObs (the time useful work had reached
+// when the synchronization happened). Pending order is issue order, so
+// resolution is deterministic.
+func (m *Machine) resolvePending(lim, tObs float64) {
+	if len(m.pending) == 0 {
+		return
+	}
+	kept := m.pending[:0]
+	for _, op := range m.pending {
+		if op.end <= lim {
+			m.retire(op, tObs)
+		} else {
+			kept = append(kept, op)
+		}
+	}
+	m.pending = kept
+}
+
+// stallTo advances the CPU clock to t as GPU-wait stall time (no-op when
+// t is in the past).
+func (m *Machine) stallTo(t float64) {
+	if t <= m.cpuTime {
+		return
+	}
+	m.flushCPUSpan()
+	m.emit(trace.KindStall, m.cpuTime, t, "sync", 0, "")
+	m.stats.StallTime += t - m.cpuTime
+	m.cpuTime = t
+}
+
+// WaitEvent blocks the CPU until the event completes (cuEventSynchronize).
+func (m *Machine) WaitEvent(e Event) {
+	m.resolvePending(e.t, m.cpuTime)
+	m.stallTo(e.t)
+}
+
+// SyncStreams drains every pending stream copy, stalling the CPU to the
+// last completion. Sync calls it; the runtime also calls it directly
+// before degrading the device so no async copy is in flight when the
+// escalation ladder takes over.
+func (m *Machine) SyncStreams() {
+	if len(m.pending) == 0 {
+		return
+	}
+	target := m.cpuTime
+	for _, op := range m.pending {
+		if op.end > target {
+			target = op.end
+		}
+	}
+	m.resolvePending(math.Inf(1), m.cpuTime)
+	m.stallTo(target)
+}
+
+// HostPendingCount reports how many device-to-host stream copies are
+// still in flight. The interpreter checks it (cheaply, after an
+// inline-cache miss) to decide whether a host access needs WaitHostUnit.
+func (m *Machine) HostPendingCount() int {
+	n := 0
+	for _, op := range m.pending {
+		if op.kind == trace.KindDtoH {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingCopies reports how many stream copies are in flight (tests).
+func (m *Machine) PendingCopies() int { return len(m.pending) }
+
+// WaitHostUnit blocks the CPU until every in-flight device-to-host copy
+// whose destination range contains addr has completed. Host code that
+// touches a unit mid-flush pays the DMA wait, exactly like a pagelocked
+// buffer consumed before cuStreamSynchronize.
+func (m *Machine) WaitHostUnit(addr uint64) {
+	target := m.cpuTime
+	found := false
+	for _, op := range m.pending {
+		if op.kind == trace.KindDtoH && addr >= op.hostBase && addr < op.hostEnd {
+			found = true
+			if op.end > target {
+				target = op.end
+			}
+		}
+	}
+	if !found {
+		return
+	}
+	m.resolvePending(target, m.cpuTime)
+	m.stallTo(target)
+}
+
+// waitRange blocks until every pending copy intersecting [base, base+size)
+// in the given space has completed; Free calls it so memory is never
+// reclaimed under an in-flight DMA.
+func (m *Machine) waitRange(space Space, base uint64, size int64) {
+	end := base + uint64(size)
+	target := m.cpuTime
+	found := false
+	for _, op := range m.pending {
+		lo, hi := op.hostBase, op.hostEnd
+		if space == GPU {
+			lo, hi = op.devBase, op.devEnd
+		}
+		if base < hi && lo < end {
+			found = true
+			if op.end > target {
+				target = op.end
+			}
+		}
+	}
+	if !found {
+		return
+	}
+	m.resolvePending(target, m.cpuTime)
+	m.stallTo(target)
+}

@@ -155,6 +155,14 @@ const (
 	// ReasonDeviceFailure: a device fault (injected or organic) could not
 	// be retried away; the run degraded to CPU fallback.
 	ReasonDeviceFailure
+	// ReasonHostAccess: host code may read or write the allocation unit
+	// between the flush and the next synchronization point, so the copy
+	// cannot overlap host work.
+	ReasonHostAccess
+	// ReasonIndirectArray: the site manages a doubly-indirect pointer array
+	// (mapArray/unmapArray), whose element translation must complete before
+	// the shadow array uploads; it stays synchronous.
+	ReasonIndirectArray
 )
 
 func (r Reason) String() string {
@@ -197,6 +205,10 @@ func (r Reason) String() string {
 		return "device-oom"
 	case ReasonDeviceFailure:
 		return "device-failure"
+	case ReasonHostAccess:
+		return "host-access"
+	case ReasonIndirectArray:
+		return "indirect-array"
 	}
 	return "?"
 }
@@ -210,7 +222,7 @@ func (r *Reason) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
 	}
-	for v := ReasonNone; v <= ReasonDeviceFailure; v++ {
+	for v := ReasonNone; v <= ReasonIndirectArray; v++ {
 		if v.String() == s {
 			*r = v
 			return nil

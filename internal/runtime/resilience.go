@@ -244,6 +244,10 @@ func (r *Runtime) degrade(what string, cause error) error {
 	if r.degraded {
 		return nil
 	}
+	// Drain in-flight stream copies first: the escalation ladder must not
+	// run under an async DMA, and the drain resolves their overlap credit
+	// before the device state is torn down.
+	r.M.SyncStreams()
 	r.degraded = true
 	r.degradeEpoch = r.epoch
 	r.degradeReason = what

@@ -154,6 +154,14 @@ type Runtime struct {
 	stats   Stats
 	met     rtMetrics
 
+	// Async communication state (async.go). async gates MapAsync/UnmapAsync
+	// between stream copies and their synchronous equivalents, so the
+	// rewritten intrinsics are safe even when overlap is off.
+	async          bool
+	h2d, d2h       *machine.Stream
+	lastXfer       map[uint64]machine.Event // per-unit last async copy, for ordering
+	pendingUploads []machine.Event          // uploads the next kernel launch must wait on
+
 	// Resilience state (resilience.go). resilient gates every behavioral
 	// difference from the classic infallible-device runtime, so default
 	// runs are bit-for-bit unchanged.
@@ -377,7 +385,14 @@ func (r *Runtime) lookupOrErr(op string, ptr uint64) (*AllocInfo, error) {
 // Map implements Algorithm 1: given a CPU pointer, return the equivalent
 // GPU pointer, allocating and copying the allocation unit if it is not
 // already resident.
-func (r *Runtime) Map(ptr uint64) (uint64, error) {
+func (r *Runtime) Map(ptr uint64) (uint64, error) { return r.mapImpl(ptr, false) }
+
+// mapImpl is Map with an upload-mode switch: async=true issues the HtoD
+// copy on the upload stream instead of paying it inline. Everything else
+// — stats, ledger, profile, spans, reference counts, fault handling — is
+// byte-for-byte the synchronous path, which is what keeps a run's ledger
+// and remarks identical with overlap on or off.
+func (r *Runtime) mapImpl(ptr uint64, async bool) (uint64, error) {
 	r.M.CPUOps(runtimeCallOps)
 	r.stats.Maps++
 	r.met.maps.Inc()
@@ -393,6 +408,7 @@ func (r *Runtime) Map(ptr uint64) (uint64, error) {
 	}
 	copied := info.RefCount == 0
 	if copied {
+		fresh := false
 		if !info.IsGlobal {
 			if info.DevPtr == 0 {
 				dev, aerr := r.allocDevice(info.Size, "dev:"+info.Name)
@@ -401,6 +417,7 @@ func (r *Runtime) Map(ptr uint64) (uint64, error) {
 				}
 				info.DevPtr = dev
 				r.M.ChargeAllocGPU()
+				fresh = true
 			} else {
 				// Resilient mode cached the device copy at release time:
 				// reuse the allocation, but re-upload below — the CPU may
@@ -410,7 +427,13 @@ func (r *Runtime) Map(ptr uint64) (uint64, error) {
 		} else {
 			info.DevPtr = info.DeviceGlobal // cuModuleGetGlobal
 		}
-		if cerr := r.copyHtoDRetry(info.DevPtr, info.Base, info.Size); cerr != nil {
+		var cerr error
+		if async {
+			cerr = r.uploadAsync(info, fresh)
+		} else {
+			cerr = r.copyHtoDRetry(info.DevPtr, info.Base, info.Size)
+		}
+		if cerr != nil {
 			return r.degradeMap(ptr, "upload of "+info.Name, cerr)
 		}
 		info.Dirty = false
@@ -433,7 +456,13 @@ func (r *Runtime) Map(ptr uint64) (uint64, error) {
 
 // Unmap implements Algorithm 2: update the CPU allocation unit from the
 // GPU copy unless the unit's epoch is current or the unit is read-only.
-func (r *Runtime) Unmap(ptr uint64) error {
+func (r *Runtime) Unmap(ptr uint64) error { return r.unmapImpl(ptr, false) }
+
+// unmapImpl is Unmap with a flush-mode switch: async=true issues the DtoH
+// copy on the flush stream (host bytes land immediately; the wall-clock
+// wait is only charged if the host touches the unit before the DMA
+// completes). All bookkeeping matches the synchronous path exactly.
+func (r *Runtime) unmapImpl(ptr uint64, async bool) error {
 	r.M.CPUOps(runtimeCallOps)
 	r.stats.Unmaps++
 	r.met.unmaps.Inc()
@@ -453,7 +482,12 @@ func (r *Runtime) Unmap(ptr uint64) error {
 		}
 		// The copy-back must land: retry transient faults, then fall
 		// back to the machine's slow reliable rescue channel.
-		if err := r.flushDtoH(info.Base, info.DevPtr, info.Size); err != nil {
+		if async {
+			err = r.flushDtoHAsync(info)
+		} else {
+			err = r.flushDtoH(info.Base, info.DevPtr, info.Size)
+		}
+		if err != nil {
 			return err
 		}
 		info.Dirty = false
@@ -585,7 +619,7 @@ func (r *Runtime) MapArray(ptr uint64) (uint64, error) {
 				return 0, err
 			}
 		}
-		r.M.ChargeTransferUnit(machine.EvHtoD, info.Size, info.Name)
+		r.M.ChargeTransferUnit(trace.KindHtoD, info.Size, info.Name)
 		r.stats.HtoDCopies++
 		r.met.htodCopies.Inc()
 		r.Prof.AddTransfer(info.Name, r.ProfLine, true, info.Size)

@@ -27,6 +27,8 @@ type chromeEvent struct {
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`    // instant-event scope
+	ID    *uint64        `json:"id,omitempty"`   // flow-event binding id
+	BP    string         `json:"bp,omitempty"`   // flow-end binding point
 	Args  map[string]any `json:"args,omitempty"` // bytes, unit, epoch, ...
 }
 
@@ -59,7 +61,19 @@ func WriteChromeSpans(w io.Writer, spans []Span, phases []PhaseSpan) error {
 		})
 	}
 	meta(chromePidMachine, "simulated machine")
-	for _, lane := range []Lane{LaneCPU, LaneGPU, LaneXfer, LaneRT} {
+	lanes := []Lane{LaneCPU, LaneGPU, LaneXfer, LaneRT}
+	// Stream lanes exist only when async copies were issued; name exactly
+	// the ones the spans use so the export stays stable for golden tests.
+	maxLane := LaneRT
+	for _, s := range spans {
+		if s.Lane > maxLane {
+			maxLane = s.Lane
+		}
+	}
+	for lane := LaneStreamBase; lane <= maxLane; lane++ {
+		lanes = append(lanes, lane)
+	}
+	for _, lane := range lanes {
 		threadMeta(chromePidMachine, int(lane), lane.String())
 	}
 	if len(phases) > 0 {
@@ -97,6 +111,26 @@ func WriteChromeSpans(w io.Writer, spans []Span, phases []PhaseSpan) error {
 			ev.Scope = "t"
 		}
 		doc.TraceEvents = append(doc.TraceEvents, ev)
+		// Flow arrows: the issue instant starts the flow ("s"), the copy
+		// span on the stream lane ends it ("f", bound to the enclosing
+		// slice). Perfetto draws issue→copy arrows from these pairs.
+		if s.Flow != 0 {
+			id := s.Flow
+			fe := chromeEvent{
+				Name: "async-copy", Cat: "flow",
+				TS:  s.Start * 1e6,
+				Pid: chromePidMachine, Tid: int(s.Lane),
+				ID: &id,
+			}
+			if s.Kind == KindIssue {
+				fe.Phase = "s"
+				doc.TraceEvents = append(doc.TraceEvents, fe)
+			} else {
+				fe.Phase = "f"
+				fe.BP = "e"
+				doc.TraceEvents = append(doc.TraceEvents, fe)
+			}
+		}
 	}
 
 	// Phases are sequential in host time; lay them out end to end.

@@ -21,6 +21,7 @@
 package trace
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -36,6 +37,11 @@ const (
 	LaneGPU
 	LaneXfer
 	LaneRT
+
+	// LaneStreamBase is the first stream lane: machine.NewStream assigns
+	// lane LaneStreamBase+i to the i-th stream, so every stream's copies
+	// render on their own timeline in the Perfetto export.
+	LaneStreamBase
 )
 
 func (l Lane) String() string {
@@ -48,6 +54,9 @@ func (l Lane) String() string {
 		return "Xfer"
 	case LaneRT:
 		return "CGCM runtime"
+	}
+	if l >= LaneStreamBase {
+		return fmt.Sprintf("Stream %d", int(l-LaneStreamBase))
 	}
 	return "?"
 }
@@ -68,6 +77,7 @@ const (
 	KindFault                // execution fault or injected device fault (instant)
 	KindEvict                // runtime evicted a device-resident unit under memory pressure
 	KindFallback             // kernel executed on the CPU after device degradation
+	KindIssue                // async copy issued on a stream (instant, CPU lane)
 )
 
 func (k Kind) String() string {
@@ -94,6 +104,8 @@ func (k Kind) String() string {
 		return "evict"
 	case KindFallback:
 		return "fallback"
+	case KindIssue:
+		return "issue"
 	}
 	return "?"
 }
@@ -109,6 +121,10 @@ type Span struct {
 	Unit       string  // allocation-unit name for transfers and runtime calls
 	Epoch      uint64  // kernel epoch at emission time
 	Line       int     // launch-site source line for kernel spans, 0 if unknown
+	// Flow links an async copy's issue instant (KindIssue, CPU lane) to
+	// its copy span on a stream lane; both carry the same nonzero id, and
+	// the Chrome export renders them as a flow arrow. 0 = no flow.
+	Flow uint64
 }
 
 // PhaseSpan records one compiler phase: its host wall time and how many
