@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test race bench benchsmoke baseline baseline-async overlap fuzzsmoke resilience ci
+.PHONY: all build vet fmtcheck test race bench benchsmoke baseline baseline-async overlap fuzzsmoke resilience critpath ci
 
 all: build
 
@@ -65,4 +65,11 @@ fuzzsmoke:
 resilience:
 	$(GO) run ./cmd/cgcmbench -q -faults 'seed=7,htod=0.2,dtoh=0.2,alloc=0.1' -gpu-mem 262144
 
-ci: build fmtcheck vet race benchsmoke overlap fuzzsmoke resilience
+# Critical-path gate across the whole suite, sync and async: the path
+# must tile [0, Stats.Wall] exactly, the limiting factor and what-if
+# predictions must be bit-identical across engine worker counts, and
+# the zero-comm replay must never predict above the measured wall.
+critpath:
+	$(GO) run ./cmd/cgcmstat -gate
+
+ci: build fmtcheck vet race benchsmoke overlap fuzzsmoke resilience critpath

@@ -32,6 +32,8 @@
 //	                       # is bit-identical to the fault-free run
 //	cgcmbench -gpu-mem 65536             # same, under a finite device
 //	cgcmbench -async       # measure with communication overlap enabled
+//	cgcmbench -metrics-listen :9090      # serve live Prometheus /metrics
+//	                       # over HTTP while the suite measures
 //	cgcmbench -overlap-gate  # CI gate: -async must beat sync wall and
 //	                       # report overlapped bytes on Comm.-limited programs
 //
@@ -51,6 +53,7 @@ import (
 	"cgcm/internal/cli"
 	"cgcm/internal/core"
 	"cgcm/internal/faultinject"
+	"cgcm/internal/metrics"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -97,6 +100,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bench.Workers = *workers
 	bench.TraceDir = runf.TraceOut
 	bench.Async = runf.Async
+	if runf.MetricsListen != "" {
+		reg := metrics.New()
+		bench.Metrics = reg
+		ms, err := cli.ServeMetrics(runf.MetricsListen, reg.Snapshot)
+		if err != nil {
+			fmt.Fprintf(stderr, "cgcmbench: -metrics-listen: %v\n", err)
+			return 1
+		}
+		defer ms.Close()
+		fmt.Fprintf(stderr, "serving metrics at http://%s/metrics\n", ms.Addr)
+	}
 
 	if *overlapGate {
 		return runOverlapGate(stdout, stderr, *quiet)

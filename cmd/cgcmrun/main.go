@@ -15,6 +15,8 @@
 //	cgcmrun -prof -prof-n 40 file.c   # show 40 hot lines (-prof-top works too)
 //	cgcmrun -prof-folded p.folded file.c  # folded stacks for flamegraph tools
 //	cgcmrun -metrics m.json file.c    # machine/runtime/compiler metrics JSON
+//	cgcmrun -metrics-listen :9090 file.c  # serve live Prometheus /metrics
+//	                                  # over HTTP while the run executes
 //	cgcmrun -remarks file.c           # compile remarks + runtime remarks for
 //	                                  # allocation units that stayed cyclic
 //	cgcmrun -remarks -remarks-missed-only file.c  # rejections + cyclic units
@@ -104,8 +106,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tr = tracepkg.New()
 	}
 	var reg *metrics.Registry
-	if runf.MetricsOut != "" {
+	if runf.MetricsOut != "" || runf.MetricsListen != "" {
 		reg = metrics.New()
+	}
+	if runf.MetricsListen != "" {
+		ms, err := cli.ServeMetrics(runf.MetricsListen, reg.Snapshot)
+		if err != nil {
+			fmt.Fprintf(stderr, "cgcmrun: -metrics-listen: %v\n", err)
+			return 1
+		}
+		defer ms.Close()
+		fmt.Fprintf(stderr, "--- serving metrics at http://%s/metrics\n", ms.Addr)
 	}
 	rep, err := core.CompileAndRun(name, string(src), core.Options{
 		Strategy:    st,

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestHelpGolden pins the -help output, following the convention of the
+// other three commands. Regenerate with UPDATE_GOLDEN=1 go test ./cmd/...
+func TestHelpGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-help"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-help exit = %d, want 2", code)
+	}
+	golden := filepath.Join("testdata", "help.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stderr.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if stderr.String() != string(want) {
+		t.Errorf("-help output changed:\n--- want:\n%s--- got:\n%s", want, stderr.String())
+	}
+}

@@ -1,0 +1,310 @@
+// Command cgcmstat is the performance-introspection CLI: it computes
+// the exact critical path of a run on the simulated machine, classifies
+// the limiting factor the way the paper's Table 3 does, and replays the
+// operation graph under counterfactual weights to bound what each
+// optimization could buy.
+//
+// It consumes either a mini-C source file (compiled and executed live,
+// optimized CGCM) or a Chrome trace-event JSON file exported earlier
+// with -trace-out — traces are analyzable artifacts, not just pictures.
+//
+// Usage:
+//
+//	cgcmstat file.c                  # critical path, lanes, queues, overlap
+//	cgcmstat trace.json              # same, from an exported trace
+//	cgcmstat -async file.c           # analyze the overlapped schedule
+//	cgcmstat -whatif zero-comm file.c   # one counterfactual replay
+//	cgcmstat -diff file.c            # sync vs -async, delta attribution
+//	cgcmstat -diff a.json b.json     # attribute the delta of two traces
+//	cgcmstat -gate                   # CI gate: invariants across the suite
+//
+// The execution flags (-async, -gpu-mem, -faults, -ablate, -workers)
+// shape the live run; they are ignored for .json inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/core"
+	"cgcm/internal/critpath"
+	"cgcm/internal/faultinject"
+	"cgcm/internal/trace"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cgcmstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	whatif := fs.String("whatif", "", "replay one scenario: zero-comm | gpu-2x | perfect-overlap | identity (default: all)")
+	diff := fs.Bool("diff", false, "attribute a wall-time delta: two inputs, or one source run sync vs async")
+	gate := fs.Bool("gate", false, "CI gate: verify the critical-path invariants on the whole bench suite")
+	workers := fs.Int("workers", 0, "kernel-engine worker goroutines per launch (0 = GOMAXPROCS)")
+	var ablate core.PassSet
+	fs.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo, overlap)")
+	gpuMem := fs.Int64("gpu-mem", 0, "device memory capacity in bytes (0 = unlimited)")
+	faults := fs.String("faults", "", "device fault-injection spec for live runs")
+	async := fs.Bool("async", false, "overlap communication with compute in live runs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var spec *faultinject.Spec
+	if *faults != "" {
+		s, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(stderr, "cgcmstat: -faults: %v\n", err)
+			return 2
+		}
+		spec = s
+	}
+	opts := core.Options{
+		Strategy: core.CGCMOptimized, Workers: *workers, Ablate: ablate,
+		Async: *async, GPUMemBytes: *gpuMem, FaultSpec: spec,
+	}
+
+	if *gate {
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "usage: cgcmstat -gate")
+			return 2
+		}
+		return runGate(stdout, stderr, opts)
+	}
+
+	if *diff {
+		return runDiff(stdout, stderr, fs.Args(), opts)
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: cgcmstat [-whatif scenario | -diff | -gate] [-async] file.c|trace.json")
+		return 2
+	}
+	a, err := load(fs.Arg(0), opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	var b strings.Builder
+	a.Render(&b)
+	if *whatif != "" {
+		sc, err := critpath.ParseScenario(*whatif)
+		if err != nil {
+			fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+			return 2
+		}
+		renderPredictions(&b, a, []critpath.Prediction{a.WhatIf(sc)})
+	} else {
+		renderPredictions(&b, a, a.WhatIfAll())
+	}
+	fmt.Fprint(stdout, b.String())
+	return 0
+}
+
+// load produces an analysis from either input form: an exported Chrome
+// trace (wall = the latest span end) or a live optimized run.
+func load(path string, opts core.Options) (*critpath.Analysis, error) {
+	if strings.HasSuffix(path, ".json") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		spans, _, err := trace.ReadChrome(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(spans) == 0 {
+			return nil, fmt.Errorf("%s: trace has no machine spans", path)
+		}
+		return critpath.Analyze(spans, critpath.WallOf(spans))
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, _, err := analyzeLive(path, string(src), opts)
+	return a, err
+}
+
+// analyzeLive compiles and runs one source under opts with a tracer
+// attached and analyzes the spans.
+func analyzeLive(name, src string, opts core.Options) (*critpath.Analysis, *core.Report, error) {
+	opts.Tracer = trace.New()
+	rep, err := core.CompileAndRun(name, src, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := critpath.Analyze(rep.Spans, rep.Stats.Wall)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, rep, nil
+}
+
+func renderPredictions(b *strings.Builder, a *critpath.Analysis, preds []critpath.Prediction) {
+	fmt.Fprintf(b, "what-if replay (lower bounds; measured wall %.2fus):\n", a.Wall*1e6)
+	for _, p := range preds {
+		fmt.Fprintf(b, "  %-16s predicted %10.2fus   speedup bound %6.2fx\n",
+			p.Scenario, p.Wall*1e6, p.Speedup)
+	}
+}
+
+// runDiff attributes the wall delta between two runs. With two
+// arguments, each loads by its own form; with one source argument, the
+// comparison is the same program sync versus async — the question PR 6
+// left open: did overlap actually change what is on the critical path?
+func runDiff(stdout, stderr io.Writer, args []string, opts core.Options) int {
+	var a, b *critpath.Analysis
+	var labelA, labelB string
+	var err error
+	switch len(args) {
+	case 1:
+		if strings.HasSuffix(args[0], ".json") {
+			fmt.Fprintln(stderr, "cgcmstat: -diff with one input needs a source file (sync vs async); pass two traces to diff files")
+			return 2
+		}
+		var src []byte
+		if src, err = os.ReadFile(args[0]); err != nil {
+			fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+			return 1
+		}
+		labelA, labelB = "sync", "async"
+		syncOpts, asyncOpts := opts, opts
+		syncOpts.Async, asyncOpts.Async = false, true
+		if a, _, err = analyzeLive(args[0], string(src), syncOpts); err == nil {
+			b, _, err = analyzeLive(args[0], string(src), asyncOpts)
+		}
+	case 2:
+		labelA, labelB = diffLabels(args[0], args[1])
+		if a, err = load(args[0], opts); err == nil {
+			b, err = load(args[1], opts)
+		}
+	default:
+		fmt.Fprintln(stderr, "usage: cgcmstat -diff file.c | cgcmstat -diff a.json b.json")
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	d := critpath.Diff(a, b)
+	var out strings.Builder
+	d.Render(&out, labelA, labelB)
+	fmt.Fprintf(&out, "limiting factor: %s %s -> %s %s\n", labelA, a.Limiting, labelB, b.Limiting)
+	if b.Overlap.Hidden > 0 {
+		fmt.Fprintf(&out, "overlap: %.2fus of communication ran under other work in %s (efficiency %.0f%%)\n",
+			b.Overlap.Hidden*1e6, labelB, 100*b.Overlap.Efficiency)
+	}
+	fmt.Fprint(stdout, out.String())
+	return 0
+}
+
+// diffLabels shortens two input paths to distinct display labels: base
+// names, widened by one parent directory when the bases collide (the
+// common case of diffing <dir-sync>/p.json against <dir-async>/p.json).
+func diffLabels(a, b string) (string, string) {
+	la, lb := filepath.Base(a), filepath.Base(b)
+	if la == lb {
+		la = filepath.Join(filepath.Base(filepath.Dir(a)), la)
+		lb = filepath.Join(filepath.Base(filepath.Dir(b)), lb)
+	}
+	return la, lb
+}
+
+// gateEps is the relative tolerance for float re-accumulation in the
+// gate's sum and replay comparisons; path times themselves, and every
+// cross-worker comparison, must match bit for bit.
+const gateEps = 1e-9
+
+// runGate verifies, for every bench program, sync and async, the
+// package's contract: the critical path tiles [0, Stats.Wall] exactly;
+// the path, limiting factor, and what-if predictions are bit-identical
+// across engine worker counts; and the zero-comm replay never predicts
+// a wall above the measured one.
+func runGate(stdout, stderr io.Writer, opts core.Options) int {
+	fail := 0
+	fmt.Fprintf(stdout, "critical-path gate: invariant + worker stability, %d programs x {sync, async}\n", len(bench.All()))
+	fmt.Fprintf(stdout, "%-16s %-6s %12s %10s %5s %12s\n", "program", "mode", "wall", "limiting", "segs", "zero-comm")
+	for _, p := range bench.All() {
+		for _, async := range []bool{false, true} {
+			mode := "sync"
+			if async {
+				mode = "async"
+			}
+			bad := func(format string, args ...any) {
+				fail++
+				fmt.Fprintf(stderr, "cgcmstat: %s [%s]: %s\n", p.Name, mode, fmt.Sprintf(format, args...))
+			}
+			var base *critpath.Analysis
+			var basePreds []critpath.Prediction
+			for _, workers := range []int{1, 4} {
+				o := opts
+				o.Async, o.Workers = async, workers
+				a, rep, err := analyzeLive(p.Name, p.Source, o)
+				if err != nil {
+					bad("%v", err)
+					break
+				}
+				if err := a.Validate(); err != nil {
+					bad("workers=%d: %v", workers, err)
+					continue
+				}
+				if s := a.PathSum(); s < rep.Stats.Wall*(1-gateEps) || s > rep.Stats.Wall*(1+gateEps) {
+					bad("workers=%d: path sums to %g, wall is %g", workers, s, rep.Stats.Wall)
+				}
+				preds := a.WhatIfAll()
+				for _, pr := range preds {
+					if pr.Scenario == critpath.ScenarioZeroComm && pr.Wall > rep.Stats.Wall*(1+gateEps) {
+						bad("workers=%d: zero-comm predicts %g above measured %g", workers, pr.Wall, rep.Stats.Wall)
+					}
+				}
+				if base == nil {
+					base, basePreds = a, preds
+					continue
+				}
+				switch {
+				case a.Wall != base.Wall:
+					bad("wall differs across workers: %g vs %g", a.Wall, base.Wall)
+				case a.Limiting != base.Limiting:
+					bad("limiting differs across workers: %s vs %s", a.Limiting, base.Limiting)
+				case len(a.Path) != len(base.Path):
+					bad("path length differs across workers: %d vs %d", len(a.Path), len(base.Path))
+				default:
+					for i := range a.Path {
+						if a.Path[i] != base.Path[i] {
+							bad("path segment %d differs across workers", i)
+							break
+						}
+					}
+					for i := range preds {
+						if preds[i] != basePreds[i] {
+							bad("%s prediction differs across workers", preds[i].Scenario)
+						}
+					}
+				}
+			}
+			if base != nil {
+				var zc float64
+				for _, pr := range basePreds {
+					if pr.Scenario == critpath.ScenarioZeroComm {
+						zc = pr.Wall
+					}
+				}
+				fmt.Fprintf(stdout, "%-16s %-6s %10.2fus %10s %5d %10.2fus\n",
+					p.Name, mode, base.Wall*1e6, base.Limiting, len(base.Path), zc*1e6)
+			}
+		}
+	}
+	if fail > 0 {
+		fmt.Fprintf(stderr, "cgcmstat: gate failed: %d violation(s)\n", fail)
+		return 1
+	}
+	fmt.Fprintln(stdout, "gate passed: paths tile the wall, classifications and predictions are worker-independent, zero-comm bounds hold")
+	return 0
+}

@@ -16,7 +16,9 @@ import (
 
 // BaselineSchema versions the baseline JSON document. Readers reject
 // other schemas instead of mis-diffing fields that changed meaning.
-const BaselineSchema = 1
+// Schema 2: the limiting column switched from the largest-time-share
+// heuristic to critical-path classification.
+const BaselineSchema = 2
 
 // BaselineRow freezes one program's measurements: the four simulated
 // walls, the derived speedups, and the communication totals of the two

@@ -14,7 +14,9 @@ import (
 
 	"cgcm/internal/analysis"
 	"cgcm/internal/core"
+	"cgcm/internal/critpath"
 	"cgcm/internal/ir"
+	"cgcm/internal/metrics"
 	"cgcm/internal/stats"
 	"cgcm/internal/trace"
 	"cgcm/internal/typeinfer"
@@ -40,6 +42,11 @@ var TraceDir string
 // overlap host work. Program output is identical either way — only
 // simulated walls and the overlapped-bytes ledger column change.
 var Async bool
+
+// Metrics, when non-nil, receives instrument updates from every
+// measurement run (core.Options.Metrics). Instruments are atomic, so a
+// live scraper (-metrics-listen) can watch the suite progress.
+var Metrics *metrics.Registry
 
 // Row holds the measured results for one program across the compared
 // systems — everything Table 3 and Figure 4 need.
@@ -74,9 +81,11 @@ func RunProgram(p Program) (*Row, error) {
 	row := &Row{Program: p}
 	start := time.Now()
 	run := func(s core.Strategy) (*core.Report, error) {
-		opts := core.Options{Strategy: s, Workers: Workers, Ablate: Ablate, Async: Async}
+		opts := core.Options{Strategy: s, Workers: Workers, Ablate: Ablate, Async: Async, Metrics: Metrics}
 		var tr *trace.Tracer
-		if TraceDir != "" {
+		// The optimized run is always traced: the limiting-factor column is
+		// computed from its critical path, not from aggregate time shares.
+		if TraceDir != "" || s == core.CGCMOptimized {
 			tr = trace.New()
 			opts.Tracer = tr
 		}
@@ -84,7 +93,7 @@ func RunProgram(p Program) (*Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s [%s]: %w", p.Name, s, err)
 		}
-		if tr != nil {
+		if tr != nil && TraceDir != "" {
 			if werr := writeProgramTrace(TraceDir, p.Name, s, tr); werr != nil {
 				return nil, fmt.Errorf("%s [%s]: %w", p.Name, s, werr)
 			}
@@ -123,22 +132,19 @@ func RunProgram(p Program) (*Row, error) {
 	row.GPUPctOpt = 100 * row.Opt.Stats.GPUTime / row.Opt.Stats.Wall
 	row.CommPctUnopt = 100 * row.Unopt.Stats.CommTime / row.Unopt.Stats.Wall
 	row.CommPctOpt = 100 * row.Opt.Stats.CommTime / row.Opt.Stats.Wall
-	// The limiting factor is the largest share of optimized execution
-	// time: GPU execution, communication, or everything else (CPU + I/O),
-	// as in the paper's Table 3.
-	otherPct := 100 - row.GPUPctOpt - row.CommPctOpt
-	switch {
-	case row.GPUPctOpt >= row.CommPctOpt && row.GPUPctOpt >= otherPct:
-		row.Limiting = "GPU"
-	case row.CommPctOpt >= otherPct:
-		row.Limiting = "Comm."
-	default:
-		row.Limiting = "Other"
-	}
-
-	var err error
-	row.KernelsCGCM, row.KernelsIE, row.KernelsNR, err = applicabilityCounts(p)
+	// The limiting factor is whichever class dominates the optimized
+	// run's critical path (the paper's Table 3 vocabulary). Unlike a
+	// largest-time-share heuristic, this stays correct under -async:
+	// communication hidden behind compute is off the path and stops
+	// counting toward "Comm.".
+	cp, err := critpath.Analyze(row.Opt.Spans, row.Opt.Stats.Wall)
 	if err != nil {
+		return nil, fmt.Errorf("%s [%s]: critical path: %w", p.Name, core.CGCMOptimized, err)
+	}
+	row.Limiting = cp.Limiting
+
+	row.KernelsCGCM, row.KernelsIE, row.KernelsNR, err = applicabilityCounts(p)
+	if row.KernelsCGCM, row.KernelsIE, row.KernelsNR, err = applicabilityCounts(p); err != nil {
 		return nil, err
 	}
 	row.HostNS = time.Since(start).Nanoseconds()

@@ -1,0 +1,48 @@
+package cli
+
+import (
+	"net"
+	"net/http"
+	"time"
+
+	"cgcm/internal/metrics"
+)
+
+// MetricsServer is a live /metrics endpoint bound to a snapshot
+// function. It exists for the lifetime of a run: commands start it
+// before measuring and Close it on the way out, so a scraper watching
+// <addr>/metrics sees instrument values move while programs execute —
+// the per-tenant export surface a long-running cgcmd needs.
+type MetricsServer struct {
+	Addr string // resolved listen address (useful when asked for ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeMetrics listens on addr and serves the Prometheus text
+// exposition of snap() at /metrics. Each scrape takes a fresh snapshot,
+// so the output is always internally consistent even while instruments
+// update concurrently.
+func ServeMetrics(addr string, snap func() *metrics.Snapshot) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = metrics.WritePrometheus(w, snap())
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ms := &MetricsServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go func() { _ = srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Close stops the listener and any in-flight scrapes.
+func (s *MetricsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cgcm/internal/metrics"
+)
+
+// TestServeMetrics scrapes a live registry over real HTTP and checks
+// the endpoint reflects updates between scrapes.
+func TestServeMetrics(t *testing.T) {
+	reg := metrics.New()
+	ctr := reg.Counter("machine.kernel.launches")
+	ctr.Add(2)
+	ms, err := ServeMetrics("127.0.0.1:0", reg.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", ms.Addr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+			t.Errorf("content type %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if got := scrape(); !strings.Contains(got, "machine_kernel_launches 2") {
+		t.Errorf("first scrape:\n%s", got)
+	}
+	ctr.Add(3)
+	if got := scrape(); !strings.Contains(got, "machine_kernel_launches 5") {
+		t.Errorf("second scrape must see the update:\n%s", got)
+	}
+	if err := ms.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", ms.Addr)); err == nil {
+		t.Error("endpoint still serving after Close")
+	}
+}
+
+// TestServeMetricsBadAddr checks listen failures surface as errors.
+func TestServeMetricsBadAddr(t *testing.T) {
+	if _, err := ServeMetrics("256.256.256.256:80", metrics.New().Snapshot); err == nil {
+		t.Error("invalid address accepted")
+	}
+}

@@ -15,15 +15,16 @@ import (
 // executes, so the run-only flags are inert; each command's doc comment
 // says which).
 type RunFlags struct {
-	Trace      bool
-	TraceOut   string
-	Prof       bool
-	ProfN      int
-	ProfFolded string
-	MetricsOut string
-	GPUMem     int64
-	Faults     string
-	Async      bool
+	Trace         bool
+	TraceOut      string
+	Prof          bool
+	ProfN         int
+	ProfFolded    string
+	MetricsOut    string
+	MetricsListen string
+	GPUMem        int64
+	Faults        string
+	Async         bool
 }
 
 // AddRunFlags registers the shared execution flags on fs.
@@ -39,6 +40,7 @@ func AddRunFlags(fs *flag.FlagSet) *RunFlags {
 	fs.IntVar(&rf.ProfN, "prof-top", 20, "alias for -prof-n")
 	fs.StringVar(&rf.ProfFolded, "prof-folded", "", "write folded stacks (kernel@site;line ops) for flamegraph tools")
 	fs.StringVar(&rf.MetricsOut, "metrics", "", "write the metrics registry snapshot as JSON")
+	fs.StringVar(&rf.MetricsListen, "metrics-listen", "", "serve live metrics at http://<addr>/metrics (Prometheus text format) while the run executes")
 	fs.Int64Var(&rf.GPUMem, "gpu-mem", 0, "device memory capacity in bytes (0 = unlimited); the runtime evicts under pressure")
 	fs.StringVar(&rf.Faults, "faults", "", "device fault-injection spec, e.g. seed=7,htod=0.5,alloc@3,fail=launch@2")
 	fs.BoolVar(&rf.Async, "async", false, "overlap communication with compute: stream transfers, prefetched maps, overlapped flushes")

@@ -1,0 +1,65 @@
+// Diff attribution: explains the wall-time delta between two runs by
+// comparing their critical paths class by class. Because each path
+// tiles [0, Wall], the per-class deltas sum to the wall delta — the
+// attribution is exhaustive, not a heuristic sample.
+package critpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ClassDelta is one class's contribution to the wall delta.
+type ClassDelta struct {
+	Class Class
+	A, B  float64 // on-path time in each run
+	Delta float64 // B - A; negative = this class left the critical path
+}
+
+// DiffResult attributes WallB - WallA to span classes.
+type DiffResult struct {
+	WallA, WallB float64
+	Delta        float64
+	Classes      []ClassDelta
+}
+
+// Diff compares two analyses (A = base, B = variant).
+func Diff(a, b *Analysis) *DiffResult {
+	d := &DiffResult{WallA: a.Wall, WallB: b.Wall, Delta: b.Wall - a.Wall}
+	for c := Class(0); c < numClasses; c++ {
+		d.Classes = append(d.Classes, ClassDelta{
+			Class: c, A: a.ByClass[c], B: b.ByClass[c],
+			Delta: b.ByClass[c] - a.ByClass[c],
+		})
+	}
+	return d
+}
+
+// CommDelta returns the communication class's on-path change (B - A),
+// the number the overlap gate cross-checks against the ledger's
+// overlapped-bytes column.
+func (d *DiffResult) CommDelta() float64 {
+	for _, c := range d.Classes {
+		if c.Class == ClassComm {
+			return c.Delta
+		}
+	}
+	return 0
+}
+
+// Render prints the attribution table.
+func (d *DiffResult) Render(w *strings.Builder, labelA, labelB string) {
+	fmt.Fprintf(w, "wall: %s %.2fus -> %s %.2fus (%+.2fus, %+.2f%%)\n",
+		labelA, d.WallA*1e6, labelB, d.WallB*1e6, d.Delta*1e6, 100*d.Delta/d.WallA)
+	fmt.Fprintf(w, "critical-path attribution of the delta:\n")
+	fmt.Fprintf(w, "  %-9s %12s %12s %12s\n", "class", labelA, labelB, "delta")
+	for _, c := range d.Classes {
+		if c.A == 0 && c.B == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-9s %10.2fus %10.2fus %+10.2fus\n",
+			c.Class, c.A*1e6, c.B*1e6, c.Delta*1e6)
+	}
+	fmt.Fprintf(w, "  %-9s %10.2fus %10.2fus %+10.2fus  (classes sum to the wall delta)\n",
+		"total", d.WallA*1e6, d.WallB*1e6, d.Delta*1e6)
+}

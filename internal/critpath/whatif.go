@@ -1,0 +1,196 @@
+// What-if replay: re-times the reconstructed operation graph under
+// counterfactual edge weights. The replay walks the ops in issue order
+// with a tiny scheduler (a CPU clock, a GPU-ready clock, one clock per
+// stream, and a DMA-engine clock for the perfect-overlap scenario),
+// applying the same start rules the machine uses — a kernel starts at
+// max(CPU, GPU, waits), a copy honors its stream's occupancy, a stall
+// waits for its bound cause — but with scenario-adjusted durations.
+//
+// Where the trace underdetermines the original schedule (the exact CPU
+// clock at each enqueue inside an untraced overhead gap), the replay
+// resolves the ambiguity toward earlier starts, so predictions are
+// lower bounds: `-whatif zero-comm` never predicts a wall above the
+// measured one.
+package critpath
+
+import (
+	"fmt"
+
+	"cgcm/internal/trace"
+)
+
+// Scenario names one counterfactual weighting.
+type Scenario string
+
+// Scenarios.
+const (
+	// ScenarioIdentity replays with unchanged weights; it reproduces the
+	// measured wall up to float accumulation and the enqueue-gap
+	// resolution noted above (a self-check, not a prediction).
+	ScenarioIdentity Scenario = "identity"
+	// ScenarioZeroComm makes every transfer free (zero duration); data
+	// dependencies — a host read still waiting for the kernel that
+	// produced the value — are preserved.
+	ScenarioZeroComm Scenario = "zero-comm"
+	// ScenarioGPU2x halves every kernel's duration.
+	ScenarioGPU2x Scenario = "gpu-2x"
+	// ScenarioPerfectOverlap moves every transfer onto a DMA engine that
+	// never blocks the CPU or the GPU: the theoretical limit of
+	// communication/computation overlap.
+	ScenarioPerfectOverlap Scenario = "perfect-overlap"
+)
+
+// Scenarios lists the predictive scenarios in render order.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioZeroComm, ScenarioGPU2x, ScenarioPerfectOverlap}
+}
+
+// ParseScenario resolves a -whatif argument.
+func ParseScenario(s string) (Scenario, error) {
+	switch Scenario(s) {
+	case ScenarioIdentity, ScenarioZeroComm, ScenarioGPU2x, ScenarioPerfectOverlap:
+		return Scenario(s), nil
+	}
+	return "", fmt.Errorf("unknown scenario %q (want zero-comm, gpu-2x, perfect-overlap, or identity)", s)
+}
+
+// Prediction is the outcome of one what-if replay.
+type Prediction struct {
+	Scenario Scenario
+	Wall     float64 // predicted wall under the scenario
+	Speedup  float64 // measured wall / predicted wall: the speedup bound
+}
+
+// WhatIf replays the run under one scenario.
+func (a *Analysis) WhatIf(sc Scenario) Prediction {
+	w := a.replay(sc)
+	p := Prediction{Scenario: sc, Wall: w}
+	if w > 0 {
+		p.Speedup = a.Wall / w
+	}
+	return p
+}
+
+// WhatIfAll replays every predictive scenario.
+func (a *Analysis) WhatIfAll() []Prediction {
+	var out []Prediction
+	for _, sc := range Scenarios() {
+		out = append(out, a.WhatIf(sc))
+	}
+	return out
+}
+
+// replay is the scenario scheduler. It is a pure function of the
+// analyzed spans, so predictions are bit-identical across engine worker
+// counts and host schedules.
+func (a *Analysis) replay(sc Scenario) float64 {
+	var cpu, gpu, dma float64
+	stream := make(map[trace.Lane]float64)
+	newEnd := make([]float64, len(a.ops))
+	for _, idx := range a.seq {
+		o := &a.ops[idx]
+		d := o.dur()
+		switch o.kind {
+		case opCPU, opBackoff, opGap:
+			cpu += d
+			newEnd[idx] = cpu
+
+		case opXfer:
+			if sc == ScenarioPerfectOverlap {
+				if cpu > dma {
+					dma = cpu
+				}
+				dma += d
+				newEnd[idx] = dma
+				break
+			}
+			// Synchronous transfers serialize with compute and resync the
+			// GPU timeline, exactly like machine.xfer.
+			if gpu > cpu {
+				cpu = gpu
+			}
+			if sc == ScenarioZeroComm {
+				d = 0
+			}
+			cpu += d
+			if cpu > gpu {
+				gpu = cpu
+			}
+			newEnd[idx] = cpu
+
+		case opKernel:
+			start := cpu
+			if gpu > start {
+				start = gpu
+			}
+			if sc != ScenarioPerfectOverlap {
+				for _, w := range o.waits {
+					if a.ops[w].kind == opCopy && newEnd[w] > start {
+						start = newEnd[w]
+					}
+				}
+			}
+			if sc == ScenarioGPU2x {
+				d /= 2
+			}
+			gpu = start + d
+			newEnd[idx] = gpu
+
+		case opCopy:
+			start := cpu
+			if s := stream[o.lane]; s > start {
+				start = s
+			}
+			if o.span >= 0 && a.spans[o.span].Kind == trace.KindDtoH && gpu > start {
+				start = gpu
+			}
+			for _, w := range o.waits {
+				if wo := &a.ops[w]; (wo.kind == opCopy || wo.kind == opKernel) && newEnd[w] > start {
+					start = newEnd[w]
+				}
+			}
+			if sc == ScenarioZeroComm {
+				d = 0
+			}
+			stream[o.lane] = start + d
+			newEnd[idx] = start + d
+
+		case opStall:
+			switch {
+			case o.cause >= 0 && a.ops[o.cause].kind == opKernel:
+				if gpu > cpu {
+					cpu = gpu
+				}
+			case o.cause >= 0:
+				// Waiting on a stream copy; perfect overlap removes the wait.
+				if sc != ScenarioPerfectOverlap && newEnd[o.cause] > cpu {
+					cpu = newEnd[o.cause]
+				}
+			default:
+				// Unbound stall: a full synchronization.
+				if gpu > cpu {
+					cpu = gpu
+				}
+				for _, s := range stream {
+					if s > cpu {
+						cpu = s
+					}
+				}
+			}
+			newEnd[idx] = cpu
+		}
+	}
+	wall := cpu
+	if gpu > wall {
+		wall = gpu
+	}
+	for _, s := range stream {
+		if s > wall {
+			wall = s
+		}
+	}
+	if dma > wall {
+		wall = dma
+	}
+	return wall
+}

@@ -1,0 +1,122 @@
+// Quantile estimation and Prometheus text exposition: the export
+// surface a multi-tenant cgcmd service scrapes. Both operate on frozen
+// Snapshots, so serving them never contends with the instruments.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Quantile estimates the q-th quantile (0 < q < 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// rank, the same estimator Prometheus's histogram_quantile uses: the
+// first bucket interpolates up from zero, and ranks landing in the
+// +Inf bucket clamp to the last finite bound (there is no upper edge
+// to interpolate toward). Returns 0 when the histogram is empty.
+func (h *HistSnapshot) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, n := range h.Buckets {
+		prev := cum
+		cum += float64(n)
+		if cum < rank || n == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(n)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// fillQuantiles populates the frozen P50/P95/P99 fields.
+func (h *HistSnapshot) fillQuantiles() {
+	h.P50 = h.Quantile(0.50)
+	h.P95 = h.Quantile(0.95)
+	h.P99 = h.Quantile(0.99)
+}
+
+// promName maps an instrument name ("machine.kernel.launches") to the
+// Prometheus metric-name alphabet.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects, shortest round-
+// trippable digits, with +Inf spelled out.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: instruments appear
+// in sorted name order (the Snapshot order), histogram buckets are
+// cumulative and ascending. A nil snapshot writes nothing.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", n, n, promFloat(c.Value)); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for i := range s.Histograms {
+		h := &s.Histograms[i]
+		n := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum int64
+		for b, cnt := range h.Buckets {
+			cum += cnt
+			le := "+Inf"
+			if b < len(h.Bounds) {
+				le = promFloat(h.Bounds[b])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

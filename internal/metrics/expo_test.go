@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestQuantileUniform checks the interpolated estimator against a known
+// uniform distribution: 1000 observations spread evenly over (0, 100]
+// with bounds every 10 must put pN at N.
+func TestQuantileUniform(t *testing.T) {
+	r := New()
+	bounds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	h := r.Histogram("u", bounds)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 10) // 0.1 .. 100.0
+	}
+	s := r.Snapshot().Histogram("u")
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50}, {0.95, 95}, {0.99, 99}, {0.10, 10}, {1.0, 100},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 0.5 {
+			t.Errorf("Quantile(%g) = %g, want about %g", tc.q, got, tc.want)
+		}
+	}
+	if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Errorf("frozen quantiles disagree with Quantile(): %+v", s)
+	}
+}
+
+// TestQuantileSkewed checks a distribution concentrated in one bucket:
+// interpolation must spread ranks across that bucket only.
+func TestQuantileSkewed(t *testing.T) {
+	r := New()
+	h := r.Histogram("s", []float64{1, 10, 100})
+	for i := 0; i < 99; i++ {
+		h.Observe(5) // all in (1, 10]
+	}
+	h.Observe(50) // one in (10, 100]
+	s := r.Snapshot().Histogram("s")
+	// p50: rank 50 of 99 in bucket (1,10] -> 1 + 9*50/99 = 5.545...
+	if got, want := s.Quantile(0.50), 1+9*50.0/99; math.Abs(got-want) > 1e-9 {
+		t.Errorf("p50 = %g, want %g", got, want)
+	}
+	// p99 lands within the 99-count bucket: rank 99*0.99 = 98.01 <= 99.
+	if got := s.Quantile(0.99); got < 9.9 || got > 10 {
+		t.Errorf("p99 = %g, want just under 10", got)
+	}
+	// The top observation is in the last finite bucket.
+	if got := s.Quantile(0.9999); math.Abs(got-100) > 45.1 {
+		t.Errorf("p99.99 = %g, want inside (10, 100]", got)
+	}
+}
+
+// TestQuantileInfBucket checks the +Inf clamp: ranks past the last
+// finite bound report the last finite bound, not infinity.
+func TestQuantileInfBucket(t *testing.T) {
+	r := New()
+	h := r.Histogram("i", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(1e9) // +Inf bucket
+	s := r.Snapshot().Histogram("i")
+	if got := s.Quantile(0.99); got != 2 {
+		t.Errorf("p99 = %g, want clamp to last finite bound 2", got)
+	}
+	var empty HistSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+// TestWritePrometheus locks the exposition format: deterministic order,
+// sanitized names, cumulative buckets.
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("machine.kernel.launches").Add(3)
+	r.Gauge("machine.wall.seconds").Set(1.5)
+	h := r.Histogram("runtime.copy.bytes", []float64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE machine_kernel_launches counter",
+		"machine_kernel_launches 3",
+		"# TYPE machine_wall_seconds gauge",
+		"machine_wall_seconds 1.5",
+		"# TYPE runtime_copy_bytes histogram",
+		`runtime_copy_bytes_bucket{le="100"} 1`,
+		`runtime_copy_bytes_bucket{le="1000"} 2`,
+		`runtime_copy_bytes_bucket{le="+Inf"} 3`,
+		"runtime_copy_bytes_sum 5550",
+		"runtime_copy_bytes_count 3",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Serving twice must produce identical bytes.
+	var again bytes.Buffer
+	if err := WritePrometheus(&again, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Error("exposition is not deterministic")
+	}
+	if err := WritePrometheus(&buf, nil); err != nil {
+		t.Errorf("nil snapshot: %v", err)
+	}
+}

@@ -239,6 +239,11 @@ type HistSnapshot struct {
 	Buckets []int64   `json:"buckets"`
 	Count   int64     `json:"count"`
 	Sum     float64   `json:"sum"`
+	// Interpolated quantile estimates (see Quantile), frozen at
+	// snapshot time; 0 when the histogram is empty.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // NamedValue is one frozen counter or gauge.
@@ -279,6 +284,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		for i := range h.buckets {
 			hs.Buckets[i] = h.buckets[i].Load()
 		}
+		hs.fillQuantiles()
 		s.Histograms = append(s.Histograms, hs)
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })

@@ -1,0 +1,243 @@
+// Chrome trace-event import: the exact inverse of WriteChrome, so a
+// trace exported with `-trace-out` is a first-class analyzable artifact
+// rather than a write-only visualization. ReadChrome reconstructs the
+// []Span / []PhaseSpan a document was generated from; re-exporting the
+// result reproduces the original file byte for byte.
+//
+// The only subtlety is time recovery. WriteChrome stores simulated
+// seconds as microseconds (ts = start*1e6, dur = (end-start)*1e6), and
+// the rounding in those multiplications is not injective: dividing back
+// by 1e6 can land one ulp away from a preimage. recoverScaled therefore
+// nudges the quotient by ulps until re-multiplying reproduces the stored
+// field exactly, which is what makes the round-trip lossless.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// ReadChrome parses Chrome trace-event JSON produced by WriteChrome and
+// returns the spans and compiler phases it encodes. Documents that are
+// not cgcm exports — malformed JSON, missing traceEvents, foreign
+// process ids or categories, extra fields — are rejected.
+func ReadChrome(r io.Reader) ([]Span, []PhaseSpan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	dec.UseNumber() // args numbers keep their digits for exact int recovery
+	var doc struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("trace: not a chrome trace: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return nil, nil, fmt.Errorf("trace: not a chrome trace: no traceEvents array")
+	}
+
+	var spans []Span
+	var phases []PhaseSpan
+	for i, ev := range doc.TraceEvents {
+		switch {
+		case ev.Phase == "M":
+			// process_name / thread_name metadata regenerates from the spans
+			// themselves on export; nothing to keep.
+			if ev.Pid != chromePidMachine && ev.Pid != chromePidCompiler {
+				return nil, nil, fmt.Errorf("trace: event %d: foreign process id %d", i, ev.Pid)
+			}
+
+		case ev.Pid == chromePidMachine && ev.Cat == "flow":
+			// Flow arrows follow the span they annotate; bind the id back.
+			if ev.ID == nil || len(spans) == 0 {
+				return nil, nil, fmt.Errorf("trace: event %d: flow event without a span to bind", i)
+			}
+			last := &spans[len(spans)-1]
+			if s := recoverScaled(ev.TS, 1e6); s != last.Start {
+				return nil, nil, fmt.Errorf("trace: event %d: flow timestamp %g does not match its span", i, ev.TS)
+			}
+			if (ev.Phase == "s") != (last.Kind == KindIssue) {
+				return nil, nil, fmt.Errorf("trace: event %d: flow phase %q on %s span", i, ev.Phase, last.Kind)
+			}
+			last.Flow = *ev.ID
+
+		case ev.Pid == chromePidMachine:
+			s, err := spanFromEvent(ev)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+			spans = append(spans, s)
+
+		case ev.Pid == chromePidCompiler:
+			p, err := phaseFromEvent(ev)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+			phases = append(phases, p)
+
+		default:
+			return nil, nil, fmt.Errorf("trace: event %d: foreign process id %d", i, ev.Pid)
+		}
+	}
+	return spans, phases, nil
+}
+
+func spanFromEvent(ev chromeEvent) (Span, error) {
+	kind, ok := kindFromString(ev.Cat)
+	if !ok {
+		return Span{}, fmt.Errorf("foreign span category %q", ev.Cat)
+	}
+	if ev.Tid < 0 {
+		return Span{}, fmt.Errorf("invalid lane %d", ev.Tid)
+	}
+	s := Span{Kind: kind, Lane: Lane(ev.Tid), Name: ev.Name}
+	if ev.Name == kind.String() {
+		s.Name = "" // the export substitutes the kind for unnamed spans
+	}
+	s.Start = recoverScaled(ev.TS, 1e6)
+	switch ev.Phase {
+	case "X":
+		if ev.Dur == nil {
+			return Span{}, fmt.Errorf("complete event without dur")
+		}
+		s.End = recoverEnd(s.Start, *ev.Dur)
+	case "i":
+		if ev.Scope != "t" {
+			return Span{}, fmt.Errorf("instant event with scope %q", ev.Scope)
+		}
+		s.End = s.Start
+	default:
+		return Span{}, fmt.Errorf("foreign event phase %q", ev.Phase)
+	}
+	for key, val := range ev.Args {
+		var err error
+		switch key {
+		case "epoch":
+			s.Epoch, err = argUint(val)
+		case "bytes":
+			s.Bytes, err = argInt(val)
+		case "unit":
+			var ok bool
+			if s.Unit, ok = val.(string); !ok {
+				err = fmt.Errorf("non-string value %v", val)
+			}
+		case "line":
+			var n int64
+			n, err = argInt(val)
+			s.Line = int(n)
+		default:
+			err = fmt.Errorf("unknown key")
+		}
+		if err != nil {
+			return Span{}, fmt.Errorf("arg %q: %w", key, err)
+		}
+	}
+	return s, nil
+}
+
+func phaseFromEvent(ev chromeEvent) (PhaseSpan, error) {
+	if ev.Cat != "phase" || ev.Phase != "X" || ev.Dur == nil {
+		return PhaseSpan{}, fmt.Errorf("foreign compiler event (cat %q, ph %q)", ev.Cat, ev.Phase)
+	}
+	p := PhaseSpan{Name: ev.Name, HostNS: recoverNanos(*ev.Dur)}
+	for key, val := range ev.Args {
+		switch key {
+		case "activity":
+			n, err := argInt(val)
+			if err != nil {
+				return PhaseSpan{}, fmt.Errorf("arg activity: %w", err)
+			}
+			p.Activity = int(n)
+		case "note":
+			var ok bool
+			if p.Note, ok = val.(string); !ok {
+				return PhaseSpan{}, fmt.Errorf("arg note: non-string value %v", val)
+			}
+		default:
+			return PhaseSpan{}, fmt.Errorf("arg %q: unknown key", key)
+		}
+	}
+	return p, nil
+}
+
+func kindFromString(s string) (Kind, bool) {
+	for k := KindCPU; k <= KindIssue; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// recoverScaled returns an x with x*scale == v exactly, searching a few
+// ulps around v/scale for a preimage of the export's multiplication.
+// When no preimage exists (a foreign file), the plain quotient stands.
+func recoverScaled(v, scale float64) float64 {
+	x := v / scale
+	if x*scale == v {
+		return x
+	}
+	up, down := x, x
+	for i := 0; i < 4; i++ {
+		up = math.Nextafter(up, math.Inf(1))
+		if up*scale == v {
+			return up
+		}
+		down = math.Nextafter(down, math.Inf(-1))
+		if down*scale == v {
+			return down
+		}
+	}
+	return x
+}
+
+// recoverEnd returns an end with (end-start)*1e6 == dur exactly, the
+// same ulp search keyed to the subtraction the export performs.
+func recoverEnd(start, dur float64) float64 {
+	end := start + recoverScaled(dur, 1e6)
+	if (end-start)*1e6 == dur {
+		return end
+	}
+	up, down := end, end
+	for i := 0; i < 4; i++ {
+		up = math.Nextafter(up, math.Inf(1))
+		if (up-start)*1e6 == dur {
+			return up
+		}
+		down = math.Nextafter(down, math.Inf(-1))
+		if (down-start)*1e6 == dur {
+			return down
+		}
+	}
+	return end
+}
+
+// recoverNanos inverts dur = float64(ns)/1e3.
+func recoverNanos(dur float64) int64 {
+	ns := int64(math.Round(dur * 1e3))
+	for _, c := range []int64{ns, ns - 1, ns + 1, ns - 2, ns + 2} {
+		if float64(c)/1e3 == dur {
+			return c
+		}
+	}
+	return ns
+}
+
+func argUint(v any) (uint64, error) {
+	n, ok := v.(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("non-numeric value %v", v)
+	}
+	return strconv.ParseUint(n.String(), 10, 64)
+}
+
+func argInt(v any) (int64, error) {
+	n, ok := v.(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("non-numeric value %v", v)
+	}
+	return strconv.ParseInt(n.String(), 10, 64)
+}
