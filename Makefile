@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test race bench benchsmoke baseline baseline-async overlap fuzzsmoke resilience critpath ci
+.PHONY: all build vet fmtcheck test race bench benchsmoke baseline baseline-async overlap fuzzsmoke resilience critpath runlog ci
 
 all: build
 
@@ -72,4 +72,11 @@ resilience:
 critpath:
 	$(GO) run ./cmd/cgcmstat -gate
 
-ci: build fmtcheck vet race benchsmoke overlap fuzzsmoke resilience critpath
+# Run-record gate: sweep the suite twice (sync, async) into a throwaway
+# store, then require -regress attribution between each program's two
+# records to sum exactly to the wall delta and the HTML report to be
+# byte-deterministic across exports.
+runlog:
+	$(GO) run ./cmd/cgcmstat -runlog-gate
+
+ci: build fmtcheck vet race benchsmoke overlap fuzzsmoke resilience critpath runlog

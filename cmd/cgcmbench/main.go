@@ -36,11 +36,15 @@
 //	                       # over HTTP while the suite measures
 //	cgcmbench -overlap-gate  # CI gate: -async must beat sync wall and
 //	                       # report overlapped bytes on Comm.-limited programs
+//	cgcmbench -runlog .cgcm/runs  # append one durable run record per program
+//	                       # (optimized-CGCM run) to the store
+//	cgcmbench -version     # print build identity and exit
 //
 // The execution flags (-trace*, -prof*, -metrics, -gpu-mem, -faults,
-// -async) are one shared set, registered identically by cgcmrun, cgcmc,
-// and cgcmbench; cgcmbench interprets -trace-out as a directory and
-// ignores the per-run print flags (-trace, -prof*, -metrics).
+// -async, -runlog, -version) are one shared set, registered identically
+// by cgcmrun, cgcmc, cgcmbench, and cgcmstat; cgcmbench interprets
+// -trace-out as a directory and ignores the per-run print flags
+// (-trace, -prof*, -metrics).
 package main
 
 import (
@@ -54,6 +58,7 @@ import (
 	"cgcm/internal/core"
 	"cgcm/internal/faultinject"
 	"cgcm/internal/metrics"
+	"cgcm/internal/runlog"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -97,9 +102,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if runf.Version {
+		cli.PrintVersion(stdout, "cgcmbench")
+		return 0
+	}
 	bench.Workers = *workers
 	bench.TraceDir = runf.TraceOut
 	bench.Async = runf.Async
+	if runf.Runlog != "" {
+		st, err := runlog.Open(runf.Runlog)
+		if err != nil {
+			fmt.Fprintf(stderr, "cgcmbench: -runlog: %v\n", err)
+			return 1
+		}
+		bench.Runlog = st
+		defer func() { bench.Runlog = nil }()
+	}
 	if runf.MetricsListen != "" {
 		reg := metrics.New()
 		bench.Metrics = reg

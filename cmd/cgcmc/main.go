@@ -16,12 +16,16 @@
 //	cgcmc -remarks-json r.json file.c            # remarks as JSON
 //	cgcmc -async file.c          # compile with the overlap pass: map/unmap
 //	                             # sites move to their stream variants
+//	cgcmc -runlog .cgcm/runs file.c # append a compile-only run record
+//	                             # (phases, remarks, metrics; no Stats)
+//	cgcmc -version               # print build identity and exit
 //
 // The execution flags (-trace*, -prof*, -metrics, -gpu-mem, -faults,
-// -async) are one shared set, registered identically by cgcmrun, cgcmc,
-// and cgcmbench. cgcmc never executes the program, so of these only
-// -async (runs the overlap pass) and -metrics (compile-phase counters)
-// change its output; the run-only flags parse and are ignored.
+// -async, -runlog, -version) are one shared set, registered identically
+// by cgcmrun, cgcmc, cgcmbench, and cgcmstat. cgcmc never executes the
+// program, so of these only -async (runs the overlap pass), -metrics
+// (compile-phase counters), and -runlog change its output; the run-only
+// flags parse and are ignored.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"cgcm/internal/cli"
 	"cgcm/internal/core"
@@ -53,6 +58,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if runf.Version {
+		cli.PrintVersion(stdout, "cgcmc")
+		return 0
+	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: cgcmc [-passes] [-phases] [-strategy s] [-ablate passes] [-remarks] file.c")
 		return 2
@@ -67,14 +76,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cgcmc: unknown strategy %q\n", *strategy)
 		return 2
 	}
-	opts := core.Options{Strategy: st, Ablate: ablate, Remarks: rflags.Wanted(), Async: runf.Async}
+	opts := core.Options{Strategy: st, Ablate: ablate, Remarks: rflags.Wanted() || runf.Runlog != "", Async: runf.Async}
 	if *passes {
 		opts.DumpWriter = stdout
 	}
 	if runf.MetricsOut != "" {
 		opts.Metrics = metrics.New()
 	}
+	hostStart := time.Now()
 	prog, err := core.Compile(fs.Arg(0), string(src), opts)
+	hostNS := time.Since(hostStart).Nanoseconds()
 	if err != nil {
 		fmt.Fprintf(stderr, "cgcmc: %v\n", err)
 		return 1
@@ -110,6 +121,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stderr, "--- metrics written to %s\n", runf.MetricsOut)
+	}
+	if runf.Runlog != "" {
+		rec := cli.NewCompileRecord(fs.Arg(0), opts, prog, hostNS)
+		if code := runf.AppendRecord(stderr, stderr, rec); code != 0 {
+			return code
+		}
 	}
 	return 0
 }

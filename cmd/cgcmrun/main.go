@@ -25,10 +25,13 @@
 //	cgcmrun -faults htod=0.5,seed=3 file.c  # inject deterministic device faults
 //	cgcmrun -async file.c             # overlap communication with compute
 //	                                  # (streams, prefetch, overlapped flushes)
+//	cgcmrun -runlog .cgcm/runs file.c # append a durable run record (build,
+//	                                  # options, stats, ledger, critical path)
+//	cgcmrun -version                  # print build identity and exit
 //
 // The execution flags (-trace*, -prof*, -metrics, -gpu-mem, -faults,
-// -async) are one shared set, registered identically by cgcmrun, cgcmc,
-// and cgcmbench.
+// -async, -runlog, -version) are one shared set, registered identically
+// by cgcmrun, cgcmc, cgcmbench, and cgcmstat.
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"cgcm/internal/cli"
 	"cgcm/internal/core"
@@ -60,6 +64,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rflags := cli.AddRemarkFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if runf.Version {
+		cli.PrintVersion(stdout, "cgcmrun")
+		return 0
 	}
 	faultSpec, perr := runf.FaultSpec()
 	if perr != nil {
@@ -102,7 +110,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	var tr *tracepkg.Tracer
-	if runf.Tracing() {
+	// A run record stores the critical-path digest, which needs spans, so
+	// -runlog forces span collection even without -trace.
+	if runf.Tracing() || runf.Runlog != "" {
 		tr = tracepkg.New()
 	}
 	var reg *metrics.Registry
@@ -118,17 +128,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer ms.Close()
 		fmt.Fprintf(stderr, "--- serving metrics at http://%s/metrics\n", ms.Addr)
 	}
-	rep, err := core.CompileAndRun(name, string(src), core.Options{
+	opts := core.Options{
 		Strategy:    st,
 		Tracer:      tr,
 		Ablate:      ablate,
 		Profile:     runf.Profiling(),
 		Metrics:     reg,
-		Remarks:     rflags.Wanted(),
+		Remarks:     rflags.Wanted() || runf.Runlog != "",
 		GPUMemBytes: runf.GPUMem,
 		FaultSpec:   faultSpec,
 		Async:       runf.Async,
-	})
+	}
+	hostStart := time.Now()
+	rep, err := core.CompileAndRun(name, string(src), opts)
+	hostNS := time.Since(hostStart).Nanoseconds()
 	if err != nil {
 		fmt.Fprintf(stderr, "cgcmrun: %v\n", err)
 		if rep != nil && rep.Output != "" {
@@ -187,6 +200,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			enc.SetIndent("", " ")
 			return enc.Encode(rep.Metrics)
 		}); code != 0 {
+			return code
+		}
+	}
+	if runf.Runlog != "" {
+		rec := cli.NewRunRecord(name, opts, rep, hostNS)
+		if code := runf.AppendRecord(stderr, stderr, rec); code != 0 {
 			return code
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -29,5 +30,17 @@ func TestHelpGolden(t *testing.T) {
 	}
 	if stderr.String() != string(want) {
 		t.Errorf("-help output changed:\n--- want:\n%s--- got:\n%s", want, stderr.String())
+	}
+}
+
+// TestVersionFlag checks -version prints the build identity and exits 0
+// without requiring an input file.
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "cgcmstat ") {
+		t.Errorf("-version output %q does not lead with the command name", stdout.String())
 	}
 }

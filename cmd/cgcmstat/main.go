@@ -18,11 +18,29 @@
 //	cgcmstat -diff a.json b.json     # attribute the delta of two traces
 //	cgcmstat -gate                   # CI gate: invariants across the suite
 //
-// The execution flags (-async, -gpu-mem, -faults, -ablate, -workers)
-// shape the live run; they are ignored for .json inputs.
+// It is also the query CLI over the durable run-record store the other
+// commands append to with -runlog (default store: .cgcm/runs):
+//
+//	cgcmstat -history                # trend table per program: wall, host
+//	                                 # time, comm bytes, overlap, limiting
+//	cgcmstat -regress atax-1 atax-2  # attribute the wall delta between two
+//	                                 # stored records: span classes (exact)
+//	                                 # plus per-allocation-unit changes with
+//	                                 # the responsible pass or remark
+//	cgcmstat -report out.html        # self-contained byte-deterministic
+//	                                 # HTML report over the whole store
+//	cgcmstat -runlog-gate            # CI gate: record the suite sync+async,
+//	                                 # assert exact regression attribution
+//	                                 # and report determinism
+//	cgcmstat -version                # print build identity and exit
+//
+// The execution flags (-async, -gpu-mem, -faults, -ablate, -workers,
+// and the rest of the shared set) shape the live run; they are ignored
+// for .json inputs and stored records.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -31,9 +49,10 @@ import (
 	"strings"
 
 	"cgcm/internal/bench"
+	"cgcm/internal/cli"
 	"cgcm/internal/core"
 	"cgcm/internal/critpath"
-	"cgcm/internal/faultinject"
+	"cgcm/internal/runlog"
 	"cgcm/internal/trace"
 )
 
@@ -49,24 +68,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "kernel-engine worker goroutines per launch (0 = GOMAXPROCS)")
 	var ablate core.PassSet
 	fs.Var(&ablate, "ablate", "comma-separated passes to skip (doall, gluekernel, allocapromo, mappromo, overlap)")
-	gpuMem := fs.Int64("gpu-mem", 0, "device memory capacity in bytes (0 = unlimited)")
-	faults := fs.String("faults", "", "device fault-injection spec for live runs")
-	async := fs.Bool("async", false, "overlap communication with compute in live runs")
+	history := fs.Bool("history", false, "list the run-record store as a per-program trend table")
+	regress := fs.Bool("regress", false, "attribute the wall delta between two stored records (two record IDs or paths)")
+	report := fs.String("report", "", "write a self-contained HTML report over the run-record store to this file")
+	runlogGate := fs.Bool("runlog-gate", false, "CI gate: record the suite sync and async, verify exact -regress attribution and report determinism")
+	runf := cli.AddRunFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	var spec *faultinject.Spec
-	if *faults != "" {
-		s, err := faultinject.ParseSpec(*faults)
-		if err != nil {
-			fmt.Fprintf(stderr, "cgcmstat: -faults: %v\n", err)
-			return 2
-		}
-		spec = s
+	if runf.Version {
+		cli.PrintVersion(stdout, "cgcmstat")
+		return 0
+	}
+	spec, perr := runf.FaultSpec()
+	if perr != nil {
+		fmt.Fprintf(stderr, "cgcmstat: -faults: %v\n", perr)
+		return 2
 	}
 	opts := core.Options{
 		Strategy: core.CGCMOptimized, Workers: *workers, Ablate: ablate,
-		Async: *async, GPUMemBytes: *gpuMem, FaultSpec: spec,
+		Async: runf.Async, GPUMemBytes: runf.GPUMem, FaultSpec: spec,
+	}
+	// The store the record-query modes read; -runlog overrides it, the
+	// same flag the producing commands use to choose where they append.
+	storeDir := runf.Runlog
+	if storeDir == "" {
+		storeDir = runlog.DefaultDir
+	}
+
+	if *runlogGate {
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "usage: cgcmstat -runlog-gate")
+			return 2
+		}
+		return runRunlogGate(stdout, stderr)
+	}
+
+	if *history {
+		return runHistory(stdout, stderr, storeDir)
+	}
+
+	if *regress {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "usage: cgcmstat -regress <record-a> <record-b>   (IDs, unique prefixes, or record paths)")
+			return 2
+		}
+		return runRegress(stdout, stderr, storeDir, fs.Arg(0), fs.Arg(1))
+	}
+
+	if *report != "" {
+		return runReport(stdout, stderr, storeDir, *report)
 	}
 
 	if *gate {
@@ -82,7 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: cgcmstat [-whatif scenario | -diff | -gate] [-async] file.c|trace.json")
+		fmt.Fprintln(stderr, "usage: cgcmstat [-whatif scenario | -diff | -gate | -history | -regress a b | -report out.html | -runlog-gate] [-async] file.c|trace.json")
 		return 2
 	}
 	a, err := load(fs.Arg(0), opts)
@@ -306,5 +357,216 @@ func runGate(stdout, stderr io.Writer, opts core.Options) int {
 		return 1
 	}
 	fmt.Fprintln(stdout, "gate passed: paths tile the wall, classifications and predictions are worker-independent, zero-comm bounds hold")
+	return 0
+}
+
+// runHistory renders the run-record store as a per-program trend table:
+// one line per record in store order, with the wall delta against the
+// program's previous record.
+func runHistory(stdout, stderr io.Writer, dir string) int {
+	st, err := runlog.Open(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	recs, err := st.Records()
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	if len(recs) == 0 {
+		fmt.Fprintf(stdout, "no run records in %s (append some with -runlog on cgcmrun or cgcmbench)\n", dir)
+		return 0
+	}
+	fmt.Fprintf(stdout, "run-record history: %s (%d records)\n", dir, len(recs))
+	fmt.Fprintf(stdout, "%-20s %-28s %12s %8s %10s %10s %-9s %9s\n",
+		"record", "options", "wall", "host", "comm", "overlap", "limiting", "vs prev")
+	var prevProgram string
+	var prevWall float64
+	for _, r := range recs {
+		limiting := "-"
+		if r.Critpath != nil {
+			limiting = r.Critpath.Limiting
+		}
+		trend := "-"
+		if r.Program == prevProgram && prevWall > 0 {
+			trend = fmt.Sprintf("%+8.2f%%", 100*(r.Stats.Wall-prevWall)/prevWall)
+		}
+		fmt.Fprintf(stdout, "%-20s %-28s %10.2fus %6.0fms %9dB %9dB %-9s %9s\n",
+			r.ID, r.Options.Label(), r.Stats.Wall*1e6, float64(r.HostNS)/1e6,
+			r.CommBytes(), r.Stats.OverlappedBytes, limiting, trend)
+		prevProgram, prevWall = r.Program, r.Stats.Wall
+	}
+	return 0
+}
+
+// runRegress attributes the wall delta between two stored records: the
+// exact span-class decomposition from their critical-path digests, then
+// the per-allocation-unit communication changes with the responsible
+// pass or blocking remark.
+func runRegress(stdout, stderr io.Writer, dir, refA, refB string) int {
+	st, err := runlog.Open(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	ra, err := st.Load(refA)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	rb, err := st.Load(refB)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	if ra.Program != rb.Program {
+		fmt.Fprintf(stderr, "cgcmstat: warning: comparing different programs (%s vs %s)\n", ra.Program, rb.Program)
+	}
+	if ra.Critpath == nil || rb.Critpath == nil {
+		fmt.Fprintln(stderr, "cgcmstat: -regress needs records with a critical-path digest (compile-only records have none)")
+		return 1
+	}
+	d, err := critpath.DiffSummaries(*ra.Critpath, *rb.Critpath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "regression attribution: %s (%s) -> %s (%s)\n",
+		ra.ID, ra.Options.Label(), rb.ID, rb.Options.Label())
+	d.Render(&out, ra.ID, rb.ID)
+	fmt.Fprintf(&out, "limiting factor: %s %s -> %s %s\n", ra.ID, ra.Critpath.Limiting, rb.ID, rb.Critpath.Limiting)
+	if d.Exact() {
+		fmt.Fprintln(&out, "attribution is exact: per-class deltas sum to the wall delta with no residue")
+	} else {
+		fmt.Fprintln(&out, "attribution residue detected (records from an incompatible producer?)")
+	}
+	fmt.Fprintln(&out)
+	runlog.RenderUnitDeltas(&out, ra.ID, rb.ID, runlog.DiffLedgers(ra, rb))
+	fmt.Fprint(stdout, out.String())
+	if !d.Exact() {
+		return 1
+	}
+	return 0
+}
+
+// runReport renders the whole store as one self-contained HTML document.
+func runReport(stdout, stderr io.Writer, dir, out string) int {
+	st, err := runlog.Open(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	recs, err := st.Records()
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	if err := runlog.WriteHTML(f, recs); err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: write report: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "report written to %s (%d records, %d programs)\n", out, len(recs), countPrograms(recs))
+	return 0
+}
+
+// countPrograms counts distinct programs across records.
+func countPrograms(recs []*runlog.Record) int {
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		seen[r.Program] = true
+	}
+	return len(seen)
+}
+
+// runRunlogGate is the CI gate over the run-record subsystem: it sweeps
+// the bench suite twice into a throwaway store — synchronous transfers,
+// then -async — and verifies that (1) for every program, -regress
+// between the two stored records attributes the wall delta to span
+// classes exactly, with zero residue, and (2) the HTML report over the
+// store is byte-identical across exports.
+func runRunlogGate(stdout, stderr io.Writer) int {
+	dir, err := os.MkdirTemp("", "cgcm-runlog-gate-")
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+	st, err := runlog.Open(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+		return 1
+	}
+	prevRunlog, prevAsync := bench.Runlog, bench.Async
+	defer func() { bench.Runlog, bench.Async = prevRunlog, prevAsync }()
+	bench.Runlog = st
+	for _, async := range []bool{false, true} {
+		bench.Async = async
+		if _, err := bench.RunAll(io.Discard); err != nil {
+			fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+			return 1
+		}
+	}
+	fail := 0
+	fmt.Fprintf(stdout, "runlog gate: exact regression attribution, %d programs, sync -> async\n", len(bench.All()))
+	fmt.Fprintf(stdout, "%-16s %12s %12s %12s %6s\n", "program", "sync wall", "async wall", "delta", "exact")
+	for _, p := range bench.All() {
+		ra, err := st.Load(p.Name + "-1")
+		if err == nil {
+			var rb *runlog.Record
+			if rb, err = st.Load(p.Name + "-2"); err == nil {
+				if ra.Critpath == nil || rb.Critpath == nil {
+					fail++
+					fmt.Fprintf(stderr, "cgcmstat: %s: stored record has no critical-path digest\n", p.Name)
+					continue
+				}
+				var d *critpath.DiffResult
+				if d, err = critpath.DiffSummaries(*ra.Critpath, *rb.Critpath); err == nil {
+					ok := d.Exact()
+					if !ok {
+						fail++
+						fmt.Fprintf(stderr, "cgcmstat: %s: class deltas do not sum to the wall delta\n", p.Name)
+					}
+					fmt.Fprintf(stdout, "%-16s %10.2fus %10.2fus %10.2fus %6v\n",
+						p.Name, ra.Stats.Wall*1e6, rb.Stats.Wall*1e6,
+						(rb.Stats.Wall-ra.Stats.Wall)*1e6, ok)
+				}
+			}
+		}
+		if err != nil {
+			fail++
+			fmt.Fprintf(stderr, "cgcmstat: %s: %v\n", p.Name, err)
+		}
+	}
+	// Report determinism: two exports over freshly loaded records must be
+	// byte-identical.
+	var buf1, buf2 bytes.Buffer
+	for i, buf := range []*bytes.Buffer{&buf1, &buf2} {
+		recs, err := st.Records()
+		if err != nil {
+			fmt.Fprintf(stderr, "cgcmstat: %v\n", err)
+			return 1
+		}
+		if err := runlog.WriteHTML(buf, recs); err != nil {
+			fmt.Fprintf(stderr, "cgcmstat: report export %d: %v\n", i+1, err)
+			return 1
+		}
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		fail++
+		fmt.Fprintln(stderr, "cgcmstat: HTML report is not byte-deterministic across exports")
+	}
+	if fail > 0 {
+		fmt.Fprintf(stderr, "cgcmstat: runlog gate failed: %d violation(s)\n", fail)
+		return 1
+	}
+	fmt.Fprintf(stdout, "runlog gate passed: attribution exact on every program, report deterministic (%d bytes)\n", buf1.Len())
 	return 0
 }

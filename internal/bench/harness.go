@@ -13,10 +13,12 @@ import (
 	"time"
 
 	"cgcm/internal/analysis"
+	"cgcm/internal/cli"
 	"cgcm/internal/core"
 	"cgcm/internal/critpath"
 	"cgcm/internal/ir"
 	"cgcm/internal/metrics"
+	"cgcm/internal/runlog"
 	"cgcm/internal/stats"
 	"cgcm/internal/trace"
 	"cgcm/internal/typeinfer"
@@ -47,6 +49,13 @@ var Async bool
 // measurement run (core.Options.Metrics). Instruments are atomic, so a
 // live scraper (-metrics-listen) can watch the suite progress.
 var Metrics *metrics.Registry
+
+// Runlog, when non-nil, receives one durable run record per program
+// from every measurement sweep: the optimized-CGCM run, with remarks
+// enabled so stored records can explain their own ledgers. Record IDs
+// are per-program, so concurrent sweeps store identically to serial
+// ones.
+var Runlog *runlog.Store
 
 // Row holds the measured results for one program across the compared
 // systems — everything Table 3 and Figure 4 need.
@@ -82,6 +91,9 @@ func RunProgram(p Program) (*Row, error) {
 	start := time.Now()
 	run := func(s core.Strategy) (*core.Report, error) {
 		opts := core.Options{Strategy: s, Workers: Workers, Ablate: Ablate, Async: Async, Metrics: Metrics}
+		if s == core.CGCMOptimized && Runlog != nil {
+			opts.Remarks = true
+		}
 		var tr *trace.Tracer
 		// The optimized run is always traced: the limiting-factor column is
 		// computed from its critical path, not from aggregate time shares.
@@ -143,11 +155,20 @@ func RunProgram(p Program) (*Row, error) {
 	}
 	row.Limiting = cp.Limiting
 
-	row.KernelsCGCM, row.KernelsIE, row.KernelsNR, err = applicabilityCounts(p)
 	if row.KernelsCGCM, row.KernelsIE, row.KernelsNR, err = applicabilityCounts(p); err != nil {
 		return nil, err
 	}
 	row.HostNS = time.Since(start).Nanoseconds()
+	if Runlog != nil {
+		optOpts := core.Options{
+			Strategy: core.CGCMOptimized, Workers: Workers, Ablate: Ablate,
+			Async: Async, Metrics: Metrics, Remarks: true,
+		}
+		rec := cli.NewRunRecord(p.Name, optOpts, row.Opt, row.HostNS)
+		if _, err := Runlog.Append(rec); err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+	}
 	return row, nil
 }
 

@@ -1,8 +1,11 @@
 package cli
 
 import (
+	"context"
+	"errors"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"cgcm/internal/metrics"
@@ -16,33 +19,64 @@ import (
 type MetricsServer struct {
 	Addr string // resolved listen address (useful when asked for ":0")
 	srv  *http.Server
-	ln   net.Listener
+
+	serveErr  chan error // Serve's return value, read once by Close
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // ServeMetrics listens on addr and serves the Prometheus text
-// exposition of snap() at /metrics. Each scrape takes a fresh snapshot,
-// so the output is always internally consistent even while instruments
-// update concurrently.
+// exposition of snap() at /metrics, followed by host-side Go runtime
+// gauges (heap, GC cycles, goroutines, process start). Each scrape
+// takes a fresh snapshot, so the output is always internally consistent
+// even while instruments update concurrently. The host gauges live in a
+// private registry refreshed per scrape — they never leak into snap()'s
+// registry, so run records built from it stay host-independent. Bind
+// failures (port in use, bad address) return an error immediately.
 func ServeMetrics(addr string, snap func() *metrics.Snapshot) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	hostReg := metrics.New()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = metrics.WritePrometheus(w, snap())
+		if err := metrics.WritePrometheus(w, snap()); err != nil {
+			return
+		}
+		metrics.UpdateHost(hostReg)
+		_ = metrics.WritePrometheus(w, hostReg.Snapshot())
 	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	ms := &MetricsServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
-	go func() { _ = srv.Serve(ln) }()
+	ms := &MetricsServer{Addr: ln.Addr().String(), srv: srv, serveErr: make(chan error, 1)}
+	go func() { ms.serveErr <- srv.Serve(ln) }()
 	return ms, nil
 }
 
-// Close stops the listener and any in-flight scrapes.
+// Close shuts the endpoint down gracefully: the listener closes
+// immediately (the port is free for reuse), in-flight scrapes get a
+// short grace period to finish, and Serve's exit is collected so the
+// goroutine never outlives the run. Close is idempotent; repeat calls
+// return the first result.
 func (s *MetricsServer) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		err := s.srv.Shutdown(ctx)
+		if err != nil {
+			// Grace period expired: drop remaining connections.
+			if cerr := s.srv.Close(); cerr != nil {
+				err = cerr
+			}
+		}
+		if serr := <-s.serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+			err = serr
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
 }

@@ -3,6 +3,7 @@ package cli
 import (
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -40,8 +41,16 @@ func TestServeMetrics(t *testing.T) {
 		}
 		return string(body)
 	}
-	if got := scrape(); !strings.Contains(got, "machine_kernel_launches 2") {
-		t.Errorf("first scrape:\n%s", got)
+	first := scrape()
+	if !strings.Contains(first, "machine_kernel_launches 2") {
+		t.Errorf("first scrape:\n%s", first)
+	}
+	for _, host := range []string{
+		"host_heap_bytes", "host_gc_cycles", "host_goroutines", "process_start_time_seconds",
+	} {
+		if !strings.Contains(first, "# TYPE "+host+" gauge") {
+			t.Errorf("scrape missing host gauge %s:\n%s", host, first)
+		}
 	}
 	ctr.Add(3)
 	if got := scrape(); !strings.Contains(got, "machine_kernel_launches 5") {
@@ -52,6 +61,23 @@ func TestServeMetrics(t *testing.T) {
 	}
 	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", ms.Addr)); err == nil {
 		t.Error("endpoint still serving after Close")
+	}
+	if err := ms.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestServeMetricsPortInUse checks that binding an occupied port is a
+// synchronous error, not a goroutine that dies silently.
+func TestServeMetricsPortInUse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if ms, err := ServeMetrics(ln.Addr().String(), metrics.New().Snapshot); err == nil {
+		ms.Close()
+		t.Errorf("ServeMetrics(%s) succeeded on a port already in use", ln.Addr())
 	}
 }
 

@@ -25,6 +25,8 @@ type RunFlags struct {
 	GPUMem        int64
 	Faults        string
 	Async         bool
+	Runlog        string
+	Version       bool
 }
 
 // AddRunFlags registers the shared execution flags on fs.
@@ -44,6 +46,8 @@ func AddRunFlags(fs *flag.FlagSet) *RunFlags {
 	fs.Int64Var(&rf.GPUMem, "gpu-mem", 0, "device memory capacity in bytes (0 = unlimited); the runtime evicts under pressure")
 	fs.StringVar(&rf.Faults, "faults", "", "device fault-injection spec, e.g. seed=7,htod=0.5,alloc@3,fail=launch@2")
 	fs.BoolVar(&rf.Async, "async", false, "overlap communication with compute: stream transfers, prefetched maps, overlapped flushes")
+	fs.StringVar(&rf.Runlog, "runlog", "", "append a durable run record to this store directory (cgcmstat default: .cgcm/runs)")
+	fs.BoolVar(&rf.Version, "version", false, "print build identity (module version, VCS revision) and exit")
 	return rf
 }
 

@@ -1,0 +1,135 @@
+package cli_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/cli"
+	"cgcm/internal/core"
+	"cgcm/internal/critpath"
+	"cgcm/internal/runlog"
+	"cgcm/internal/trace"
+)
+
+// runBench executes one bench program under optimized CGCM with a
+// tracer attached and returns the options used and the report.
+func runBench(t *testing.T, name string, async bool, workers int) (core.Options, *core.Report) {
+	t.Helper()
+	p, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("unknown bench program %q", name)
+	}
+	opts := core.Options{
+		Strategy: core.CGCMOptimized, Tracer: trace.New(),
+		Async: async, Workers: workers, Remarks: true,
+	}
+	rep, err := core.CompileAndRun(p.Name, p.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opts, rep
+}
+
+// TestRunRecordRoundTrip is the tentpole contract: a diff over records
+// stored to disk and loaded back must agree bit for bit with a diff
+// over the live analyses of the same runs.
+func TestRunRecordRoundTrip(t *testing.T) {
+	syncOpts, syncRep := runBench(t, "atax", false, 0)
+	asyncOpts, asyncRep := runBench(t, "atax", true, 0)
+
+	st, err := runlog.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []struct {
+		opts core.Options
+		rep  *core.Report
+	}{{syncOpts, syncRep}, {asyncOpts, asyncRep}} {
+		rec := cli.NewRunRecord("atax", v.opts, v.rep, 42)
+		if rec.Critpath == nil {
+			t.Fatal("record missing critical-path digest")
+		}
+		if _, err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ra, err := st.Load("atax-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := st.Load("atax-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Options.Async || !rb.Options.Async {
+		t.Fatalf("options fingerprint lost async: %+v %+v", ra.Options, rb.Options)
+	}
+
+	// Live path: analyze the in-memory spans directly.
+	la, err := critpath.Analyze(syncRep.Spans, syncRep.Stats.Wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := critpath.Analyze(asyncRep.Spans, asyncRep.Stats.Wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := critpath.Diff(la, lb)
+
+	// Stored path: diff the deserialized records.
+	stored, err := critpath.DiffSummaries(*ra.Critpath, *rb.Critpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stored.Exact() {
+		t.Error("stored diff not exact")
+	}
+	var rl, rs strings.Builder
+	live.Render(&rl, "sync", "async")
+	stored.Render(&rs, "sync", "async")
+	if rl.String() != rs.String() {
+		t.Errorf("stored diff diverges from live diff:\nlive:\n%s\nstored:\n%s", rl.String(), rs.String())
+	}
+
+	// The stored ledger diff must account for the comm-byte delta.
+	var sum int64
+	for _, d := range runlog.DiffLedgers(ra, rb) {
+		sum += d.BytesDelta()
+	}
+	if want := rb.CommBytes() - ra.CommBytes(); sum != want {
+		t.Errorf("unit byte deltas sum to %d, records' comm-byte delta is %d", sum, want)
+	}
+}
+
+// TestReportDeterministicAcrossWorkers renders the HTML report from
+// records produced at different engine worker counts; the documents
+// must be byte-identical — worker count is a host detail.
+func TestReportDeterministicAcrossWorkers(t *testing.T) {
+	var outputs [][]byte
+	for _, workers := range []int{1, 4} {
+		st, err := runlog.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, async := range []bool{false, true} {
+			opts, rep := runBench(t, "bicg", async, workers)
+			if _, err := st.Append(cli.NewRunRecord("bicg", opts, rep, 7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs, err := st.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := runlog.WriteHTML(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.Bytes())
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Errorf("report differs across worker counts: %d vs %d bytes", len(outputs[0]), len(outputs[1]))
+	}
+}

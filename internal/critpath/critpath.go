@@ -123,11 +123,11 @@ type QueueStat struct {
 // OverlapStat quantifies how much communication time was hidden behind
 // other work, span-derived (independent of the ledger's byte crediting).
 type OverlapStat struct {
-	CommTime   float64 // all transfer time: sync + async + rescue
-	AsyncTime  float64 // stream-copy portion
-	Hidden     float64 // copy time overlapped with CPU compute or kernels
-	OnPath     float64 // transfer time on the critical path
-	Efficiency float64 // Hidden / CommTime (0 when CommTime is 0)
+	CommTime   float64 `json:"comm_time"`  // all transfer time: sync + async + rescue
+	AsyncTime  float64 `json:"async_time"` // stream-copy portion
+	Hidden     float64 `json:"hidden"`     // copy time overlapped with CPU compute or kernels
+	OnPath     float64 `json:"on_path"`    // transfer time on the critical path
+	Efficiency float64 `json:"efficiency"` // Hidden / CommTime (0 when CommTime is 0)
 }
 
 // Analysis is the full result of analyzing one run's spans.

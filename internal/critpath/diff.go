@@ -6,6 +6,7 @@ package critpath
 
 import (
 	"fmt"
+	"math/big"
 	"strings"
 )
 
@@ -21,17 +22,19 @@ type DiffResult struct {
 	WallA, WallB float64
 	Delta        float64
 	Classes      []ClassDelta
+
+	// exactA/exactB hold the per-class times in exact rational form when
+	// the diff came from summaries (always, via Diff or DiffSummaries);
+	// Exact verifies the attribution identity over them.
+	exactA, exactB []*big.Rat
 }
 
-// Diff compares two analyses (A = base, B = variant).
+// Diff compares two analyses (A = base, B = variant). It goes through
+// the Summary digest, so a diff of two live analyses and a diff of the
+// same runs' deserialized records produce identical results.
 func Diff(a, b *Analysis) *DiffResult {
-	d := &DiffResult{WallA: a.Wall, WallB: b.Wall, Delta: b.Wall - a.Wall}
-	for c := Class(0); c < numClasses; c++ {
-		d.Classes = append(d.Classes, ClassDelta{
-			Class: c, A: a.ByClass[c], B: b.ByClass[c],
-			Delta: b.ByClass[c] - a.ByClass[c],
-		})
-	}
+	// Summaries from this build always pass the class check.
+	d, _ := DiffSummaries(a.Summary(), b.Summary())
 	return d
 }
 

@@ -1,0 +1,181 @@
+// Summary is the serializable digest of an Analysis: everything a
+// durable run record needs to re-render the classification and diff two
+// runs later, without the spans. The per-class times carry an exactness
+// guarantee the float fields of Analysis do not: each class's on-path
+// time is stored as a leading float64 plus a (usually empty) tail of
+// correction floats whose rational sum reproduces the exact telescoped
+// segment time. Because the critical path tiles [0, Wall] with exact
+// boundary equality, the class times of a Summary sum to Wall
+// *identically* in rational arithmetic — so DiffSummaries can attribute
+// a wall delta to classes with sum == delta exactly, not to within an
+// epsilon, and the property survives a JSON round trip (encoding/json
+// emits shortest round-trippable float64 representations).
+package critpath
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// ClassTime is one class's on-path time in a Summary. The exact value
+// is Seconds plus the rational sum of Tail; Seconds alone is the
+// nearest float64 and is what displays use.
+type ClassTime struct {
+	Class   string    `json:"class"`
+	Seconds float64   `json:"seconds"`
+	Tail    []float64 `json:"tail,omitempty"`
+}
+
+// exact returns the class time as an exact rational.
+func (ct *ClassTime) exact() *big.Rat {
+	r := ratOf(ct.Seconds)
+	for _, t := range ct.Tail {
+		r.Add(r, ratOf(t))
+	}
+	return r
+}
+
+// LaneTime is one lane's busy accounting in a Summary.
+type LaneTime struct {
+	Lane   string  `json:"lane"`
+	Busy   float64 `json:"busy"`
+	OnPath float64 `json:"on_path"`
+	Stall  float64 `json:"stall,omitempty"`
+}
+
+// Summary is the analysis digest stored in run records.
+type Summary struct {
+	Wall     float64     `json:"wall"`
+	Limiting string      `json:"limiting"`
+	Segments int         `json:"segments"`
+	Classes  []ClassTime `json:"classes"` // all classes, in Class order
+	Lanes    []LaneTime  `json:"lanes,omitempty"`
+	Overlap  OverlapStat `json:"overlap"`
+	// Predictions holds the what-if replays when the producer ran them
+	// (records do); DiffSummaries does not consume them.
+	Predictions []Prediction `json:"predictions,omitempty"`
+}
+
+// Summary digests the analysis. The class times are computed exactly
+// (see the package comment above): for every Summary this produces,
+// sum over classes of (Seconds + Tail) == Wall as rational numbers.
+func (a *Analysis) Summary() Summary {
+	s := Summary{Wall: a.Wall, Limiting: a.Limiting, Segments: len(a.Path)}
+	exact := a.exactClassTimes()
+	for c := Class(0); c < numClasses; c++ {
+		lead, tail := decompose(exact[c])
+		s.Classes = append(s.Classes, ClassTime{Class: c.String(), Seconds: lead, Tail: tail})
+	}
+	for _, l := range a.Lanes {
+		s.Lanes = append(s.Lanes, LaneTime{Lane: l.Lane.String(), Busy: l.Busy, OnPath: l.OnCP, Stall: l.Stall})
+	}
+	s.Overlap = a.Overlap
+	return s
+}
+
+// exactClassTimes telescopes the path segments per class in rational
+// arithmetic. Segment boundaries are exact float64 values and the path
+// tiles [0, Wall], so the per-class rationals sum to exactly Wall.
+func (a *Analysis) exactClassTimes() [numClasses]*big.Rat {
+	var out [numClasses]*big.Rat
+	for c := range out {
+		out[c] = new(big.Rat)
+	}
+	for i := range a.Path {
+		seg := &a.Path[i]
+		out[seg.Class].Add(out[seg.Class], new(big.Rat).Sub(ratOf(seg.End), ratOf(seg.Start)))
+	}
+	return out
+}
+
+// ratOf converts a finite float64 to an exact rational.
+func ratOf(f float64) *big.Rat {
+	r := new(big.Rat).SetFloat64(f)
+	if r == nil {
+		// NaN/Inf never occur in span times; fail closed as zero.
+		return new(big.Rat)
+	}
+	return r
+}
+
+// decompose splits an exact dyadic rational into a nearest float64 and
+// the tail of corrections whose rational sum restores it exactly. The
+// tail is almost always empty: it is non-empty only when the exact
+// class time needs more than one float64 of precision.
+func decompose(r *big.Rat) (float64, []float64) {
+	lead, _ := r.Float64()
+	rest := new(big.Rat).Sub(r, ratOf(lead))
+	var tail []float64
+	// Dyadic rationals built from float64 inputs have finitely many
+	// significand bits, so stripping the nearest float each round
+	// terminates; the bound is a backstop, not a tolerance.
+	for i := 0; rest.Sign() != 0 && i < 64; i++ {
+		f, _ := rest.Float64()
+		if f == 0 {
+			break // below the subnormal range; cannot happen for dyadic inputs
+		}
+		tail = append(tail, f)
+		rest.Sub(rest, ratOf(f))
+	}
+	return lead, tail
+}
+
+// checkClasses validates a deserialized summary's class list against
+// this build's Class enumeration.
+func checkClasses(s *Summary) error {
+	if len(s.Classes) != int(numClasses) {
+		return fmt.Errorf("critpath: summary has %d classes, this build knows %d (record from another schema?)",
+			len(s.Classes), numClasses)
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if s.Classes[c].Class != c.String() {
+			return fmt.Errorf("critpath: summary class %d is %q, want %q", c, s.Classes[c].Class, c)
+		}
+	}
+	return nil
+}
+
+// DiffSummaries attributes WallB - WallA to span classes from two
+// summaries — deserialized run records or live digests; both sides go
+// through the same code, so a stored record diffs bit-for-bit like a
+// live Report. The per-class deltas are computed in exact rational
+// arithmetic and Exact() verifies they sum to the wall delta.
+func DiffSummaries(a, b Summary) (*DiffResult, error) {
+	if err := checkClasses(&a); err != nil {
+		return nil, err
+	}
+	if err := checkClasses(&b); err != nil {
+		return nil, err
+	}
+	d := &DiffResult{WallA: a.Wall, WallB: b.Wall, Delta: b.Wall - a.Wall}
+	for c := Class(0); c < numClasses; c++ {
+		ra, rb := a.Classes[c].exact(), b.Classes[c].exact()
+		delta, _ := new(big.Rat).Sub(rb, ra).Float64()
+		d.Classes = append(d.Classes, ClassDelta{
+			Class: c, A: a.Classes[c].Seconds, B: b.Classes[c].Seconds, Delta: delta,
+		})
+		d.exactA = append(d.exactA, ra)
+		d.exactB = append(d.exactB, rb)
+	}
+	return d, nil
+}
+
+// Exact reports whether the per-class deltas account for the wall delta
+// exactly: sum over classes of (B - A) == WallB - WallA as an identity
+// over rational numbers, not a float re-accumulation within a
+// tolerance. It holds by construction for any two summaries produced by
+// (*Analysis).Summary, stored or live.
+func (d *DiffResult) Exact() bool {
+	sum := new(big.Rat)
+	for i := range d.Classes {
+		a, b := ratOf(d.Classes[i].A), ratOf(d.Classes[i].B)
+		if i < len(d.exactA) {
+			a = d.exactA[i]
+		}
+		if i < len(d.exactB) {
+			b = d.exactB[i]
+		}
+		sum.Add(sum, new(big.Rat).Sub(b, a))
+	}
+	return sum.Cmp(new(big.Rat).Sub(ratOf(d.WallB), ratOf(d.WallA))) == 0
+}

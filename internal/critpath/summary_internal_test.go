@@ -1,0 +1,64 @@
+package critpath
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// TestDecomposeExact feeds decompose rationals a single float64 cannot
+// represent and checks lead + tail reproduces them exactly.
+func TestDecomposeExact(t *testing.T) {
+	cases := []*big.Rat{
+		new(big.Rat).SetFloat64(0),
+		new(big.Rat).SetFloat64(1.5),
+		// 1e20 + 1e-20-ish: the correction sits far below ulp(1e20).
+		new(big.Rat).Add(new(big.Rat).SetFloat64(1e20), new(big.Rat).SetFloat64(math.SmallestNonzeroFloat64)),
+		// Sum of three floats at wildly different magnitudes.
+		new(big.Rat).Add(
+			new(big.Rat).Add(new(big.Rat).SetFloat64(1e100), new(big.Rat).SetFloat64(1.0)),
+			new(big.Rat).SetFloat64(1e-200)),
+		// Negative with a positive correction term.
+		new(big.Rat).Add(new(big.Rat).SetFloat64(-1e20), new(big.Rat).SetFloat64(1e-30)),
+	}
+	for i, r := range cases {
+		lead, tail := decompose(new(big.Rat).Set(r))
+		got := ratOf(lead)
+		for _, tv := range tail {
+			got.Add(got, ratOf(tv))
+		}
+		if got.Cmp(r) != 0 {
+			t.Errorf("case %d: lead %g + %d tail terms != input (diff %s)",
+				i, lead, len(tail), new(big.Rat).Sub(r, got).FloatString(5))
+		}
+		ct := ClassTime{Seconds: lead, Tail: tail}
+		if ct.exact().Cmp(r) != 0 {
+			t.Errorf("case %d: ClassTime.exact() disagrees with input", i)
+		}
+	}
+}
+
+// TestSummaryClassesSumToWall checks the construction invariant on a
+// synthetic schedule: exact class times telescope to exactly Rat(Wall),
+// because the path tiles [0, Wall] with exact float boundaries.
+func TestSummaryClassesSumToWall(t *testing.T) {
+	// Boundaries chosen to be awkward in binary (0.1 steps).
+	a := &Analysis{
+		Wall: 0.7,
+		Path: []Segment{
+			{Start: 0, End: 0.1, Class: ClassCPU},
+			{Start: 0.1, End: 0.3, Class: ClassComm},
+			{Start: 0.3, End: 0.6, Class: ClassGPU},
+			{Start: 0.6, End: 0.7, Class: ClassCPU},
+		},
+	}
+	s := a.Summary()
+	sum := new(big.Rat)
+	for i := range s.Classes {
+		sum.Add(sum, s.Classes[i].exact())
+	}
+	if sum.Cmp(ratOf(a.Wall)) != 0 {
+		t.Errorf("exact class times sum to %s, wall is %s",
+			sum.FloatString(20), ratOf(a.Wall).FloatString(20))
+	}
+}

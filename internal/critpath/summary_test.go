@@ -1,0 +1,126 @@
+package critpath_test
+
+import (
+	"encoding/json"
+	"math/big"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/core"
+	"cgcm/internal/critpath"
+	"cgcm/internal/trace"
+)
+
+// analyzeBench compiles and runs one bench program (optimized CGCM) and
+// analyzes its spans.
+func analyzeBench(t *testing.T, name string, async bool) *critpath.Analysis {
+	t.Helper()
+	p, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("unknown bench program %q", name)
+	}
+	tr := trace.New()
+	rep, err := core.CompileAndRun(p.Name, p.Source, core.Options{
+		Strategy: core.CGCMOptimized, Tracer: tr, Async: async,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := critpath.Analyze(rep.Spans, rep.Stats.Wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestDiffSummariesRoundTrip is the run-record contract: diffing two
+// live analyses and diffing their summaries after a JSON round trip
+// must agree bit for bit — same rendered output, same exactness.
+func TestDiffSummariesRoundTrip(t *testing.T) {
+	a := analyzeBench(t, "atax", false)
+	b := analyzeBench(t, "atax", true)
+	live := critpath.Diff(a, b)
+	if !live.Exact() {
+		t.Fatal("live diff is not exact")
+	}
+
+	roundTrip := func(s critpath.Summary) critpath.Summary {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out critpath.Summary
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	stored, err := critpath.DiffSummaries(roundTrip(a.Summary()), roundTrip(b.Summary()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stored.Exact() {
+		t.Error("stored diff lost exactness through JSON")
+	}
+	if live.WallA != stored.WallA || live.WallB != stored.WallB || live.Delta != stored.Delta {
+		t.Errorf("walls differ: live (%v,%v,%v) stored (%v,%v,%v)",
+			live.WallA, live.WallB, live.Delta, stored.WallA, stored.WallB, stored.Delta)
+	}
+	if !reflect.DeepEqual(live.Classes, stored.Classes) {
+		t.Errorf("class deltas differ:\nlive:   %+v\nstored: %+v", live.Classes, stored.Classes)
+	}
+	var rl, rs strings.Builder
+	live.Render(&rl, "a", "b")
+	stored.Render(&rs, "a", "b")
+	if rl.String() != rs.String() {
+		t.Errorf("rendered output differs:\nlive:\n%s\nstored:\n%s", rl.String(), rs.String())
+	}
+}
+
+// TestSummaryExactOverSuite checks the exactness identity on live runs:
+// for several programs, sync and async, the summary's exact class times
+// sum to exactly Rat(Wall), and the sync-vs-async diff is exact.
+func TestSummaryExactOverSuite(t *testing.T) {
+	for _, name := range []string{"atax", "gemm", "kmeans"} {
+		sync := analyzeBench(t, name, false)
+		async := analyzeBench(t, name, true)
+		for _, a := range []*critpath.Analysis{sync, async} {
+			s := a.Summary()
+			sum := new(big.Rat)
+			for i := range s.Classes {
+				r := new(big.Rat).SetFloat64(s.Classes[i].Seconds)
+				for _, tv := range s.Classes[i].Tail {
+					r.Add(r, new(big.Rat).SetFloat64(tv))
+				}
+				sum.Add(sum, r)
+			}
+			if wall := new(big.Rat).SetFloat64(s.Wall); sum.Cmp(wall) != 0 {
+				t.Errorf("%s: class times sum to %s, wall %s", name, sum.FloatString(20), wall.FloatString(20))
+			}
+		}
+		if d := critpath.Diff(sync, async); !d.Exact() {
+			t.Errorf("%s: sync vs async attribution not exact", name)
+		}
+	}
+}
+
+// TestDiffSummariesRejectsForeign checks the class-name guard: a
+// summary with a renamed class is rejected instead of silently
+// misattributed.
+func TestDiffSummariesRejectsForeign(t *testing.T) {
+	a := analyzeBench(t, "atax", false)
+	good := a.Summary()
+	bad := a.Summary()
+	bad.Classes = bad.Classes[:len(bad.Classes)-1]
+	if _, err := critpath.DiffSummaries(good, bad); err == nil {
+		t.Error("truncated class list accepted")
+	}
+	bad2 := a.Summary()
+	bad2.Classes = append([]critpath.ClassTime(nil), bad2.Classes...)
+	bad2.Classes[0].Class = "Mystery"
+	if _, err := critpath.DiffSummaries(good, bad2); err == nil {
+		t.Error("renamed class accepted")
+	}
+}

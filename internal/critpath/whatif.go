@@ -56,9 +56,9 @@ func ParseScenario(s string) (Scenario, error) {
 
 // Prediction is the outcome of one what-if replay.
 type Prediction struct {
-	Scenario Scenario
-	Wall     float64 // predicted wall under the scenario
-	Speedup  float64 // measured wall / predicted wall: the speedup bound
+	Scenario Scenario `json:"scenario"`
+	Wall     float64  `json:"wall"`    // predicted wall under the scenario
+	Speedup  float64  `json:"speedup"` // measured wall / predicted wall: the speedup bound
 }
 
 // WhatIf replays the run under one scenario.

@@ -11,6 +11,7 @@ package irbuild
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"cgcm/internal/ir"
 	"cgcm/internal/minic/ast"
@@ -31,8 +32,26 @@ func Build(info *sema.Info) (*ir.Module, error) {
 		strPool: make(map[string]*ir.Global),
 		funcs:   make(map[*ast.FuncDecl]*ir.Func),
 	}
-	// Declare IR functions first so calls can reference them.
+	// Declare IR functions first so calls can reference them. info.Funcs
+	// is a map; iterate in declaration order so the module's function
+	// order — and everything keyed off it downstream (DOALL kernel
+	// numbering, trace and profile names, baselines) — is deterministic
+	// from compile to compile.
+	decls := make([]*ast.FuncDecl, 0, len(info.Funcs))
 	for _, fd := range info.Funcs {
+		decls = append(decls, fd)
+	}
+	sort.Slice(decls, func(i, j int) bool {
+		pi, pj := decls[i].DeclPos, decls[j].DeclPos
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Col != pj.Col {
+			return pi.Col < pj.Col
+		}
+		return decls[i].Name < decls[j].Name
+	})
+	for _, fd := range decls {
 		f := &ir.Func{Name: fd.Name, Kernel: fd.Kernel}
 		res := fd.Result
 		f.HasResult = !res.IsVoid()
@@ -53,7 +72,7 @@ func Build(info *sema.Info) (*ir.Module, error) {
 		}
 	}
 	// Function bodies.
-	for _, fd := range info.Funcs {
+	for _, fd := range decls {
 		if fd.Body == nil {
 			return nil, fmt.Errorf("%s: function %s has no body", fd.Pos(), fd.Name)
 		}

@@ -230,3 +230,28 @@ int main() {
 		t.Errorf("conversions missing: itof=%v ftoi=%v", itof, ftoi)
 	}
 }
+
+// TestFuncOrderDeterministic pins the module's function order to source
+// declaration order. sema hands irbuild a map of functions; without the
+// position sort, module order — and everything keyed off it downstream
+// (DOALL kernel numbering, trace span names, profile keys) — varied
+// from compile to compile of the same source.
+func TestFuncOrderDeterministic(t *testing.T) {
+	src := `
+int helper_c(int x) { return x + 3; }
+int helper_a(int x) { return x + 1; }
+int helper_b(int x) { return x + 2; }
+int main() { return helper_a(helper_b(helper_c(0))); }`
+	want := []string{"helper_c", "helper_a", "helper_b", "main"}
+	for iter := 0; iter < 50; iter++ {
+		m := build(t, src)
+		if len(m.Funcs) != len(want) {
+			t.Fatalf("iter %d: %d funcs, want %d", iter, len(m.Funcs), len(want))
+		}
+		for i, f := range m.Funcs {
+			if f.Name != want[i] {
+				t.Fatalf("iter %d: func %d is %q, want %q (declaration order)", iter, i, f.Name, want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Host-side Go runtime metrics: the scrape surface ROADMAP item 5's
+// host-throughput work watches. These gauges describe the process, not
+// the simulated machine, so they live in whatever registry the caller
+// dedicates to host observation — the metrics HTTP endpoint keeps them
+// in a private registry, separate from the app registry whose snapshot
+// lands in run records, which therefore stay host-independent.
+package metrics
+
+import (
+	"runtime"
+	"time"
+)
+
+// processStart is the process start time, captured at package init.
+var processStart = time.Now()
+
+// Host gauge names, exported so scrape tests and dashboards share one
+// spelling (WritePrometheus renders dots as underscores).
+const (
+	HostHeapBytes  = "host.heap_bytes"
+	HostGCCycles   = "host.gc_cycles"
+	HostGoroutines = "host.goroutines"
+	// ProcessStartTime follows the Prometheus convention for process
+	// start: seconds since the Unix epoch, constant for the process.
+	ProcessStartTime = "process_start_time_seconds"
+)
+
+// UpdateHost refreshes the host-side runtime gauges on r: live heap
+// bytes, completed GC cycles, goroutine count, and the process start
+// time. Call it before each scrape; it reads runtime.MemStats, which
+// is cheap at this cadence but not free, so it is not on any hot path.
+func UpdateHost(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(HostHeapBytes).Set(float64(ms.HeapAlloc))
+	r.Gauge(HostGCCycles).Set(float64(ms.NumGC))
+	r.Gauge(HostGoroutines).Set(float64(runtime.NumGoroutine()))
+	r.Gauge(ProcessStartTime).Set(float64(processStart.UnixNano()) / 1e9)
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+)
+
+// gaugeValue digs one gauge out of a snapshot.
+func gaugeValue(t *testing.T, s *Snapshot, name string) float64 {
+	t.Helper()
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	t.Fatalf("gauge %q missing from snapshot", name)
+	return 0
+}
+
+// TestUpdateHost cross-checks the host gauges against runtime.ReadMemStats
+// taken immediately around the update. GC is disabled for the duration so
+// HeapAlloc moves monotonically between the two readings and the gauge
+// must land in the bracket.
+func TestUpdateHost(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	r := New()
+	UpdateHost(r)
+	runtime.ReadMemStats(&after)
+	s := r.Snapshot()
+
+	heap := gaugeValue(t, s, HostHeapBytes)
+	if heap < float64(before.HeapAlloc) || heap > float64(after.HeapAlloc) {
+		t.Errorf("host.heap_bytes = %v, want within [%d, %d]", heap, before.HeapAlloc, after.HeapAlloc)
+	}
+	gc := gaugeValue(t, s, HostGCCycles)
+	if gc < float64(before.NumGC) || gc > float64(after.NumGC) {
+		t.Errorf("host.gc_cycles = %v, want within [%d, %d]", gc, before.NumGC, after.NumGC)
+	}
+	if g := gaugeValue(t, s, HostGoroutines); g < 1 {
+		t.Errorf("host.goroutines = %v, want >= 1", g)
+	}
+	start := gaugeValue(t, s, ProcessStartTime)
+	now := float64(time.Now().UnixNano()) / 1e9
+	if start <= 0 || start > now {
+		t.Errorf("process_start_time_seconds = %v, want in (0, %v]", start, now)
+	}
+}
+
+// TestUpdateHostRefreshes checks repeated updates overwrite, not append.
+func TestUpdateHostRefreshes(t *testing.T) {
+	r := New()
+	UpdateHost(r)
+	n := len(r.Snapshot().Gauges)
+	UpdateHost(r)
+	if got := len(r.Snapshot().Gauges); got != n {
+		t.Errorf("second update grew gauge count %d -> %d", n, got)
+	}
+	UpdateHost(nil) // must not panic
+}

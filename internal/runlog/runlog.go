@@ -1,0 +1,160 @@
+// Package runlog persists runs of the simulated machine as durable,
+// schema-versioned JSON records in an append-only store. A record is
+// one self-contained document: build identity, the Options fingerprint
+// that shaped the run, the machine and runtime statistics, the
+// communication ledger, the metrics snapshot, optimization remarks, and
+// the critical-path digest with what-if predictions. Everything the
+// live CLIs can print about a run can be re-derived from its record, so
+// cross-run questions — did this change regress atax? what did -async
+// buy last week? — become queries over stored documents instead of
+// re-measurements.
+//
+// Records are deterministic except for three explicitly host-dependent
+// fields (recorded_at, host_ns, options.workers) and the metrics
+// snapshot (which carries compile.*.host_ns gauges); consumers that
+// promise byte-determinism, like the HTML report, exclude exactly
+// those.
+package runlog
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"cgcm/internal/critpath"
+	"cgcm/internal/machine"
+	"cgcm/internal/metrics"
+	"cgcm/internal/remarks"
+	runtimelib "cgcm/internal/runtime"
+	"cgcm/internal/trace"
+)
+
+// Schema is the run-record schema version. It changes only when a field
+// is renamed, retyped, or re-interpreted; adding optional fields keeps
+// the version. Readers reject other versions instead of guessing.
+const Schema = 1
+
+// DefaultDir is the conventional store location, relative to the
+// working directory.
+const DefaultDir = ".cgcm/runs"
+
+// BuildInfo is the identity of the binary that produced a record,
+// collected from the Go build machinery.
+type BuildInfo struct {
+	GoVersion   string `json:"go_version,omitempty"`
+	Module      string `json:"module,omitempty"`
+	Version     string `json:"version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSDirty    bool   `json:"vcs_dirty,omitempty"`
+}
+
+// CollectBuildInfo reads the running binary's build identity. Binaries
+// built outside a VCS checkout (and test binaries) simply have fewer
+// fields stamped.
+func CollectBuildInfo() BuildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return BuildInfo{}
+	}
+	out := BuildInfo{GoVersion: bi.GoVersion, Module: bi.Main.Path, Version: bi.Main.Version}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.VCSRevision = s.Value
+		case "vcs.time":
+			out.VCSTime = s.Value
+		case "vcs.modified":
+			out.VCSDirty = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// String renders the build identity on one line, the way -version and
+// the report footer show it.
+func (b BuildInfo) String() string {
+	ver := b.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "(devel)"
+	}
+	s := ver
+	if b.VCSRevision != "" {
+		rev := b.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if b.VCSDirty {
+			s += "+dirty"
+		}
+	}
+	if b.GoVersion != "" {
+		s += " " + b.GoVersion
+	}
+	return s
+}
+
+// OptionsFP is the full execution-options fingerprint of a run: every
+// Options field that can change what the simulation does, plus Workers
+// — which cannot (results are worker-independent by construction) and
+// is therefore treated as host-dependent by deterministic consumers.
+type OptionsFP struct {
+	Strategy string `json:"strategy"`
+	Ablate   string `json:"ablate,omitempty"` // canonical sorted PassSet rendering
+	Async    bool   `json:"async,omitempty"`
+	Workers  int    `json:"workers,omitempty"` // host-dependent: no effect on simulated results
+	GPUMem   int64  `json:"gpu_mem_bytes,omitempty"`
+	Faults   string `json:"faults,omitempty"` // canonical fault-spec rendering
+}
+
+// Label renders the simulation-relevant half of the fingerprint for
+// tables: strategy plus whichever switches deviate from the default.
+func (o OptionsFP) Label() string {
+	parts := []string{o.Strategy}
+	if o.Async {
+		parts = append(parts, "async")
+	}
+	if o.Ablate != "" {
+		parts = append(parts, "ablate="+o.Ablate)
+	}
+	if o.GPUMem > 0 {
+		parts = append(parts, fmt.Sprintf("gpu-mem=%d", o.GPUMem))
+	}
+	if o.Faults != "" {
+		parts = append(parts, "faults="+o.Faults)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Record is one durable run record. Compile-only records (cgcmc) carry
+// phases, remarks, and metrics with zero Stats and no Critpath section.
+type Record struct {
+	Schema  int    `json:"schema"`
+	ID      string `json:"id,omitempty"` // assigned by Store.Append
+	Program string `json:"program"`
+
+	// RecordedAt (RFC 3339 UTC) and HostNS are the host-dependent
+	// provenance fields; everything below them is deterministic for a
+	// given program and options fingerprint (modulo Options.Workers and
+	// the host_ns gauges inside Metrics).
+	RecordedAt string `json:"recorded_at,omitempty"`
+	HostNS     int64  `json:"host_ns,omitempty"`
+
+	Build   BuildInfo `json:"build"`
+	Options OptionsFP `json:"options"`
+
+	Exit     int64             `json:"exit,omitempty"`
+	Stats    machine.Stats     `json:"stats"`
+	RTStats  runtimelib.Stats  `json:"rt_stats"`
+	Comm     trace.Ledger      `json:"comm"`
+	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
+	Remarks  []remarks.Remark  `json:"remarks,omitempty"`
+	Critpath *critpath.Summary `json:"critpath,omitempty"`
+	Phases   []trace.PhaseSpan `json:"phases,omitempty"`
+}
+
+// CommBytes returns the record's total transferred bytes, both ways.
+func (r *Record) CommBytes() int64 {
+	return r.Stats.BytesHtoD + r.Stats.BytesDtoH
+}

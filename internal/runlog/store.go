@@ -1,0 +1,264 @@
+// The append-only store: one JSON file per record plus an index
+// document, all written atomically (temp file + rename) so a crashed or
+// interrupted run never leaves a torn record behind. Record IDs are
+// deterministic — <program>-<n>, n counting that program's records in
+// the store — not a global sequence, so concurrent appends of different
+// programs (the bench harness) produce the same IDs regardless of
+// goroutine schedule.
+package runlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// indexName is the store's index document.
+const indexName = "index.json"
+
+// IndexEntry summarizes one stored record for listing without loading
+// the full document.
+type IndexEntry struct {
+	ID         string  `json:"id"`
+	File       string  `json:"file"` // record file name within the store directory
+	Program    string  `json:"program"`
+	Seq        int     `json:"seq"` // the <n> of <program>-<n>
+	Options    string  `json:"options"`
+	Wall       float64 `json:"wall"`
+	Limiting   string  `json:"limiting,omitempty"`
+	HostNS     int64   `json:"host_ns,omitempty"`
+	RecordedAt string  `json:"recorded_at,omitempty"`
+}
+
+// index is the on-disk index document.
+type index struct {
+	Schema  int          `json:"schema"`
+	Entries []IndexEntry `json:"entries"`
+}
+
+// Store is an append-only run-record store rooted at a directory.
+// Append is safe for concurrent use within a process; cross-process
+// writers are not coordinated (the CLIs are single-writer).
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// Open opens (creating if needed) the store at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// sanitize maps a program name to a filesystem-safe ID base: path
+// separators and other hostile characters become underscores.
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "run"
+	}
+	return b.String()
+}
+
+// readIndex loads the index document; a missing file is an empty store.
+func (s *Store) readIndex() (*index, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, indexName))
+	if os.IsNotExist(err) {
+		return &index{Schema: Schema}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	var idx index
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, fmt.Errorf("runlog: %s: %w", indexName, err)
+	}
+	if idx.Schema != Schema {
+		return nil, fmt.Errorf("runlog: %s has schema %d, this build reads %d", indexName, idx.Schema, Schema)
+	}
+	return &idx, nil
+}
+
+// writeAtomic writes data to name within the store via temp + rename.
+func (s *Store) writeAtomic(name string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "."+name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), filepath.Join(s.dir, name))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runlog: %w", werr)
+	}
+	return nil
+}
+
+// Append assigns rec its ID, writes it, and updates the index — both
+// atomically. It returns the assigned ID.
+func (s *Store) Append(rec *Record) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, err := s.readIndex()
+	if err != nil {
+		return "", err
+	}
+	base := sanitize(rec.Program)
+	n := 1
+	for i := range idx.Entries {
+		if sanitize(idx.Entries[i].Program) == base {
+			n++
+		}
+	}
+	rec.Schema = Schema
+	rec.ID = fmt.Sprintf("%s-%d", base, n)
+	data, err := json.MarshalIndent(rec, "", " ")
+	if err != nil {
+		return "", fmt.Errorf("runlog: %w", err)
+	}
+	file := rec.ID + ".json"
+	if err := s.writeAtomic(file, append(data, '\n')); err != nil {
+		return "", err
+	}
+	e := IndexEntry{
+		ID: rec.ID, File: file, Program: rec.Program, Seq: n,
+		Options: rec.Options.Label(), Wall: rec.Stats.Wall,
+		HostNS: rec.HostNS, RecordedAt: rec.RecordedAt,
+	}
+	if rec.Critpath != nil {
+		e.Limiting = rec.Critpath.Limiting
+	}
+	idx.Entries = append(idx.Entries, e)
+	sortEntries(idx.Entries)
+	idata, err := json.MarshalIndent(idx, "", " ")
+	if err != nil {
+		return "", fmt.Errorf("runlog: %w", err)
+	}
+	if err := s.writeAtomic(indexName, append(idata, '\n')); err != nil {
+		return "", err
+	}
+	return rec.ID, nil
+}
+
+// sortEntries orders entries canonically: program, then sequence. The
+// order is independent of append interleaving, so a store filled by
+// concurrent bench runs lists (and reports) identically every time.
+func sortEntries(es []IndexEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Program != es[j].Program {
+			return es[i].Program < es[j].Program
+		}
+		return es[i].Seq < es[j].Seq
+	})
+}
+
+// List returns the index entries in canonical order.
+func (s *Store) List() ([]IndexEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, err := s.readIndex()
+	if err != nil {
+		return nil, err
+	}
+	sortEntries(idx.Entries)
+	return idx.Entries, nil
+}
+
+// ReadRecord reads and validates one record document from a path.
+func ReadRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runlog: %w", err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("runlog: %s: %w", path, err)
+	}
+	if rec.Schema != Schema {
+		return nil, fmt.Errorf("runlog: %s has schema %d, this build reads %d", path, rec.Schema, Schema)
+	}
+	return &rec, nil
+}
+
+// Load resolves ref to one stored record: an exact ID, a unique ID
+// prefix, or (when it names an existing file) a record file path.
+func (s *Store) Load(ref string) (*Record, error) {
+	if strings.HasSuffix(ref, ".json") {
+		if _, err := os.Stat(ref); err == nil {
+			return ReadRecord(ref)
+		}
+	}
+	entries, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	var match *IndexEntry
+	for i := range entries {
+		if entries[i].ID == ref {
+			match = &entries[i]
+			break
+		}
+	}
+	if match == nil {
+		var hits []*IndexEntry
+		for i := range entries {
+			if strings.HasPrefix(entries[i].ID, ref) {
+				hits = append(hits, &entries[i])
+			}
+		}
+		switch len(hits) {
+		case 1:
+			match = hits[0]
+		case 0:
+			return nil, fmt.Errorf("runlog: no record %q in %s (try cgcmstat -history)", ref, s.dir)
+		default:
+			ids := make([]string, len(hits))
+			for i, h := range hits {
+				ids[i] = h.ID
+			}
+			return nil, fmt.Errorf("runlog: %q is ambiguous in %s: %s", ref, s.dir, strings.Join(ids, ", "))
+		}
+	}
+	return ReadRecord(filepath.Join(s.dir, match.File))
+}
+
+// Records loads every stored record in canonical order.
+func (s *Store) Records() ([]*Record, error) {
+	entries, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Record, 0, len(entries))
+	for i := range entries {
+		rec, err := ReadRecord(filepath.Join(s.dir, entries[i].File))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

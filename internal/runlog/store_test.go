@@ -1,0 +1,149 @@
+package runlog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cgcm/internal/machine"
+)
+
+func rec(program string, wall float64) *Record {
+	return &Record{Program: program, Stats: machine.Stats{Wall: wall}}
+}
+
+func TestStoreAppendAndLoad(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := st.Append(rec("atax", 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := st.Append(rec("atax", 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id3, err := st.Append(rec("gemm", 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != "atax-1" || id2 != "atax-2" || id3 != "gemm-1" {
+		t.Fatalf("IDs %q %q %q: want per-program sequences", id1, id2, id3)
+	}
+	r, err := st.Load("atax-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Wall != 2.0 || r.Schema != Schema {
+		t.Errorf("loaded wall %v schema %d", r.Stats.Wall, r.Schema)
+	}
+	// Unique prefix resolves; ambiguous prefix and misses error usefully.
+	if r, err = st.Load("gemm"); err != nil || r.ID != "gemm-1" {
+		t.Errorf("prefix load: %v, %v", r, err)
+	}
+	if _, err = st.Load("atax"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous prefix: %v", err)
+	}
+	if _, err = st.Load("nope"); err == nil || !strings.Contains(err.Error(), "-history") {
+		t.Errorf("miss should point at -history: %v", err)
+	}
+	// A record file path loads directly.
+	if r, err = st.Load(filepath.Join(st.Dir(), "atax-1.json")); err != nil || r.ID != "atax-1" {
+		t.Errorf("path load: %v, %v", r, err)
+	}
+	// List comes back in canonical (program, seq) order.
+	es, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, e := range es {
+		ids = append(ids, e.ID)
+	}
+	if got := strings.Join(ids, " "); got != "atax-1 atax-2 gemm-1" {
+		t.Errorf("list order %q", got)
+	}
+}
+
+// TestStoreConcurrentAppend checks the bench-harness usage: concurrent
+// appends of different programs assign schedule-independent IDs.
+func TestStoreConcurrentAppend(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	for _, p := range progs {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			if _, err := st.Append(rec(p, 1.0)); err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	es, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != len(progs) {
+		t.Fatalf("%d entries, want %d", len(es), len(progs))
+	}
+	for i, e := range es {
+		if want := progs[i] + "-1"; e.ID != want {
+			t.Errorf("entry %d: ID %q, want %q", i, e.ID, want)
+		}
+	}
+}
+
+func TestSanitizeHostileProgramNames(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := st.Append(rec("../../etc/passwd", 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(id, "/\\") {
+		t.Errorf("ID %q contains a path separator", id)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), id+".json")); err != nil {
+		t.Errorf("record not inside the store: %v", err)
+	}
+	if id2, err := st.Append(rec("", 1.0)); err != nil || !strings.HasPrefix(id2, "run-") {
+		t.Errorf("empty program name: id %q err %v", id2, err)
+	}
+}
+
+// TestSchemaRejection checks both readers refuse documents from a
+// different schema version instead of misinterpreting them.
+func TestSchemaRejection(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(rec("p", 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema": 99, "program": "p"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRecord(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("foreign record schema accepted: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, indexName), []byte(`{"schema": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.List(); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("foreign index schema accepted: %v", err)
+	}
+}
