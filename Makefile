@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test race bench benchsmoke baseline baseline-async overlap fuzzsmoke resilience critpath runlog ci
+.PHONY: all build vet fmtcheck test race bench benchsmoke baseline baseline-async overlap fuzzsmoke resilience critpath runlog servegate soak ci
 
 all: build
 
@@ -59,6 +59,7 @@ baseline-async:
 fuzzsmoke:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime 10s ./internal/minic/parser/
 	$(GO) test -run=NONE -fuzz=FuzzCompile -fuzztime 10s ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzServerRequest -fuzztime 10s ./internal/server/
 
 # Fault-model invariant across the whole suite: transient faults plus a
 # finite device must leave every program's output bit-identical.
@@ -79,4 +80,18 @@ critpath:
 runlog:
 	$(GO) run ./cmd/cgcmstat -runlog-gate
 
-ci: build fmtcheck vet race benchsmoke overlap fuzzsmoke resilience critpath runlog
+# Service-mode contention gate: every bench program's response payload
+# from a loaded multi-tenant cgcmd — under concurrency, injected faults,
+# tenant quotas, cold and warm compilation cache — must be bit-identical
+# to a solo in-process run of the same request.
+servegate:
+	$(GO) run ./cmd/cgcmd -gate
+
+# Full-scale service soak: ≥1000 concurrent clients across ≥8 tenants
+# under the race detector, mixing cache hits/misses, deadline expiries,
+# quota evictions, and the standard fault plan. The short-mode soak runs
+# inside `make race` / `make ci`; this is the heavyweight version.
+soak:
+	CGCM_SOAK=1 $(GO) test -race -timeout 30m -run 'TestSoak' -v ./internal/server/
+
+ci: build fmtcheck vet race benchsmoke overlap fuzzsmoke resilience critpath runlog servegate

@@ -39,6 +39,7 @@
 package cgcm
 
 import (
+	"context"
 	"io"
 
 	"cgcm/internal/core"
@@ -178,14 +179,48 @@ type DeviceError = faultinject.DeviceError
 // package for the grammar).
 func ParseFaultSpec(text string) (*FaultSpec, error) { return faultinject.ParseSpec(text) }
 
+// RunConfig carries per-run overrides for Program.RunWith: a
+// cancellation context, a per-run metrics registry, and a per-tenant
+// device-memory governor.
+type RunConfig = core.RunConfig
+
+// MemGovernor arbitrates device-memory reservations across runs; see
+// NewQuotaPool for the per-tenant implementation.
+type MemGovernor = machine.MemGovernor
+
+// QuotaPool tracks per-tenant device-memory quotas and usage across
+// concurrent runs.
+type QuotaPool = machine.QuotaPool
+
+// NewQuotaPool returns a quota pool whose tenants default to the given
+// quota in bytes (0 = unlimited).
+func NewQuotaPool(defaultQuota int64) *QuotaPool { return machine.NewQuotaPool(defaultQuota) }
+
+// CancelError is the typed error a canceled or deadline-expired run
+// returns; errors.Is(err, context.DeadlineExceeded) works through it.
+type CancelError = interp.CancelError
+
 // Compile parses, checks, lowers, parallelizes, and transforms a mini-C
 // program according to opts.
 func Compile(name, src string, opts Options) (*Program, error) {
 	return core.Compile(name, src, opts)
 }
 
+// CompileContext is Compile with cancellation between phases.
+func CompileContext(ctx context.Context, name, src string, opts Options) (*Program, error) {
+	return core.CompileContext(ctx, name, src, opts)
+}
+
 // CompileAndRun compiles src and executes it on a fresh simulated
 // machine.
 func CompileAndRun(name, src string, opts Options) (*Report, error) {
 	return core.CompileAndRun(name, src, opts)
+}
+
+// CompileAndRunContext is CompileAndRun with cancellation threaded
+// through both compilation and execution: a fired deadline or canceled
+// caller aborts the run at the next kernel-launch boundary with a typed
+// *CancelError and a partial Report.
+func CompileAndRunContext(ctx context.Context, name, src string, opts Options) (*Report, error) {
+	return core.CompileAndRunContext(ctx, name, src, opts)
 }

@@ -41,10 +41,10 @@
 //	cgcmbench -version     # print build identity and exit
 //
 // The execution flags (-trace*, -prof*, -metrics, -gpu-mem, -faults,
-// -async, -runlog, -version) are one shared set, registered identically
-// by cgcmrun, cgcmc, cgcmbench, and cgcmstat; cgcmbench interprets
-// -trace-out as a directory and ignores the per-run print flags
-// (-trace, -prof*, -metrics).
+// -async, -runlog, -timeout, -version) are one shared set, registered
+// identically by cgcmrun, cgcmc, cgcmbench, and cgcmstat; cgcmbench
+// interprets -trace-out as a directory and ignores the per-run print
+// flags (-trace, -prof*, -metrics).
 package main
 
 import (
@@ -109,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bench.Workers = *workers
 	bench.TraceDir = runf.TraceOut
 	bench.Async = runf.Async
+	bench.Timeout = runf.Timeout
 	if runf.Runlog != "" {
 		st, err := runlog.Open(runf.Runlog)
 		if err != nil {

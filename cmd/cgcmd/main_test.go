@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read output while run() writes it from
+// another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-nonsense"},
+		{"stray-arg"},
+		{"-tenant-quota", "missing-equals"},
+		{"-weight", "a=notanumber"},
+		{"-tenant-quota", "a=-5"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%q) = %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}
+
+func TestBadListenAddress(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-listen", "256.256.256.256:99999"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad listen exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "listen") {
+		t.Errorf("stderr %q does not surface the bind error", stderr.String())
+	}
+}
+
+// TestServeAndGracefulSIGTERM boots the real daemon on an ephemeral
+// port, runs a request over HTTP, then delivers SIGTERM and requires a
+// clean drain: exit 0 and the drain banner.
+func TestServeAndGracefulSIGTERM(t *testing.T) {
+	stdout := &syncBuffer{}
+	stderr := &syncBuffer{}
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-listen", "127.0.0.1:0", "-workers", "2", "-drain", "10s"}, stdout, stderr)
+	}()
+
+	// Wait for the serving banner and extract the address.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout: %q stderr: %q", stdout.String(), stderr.String())
+		}
+		out := stdout.String()
+		if i := strings.Index(out, "http://"); i >= 0 {
+			if j := strings.IndexByte(out[i:], '\n'); j >= 0 {
+				addr = strings.TrimSpace(out[i : i+j])
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	body, _ := json.Marshal(map[string]any{
+		"tenant": "cli", "program": "t.c",
+		"source": "int main() {\n\tprint_int(7);\n\treturn 0;\n}",
+	})
+	resp, err := http.Post(addr+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /run = %d: %s", resp.StatusCode, respBody)
+	}
+	var rr struct {
+		Output string `json:"output"`
+	}
+	if err := json.Unmarshal(respBody, &rr); err != nil || !strings.Contains(rr.Output, "7") {
+		t.Fatalf("response %s (err=%v)", respBody, err)
+	}
+
+	if resp, err := http.Get(addr + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit = %d after SIGTERM; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM; stdout: %q", stdout.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, "drained") {
+		t.Errorf("stdout %q lacks the drain banner", out)
+	}
+}
+
+// TestKVFlagFormatting covers the repeatable tenant=value flag.
+func TestKVFlagFormatting(t *testing.T) {
+	f := &kvFlag{label: "bytes"}
+	if err := f.Set("a=10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("b=20"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.String(); got != "a=10,b=20" {
+		t.Errorf("String() = %q", got)
+	}
+	for _, bad := range []string{"", "=5", "a", "a=", "a=x", fmt.Sprintf("a=%d0", int64(1)<<62)} {
+		if err := f.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}

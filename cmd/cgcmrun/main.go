@@ -27,15 +27,18 @@
 //	                                  # (streams, prefetch, overlapped flushes)
 //	cgcmrun -runlog .cgcm/runs file.c # append a durable run record (build,
 //	                                  # options, stats, ledger, critical path)
+//	cgcmrun -timeout 30s file.c       # abort the run after 30s of host time
+//	                                  # with a typed error and partial output
 //	cgcmrun -version                  # print build identity and exit
 //
 // The execution flags (-trace*, -prof*, -metrics, -gpu-mem, -faults,
-// -async, -runlog, -version) are one shared set, registered identically
-// by cgcmrun, cgcmc, cgcmbench, and cgcmstat.
+// -async, -runlog, -timeout, -version) are one shared set, registered
+// identically by cgcmrun, cgcmc, cgcmbench, and cgcmstat.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +47,7 @@ import (
 
 	"cgcm/internal/cli"
 	"cgcm/internal/core"
+	"cgcm/internal/interp"
 	"cgcm/internal/metrics"
 	tracepkg "cgcm/internal/trace"
 )
@@ -139,11 +143,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		FaultSpec:   faultSpec,
 		Async:       runf.Async,
 	}
+	ctx, cancel := runf.RunContext()
+	defer cancel()
 	hostStart := time.Now()
-	rep, err := core.CompileAndRun(name, string(src), opts)
+	rep, err := core.CompileAndRunContext(ctx, name, string(src), opts)
 	hostNS := time.Since(hostStart).Nanoseconds()
 	if err != nil {
-		fmt.Fprintf(stderr, "cgcmrun: %v\n", err)
+		var cancelErr *interp.CancelError
+		if errors.As(err, &cancelErr) {
+			fmt.Fprintf(stderr, "cgcmrun: run aborted by -timeout %v: %v\n", runf.Timeout, err)
+		} else {
+			fmt.Fprintf(stderr, "cgcmrun: %v\n", err)
+		}
 		if rep != nil && rep.Output != "" {
 			fmt.Fprintf(stderr, "partial output:\n%s", rep.Output)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -57,6 +58,21 @@ var Metrics *metrics.Registry
 // ones.
 var Runlog *runlog.Store
 
+// Timeout, when positive, bounds every measurement run's host time
+// (-timeout): a run exceeding it aborts at the next kernel-launch
+// boundary with a typed *interp.CancelError instead of hanging the
+// suite. 0 means no limit.
+var Timeout time.Duration
+
+// runContext returns the context each measurement run executes under,
+// honoring Timeout.
+func runContext() (context.Context, context.CancelFunc) {
+	if Timeout > 0 {
+		return context.WithTimeout(context.Background(), Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
 // Row holds the measured results for one program across the compared
 // systems — everything Table 3 and Figure 4 need.
 type Row struct {
@@ -101,7 +117,9 @@ func RunProgram(p Program) (*Row, error) {
 			tr = trace.New()
 			opts.Tracer = tr
 		}
-		rep, err := core.CompileAndRun(p.Name, p.Source, opts)
+		ctx, cancel := runContext()
+		defer cancel()
+		rep, err := core.CompileAndRunContext(ctx, p.Name, p.Source, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s [%s]: %w", p.Name, s, err)
 		}

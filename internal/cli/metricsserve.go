@@ -11,60 +11,54 @@ import (
 	"cgcm/internal/metrics"
 )
 
-// MetricsServer is a live /metrics endpoint bound to a snapshot
-// function. It exists for the lifetime of a run: commands start it
-// before measuring and Close it on the way out, so a scraper watching
-// <addr>/metrics sees instrument values move while programs execute —
-// the per-tenant export surface a long-running cgcmd needs.
-type MetricsServer struct {
+// HTTPServer is a managed HTTP server lifecycle: synchronous bind (so a
+// taken port or bad address surfaces as an immediate error, not a late
+// log line), background Serve, and a graceful, idempotent Close. It is
+// the one lifecycle shared by every HTTP surface the commands expose —
+// the per-run /metrics endpoint of cgcmrun and cgcmbench, and the full
+// multi-tenant service mux of cgcmd.
+type HTTPServer struct {
 	Addr string // resolved listen address (useful when asked for ":0")
-	srv  *http.Server
 
+	// Grace bounds how long Close waits for in-flight requests before
+	// dropping their connections. Zero means the 2 s default.
+	Grace time.Duration
+
+	srv       *http.Server
 	serveErr  chan error // Serve's return value, read once by Close
 	closeOnce sync.Once
 	closeErr  error
 }
 
-// ServeMetrics listens on addr and serves the Prometheus text
-// exposition of snap() at /metrics, followed by host-side Go runtime
-// gauges (heap, GC cycles, goroutines, process start). Each scrape
-// takes a fresh snapshot, so the output is always internally consistent
-// even while instruments update concurrently. The host gauges live in a
-// private registry refreshed per scrape — they never leak into snap()'s
-// registry, so run records built from it stay host-independent. Bind
-// failures (port in use, bad address) return an error immediately.
-func ServeMetrics(addr string, snap func() *metrics.Snapshot) (*MetricsServer, error) {
+// ServeHTTP listens on addr and serves handler in the background. Bind
+// failures (port in use, bad address) return an error immediately; once
+// it returns successfully, the server is reachable at Addr.
+func ServeHTTP(addr string, handler http.Handler) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	hostReg := metrics.New()
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := metrics.WritePrometheus(w, snap()); err != nil {
-			return
-		}
-		metrics.UpdateHost(hostReg)
-		_ = metrics.WritePrometheus(w, hostReg.Snapshot())
-	})
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	ms := &MetricsServer{Addr: ln.Addr().String(), srv: srv, serveErr: make(chan error, 1)}
-	go func() { ms.serveErr <- srv.Serve(ln) }()
-	return ms, nil
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	hs := &HTTPServer{Addr: ln.Addr().String(), srv: srv, serveErr: make(chan error, 1)}
+	go func() { hs.serveErr <- srv.Serve(ln) }()
+	return hs, nil
 }
 
-// Close shuts the endpoint down gracefully: the listener closes
-// immediately (the port is free for reuse), in-flight scrapes get a
-// short grace period to finish, and Serve's exit is collected so the
-// goroutine never outlives the run. Close is idempotent; repeat calls
-// return the first result.
-func (s *MetricsServer) Close() error {
+// Close shuts the server down gracefully: the listener closes
+// immediately (the port is free for reuse), in-flight requests get the
+// Grace period to finish, and Serve's exit is collected so the
+// goroutine never outlives the caller. Close is idempotent; repeat
+// calls return the first result.
+func (s *HTTPServer) Close() error {
 	if s == nil {
 		return nil
 	}
 	s.closeOnce.Do(func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		grace := s.Grace
+		if grace <= 0 {
+			grace = 2 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
 		err := s.srv.Shutdown(ctx)
 		if err != nil {
@@ -79,4 +73,54 @@ func (s *MetricsServer) Close() error {
 		s.closeErr = err
 	})
 	return s.closeErr
+}
+
+// Wait blocks until ctx fires (returning nil — the normal shutdown
+// path) or Serve exits on its own (returning its error — the listener
+// died). The error is re-buffered so a later Close still completes.
+func (s *HTTPServer) Wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return nil
+	case err := <-s.serveErr:
+		s.serveErr <- err
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// MetricsServer is a live /metrics endpoint bound to a snapshot
+// function; see ServeMetrics.
+type MetricsServer = HTTPServer
+
+// MetricsHandler serves the Prometheus text exposition of snap() at
+// /metrics, followed by host-side Go runtime gauges (heap, GC cycles,
+// goroutines, process start). Each scrape takes a fresh snapshot, so
+// the output is always internally consistent even while instruments
+// update concurrently. The host gauges live in a private registry
+// refreshed per scrape — they never leak into snap()'s registry, so run
+// records built from it stay host-independent.
+func MetricsHandler(snap func() *metrics.Snapshot) http.Handler {
+	hostReg := metrics.New()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := metrics.WritePrometheus(w, snap()); err != nil {
+			return
+		}
+		metrics.UpdateHost(hostReg)
+		_ = metrics.WritePrometheus(w, hostReg.Snapshot())
+	})
+	return mux
+}
+
+// ServeMetrics listens on addr and serves MetricsHandler(snap) — the
+// -metrics-listen surface of cgcmrun and cgcmbench. It exists for the
+// lifetime of a run: commands start it before measuring and Close it on
+// the way out, so a scraper watching <addr>/metrics sees instrument
+// values move while programs execute.
+func ServeMetrics(addr string, snap func() *metrics.Snapshot) (*MetricsServer, error) {
+	return ServeHTTP(addr, MetricsHandler(snap))
 }

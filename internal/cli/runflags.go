@@ -1,7 +1,9 @@
 package cli
 
 import (
+	"context"
 	"flag"
+	"time"
 
 	"cgcm/internal/faultinject"
 )
@@ -26,6 +28,7 @@ type RunFlags struct {
 	Faults        string
 	Async         bool
 	Runlog        string
+	Timeout       time.Duration
 	Version       bool
 }
 
@@ -47,6 +50,7 @@ func AddRunFlags(fs *flag.FlagSet) *RunFlags {
 	fs.StringVar(&rf.Faults, "faults", "", "device fault-injection spec, e.g. seed=7,htod=0.5,alloc@3,fail=launch@2")
 	fs.BoolVar(&rf.Async, "async", false, "overlap communication with compute: stream transfers, prefetched maps, overlapped flushes")
 	fs.StringVar(&rf.Runlog, "runlog", "", "append a durable run record to this store directory (cgcmstat default: .cgcm/runs)")
+	fs.DurationVar(&rf.Timeout, "timeout", 0, "abort the run after this host duration (e.g. 30s); the run stops at the next kernel-launch boundary with a typed error (0 = no limit)")
 	fs.BoolVar(&rf.Version, "version", false, "print build identity (module version, VCS revision) and exit")
 	return rf
 }
@@ -56,6 +60,16 @@ func (rf *RunFlags) Tracing() bool { return rf.Trace || rf.TraceOut != "" }
 
 // Profiling reports whether the exact profiler must be enabled.
 func (rf *RunFlags) Profiling() bool { return rf.Prof || rf.ProfFolded != "" }
+
+// RunContext returns the execution context implied by -timeout: a
+// deadline context when a timeout was given, Background otherwise. The
+// cancel func is always non-nil; callers defer it.
+func (rf *RunFlags) RunContext() (context.Context, context.CancelFunc) {
+	if rf.Timeout > 0 {
+		return context.WithTimeout(context.Background(), rf.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
 
 // FaultSpec parses -faults; a nil spec means no injection.
 func (rf *RunFlags) FaultSpec() (*faultinject.Spec, error) {

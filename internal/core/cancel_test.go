@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"cgcm/internal/core"
+	"cgcm/internal/interp"
+)
+
+// slowVec launches far more kernels than any test deadline allows, so a
+// timeout always fires mid-run: the cancellation checkpoints (step-pool
+// refill and kernel-launch boundary) must stop it long before the step
+// limit would.
+const slowVec = `
+int main() {
+	int n = 256;
+	float *a = (float*)malloc(n * sizeof(float));
+	for (int i = 0; i < n; i++) a[i] = (float)i;
+	for (int t = 0; t < 200000; t++) {
+		for (int i = 0; i < n; i++) a[i] = a[i] * 1.0001 + 0.5;
+	}
+	float sum = 0.0;
+	for (int i = 0; i < n; i++) sum += a[i];
+	print_float(sum);
+	free(a);
+	return 0;
+}`
+
+// TestRunContextDeadlineAborts is the -timeout satellite's contract: a
+// huge problem aborts cleanly at a cancellation checkpoint with the
+// typed error, the partial report survives, and no goroutine leaks.
+func TestRunContextDeadlineAborts(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := core.CompileAndRunContext(ctx, "slow.c", slowVec, core.Options{Strategy: core.CGCMOptimized})
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("run completed despite 30ms deadline; expected a cancellation error")
+	}
+	var cerr *interp.CancelError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("error %v (%T) is not an *interp.CancelError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not unwrap to context.DeadlineExceeded", err)
+	}
+	if cerr.Fn == "" {
+		t.Error("CancelError.Fn is empty; want the function the run was in")
+	}
+	if rep == nil {
+		t.Fatal("no partial report alongside the cancellation error")
+	}
+	// The abort must be prompt — checkpoint granularity, not step-limit
+	// exhaustion. Allow generous slack for loaded CI machines.
+	if elapsed > 5*time.Second {
+		t.Errorf("abort took %v; cancellation checkpoints are not firing", elapsed)
+	}
+
+	// The kernel-engine worker pool must fully unwind after a canceled
+	// launch: poll because exiting goroutines need a moment to die.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after canceled run: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunContextCancelImmediate: a context canceled before the run
+// starts aborts before any kernel executes.
+func TestRunContextCancelImmediate(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := core.CompileAndRunContext(ctx, "slow.c", slowVec, core.Options{Strategy: core.CGCMOptimized})
+	if err == nil {
+		t.Fatal("run completed under a pre-canceled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+}

@@ -6,6 +6,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -300,7 +301,18 @@ func (p *Program) Remarks() []remarks.Remark { return p.remarks }
 // Compile parses, checks, lowers, and transforms src according to opts.
 // All module mutation — including instruction renumbering and the
 // kernel/launch-site census — happens here, leaving Run side-effect-free.
-func Compile(name, src string, opts Options) (prog *Program, err error) {
+func Compile(name, src string, opts Options) (*Program, error) {
+	return CompileContext(context.Background(), name, src, opts)
+}
+
+// CompileContext is Compile with cancellation: the context is checked
+// between compilation phases, so a canceled caller (request deadline,
+// client disconnect) stops paying for the remaining passes. The
+// returned error wraps the context's error, so errors.Is sees it.
+func CompileContext(ctx context.Context, name, src string, opts Options) (prog *Program, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	defer recoverInternal("compile", &err)
 	var phases []trace.PhaseSpan
 	begin := func(phase string) func(activity int, note string) {
@@ -313,6 +325,18 @@ func Compile(name, src string, opts Options) (prog *Program, err error) {
 				Note:     note,
 			})
 		}
+	}
+
+	// Phase-boundary cancellation: compilation is all host work, so the
+	// check lives between phases, not inside them.
+	canceled := func(next string) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("compile %s: canceled before %s: %w", name, next, cerr)
+		}
+		return nil
+	}
+	if err := canceled("parse"); err != nil {
+		return nil, err
 	}
 
 	end := begin("parse")
@@ -373,6 +397,9 @@ func Compile(name, src string, opts Options) (prog *Program, err error) {
 		return p, nil
 	}
 
+	if err := canceled("constfold"); err != nil {
+		return nil, err
+	}
 	// Constant folding is semantics-preserving and runs under every
 	// strategy, so all four systems execute identical arithmetic; it
 	// also lets the parallelizer compute static trip counts from
@@ -413,6 +440,9 @@ func Compile(name, src string, opts Options) (prog *Program, err error) {
 	dump("commmgmt")
 
 	if opts.Strategy == CGCMOptimized {
+		if err := canceled("optimization passes"); err != nil {
+			return nil, err
+		}
 		// §5.4: "the glue kernel optimization runs before alloca
 		// promotion, and map promotion runs last."
 		if !opts.ablated(PassGlueKernel) {
@@ -463,11 +493,48 @@ func Compile(name, src string, opts Options) (prog *Program, err error) {
 	return finish()
 }
 
+// RunConfig carries per-run overrides for RunWith, the per-request
+// surface of the multi-tenant service: the compiled Program (and its
+// baked-in Options) is shared and immutable, while the context, the
+// metrics registry, and the device-memory governor differ per request.
+type RunConfig struct {
+	// Ctx, when non-nil, cancels the run: a fired deadline or client
+	// disconnect aborts execution at the next kernel-launch boundary (or
+	// within one step batch inside a kernel) with a typed
+	// *interp.CancelError. The partial Report is still returned.
+	Ctx context.Context
+	// Metrics, when non-nil, overrides Options.Metrics for this run, so
+	// one shared Program can report into per-tenant registries.
+	Metrics *metrics.Registry
+	// MemGovernor, when non-nil, is attached to this run's machine: every
+	// device allocation reserves against it first, so a per-tenant quota
+	// can deny device memory. Denials look like capacity OOM, driving the
+	// runtime's own evict-then-degrade ladder — output stays identical.
+	// Attaching a governor enables the resilient runtime even when the
+	// run has no explicit capacity or fault plan.
+	MemGovernor machine.MemGovernor
+}
+
 // Run executes the compiled program on a fresh simulated machine. It does
 // not mutate the Program, so concurrent Run calls on one Program are safe
 // and produce identical Reports.
-func (p *Program) Run() (rep *Report, err error) {
+func (p *Program) Run() (*Report, error) { return p.RunWith(RunConfig{}) }
+
+// RunContext is Run with cancellation; see RunConfig.Ctx.
+func (p *Program) RunContext(ctx context.Context) (*Report, error) {
+	return p.RunWith(RunConfig{Ctx: ctx})
+}
+
+// RunWith executes the program with per-run overrides. Like Run it is
+// read-only on the Program, so concurrent RunWith calls are safe. When
+// the run is canceled the error wraps *interp.CancelError and the
+// returned Report carries the statistics accumulated so far.
+func (p *Program) RunWith(rc RunConfig) (rep *Report, err error) {
 	defer recoverInternal("run", &err)
+	met := p.Opts.Metrics
+	if rc.Metrics != nil {
+		met = rc.Metrics
+	}
 	cost := machine.DefaultCostModel()
 	if p.Opts.Cost != nil {
 		cost = *p.Opts.Cost
@@ -480,20 +547,25 @@ func (p *Program) Run() (rep *Report, err error) {
 		runTr = trace.New()
 		mach.SetTracer(runTr)
 	}
-	mach.SetMetrics(p.Opts.Metrics)
+	mach.SetMetrics(met)
 	rt := runtimelib.New(mach)
 	rt.Tr = runTr
-	rt.SetMetrics(p.Opts.Metrics)
+	rt.SetMetrics(met)
 	// Fault model: a finite or fault-injected device flips the runtime
 	// into resilient mode before module load, so even the device regions
-	// of globals go through the evict/retry/degrade ladder.
+	// of globals go through the evict/retry/degrade ladder. A per-run
+	// memory governor (tenant quota) is another way the device can say
+	// no, so it arms the same machinery.
 	if p.Opts.GPUMemBytes > 0 {
 		mach.SetGPUCapacity(p.Opts.GPUMemBytes)
 	}
 	if p.Opts.FaultSpec != nil && !p.Opts.FaultSpec.Empty() {
 		mach.SetFaultPlan(p.Opts.FaultSpec.NewPlan())
 	}
-	if p.Opts.GPUMemBytes > 0 || mach.FaultPlan() != nil {
+	if rc.MemGovernor != nil {
+		mach.SetMemGovernor(rc.MemGovernor)
+	}
+	if p.Opts.GPUMemBytes > 0 || mach.FaultPlan() != nil || rc.MemGovernor != nil {
 		rt.EnableResilience(runtimelib.DefaultResilience())
 	}
 	if p.Opts.Async {
@@ -522,6 +594,9 @@ func (p *Program) Run() (rep *Report, err error) {
 	}
 	in.Workers = p.Opts.Workers
 	in.RaceCheck = p.Opts.RaceCheck
+	if rc.Ctx != nil {
+		in.SetContext(rc.Ctx)
+	}
 	exit, err := in.Run()
 	rep = &Report{
 		Strategy:               p.Opts.Strategy,
@@ -555,7 +630,7 @@ func (p *Program) Run() (rep *Report, err error) {
 	if p.Opts.Remarks {
 		rep.Remarks = withRuntimeRemarks(p.name, p.remarks, rep.Comm, rep.RTStats, rt.DegradeReason())
 	}
-	if m := p.Opts.Metrics; m != nil {
+	if m := met; m != nil {
 		st := rep.Stats
 		m.Gauge("machine.wall_seconds").Set(st.Wall)
 		m.Gauge("machine.cpu_ops").Set(float64(st.CPUOps))
@@ -693,6 +768,16 @@ func CompileAndRun(name, src string, opts Options) (*Report, error) {
 		return nil, err
 	}
 	return p.Run()
+}
+
+// CompileAndRunContext is CompileAndRun with cancellation threaded
+// through both the compile phases and the run.
+func CompileAndRunContext(ctx context.Context, name, src string, opts Options) (*Report, error) {
+	p, err := CompileContext(ctx, name, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunContext(ctx)
 }
 
 // recoverInternal converts a typed ir.InternalError panic (a compiler

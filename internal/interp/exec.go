@@ -175,8 +175,14 @@ func (in *Interp) returnSteps(n int64) {
 }
 
 // refillSteps tops up the context's budget; false means the global step
-// limit is exhausted.
+// limit is exhausted or the run's context was canceled. Doubling as the
+// cancellation checkpoint keeps the instruction hot path free of any
+// per-step poll: every context — root and kernel workers alike —
+// observes cancellation within stepBatch instructions.
 func (ex *exec) refillSteps() bool {
+	if ex.in.done != nil && ex.in.interrupted() {
+		return false
+	}
 	take := ex.in.takeSteps(stepBatch)
 	if take == 0 {
 		return false
@@ -533,6 +539,9 @@ func (ex *exec) execBlock(fr *frame, blk *ir.Block) (next *ir.Block, ret uint64,
 		ops := blockOps[ii]
 		if ex.budget--; ex.budget < 0 {
 			if !ex.refillSteps() {
+				if cerr := in.checkCancel(fr.fn.Name); cerr != nil {
+					return nil, 0, false, cerr
+				}
 				return nil, 0, false, &Error{Fn: fr.fn.Name, Msg: "step limit exceeded (infinite loop?)"}
 			}
 		}

@@ -24,6 +24,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -68,6 +69,23 @@ type Error struct {
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("interp: in %s: %s", e.Fn, e.Msg) }
+
+// CancelError is the typed error returned when the driving context is
+// canceled or its deadline expires mid-run. Execution stops at the next
+// step-batch refill or kernel-launch boundary, so the machine and
+// runtime statistics observed so far are still coherent. Unwrap exposes
+// the context's cause, so errors.Is(err, context.DeadlineExceeded) and
+// errors.Is(err, context.Canceled) both work through any wrapping.
+type CancelError struct {
+	Fn    string // function (or kernel) executing when the run stopped
+	Cause error  // the context's Err(): Canceled or DeadlineExceeded
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("interp: in %s: run canceled: %v", e.Fn, e.Cause)
+}
+
+func (e *CancelError) Unwrap() error { return e.Cause }
 
 // Interp executes one module.
 type Interp struct {
@@ -118,6 +136,13 @@ type Interp struct {
 	// workers without an atomic operation per instruction.
 	stepsTaken atomic.Int64
 
+	// ctx/done carry the optional cancellation signal (SetContext).
+	// done is cached so the hot path's poll is one channel select; a nil
+	// done channel never delivers, so the uncanceled default costs only
+	// the select itself — and only once per stepBatch refill.
+	ctx  context.Context
+	done <-chan struct{}
+
 	exited   bool
 	exitCode int64
 
@@ -154,6 +179,50 @@ func New(mod *ir.Module, mach *machine.Machine, rt *runtime.Runtime, out io.Writ
 		rt.DeclareGlobal(g.Name, base, g.Size, g.ReadOnly, dev)
 	}
 	return in, nil
+}
+
+// SetContext attaches a cancellation context to the interpreter. When
+// ctx is canceled (deadline, client disconnect), the run aborts with a
+// typed *CancelError at the next step-batch refill — every stepBatch
+// instructions on every worker — or at the next kernel-launch boundary,
+// whichever comes first. A nil ctx (the default) disables the checks.
+// Must be called before Run; it must not change during a run.
+func (in *Interp) SetContext(ctx context.Context) {
+	if ctx == nil {
+		in.ctx, in.done = nil, nil
+		return
+	}
+	in.ctx = ctx
+	in.done = ctx.Done()
+}
+
+// interrupted polls the cancellation signal without blocking. Safe to
+// call from worker goroutines: in.done is written once before Run.
+func (in *Interp) interrupted() bool {
+	select {
+	case <-in.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelCause returns the context's error when it has fired, nil
+// otherwise (including when no context is attached).
+func (in *Interp) cancelCause() error {
+	if in.ctx == nil {
+		return nil
+	}
+	return in.ctx.Err()
+}
+
+// checkCancel returns the typed cancellation error when the attached
+// context has fired; fn names the boundary for the message.
+func (in *Interp) checkCancel(fn string) error {
+	if cause := in.cancelCause(); cause != nil {
+		return &CancelError{Fn: fn, Cause: cause}
+	}
+	return nil
 }
 
 // GlobalAddr returns the host address of a module global.

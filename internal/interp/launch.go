@@ -39,6 +39,11 @@ func (ex *exec) launch(fr *frame, instr *ir.Instr, ops []operand) error {
 // persistent failure degrades the device, after which this launch (and
 // every later one) executes on the CPU instead.
 func (in *Interp) launchManaged(kernel *ir.Func, line int, threads int64, args []uint64) error {
+	// Kernel-launch boundary: a canceled run stops here before paying
+	// for another grid, the abort point the service deadline promises.
+	if err := in.checkCancel(kernel.Name); err != nil {
+		return err
+	}
 	if err := in.RT.PreLaunch(kernel.Name); err != nil {
 		return err
 	}
@@ -91,6 +96,9 @@ func (in *Interp) launchFallback(kernel *ir.Func, line int, threads int64, args 
 // GPU timeline. Functionally, threads run against host memory — the
 // oracle's transfers are assumed perfect.
 func (in *Interp) launchInspector(kernel *ir.Func, line int, threads int64, args []uint64) error {
+	if err := in.checkCancel(kernel.Name); err != nil {
+		return err
+	}
 	in.RT.KernelLaunched()
 	res, err := in.runGrid(kernel, line, threads, args, true, true)
 	if err != nil {

@@ -105,14 +105,31 @@ func (m *Machine) AllocDevice(size int64, name string) (uint64, error) {
 			return 0, de
 		}
 	}
-	if need := int64(align(uint64(size))); m.capacity > 0 && m.gpuUsed+need > m.capacity {
+	need := int64(align(uint64(size)))
+	if m.capacity > 0 && m.gpuUsed+need > m.capacity {
 		return 0, &faultinject.DeviceError{
 			Verb: faultinject.VerbAlloc, Unit: name,
 			Msg: fmt.Sprintf("device memory exhausted: %d bytes used of %d, need %d",
 				m.gpuUsed, m.capacity, need),
 		}
 	}
-	return m.Alloc(GPU, size, name), nil
+	if m.gov != nil {
+		if gerr := m.gov.Reserve(need); gerr != nil {
+			// A quota denial is shaped like capacity OOM (non-injected,
+			// non-transient), so the resilient runtime responds the same
+			// way: evict this run's own cached units, then degrade to CPU
+			// fallback. Other tenants' machines are untouched.
+			return 0, &faultinject.DeviceError{
+				Verb: faultinject.VerbAlloc, Unit: name,
+				Msg: gerr.Error(),
+			}
+		}
+	}
+	base := m.Alloc(GPU, size, name)
+	if m.gov != nil {
+		m.govBytes[base] = need
+	}
+	return base, nil
 }
 
 // Penalty advances the CPU timeline by d seconds of non-compute overhead

@@ -250,6 +250,13 @@ type Machine struct {
 	gpuPeak  int64
 	plan     *faultinject.Plan
 
+	// Quota model (quota.go): gov, when non-nil, must approve every
+	// AllocDevice; govBytes remembers how much each reserved base was
+	// charged so Free releases exactly what was reserved (GPU segments
+	// created by plain Alloc are never charged to the governor).
+	gov      MemGovernor
+	govBytes map[uint64]int64
+
 	// Stream state (stream.go): created streams, in-flight async copies
 	// awaiting temporal resolution, the flow-id allocator linking issue
 	// instants to copy spans, and the overlap sink feeding the ledger.
@@ -388,6 +395,10 @@ func (m *Machine) Free(space Space, base uint64) error {
 	}
 	if space == GPU {
 		m.gpuUsed -= int64(align(uint64(len(seg.Data))))
+		if n, ok := m.govBytes[base]; ok && m.gov != nil {
+			m.gov.Release(n)
+			delete(m.govBytes, base)
+		}
 	}
 	m.segs[space].Delete(base)
 	for i, c := range &m.cache[space] {

@@ -1,0 +1,136 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"cgcm/internal/faultinject"
+)
+
+func TestQuotaPoolReserveDenyRelease(t *testing.T) {
+	p := NewQuotaPool(100)
+	g := p.Governor("a")
+	if err := g.Reserve(60); err != nil {
+		t.Fatalf("first reserve: %v", err)
+	}
+	if err := g.Reserve(60); err == nil {
+		t.Fatal("reserve beyond quota succeeded")
+	}
+	used, peak, denials := p.Usage("a")
+	if used != 60 || peak != 60 || denials != 1 {
+		t.Fatalf("usage = (%d, %d, %d), want (60, 60, 1)", used, peak, denials)
+	}
+	g.Release(60)
+	if err := g.Reserve(100); err != nil {
+		t.Fatalf("reserve after release: %v", err)
+	}
+	used, peak, _ = p.Usage("a")
+	if used != 100 || peak != 100 {
+		t.Fatalf("usage = (%d, %d), want (100, 100)", used, peak)
+	}
+}
+
+func TestQuotaPoolPerTenantOverrideAndIsolation(t *testing.T) {
+	p := NewQuotaPool(50)
+	p.SetQuota("big", 1000)
+	if err := p.Governor("big").Reserve(500); err != nil {
+		t.Fatalf("override tenant: %v", err)
+	}
+	// Default-quota tenant is unaffected by big's usage.
+	if err := p.Governor("small").Reserve(50); err != nil {
+		t.Fatalf("default tenant at exactly its quota: %v", err)
+	}
+	if err := p.Governor("small").Reserve(1); err == nil {
+		t.Fatal("default tenant exceeded its quota")
+	}
+	if q := p.Quota("big"); q != 1000 {
+		t.Fatalf("Quota(big) = %d, want 1000", q)
+	}
+	if q := p.Quota("small"); q != 50 {
+		t.Fatalf("Quota(small) = %d, want 50", q)
+	}
+}
+
+func TestQuotaPoolUnlimited(t *testing.T) {
+	p := NewQuotaPool(0)
+	if err := p.Governor("any").Reserve(1 << 40); err != nil {
+		t.Fatalf("unlimited pool denied: %v", err)
+	}
+}
+
+func TestQuotaPoolReleaseClamps(t *testing.T) {
+	p := NewQuotaPool(10)
+	g := p.Governor("a")
+	g.Release(99) // spurious release must not create negative usage
+	if err := g.Reserve(10); err != nil {
+		t.Fatalf("reserve after spurious release: %v", err)
+	}
+	used, _, _ := p.Usage("a")
+	if used != 10 {
+		t.Fatalf("used = %d, want 10", used)
+	}
+}
+
+// TestAllocDeviceGovernorDeny: a quota denial surfaces as a
+// non-injected, non-transient alloc DeviceError — exactly the shape the
+// resilient runtime's evict-then-degrade ladder consumes.
+func TestAllocDeviceGovernorDeny(t *testing.T) {
+	m := New(DefaultCostModel())
+	p := NewQuotaPool(64)
+	m.SetMemGovernor(p.Governor("t"))
+
+	if _, err := m.AllocDevice(32, "u1"); err != nil {
+		t.Fatalf("within quota: %v", err)
+	}
+	_, err := m.AllocDevice(64, "u2")
+	if err == nil {
+		t.Fatal("over-quota alloc succeeded")
+	}
+	var derr *faultinject.DeviceError
+	if !errors.As(err, &derr) {
+		t.Fatalf("error %T is not a DeviceError", err)
+	}
+	if derr.Injected || derr.Transient || derr.Verb != faultinject.VerbAlloc {
+		t.Fatalf("denial shape = %+v; want non-injected, non-transient, alloc", derr)
+	}
+}
+
+// TestFreeReleasesGovernorCharge: freeing a device allocation returns
+// its charged bytes to the tenant, so quota tracks live usage.
+func TestFreeReleasesGovernorCharge(t *testing.T) {
+	m := New(DefaultCostModel())
+	p := NewQuotaPool(64)
+	m.SetMemGovernor(p.Governor("t"))
+
+	base, err := m.AllocDevice(64, "u1")
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	used, _, _ := p.Usage("t")
+	if used != 64 {
+		t.Fatalf("used = %d, want 64", used)
+	}
+	m.Free(GPU, base)
+	used, peak, _ := p.Usage("t")
+	if used != 0 || peak != 64 {
+		t.Fatalf("after free: used = %d peak = %d, want 0/64", used, peak)
+	}
+	if _, err := m.AllocDevice(64, "u2"); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+// TestAllocDeviceChargesAlignedSize: the governor charge matches the
+// machine's aligned allocation size, so Release always pairs exactly.
+func TestAllocDeviceChargesAlignedSize(t *testing.T) {
+	m := New(DefaultCostModel())
+	p := NewQuotaPool(0)
+	m.SetMemGovernor(p.Governor("t"))
+	if _, err := m.AllocDevice(1, "u"); err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	used, _, _ := p.Usage("t")
+	if used != 16 { // align() rounds to 16
+		t.Fatalf("charged %d bytes for a 1-byte alloc, want the aligned 16", used)
+	}
+}

@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -82,25 +83,76 @@ func promFloat(v float64) string {
 // in sorted name order (the Snapshot order), histogram buckets are
 // cumulative and ascending. A nil snapshot writes nothing.
 func WritePrometheus(w io.Writer, s *Snapshot) error {
+	return WritePrometheusLabeled(w, s, nil, nil)
+}
+
+// promLabels renders a label map canonically (sorted keys, quoted
+// values); empty input renders to "".
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", promName(k), labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// WritePrometheusLabeled writes the snapshot with a fixed label set
+// attached to every sample — the per-tenant exposition surface: a
+// multi-tenant server writes each tenant's registry snapshot with
+// labels {"tenant": name} into one page. typesSeen, when non-nil,
+// deduplicates "# TYPE" comment lines across calls sharing one page
+// (the text format allows each metric's TYPE line only once, while the
+// same metric name appears once per tenant); pass nil for a standalone
+// exposition.
+func WritePrometheusLabeled(w io.Writer, s *Snapshot, labels map[string]string, typesSeen map[string]bool) error {
 	if s == nil {
 		return nil
 	}
+	lbl := promLabels(labels)
+	suffix := ""
+	if lbl != "" {
+		suffix = "{" + lbl + "}"
+	}
+	writeType := func(name, kind string) error {
+		if typesSeen != nil {
+			if typesSeen[name] {
+				return nil
+			}
+			typesSeen[name] = true
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		return err
+	}
 	for _, c := range s.Counters {
 		n := promName(c.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", n, n, promFloat(c.Value)); err != nil {
+		if err := writeType(n, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", n, suffix, promFloat(c.Value)); err != nil {
 			return err
 		}
 	}
 	for _, g := range s.Gauges {
 		n := promName(g.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(g.Value)); err != nil {
+		if err := writeType(n, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", n, suffix, promFloat(g.Value)); err != nil {
 			return err
 		}
 	}
 	for i := range s.Histograms {
 		h := &s.Histograms[i]
 		n := promName(h.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+		if err := writeType(n, "histogram"); err != nil {
 			return err
 		}
 		var cum int64
@@ -110,11 +162,15 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 			if b < len(h.Bounds) {
 				le = promFloat(h.Bounds[b])
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum); err != nil {
+			bl := fmt.Sprintf("le=%q", le)
+			if lbl != "" {
+				bl = lbl + "," + bl
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", n, bl, cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", n, suffix, promFloat(h.Sum), n, suffix, h.Count); err != nil {
 			return err
 		}
 	}

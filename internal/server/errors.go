@@ -1,0 +1,106 @@
+// Typed error catalogue of the service. Every way a request can fail
+// maps to exactly one code with a fixed HTTP status, so clients (and
+// tests) can branch on machine-readable causes instead of message
+// strings. The catalogue is part of the API surface and documented in
+// DESIGN.md's "Service mode" section.
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"cgcm/internal/machine"
+	runtimelib "cgcm/internal/runtime"
+)
+
+// Code identifies one failure class.
+type Code string
+
+// Failure classes.
+const (
+	// CodeBadRequest: the request body is not valid JSON, or a field
+	// fails validation (bad strategy, bad fault spec, absurd option).
+	CodeBadRequest Code = "bad_request"
+	// CodeSourceTooLarge: the program source exceeds the configured cap.
+	CodeSourceTooLarge Code = "source_too_large"
+	// CodeQueueFull: admission control shed the request — the bounded
+	// queue was at capacity. Clients should back off and retry.
+	CodeQueueFull Code = "queue_full"
+	// CodeDraining: the server is shutting down and no longer admits
+	// work. Clients should fail over to another instance.
+	CodeDraining Code = "draining"
+	// CodeCompile: the program failed to compile (a client error: the
+	// source is wrong, not the server).
+	CodeCompile Code = "compile_failed"
+	// CodeRunFailed: the program compiled but its execution faulted.
+	CodeRunFailed Code = "run_failed"
+	// CodeDeadline: the request's deadline expired mid-run; the response
+	// carries the partial statistics via DeadlineError.
+	CodeDeadline Code = "deadline_exceeded"
+	// CodeCanceled: the client disconnected mid-run.
+	CodeCanceled Code = "canceled"
+	// CodeInternal: a server-side invariant broke.
+	CodeInternal Code = "internal"
+)
+
+// httpStatus maps each code to its transport status.
+func httpStatus(c Code) int {
+	switch c {
+	case CodeBadRequest:
+		return http.StatusBadRequest // 400
+	case CodeSourceTooLarge:
+		return http.StatusRequestEntityTooLarge // 413
+	case CodeQueueFull:
+		return http.StatusTooManyRequests // 429
+	case CodeDraining:
+		return http.StatusServiceUnavailable // 503
+	case CodeCompile, CodeRunFailed:
+		return http.StatusUnprocessableEntity // 422
+	case CodeDeadline:
+		return http.StatusGatewayTimeout // 504
+	case CodeCanceled:
+		return 499 // client closed request (nginx convention)
+	}
+	return http.StatusInternalServerError // 500
+}
+
+// Error is the typed service error: a catalogue code plus a
+// human-readable message. It is what every non-2xx response body
+// carries (see ErrorBody) and what the in-process submit path returns.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// HTTPStatus returns the transport status for the error's code.
+func (e *Error) HTTPStatus() int { return httpStatus(e.Code) }
+
+// errf builds a typed error with a formatted message.
+func errf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// DeadlineError is the typed outcome of a run aborted by its deadline
+// or by client disconnect: which tenant, how far the run got, and the
+// machine/runtime statistics accumulated up to the abort point — the
+// "partial Stats" a caller can use to size a retry deadline.
+type DeadlineError struct {
+	Tenant  string           `json:"tenant"`
+	Program string           `json:"program"`
+	Cause   string           `json:"cause"` // "deadline" or "disconnect"
+	Stats   machine.Stats    `json:"stats"`
+	RTStats runtimelib.Stats `json:"rt_stats"`
+
+	err error // underlying cancellation chain
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("tenant %s: program %s: %s expired after %.1fus simulated: %v",
+		e.Tenant, e.Program, e.Cause, e.Stats.Wall*1e6, e.err)
+}
+
+// Unwrap exposes the cancellation chain, so errors.Is(err,
+// context.DeadlineExceeded) works through a DeadlineError.
+func (e *DeadlineError) Unwrap() error { return e.err }

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzServerRequest pushes arbitrary bytes through the service's
+// hostile boundary. The contract: DecodeRequest returns a typed 4xx
+// *Error or a valid request — it never panics and never classifies a
+// malformed body as a server-side (5xx) failure. Seeded with valid
+// requests, every rejection class, and structural JSON edge cases so
+// mutation explores the validator, not just the JSON parser.
+func FuzzServerRequest(f *testing.F) {
+	seeds := []string{
+		`{"tenant":"a","source":"int main() { return 0; }"}`,
+		`{"tenant":"alpha","program":"vec.c","source":"int main() { return 0; }","options":{"strategy":"opt","async":true,"workers":4,"gpu_mem_bytes":262144,"faults":"seed=7,htod=0.2"},"deadline_ms":5000}`,
+		`{"tenant":"a","source":"s","options":{"strategy":"warp"}}`,
+		`{"tenant":"a","source":"s","options":{"ablate":"doall"}}`,
+		`{"tenant":"a","source":"s","deadline_ms":-1}`,
+		`{"tenant":"a","source":"s","deadline_ms":999999999999}`,
+		`{"tenant":17,"source":"s"}`,
+		`{"tenant":"a","source":"s"} trailing`,
+		`{"tenant":"a","source":"s","nonsense":{}}`,
+		`{"tenant":"` + strings.Repeat("x", 100) + `","source":"s"}`,
+		`{"tenant":"a","source":"` + strings.Repeat("y", 5000) + `"}`,
+		`{"options":{"workers":-99999999}}`,
+		`[]`,
+		`null`,
+		`"just a string"`,
+		`{}`,
+		``,
+		`{"tenant":"a","source":"s","options":{"gpu_mem_bytes":1099511627777}}`,
+		`{"tenant":" ","source":"s"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, derr := DecodeRequest(body, 0)
+		if req == nil && derr == nil {
+			t.Fatal("DecodeRequest returned neither a request nor an error")
+		}
+		if req != nil && derr != nil {
+			t.Fatal("DecodeRequest returned both a request and an error")
+		}
+		if derr != nil {
+			if st := derr.HTTPStatus(); st < 400 || st >= 500 {
+				t.Fatalf("malformed input mapped to status %d (%s); must be 4xx", st, derr.Code)
+			}
+			return
+		}
+		// A request that decoded must satisfy its own invariants.
+		if !validTenant(req.Tenant) {
+			t.Fatalf("decoded request carries invalid tenant %q", req.Tenant)
+		}
+		if req.Source == "" || len(req.Source) > DefaultMaxSourceBytes {
+			t.Fatalf("decoded request violates source bounds: %d bytes", len(req.Source))
+		}
+		if req.Deadline() < 0 || req.Deadline() > maxDeadline {
+			t.Fatalf("decoded request violates deadline bounds: %v", req.Deadline())
+		}
+	})
+}

@@ -1,0 +1,223 @@
+// The contention-invariant gate: the executable form of the service's
+// headline guarantee. For every bench program and a set of option
+// configurations (plain, the standard injected-fault schedule with a
+// capacity-limited device, and a quota-governed tenant), it computes the
+// expected response payload from a solo in-process run, then submits
+// the whole matrix to a loaded server concurrently — twice, so both the
+// cold and the warm compilation cache are exercised — and requires
+// every payload byte-identical to its solo expectation. cgcmd -gate and
+// `make servegate` run it; CI gates on it.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"cgcm/internal/bench"
+	"cgcm/internal/core"
+	"cgcm/internal/machine"
+)
+
+// gateConfig is one option set the matrix crosses with every program.
+type gateConfig struct {
+	name string
+	opts RunOptions
+	// quota, when non-zero, runs the config under a quota-governed
+	// tenant (applied to a bounded program subset to keep gate cost
+	// sane; quota semantics themselves are unit-tested).
+	quota int64
+}
+
+// gateFaultSpec matches `make resilience`: the standard injected-fault
+// schedule on a capacity-limited device.
+const (
+	gateFaultSpec = "seed=7,htod=0.2,dtoh=0.2,alloc=0.1"
+	gateGPUMem    = 262144
+	// gateQuota is generous enough that even all workers running the
+	// tenant concurrently never trip it — the config exercises the
+	// governor path, not denial nondeterminism.
+	gateQuota = int64(1) << 30
+	// gateQuotaProgs bounds the quota config to the first N programs.
+	gateQuotaProgs = 4
+)
+
+func gateConfigs() []gateConfig {
+	return []gateConfig{
+		{name: "plain", opts: RunOptions{}},
+		{name: "faults", opts: RunOptions{Faults: gateFaultSpec, GPUMem: gateGPUMem}},
+		{name: "quota", opts: RunOptions{}, quota: gateQuota},
+	}
+}
+
+// gateCase is one (program, config) cell of the matrix with its solo
+// expectation.
+type gateCase struct {
+	prog    bench.Program
+	cfg     gateConfig
+	tenant  string
+	req     *RunRequest
+	payload []byte // solo expected payload
+	output  string // solo expected raw output
+}
+
+// soloExpectation runs the case alone, through the same public
+// compile+run API the server uses, and records its payload.
+func (c *gateCase) soloExpectation() error {
+	prog, err := core.CompileContext(context.Background(), c.prog.Name, c.prog.Source, c.req.CoreOptions())
+	if err != nil {
+		return fmt.Errorf("solo compile %s/%s: %w", c.prog.Name, c.cfg.name, err)
+	}
+	rc := core.RunConfig{}
+	if c.cfg.quota > 0 {
+		pool := machine.NewQuotaPool(0)
+		pool.SetQuota(c.tenant, c.cfg.quota)
+		rc.MemGovernor = pool.Governor(c.tenant)
+	}
+	rep, err := prog.RunWith(rc)
+	if err != nil {
+		return fmt.Errorf("solo run %s/%s: %w", c.prog.Name, c.cfg.name, err)
+	}
+	resp := newRunResponse(c.req, rep, false, 0)
+	c.payload, err = resp.Payload()
+	if err != nil {
+		return fmt.Errorf("solo payload %s/%s: %w", c.prog.Name, c.cfg.name, err)
+	}
+	c.output = rep.Output
+	return nil
+}
+
+// buildGateCases assembles the matrix. Tenants rotate so the scheduler
+// actually interleaves competing queues.
+func buildGateCases() ([]*gateCase, map[string]int64, error) {
+	progs := bench.All()
+	tenants := []string{"alpha", "beta", "gamma", "delta"}
+	quotas := make(map[string]int64)
+	var cases []*gateCase
+	for _, cfg := range gateConfigs() {
+		for i, p := range progs {
+			if cfg.quota > 0 && i >= gateQuotaProgs {
+				break
+			}
+			tenant := tenants[i%len(tenants)]
+			if cfg.quota > 0 {
+				tenant = "quota-" + tenant
+				quotas[tenant] = cfg.quota
+			}
+			body, err := json.Marshal(RunRequest{
+				Tenant:  tenant,
+				Program: p.Name,
+				Source:  p.Source,
+				Options: cfg.opts,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("gate: marshal %s/%s: %w", p.Name, cfg.name, err)
+			}
+			req, derr := DecodeRequest(body, 0)
+			if derr != nil {
+				return nil, nil, fmt.Errorf("gate: decode %s/%s: %v", p.Name, cfg.name, derr)
+			}
+			cases = append(cases, &gateCase{prog: p, cfg: cfg, tenant: tenant, req: req})
+		}
+	}
+	return cases, quotas, nil
+}
+
+// RunGate executes the full gate and streams progress to log. It
+// returns an error describing every violated invariant, nil when the
+// matrix passes.
+func RunGate(log io.Writer) error {
+	if log == nil {
+		log = io.Discard
+	}
+	cases, quotas, err := buildGateCases()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(log, "servegate: %d cases (programs x {plain, faults, quota})\n", len(cases))
+
+	// Solo expectations, computed before the server exists.
+	for _, c := range cases {
+		if err := c.soloExpectation(); err != nil {
+			return fmt.Errorf("servegate: %w", err)
+		}
+	}
+	fmt.Fprintf(log, "servegate: solo expectations computed\n")
+
+	// One loaded server: queue sized to hold the entire matrix at once so
+	// admission never sheds (shedding exactness is unit-tested; the gate
+	// isolates the bit-identity invariant).
+	srv, err := New(Config{
+		Workers:       runtime.GOMAXPROCS(0),
+		QueueCapacity: 2 * len(cases),
+		TenantQuotas:  quotas,
+		Weights:       map[string]int{"alpha": 3, "beta": 1},
+	})
+	if err != nil {
+		return fmt.Errorf("servegate: %w", err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	var failures []string
+	var mu sync.Mutex
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	// Two passes: cold cache (every case compiles), then warm (every
+	// case must hit). Each pass submits the full matrix concurrently.
+	for pass, wantCached := range []bool{false, true} {
+		var wg sync.WaitGroup
+		for _, c := range cases {
+			wg.Add(1)
+			go func(c *gateCase) {
+				defer wg.Done()
+				resp, serr, _ := srv.Submit(context.Background(), c.req)
+				if serr != nil {
+					fail("pass %d %s/%s: unexpected error: %v", pass, c.prog.Name, c.cfg.name, serr)
+					return
+				}
+				// Only the warm pass pins cached: cold-pass cases whose key
+				// collides (the quota config reuses plain options) may
+				// legitimately hit a twin's fresh compilation.
+				if wantCached && !resp.Cached {
+					fail("pass %d %s/%s: cached=false on the warm pass", pass, c.prog.Name, c.cfg.name)
+				}
+				got, perr := resp.Payload()
+				if perr != nil {
+					fail("pass %d %s/%s: payload: %v", pass, c.prog.Name, c.cfg.name, perr)
+					return
+				}
+				if string(got) != string(c.payload) {
+					fail("pass %d %s/%s: payload differs under contention:\n  solo:   %s\n  server: %s",
+						pass, c.prog.Name, c.cfg.name, c.payload, got)
+				}
+				if resp.Output != c.output {
+					fail("pass %d %s/%s: output differs under contention", pass, c.prog.Name, c.cfg.name)
+				}
+			}(c)
+		}
+		wg.Wait()
+		label := "cold"
+		if wantCached {
+			label = "warm"
+		}
+		fmt.Fprintf(log, "servegate: %s pass done (%d cases)\n", label, len(cases))
+	}
+
+	hits, misses, dedups := srv.CacheCounters()
+	fmt.Fprintf(log, "servegate: cache hits=%d misses=%d dedups=%d\n", hits, misses, dedups)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(log, "servegate: FAIL %s\n", f)
+		}
+		return fmt.Errorf("servegate: %d invariant violations across %d cases", len(failures), 2*len(cases))
+	}
+	fmt.Fprintf(log, "servegate: PASS — all payloads bit-identical solo vs loaded server, cold and warm\n")
+	return nil
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cgcm/internal/core"
+)
+
+func decode(t *testing.T, body string) (*RunRequest, *Error) {
+	t.Helper()
+	return DecodeRequest([]byte(body), 0)
+}
+
+func TestDecodeRequestValid(t *testing.T) {
+	req, derr := decode(t, `{
+		"tenant": "alpha",
+		"program": "vec.c",
+		"source": "int main() { return 0; }",
+		"options": {"strategy": "opt", "async": true, "gpu_mem_bytes": 262144, "faults": "seed=7,htod=0.1"},
+		"deadline_ms": 5000
+	}`)
+	if derr != nil {
+		t.Fatalf("decode: %v", derr)
+	}
+	opts := req.CoreOptions()
+	if opts.Strategy != core.CGCMOptimized || !opts.Async || opts.GPUMemBytes != 262144 || opts.FaultSpec == nil {
+		t.Fatalf("materialized options wrong: %+v", opts)
+	}
+	if req.Deadline().Milliseconds() != 5000 {
+		t.Fatalf("deadline = %v, want 5s", req.Deadline())
+	}
+}
+
+func TestDecodeRequestDefaults(t *testing.T) {
+	req, derr := decode(t, `{"tenant": "a", "source": "int main() { return 0; }"}`)
+	if derr != nil {
+		t.Fatalf("decode: %v", derr)
+	}
+	if req.Program != "prog.c" {
+		t.Fatalf("default program = %q", req.Program)
+	}
+	if req.CoreOptions().Strategy != core.CGCMOptimized {
+		t.Fatal("default strategy is not opt")
+	}
+}
+
+// TestDecodeRequestRejections pins every rejection class to its typed
+// code.
+func TestDecodeRequestRejections(t *testing.T) {
+	big := strings.Repeat("x", DefaultMaxSourceBytes+1)
+	cases := []struct {
+		name string
+		body string
+		code Code
+	}{
+		{"empty", ``, CodeBadRequest},
+		{"not json", `hello`, CodeBadRequest},
+		{"trailing data", `{"tenant":"a","source":"int main(){return 0;}"} extra`, CodeBadRequest},
+		{"unknown field", `{"tenant":"a","source":"s","nonsense":1}`, CodeBadRequest},
+		{"no tenant", `{"source":"s"}`, CodeBadRequest},
+		{"bad tenant chars", `{"tenant":"a b","source":"s"}`, CodeBadRequest},
+		{"tenant too long", `{"tenant":"` + strings.Repeat("t", 65) + `","source":"s"}`, CodeBadRequest},
+		{"no source", `{"tenant":"a"}`, CodeBadRequest},
+		{"source too large", `{"tenant":"a","source":"` + big + `"}`, CodeSourceTooLarge},
+		{"negative deadline", `{"tenant":"a","source":"s","deadline_ms":-1}`, CodeBadRequest},
+		{"huge deadline", `{"tenant":"a","source":"s","deadline_ms":86400000}`, CodeBadRequest},
+		{"bad strategy", `{"tenant":"a","source":"s","options":{"strategy":"warp"}}`, CodeBadRequest},
+		{"bad ablate", `{"tenant":"a","source":"s","options":{"ablate":"nosuchpass"}}`, CodeBadRequest},
+		{"negative workers", `{"tenant":"a","source":"s","options":{"workers":-1}}`, CodeBadRequest},
+		{"absurd workers", `{"tenant":"a","source":"s","options":{"workers":100000}}`, CodeBadRequest},
+		{"negative gpu mem", `{"tenant":"a","source":"s","options":{"gpu_mem_bytes":-5}}`, CodeBadRequest},
+		{"bad faults", `{"tenant":"a","source":"s","options":{"faults":"chaos=yes"}}`, CodeBadRequest},
+		{"wrong type", `{"tenant":17,"source":"s"}`, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, derr := decode(t, tc.body)
+			if derr == nil {
+				t.Fatalf("decoded %q without error (req=%+v)", tc.body[:min(len(tc.body), 60)], req)
+			}
+			if derr.Code != tc.code {
+				t.Fatalf("code = %s, want %s (%v)", derr.Code, tc.code, derr)
+			}
+			if derr.HTTPStatus() < 400 || derr.HTTPStatus() >= 500 {
+				t.Fatalf("status = %d, want 4xx", derr.HTTPStatus())
+			}
+		})
+	}
+}
+
+// TestDecodeRequestBodyCap: a body far beyond the source cap is refused
+// before JSON parsing does any work.
+func TestDecodeRequestBodyCap(t *testing.T) {
+	body := strings.Repeat("a", DefaultMaxSourceBytes*2+4097)
+	_, derr := DecodeRequest([]byte(body), 0)
+	if derr == nil || derr.Code != CodeSourceTooLarge {
+		t.Fatalf("oversized body: %v, want %s", derr, CodeSourceTooLarge)
+	}
+}
+
+// TestResponsePayloadShape: Payload carries exactly the deterministic
+// fields — no host-dependent cached/queue_ns/output text.
+func TestResponsePayloadShape(t *testing.T) {
+	resp := &RunResponse{Tenant: "a", Program: "p", Cached: true, QueueNS: 123, Output: "42\n", OutputSHA256: "aa", Exit: 0}
+	payload, err := resp.Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(payload, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"output_sha256", "exit", "stats", "rt_stats", "comm"} {
+		if _, ok := m[want]; !ok {
+			t.Errorf("payload missing %q", want)
+		}
+	}
+	for _, banned := range []string{"cached", "queue_ns", "output", "tenant"} {
+		if _, ok := m[banned]; ok {
+			t.Errorf("payload leaks host-dependent field %q", banned)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Admission control and fair scheduling: a bounded total queue feeding
+// a weighted round-robin scan over per-tenant FIFO queues. Admission is
+// all-or-nothing at enqueue time — when the queue is full the request
+// is shed immediately with a typed 429, and when the server is draining
+// with a typed 503 — so a shed request costs one mutex acquisition and
+// spawns nothing. Dequeue order interleaves tenants by weight, so one
+// tenant's burst of 10,000 requests delays another tenant by at most
+// its own weight share, not by the burst.
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// task is one admitted request moving through the scheduler to a
+// worker. done closes when resp/errResp/deadline are final. ctx is the
+// request's lifetime: server base context + per-request deadline +
+// client connection.
+type task struct {
+	req      *RunRequest
+	ctx      context.Context
+	enqueued time.Time
+
+	done     chan struct{}
+	resp     *RunResponse
+	errResp  *Error
+	deadline *DeadlineError
+}
+
+// scheduler is the bounded multi-queue. All state is guarded by mu;
+// next blocks on cond until work or drain.
+type scheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	total    int
+	draining bool
+
+	queues  map[string][]*task
+	ring    []string // tenant scan order: first-seen, stable
+	pos     int      // ring position of the next scan
+	weights map[string]int
+	credit  map[string]int // remaining dequeues this cycle
+}
+
+func newScheduler(capacity int, weights map[string]int) *scheduler {
+	s := &scheduler{
+		capacity: capacity,
+		queues:   make(map[string][]*task),
+		weights:  make(map[string]int),
+		credit:   make(map[string]int),
+	}
+	for t, w := range weights {
+		if w > 0 {
+			s.weights[t] = w
+		}
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// weightOf returns a tenant's configured weight (default 1).
+func (s *scheduler) weightOf(tenant string) int {
+	if w, ok := s.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// enqueue admits t or sheds it with a typed error. Admission never
+// blocks.
+func (s *scheduler) enqueue(t *task) *Error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errf(CodeDraining, "server is draining; not admitting new work")
+	}
+	if s.total >= s.capacity {
+		return errf(CodeQueueFull, "request queue full (%d queued); retry with backoff", s.total)
+	}
+	tenant := t.req.Tenant
+	if _, seen := s.queues[tenant]; !seen {
+		s.ring = append(s.ring, tenant)
+		s.credit[tenant] = s.weightOf(tenant)
+	}
+	s.queues[tenant] = append(s.queues[tenant], t)
+	s.total++
+	s.cond.Signal()
+	return nil
+}
+
+// next blocks until a task is available and returns it, or returns
+// ok=false when the scheduler is draining and empty — the workers' exit
+// signal. Draining still serves queued tasks: everything admitted gets
+// a worker.
+func (s *scheduler) next() (*task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.total > 0 {
+			if t := s.dequeueLocked(); t != nil {
+				return t, true
+			}
+		}
+		if s.draining {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// dequeueLocked performs one weighted-round-robin pick: scan the ring
+// from pos for a tenant with queued work and remaining credit; if every
+// queued tenant is out of credit, start a new cycle by refilling all
+// credits. Ring order is first-seen and stable, so the pick sequence is
+// a pure function of the enqueue history.
+func (s *scheduler) dequeueLocked() *task {
+	for pass := 0; pass < 2; pass++ {
+		n := len(s.ring)
+		for i := 0; i < n; i++ {
+			idx := (s.pos + i) % n
+			tenant := s.ring[idx]
+			q := s.queues[tenant]
+			if len(q) == 0 || s.credit[tenant] <= 0 {
+				continue
+			}
+			t := q[0]
+			s.queues[tenant] = q[1:]
+			s.total--
+			s.credit[tenant]--
+			// Advance past this tenant only when its credit is spent, so
+			// a weight-3 tenant takes up to 3 consecutive picks per visit.
+			if s.credit[tenant] <= 0 {
+				s.pos = (idx + 1) % n
+			} else {
+				s.pos = idx
+			}
+			return t
+		}
+		// All queued tenants exhausted their cycle credit: new cycle.
+		for _, tenant := range s.ring {
+			s.credit[tenant] = s.weightOf(tenant)
+		}
+	}
+	return nil
+}
+
+// drain stops admission permanently and wakes every waiting worker.
+func (s *scheduler) drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// queued reports the current queue occupancy.
+func (s *scheduler) queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func mkTask(tenant string) *task {
+	return &task{
+		req:      &RunRequest{Tenant: tenant},
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+}
+
+// TestSchedulerShedsExactExcess: capacity K with K+N offered admits
+// exactly K and sheds exactly N, every shed typed queue_full (429).
+func TestSchedulerShedsExactExcess(t *testing.T) {
+	const K, N = 8, 29
+	s := newScheduler(K, nil)
+	var shed int
+	for i := 0; i < K+N; i++ {
+		if err := s.enqueue(mkTask(fmt.Sprintf("t%d", i%3))); err != nil {
+			if err.Code != CodeQueueFull {
+				t.Fatalf("shed error code = %s, want %s", err.Code, CodeQueueFull)
+			}
+			if err.HTTPStatus() != 429 {
+				t.Fatalf("shed status = %d, want 429", err.HTTPStatus())
+			}
+			shed++
+		}
+	}
+	if shed != N {
+		t.Fatalf("shed %d of %d excess requests, want exactly %d", shed, N, N)
+	}
+	if got := s.queued(); got != K {
+		t.Fatalf("queued = %d, want %d", got, K)
+	}
+	// Dequeuing one slot frees exactly one admission.
+	s.drain() // so next() won't block when empty later
+	if tk, ok := s.next(); !ok || tk == nil {
+		t.Fatal("next() returned no task from a full queue")
+	}
+}
+
+// TestSchedulerWeightedRoundRobin: with weights a=3, b=1 and both
+// queues saturated, the pick sequence interleaves 3:1 deterministically.
+func TestSchedulerWeightedRoundRobin(t *testing.T) {
+	s := newScheduler(100, map[string]int{"a": 3, "b": 1})
+	for i := 0; i < 8; i++ {
+		if err := s.enqueue(mkTask("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.enqueue(mkTask("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	for i := 0; i < 12; i++ {
+		tk := s.dequeueLockedForTest()
+		if tk == nil {
+			t.Fatalf("pick %d: no task", i)
+		}
+		order = append(order, tk.req.Tenant)
+	}
+	want := []string{"a", "a", "a", "b", "a", "a", "a", "b", "a", "a", "b", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pick sequence %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSchedulerFairnessUnderBurst: one tenant's burst cannot starve
+// another — the second tenant's lone request is picked within one
+// weight cycle, not after the burst.
+func TestSchedulerFairnessUnderBurst(t *testing.T) {
+	s := newScheduler(1000, nil)
+	for i := 0; i < 500; i++ {
+		if err := s.enqueue(mkTask("noisy")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.enqueue(mkTask("quiet")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tk := s.dequeueLockedForTest()
+		if tk.req.Tenant == "quiet" {
+			return
+		}
+	}
+	t.Fatal("quiet tenant not scheduled within 3 picks of a 500-request burst")
+}
+
+// TestSchedulerDrainSemantics: draining sheds new work with 503 but
+// still serves everything already admitted.
+func TestSchedulerDrainSemantics(t *testing.T) {
+	s := newScheduler(10, nil)
+	for i := 0; i < 3; i++ {
+		if err := s.enqueue(mkTask("t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.drain()
+	if err := s.enqueue(mkTask("t")); err == nil {
+		t.Fatal("enqueue admitted during drain")
+	} else if err.Code != CodeDraining || err.HTTPStatus() != 503 {
+		t.Fatalf("drain shed = %s/%d, want %s/503", err.Code, err.HTTPStatus(), CodeDraining)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := s.next(); !ok {
+			t.Fatalf("queued task %d dropped by drain; drain must serve admitted work", i)
+		}
+	}
+	if _, ok := s.next(); ok {
+		t.Fatal("next() returned a task from a drained empty queue")
+	}
+}
+
+// dequeueLockedForTest wraps dequeueLocked with the lock held.
+func (s *scheduler) dequeueLockedForTest() *task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dequeueLocked()
+}

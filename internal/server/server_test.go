@@ -1,0 +1,383 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cgcm/internal/core"
+	"cgcm/internal/runlog"
+)
+
+// gpuVec does enough data-parallel work that the optimized strategy
+// allocates device memory — the subject of the quota tests.
+const gpuVec = `
+int main() {
+	int n = 512;
+	float *a = (float*)malloc(n * sizeof(float));
+	float *b = (float*)malloc(n * sizeof(float));
+	for (int i = 0; i < n; i++) a[i] = (float)i;
+	for (int i = 0; i < n; i++) b[i] = (float)(i * 2);
+	for (int t = 0; t < 4; t++) {
+		for (int i = 0; i < n; i++) a[i] = a[i] * 1.5 + b[i];
+	}
+	float sum = 0.0;
+	for (int i = 0; i < n; i++) sum += a[i];
+	print_float(sum / 1000000.0);
+	free(a);
+	free(b);
+	return 0;
+}`
+
+// slowLoop launches more kernels than any test deadline allows.
+const slowLoop = `
+int main() {
+	int n = 256;
+	float *a = (float*)malloc(n * sizeof(float));
+	for (int i = 0; i < n; i++) a[i] = (float)i;
+	for (int t = 0; t < 200000; t++) {
+		for (int i = 0; i < n; i++) a[i] = a[i] * 1.0001 + 0.5;
+	}
+	print_float(a[0]);
+	free(a);
+	return 0;
+}`
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func mustRequest(t *testing.T, tenant, program, source string, opts RunOptions, deadlineMS int64) *RunRequest {
+	t.Helper()
+	body, err := json.Marshal(RunRequest{Tenant: tenant, Program: program, Source: source, Options: opts, DeadlineMS: deadlineMS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, derr := DecodeRequest(body, 0)
+	if derr != nil {
+		t.Fatalf("decode: %v", derr)
+	}
+	return req
+}
+
+// TestSubmitMatchesSolo: the smallest instance of the headline
+// invariant — one request's payload equals the solo run's.
+func TestSubmitMatchesSolo(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := mustRequest(t, "a", "vec.c", gpuVec, RunOptions{}, 0)
+
+	rep, err := core.CompileAndRun("vec.c", gpuVec, req.CoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := newRunResponse(req, rep, false, 0).Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, serr, _ := s.Submit(context.Background(), req)
+	if serr != nil {
+		t.Fatalf("submit: %v", serr)
+	}
+	got, err := resp.Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("payload differs:\nserver: %s\nsolo:   %s", got, want)
+	}
+	if resp.Output != rep.Output {
+		t.Fatal("output differs from solo run")
+	}
+}
+
+// TestSubmitDeadline: a deadline expiring mid-run returns the typed
+// 504 outcome with the DeadlineError detail, and unwraps to
+// context.DeadlineExceeded.
+func TestSubmitDeadline(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := mustRequest(t, "a", "slow.c", slowLoop, RunOptions{}, 30)
+	resp, serr, dl := s.Submit(context.Background(), req)
+	if resp != nil || serr == nil {
+		t.Fatalf("slow run finished under a 30ms deadline (resp=%v serr=%v)", resp, serr)
+	}
+	if serr.Code != CodeDeadline || serr.HTTPStatus() != http.StatusGatewayTimeout {
+		t.Fatalf("code = %s/%d, want %s/504", serr.Code, serr.HTTPStatus(), CodeDeadline)
+	}
+	if dl == nil {
+		t.Fatal("no DeadlineError detail")
+	}
+	if dl.Cause != "deadline" || dl.Tenant != "a" {
+		t.Fatalf("detail = %+v", dl)
+	}
+	if !errors.Is(dl, context.DeadlineExceeded) {
+		t.Fatalf("DeadlineError does not unwrap to context.DeadlineExceeded: %v", dl)
+	}
+}
+
+// TestSubmitClientDisconnect: a canceled caller context aborts the run
+// with the 499 outcome.
+func TestSubmitClientDisconnect(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	req := mustRequest(t, "a", "slow.c", slowLoop, RunOptions{}, 0)
+	_, serr, dl := s.Submit(ctx, req)
+	if serr == nil || serr.Code != CodeCanceled || serr.HTTPStatus() != 499 {
+		t.Fatalf("disconnect outcome = %v, want %s/499", serr, CodeCanceled)
+	}
+	if dl == nil || dl.Cause != "disconnect" {
+		t.Fatalf("detail = %+v, want cause=disconnect", dl)
+	}
+}
+
+// TestQuotaDegradesLosslessly: an over-quota tenant's run degrades to
+// CPU fallback with bit-identical output — and succeeds.
+func TestQuotaDegradesLosslessly(t *testing.T) {
+	plain, err := core.CompileAndRun("vec.c", gpuVec, core.Options{Strategy: core.CGCMOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Config{TenantQuotas: map[string]int64{"starved": 64}})
+	req := mustRequest(t, "starved", "vec.c", gpuVec, RunOptions{}, 0)
+	resp, serr, _ := s.Submit(context.Background(), req)
+	if serr != nil {
+		t.Fatalf("over-quota run failed instead of degrading: %v", serr)
+	}
+	if resp.Output != plain.Output {
+		t.Fatalf("degraded output %q != plain output %q — degradation is not lossless", resp.Output, plain.Output)
+	}
+	_, _, denials := s.QuotaPool().Usage("starved")
+	if denials == 0 {
+		t.Fatal("no quota denials recorded; the quota never engaged")
+	}
+}
+
+// TestQuotaDoesNotStarveOthers: while one tenant is starved by its
+// quota, an unlimited tenant's run on the same server is unaffected.
+func TestQuotaDoesNotStarveOthers(t *testing.T) {
+	s := newTestServer(t, Config{TenantQuotas: map[string]int64{"starved": 64}})
+	for _, tenant := range []string{"starved", "free"} {
+		req := mustRequest(t, tenant, "vec.c", gpuVec, RunOptions{}, 0)
+		if _, serr, _ := s.Submit(context.Background(), req); serr != nil {
+			t.Fatalf("tenant %s: %v", tenant, serr)
+		}
+	}
+	if _, _, denials := s.QuotaPool().Usage("free"); denials != 0 {
+		t.Fatal("unlimited tenant hit quota denials")
+	}
+}
+
+// TestShutdownDrains: Shutdown serves everything admitted, sheds new
+// work with 503, and returns once the pool exits.
+func TestShutdownDrains(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueCapacity: 16})
+	const inFlight = 6
+	type outcome struct {
+		resp *RunResponse
+		serr *Error
+	}
+	results := make(chan outcome, inFlight)
+	for i := 0; i < inFlight; i++ {
+		go func() {
+			req := mustRequest(t, "a", "vec.c", gpuVec, RunOptions{}, 0)
+			resp, serr, _ := s.Submit(context.Background(), req)
+			results <- outcome{resp, serr}
+		}()
+	}
+	// Give the submissions a moment to enqueue, then drain.
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Post-drain submissions are shed with the typed 503.
+	req := mustRequest(t, "a", "vec.c", gpuVec, RunOptions{}, 0)
+	if _, serr, _ := s.Submit(context.Background(), req); serr == nil || serr.Code != CodeDraining {
+		t.Fatalf("post-drain submit = %v, want %s", serr, CodeDraining)
+	}
+	for i := 0; i < inFlight; i++ {
+		o := <-results
+		if o.serr != nil {
+			t.Fatalf("admitted request %d failed during drain: %v", i, o.serr)
+		}
+	}
+}
+
+// TestShutdownDeadlineCancelsInFlight: when the drain deadline expires,
+// running requests are canceled and answer with typed outcomes instead
+// of hanging the drain.
+func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Error, 1)
+	go func() {
+		req := mustRequest(t, "a", "slow.c", slowLoop, RunOptions{}, 0)
+		_, serr, _ := s.Submit(context.Background(), req)
+		done <- serr
+	}()
+	time.Sleep(50 * time.Millisecond) // let the run start
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("shutdown reported clean drain despite canceling an in-flight run")
+	}
+	serr := <-done
+	if serr == nil || serr.Code != CodeCanceled {
+		t.Fatalf("force-canceled request outcome = %v, want %s", serr, CodeCanceled)
+	}
+}
+
+// TestRunlogRecords: with a store configured, every completed request
+// leaves one durable record before Shutdown returns.
+func TestRunlogRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{RunlogDir: dir})
+	const n = 3
+	for i := 0; i < n; i++ {
+		req := mustRequest(t, "a", "vec.c", gpuVec, RunOptions{}, 0)
+		if _, serr, _ := s.Submit(context.Background(), req); serr != nil {
+			t.Fatal(serr)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	store, err := runlog.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Fatalf("%d run records, want %d", len(entries), n)
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Program, "a/") {
+			t.Fatalf("record program %q lacks the tenant prefix", e.Program)
+		}
+	}
+}
+
+// TestHTTPEndToEnd drives the full HTTP surface: a good run, a typed
+// 4xx, health, and per-tenant metrics.
+func TestHTTPEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	// Success.
+	body, _ := json.Marshal(RunRequest{Tenant: "web", Program: "vec.c", Source: gpuVec})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/run", strings.NewReader(string(body))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /run = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OutputSHA256 == "" || resp.Tenant != "web" {
+		t.Fatalf("response %+v", resp)
+	}
+
+	// Typed 400 with the error body.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/run", strings.NewReader("not json")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d, want 400", rec.Code)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == nil || eb.Error.Code != CodeBadRequest {
+		t.Fatalf("error body %s (err=%v)", rec.Body.String(), err)
+	}
+
+	// Health.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+
+	// Metrics: per-tenant samples labeled, exactly one TYPE line per
+	// metric even with several tenants on the page.
+	body2, _ := json.Marshal(RunRequest{Tenant: "batch", Program: "vec.c", Source: gpuVec})
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/run", strings.NewReader(string(body2))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second tenant run = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	page := rec.Body.String()
+	for _, want := range []string{
+		`cgcmd_requests_admitted{tenant="web"} 1`,
+		`cgcmd_requests_admitted{tenant="batch"} 1`,
+		`cgcmd_queue_delay_seconds_count{tenant="web"}`,
+		"cgcmd_cache_misses",
+		"cgcmd_queue_depth",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics missing %q\npage:\n%s", want, page)
+		}
+	}
+	if n := strings.Count(page, "# TYPE cgcmd_requests_admitted "); n != 1 {
+		t.Errorf("TYPE line for admitted appears %d times, want 1", n)
+	}
+
+	// Draining flips health.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/run", strings.NewReader(string(body))))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST /run = %d, want 503", rec.Code)
+	}
+}
+
+// TestHTTPMethodRouting: wrong methods do not reach the handlers.
+func TestHTTPMethodRouting(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/run", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /run = %d, want 405", rec.Code)
+	}
+}
